@@ -1,0 +1,248 @@
+//! The Count Sketch / AMS sketch (Alon, Matias & Szegedy 1999; Charikar et al. 2002).
+//!
+//! The AMS family hashes every item to one counter per row and adds a random ±1 sign;
+//! point estimates take the median over rows of `sign · counter`, which is unbiased
+//! (unlike CountMin's one-sided error), and the sum of squared counters in a row is an
+//! unbiased estimate of the second frequency moment `F₂ = Σ_i n_i²`. The paper lists
+//! AMS alongside CountMin as the appropriate tool when the query workload is known in
+//! advance (section 3); we include it so the evaluation can contrast "known filter"
+//! sketches against the subset-sum samplers on equal footing.
+
+use uss_core::hash::splitmix64;
+use uss_core::traits::StreamSketch;
+
+/// The Count Sketch (an AMS-style ±1 linear sketch).
+#[derive(Debug, Clone)]
+pub struct CountSketch {
+    width: usize,
+    depth: usize,
+    /// Row-major `depth × width` signed counters.
+    counters: Vec<i64>,
+    bucket_seeds: Vec<u64>,
+    sign_seeds: Vec<u64>,
+    rows_processed: u64,
+}
+
+impl CountSketch {
+    /// Creates a sketch with `width` counters per row and `depth` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `depth` is zero.
+    #[must_use]
+    pub fn new(width: usize, depth: usize, seed: u64) -> Self {
+        assert!(width > 0 && depth > 0, "width and depth must be positive");
+        Self {
+            width,
+            depth,
+            counters: vec![0; width * depth],
+            bucket_seeds: (0..depth as u64)
+                .map(|d| splitmix64(seed ^ d.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+                .collect(),
+            sign_seeds: (0..depth as u64)
+                .map(|d| splitmix64(seed ^ d.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) ^ 0xFF51))
+                .collect(),
+            rows_processed: 0,
+        }
+    }
+
+    /// Sketch width.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Sketch depth.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    #[inline]
+    fn bucket(&self, row: usize, item: u64) -> usize {
+        let h = splitmix64(item ^ self.bucket_seeds[row]);
+        row * self.width + (h % self.width as u64) as usize
+    }
+
+    #[inline]
+    fn sign(&self, row: usize, item: u64) -> i64 {
+        if splitmix64(item ^ self.sign_seeds[row]) & 1 == 0 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Adds `count` (possibly negative, supporting deletions) occurrences of `item`.
+    pub fn add(&mut self, item: u64, count: i64) {
+        self.rows_processed = self.rows_processed.saturating_add(count.unsigned_abs());
+        for row in 0..self.depth {
+            let idx = self.bucket(row, item);
+            self.counters[idx] += self.sign(row, item) * count;
+        }
+    }
+
+    /// Unbiased point estimate of the count of `item`: the median over rows of
+    /// `sign · counter`.
+    #[must_use]
+    pub fn query(&self, item: u64) -> f64 {
+        let mut per_row: Vec<i64> = (0..self.depth)
+            .map(|row| self.sign(row, item) * self.counters[self.bucket(row, item)])
+            .collect();
+        per_row.sort_unstable();
+        let mid = self.depth / 2;
+        if self.depth % 2 == 1 {
+            per_row[mid] as f64
+        } else {
+            (per_row[mid - 1] + per_row[mid]) as f64 / 2.0
+        }
+    }
+
+    /// Estimates the second frequency moment `F₂ = Σ_i n_i²`: the median over rows of
+    /// the squared row norms (each of which is unbiased for `F₂`).
+    #[must_use]
+    pub fn second_moment(&self) -> f64 {
+        let mut per_row: Vec<f64> = (0..self.depth)
+            .map(|row| {
+                self.counters[row * self.width..(row + 1) * self.width]
+                    .iter()
+                    .map(|&c| (c as f64) * (c as f64))
+                    .sum()
+            })
+            .collect();
+        per_row.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mid = self.depth / 2;
+        if self.depth % 2 == 1 {
+            per_row[mid]
+        } else {
+            (per_row[mid - 1] + per_row[mid]) / 2.0
+        }
+    }
+
+    /// Estimated count for a known set of items, by summing point estimates.
+    #[must_use]
+    pub fn known_subset_sum(&self, items: &[u64]) -> f64 {
+        items.iter().map(|&item| self.query(item)).sum()
+    }
+}
+
+impl StreamSketch for CountSketch {
+    fn offer(&mut self, item: u64) {
+        self.add(item, 1);
+    }
+
+    fn rows_processed(&self) -> u64 {
+        self.rows_processed
+    }
+
+    fn estimate(&self, item: u64) -> f64 {
+        self.query(item)
+    }
+
+    /// Count Sketch stores no labels; `entries` is empty and subset queries must use
+    /// [`CountSketch::known_subset_sum`].
+    fn entries(&self) -> Vec<(u64, f64)> {
+        Vec::new()
+    }
+
+    fn capacity(&self) -> usize {
+        self.width * self.depth
+    }
+
+    fn retained_len(&self) -> usize {
+        self.counters.iter().filter(|&&c| c != 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skewed_counts() -> Vec<(u64, i64)> {
+        (0..400u64)
+            .map(|i| {
+                let c = if i < 5 { 2000 - 200 * i as i64 } else { 1 + (i % 7) as i64 };
+                (i, c)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn heavy_items_are_estimated_accurately() {
+        let mut cs = CountSketch::new(256, 5, 1);
+        for &(item, count) in &skewed_counts() {
+            cs.add(item, count);
+        }
+        for &(item, count) in &skewed_counts()[..5] {
+            let est = cs.query(item);
+            assert!(
+                (est - count as f64).abs() <= 0.1 * count as f64 + 30.0,
+                "item {item}: est {est}, truth {count}"
+            );
+        }
+    }
+
+    #[test]
+    fn estimates_are_roughly_unbiased_over_seeds() {
+        let counts = skewed_counts();
+        let probe = 100u64; // a tail item
+        let truth = counts.iter().find(|(i, _)| *i == probe).unwrap().1 as f64;
+        let reps = 500;
+        let mut sum = 0.0;
+        for seed in 0..reps {
+            let mut cs = CountSketch::new(64, 5, seed);
+            for &(item, count) in &counts {
+                cs.add(item, count);
+            }
+            sum += cs.query(probe);
+        }
+        let mean = sum / reps as f64;
+        assert!((mean - truth).abs() < 15.0, "mean {mean} vs truth {truth}");
+    }
+
+    #[test]
+    fn supports_deletions() {
+        let mut cs = CountSketch::new(128, 5, 3);
+        cs.add(7, 100);
+        cs.add(7, -40);
+        let est = cs.query(7);
+        assert!((est - 60.0).abs() < 20.0, "estimate {est}");
+    }
+
+    #[test]
+    fn second_moment_is_close_for_wide_sketch() {
+        let counts = skewed_counts();
+        let truth: f64 = counts.iter().map(|&(_, c)| (c as f64).powi(2)).sum();
+        let mut cs = CountSketch::new(2048, 7, 5);
+        for &(item, count) in &counts {
+            cs.add(item, count);
+        }
+        let est = cs.second_moment();
+        assert!(
+            (est - truth).abs() / truth < 0.15,
+            "F2 estimate {est} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn known_subset_sum_tracks_truth() {
+        let counts = skewed_counts();
+        let mut cs = CountSketch::new(1024, 7, 9);
+        for &(item, count) in &counts {
+            cs.add(item, count);
+        }
+        let subset: Vec<u64> = (0..5).collect();
+        let truth: f64 = counts[..5].iter().map(|&(_, c)| c as f64).sum();
+        let est = cs.known_subset_sum(&subset);
+        assert!(
+            (est - truth).abs() / truth < 0.1,
+            "subset estimate {est} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_depth_panics() {
+        let _ = CountSketch::new(10, 0, 1);
+    }
+}

@@ -1,0 +1,248 @@
+//! The CountMin sketch (Cormode & Muthukrishnan 2005).
+//!
+//! CountMin is the linear counting sketch the paper mentions for the setting where the
+//! filter conditions are known *before* the sketch is built (section 3): each row
+//! increments one counter per hash row, and a point query returns the minimum over the
+//! rows, which never underestimates and overestimates by at most `ε·N` with probability
+//! `1 − δ` for width `⌈e/ε⌉` and depth `⌈ln(1/δ)⌉`. A conservative-update variant is
+//! included since it is the standard practical improvement used in ad-prediction
+//! feature pipelines (Shrivastava et al. 2016, cited by the paper).
+
+use uss_core::hash::splitmix64;
+use uss_core::traits::StreamSketch;
+
+/// The CountMin sketch.
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    width: usize,
+    depth: usize,
+    /// Row-major `depth × width` counter matrix.
+    counters: Vec<u64>,
+    /// Per-row hash seeds.
+    seeds: Vec<u64>,
+    rows_processed: u64,
+    conservative: bool,
+}
+
+impl CountMinSketch {
+    /// Creates a sketch with explicit `width` and `depth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `depth` is zero.
+    #[must_use]
+    pub fn new(width: usize, depth: usize, seed: u64) -> Self {
+        assert!(width > 0 && depth > 0, "width and depth must be positive");
+        Self {
+            width,
+            depth,
+            counters: vec![0; width * depth],
+            seeds: (0..depth as u64)
+                .map(|d| splitmix64(seed ^ d.wrapping_mul(0xA24B_AED4_963E_E407)))
+                .collect(),
+            rows_processed: 0,
+            conservative: false,
+        }
+    }
+
+    /// Creates a sketch sized from accuracy targets: overestimation at most
+    /// `epsilon · N` with probability at least `1 − delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < epsilon < 1` and `0 < delta < 1`.
+    #[must_use]
+    pub fn with_error_bounds(epsilon: f64, delta: f64, seed: u64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+        let width = (std::f64::consts::E / epsilon).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        Self::new(width, depth, seed)
+    }
+
+    /// Switches the sketch to conservative updates (only the minimal counters are
+    /// raised), which reduces overestimation for skewed streams. Must be chosen before
+    /// ingesting data to keep estimates coherent.
+    #[must_use]
+    pub fn conservative(mut self) -> Self {
+        self.conservative = true;
+        self
+    }
+
+    /// Sketch width (counters per row).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Sketch depth (number of hash rows).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    #[inline]
+    fn bucket(&self, row: usize, item: u64) -> usize {
+        let h = splitmix64(item ^ self.seeds[row]);
+        row * self.width + (h % self.width as u64) as usize
+    }
+
+    /// Adds `count` occurrences of `item`.
+    pub fn add(&mut self, item: u64, count: u64) {
+        self.rows_processed += count;
+        if self.conservative {
+            // Conservative update: raise only the counters that are below the new
+            // lower bound estimate + count.
+            let est = self.query(item);
+            let target = est + count;
+            for row in 0..self.depth {
+                let idx = self.bucket(row, item);
+                if self.counters[idx] < target {
+                    self.counters[idx] = target;
+                }
+            }
+        } else {
+            for row in 0..self.depth {
+                let idx = self.bucket(row, item);
+                self.counters[idx] += count;
+            }
+        }
+    }
+
+    /// Point query: an estimate of the count of `item` that never underestimates.
+    #[must_use]
+    pub fn query(&self, item: u64) -> u64 {
+        (0..self.depth)
+            .map(|row| self.counters[self.bucket(row, item)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Estimated count for a *known* set of items (the "filters known in advance" use
+    /// case from section 3 of the paper): sums point queries, so it inherits the
+    /// one-sided overestimation of each query.
+    #[must_use]
+    pub fn known_subset_sum(&self, items: &[u64]) -> u64 {
+        items.iter().map(|&item| self.query(item)).sum()
+    }
+}
+
+impl StreamSketch for CountMinSketch {
+    fn offer(&mut self, item: u64) {
+        self.add(item, 1);
+    }
+
+    fn rows_processed(&self) -> u64 {
+        self.rows_processed
+    }
+
+    fn estimate(&self, item: u64) -> f64 {
+        self.query(item) as f64
+    }
+
+    /// CountMin stores no labels, so it cannot enumerate items; `entries` is empty.
+    /// Subset queries must go through [`CountMinSketch::known_subset_sum`].
+    fn entries(&self) -> Vec<(u64, f64)> {
+        Vec::new()
+    }
+
+    fn capacity(&self) -> usize {
+        self.width * self.depth
+    }
+
+    fn retained_len(&self) -> usize {
+        self.counters.iter().filter(|&&c| c > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_underestimates() {
+        let mut cm = CountMinSketch::new(64, 4, 1);
+        let mut truth = std::collections::HashMap::new();
+        let mut state = 3u64;
+        for _ in 0..20_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let item = (state >> 33) % 500;
+            cm.offer(item);
+            *truth.entry(item).or_insert(0u64) += 1;
+        }
+        for (&item, &t) in &truth {
+            assert!(cm.query(item) >= t, "item {item} underestimated");
+        }
+    }
+
+    #[test]
+    fn error_bound_holds_with_high_probability() {
+        let epsilon = 0.01;
+        let mut cm = CountMinSketch::with_error_bounds(epsilon, 0.01, 2);
+        let rows = 50_000u64;
+        for i in 0..rows {
+            cm.offer(i % 1000);
+        }
+        let slack = (epsilon * rows as f64).ceil() as u64;
+        let mut violations = 0;
+        for item in 0..1000u64 {
+            let truth = rows / 1000;
+            if cm.query(item) > truth + slack {
+                violations += 1;
+            }
+        }
+        assert!(violations <= 10, "{violations} of 1000 items exceed the bound");
+    }
+
+    #[test]
+    fn conservative_update_is_at_least_as_tight() {
+        let mut plain = CountMinSketch::new(32, 3, 5);
+        let mut cons = CountMinSketch::new(32, 3, 5).conservative();
+        let mut state = 9u64;
+        let mut truth = std::collections::HashMap::new();
+        for _ in 0..10_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let item = (state >> 33) % 300;
+            plain.offer(item);
+            cons.offer(item);
+            *truth.entry(item).or_insert(0u64) += 1;
+        }
+        for (&item, &t) in &truth {
+            assert!(cons.query(item) <= plain.query(item), "item {item}");
+            assert!(cons.query(item) >= t, "conservative update must not undercount");
+        }
+    }
+
+    #[test]
+    fn known_subset_sum_upper_bounds_truth() {
+        let mut cm = CountMinSketch::new(128, 4, 7);
+        for i in 0..5000u64 {
+            cm.offer(i % 50);
+        }
+        let subset: Vec<u64> = (0..10).collect();
+        let truth = 10 * (5000 / 50);
+        assert!(cm.known_subset_sum(&subset) >= truth);
+    }
+
+    #[test]
+    fn weighted_add() {
+        let mut cm = CountMinSketch::new(64, 4, 9);
+        cm.add(42, 17);
+        cm.add(42, 3);
+        assert!(cm.query(42) >= 20);
+        assert_eq!(cm.rows_processed(), 20);
+    }
+
+    #[test]
+    fn dimensions_from_error_bounds() {
+        let cm = CountMinSketch::with_error_bounds(0.001, 0.01, 1);
+        assert!(cm.width() >= 2718);
+        assert!(cm.depth() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_panics() {
+        let _ = CountMinSketch::new(0, 2, 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! Baseline sketches the paper compares against or builds its analysis on.
+//!
+//! * [`misra_gries`] — the Misra-Gries frequent item sketch, isomorphic to
+//!   Deterministic Space Saving (section 5.2 of the paper); includes the conversion
+//!   functions realising the isomorphism.
+//! * [`lossy_counting`] — Manku & Motwani's Lossy Counting, the fixed-schedule
+//!   thresholding reduction.
+//! * [`sticky_sampling`] — Manku & Motwani's randomized Sticky Sampling.
+//! * [`sample_and_hold`] — Estan & Varghese's fixed-rate Sample-and-Hold and Cohen et
+//!   al.'s Adaptive Sample-and-Hold, the prior state of the art for the disaggregated
+//!   subset sum problem (section 5.4).
+//! * [`countmin`] — the CountMin counting sketch (usable when filters are known up
+//!   front, section 3).
+//! * [`count_sketch`] — the AMS-style Count Sketch with median-of-signs point
+//!   estimates and second-moment (F2) estimation.
+//!
+//! All frequency sketches implement [`uss_core::traits::StreamSketch`] so the
+//! evaluation harness can treat them interchangeably.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod count_sketch;
+pub mod countmin;
+pub mod lossy_counting;
+pub mod misra_gries;
+pub mod sample_and_hold;
+pub mod sticky_sampling;
+
+pub use count_sketch::CountSketch;
+pub use countmin::CountMinSketch;
+pub use lossy_counting::LossyCounting;
+pub use misra_gries::MisraGries;
+pub use sample_and_hold::{AdaptiveSampleAndHold, SampleAndHold};
+pub use sticky_sampling::StickySampling;

@@ -1,0 +1,228 @@
+//! Lossy Counting (Manku & Motwani 2002).
+//!
+//! Lossy Counting divides the stream into windows of `w = ⌈1/ε⌉` rows. Each tracked
+//! item carries a count and the window index `Δ` at which it entered (a bound on how
+//! much mass it may have missed). At every window boundary, items with
+//! `count + Δ ≤ current window` are pruned. Estimates undercount by at most `εN`.
+//! Unlike Misra-Gries / Space Saving, the number of counters is not hard-bounded by a
+//! constant; the worst case is `(1/ε)·log(εN)` (section 5.2 of the paper), which the
+//! tests exercise.
+
+use uss_core::hash::FxHashMap;
+use uss_core::traits::StreamSketch;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    count: u64,
+    /// Window index when the item was (re-)inserted, minus one: the maximum
+    /// undercount for this item.
+    delta: u64,
+}
+
+/// The Lossy Counting sketch.
+#[derive(Debug, Clone)]
+pub struct LossyCounting {
+    epsilon: f64,
+    window: u64,
+    counters: FxHashMap<u64, Entry>,
+    rows: u64,
+}
+
+impl LossyCounting {
+    /// Creates a sketch with error parameter `epsilon` (estimates undercount by at
+    /// most `epsilon * rows`). The window size is `ceil(1/epsilon)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not in `(0, 1)`.
+    #[must_use]
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "epsilon must be in (0, 1)"
+        );
+        Self {
+            epsilon,
+            window: (1.0 / epsilon).ceil() as u64,
+            counters: FxHashMap::default(),
+            rows: 0,
+        }
+    }
+
+    /// The error parameter ε.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The window size `⌈1/ε⌉` between prune passes.
+    #[must_use]
+    pub fn window_size(&self) -> u64 {
+        self.window
+    }
+
+    /// Current window (bucket) index: `⌈rows / w⌉`, 1-based as in the original paper.
+    /// The rows `1..=w` belong to window 1, `w+1..=2w` to window 2, and so on.
+    #[must_use]
+    pub fn current_window(&self) -> u64 {
+        self.rows.div_ceil(self.window).max(1)
+    }
+
+    /// Items whose estimated count exceeds `(phi - epsilon) * rows`, the classical
+    /// Lossy Counting heavy-hitter query guaranteeing no false negatives for items
+    /// with true frequency above `phi`.
+    #[must_use]
+    pub fn frequent_items(&self, phi: f64) -> Vec<(u64, f64)> {
+        assert!(phi > self.epsilon, "phi must exceed epsilon");
+        let threshold = (phi - self.epsilon) * self.rows as f64;
+        let mut out: Vec<(u64, f64)> = self
+            .counters
+            .iter()
+            .filter(|(_, e)| e.count as f64 >= threshold)
+            .map(|(&item, e)| (item, e.count as f64))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("counts are finite"));
+        out
+    }
+
+    fn prune(&mut self) {
+        let current = self.current_window();
+        self.counters.retain(|_, e| e.count + e.delta > current);
+    }
+}
+
+impl StreamSketch for LossyCounting {
+    fn offer(&mut self, item: u64) {
+        self.rows += 1;
+        let current = self.current_window();
+        self.counters
+            .entry(item)
+            .and_modify(|e| e.count += 1)
+            .or_insert(Entry {
+                count: 1,
+                delta: current - 1,
+            });
+        if self.rows.is_multiple_of(self.window) {
+            self.prune();
+        }
+    }
+
+    fn rows_processed(&self) -> u64 {
+        self.rows
+    }
+
+    fn estimate(&self, item: u64) -> f64 {
+        self.counters.get(&item).map_or(0.0, |e| e.count as f64)
+    }
+
+    fn entries(&self) -> Vec<(u64, f64)> {
+        self.counters
+            .iter()
+            .map(|(&item, e)| (item, e.count as f64))
+            .collect()
+    }
+
+    fn capacity(&self) -> usize {
+        // Worst-case bound on the number of counters: (1/eps) * log(eps * N) + 1/eps.
+        let n = self.rows.max(self.window) as f64;
+        ((1.0 / self.epsilon) * (self.epsilon * n).max(1.0).ln().max(1.0)).ceil() as usize
+            + self.window as usize
+    }
+
+    fn retained_len(&self) -> usize {
+        self.counters.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_within_first_window() {
+        let mut lc = LossyCounting::new(0.01); // window = 100
+        for item in [1u64, 1, 2, 3, 3, 3] {
+            lc.offer(item);
+        }
+        assert_eq!(lc.estimate(3), 3.0);
+        assert_eq!(lc.estimate(2), 1.0);
+        assert_eq!(lc.estimate(99), 0.0);
+        assert_eq!(lc.window_size(), 100);
+    }
+
+    #[test]
+    fn never_overestimates_and_undercount_is_bounded() {
+        let mut lc = LossyCounting::new(0.02);
+        let mut truth = std::collections::HashMap::new();
+        let mut state = 5u64;
+        let rows = 30_000;
+        for _ in 0..rows {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let r = (state >> 33) % 500;
+            let item = if r < 300 { r % 8 } else { r };
+            lc.offer(item);
+            *truth.entry(item).or_insert(0u64) += 1;
+        }
+        let slack = lc.epsilon() * rows as f64;
+        for (&item, &t) in &truth {
+            let est = lc.estimate(item);
+            assert!(est <= t as f64 + 1e-9, "item {item} overestimated");
+            assert!(
+                est >= t as f64 - slack - 1e-9,
+                "item {item}: est {est}, truth {t}, slack {slack}"
+            );
+        }
+    }
+
+    #[test]
+    fn infrequent_items_get_pruned() {
+        let mut lc = LossyCounting::new(0.1); // window = 10
+        // 100 distinct singletons: nearly all must be pruned along the way.
+        for i in 0..100u64 {
+            lc.offer(i);
+        }
+        assert!(lc.retained_len() <= 20, "retained {}", lc.retained_len());
+    }
+
+    #[test]
+    fn heavy_hitter_query_has_no_false_negatives() {
+        let mut lc = LossyCounting::new(0.01);
+        for i in 0..10_000u64 {
+            if i % 4 == 0 {
+                lc.offer(7);
+            } else {
+                lc.offer(i);
+            }
+        }
+        // Item 7 has frequency 0.25 >= phi = 0.2, so it must be reported.
+        let heavy = lc.frequent_items(0.2);
+        assert!(heavy.iter().any(|(item, _)| *item == 7));
+    }
+
+    #[test]
+    fn counter_growth_stays_within_theoretical_bound() {
+        let mut lc = LossyCounting::new(0.05);
+        for i in 0..50_000u64 {
+            lc.offer(i % 4096);
+        }
+        assert!(
+            lc.retained_len() <= lc.capacity(),
+            "retained {} exceeds bound {}",
+            lc.retained_len(),
+            lc.capacity()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn invalid_epsilon_panics() {
+        let _ = LossyCounting::new(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "phi")]
+    fn phi_below_epsilon_panics() {
+        let lc = LossyCounting::new(0.1);
+        let _ = lc.frequent_items(0.05);
+    }
+}

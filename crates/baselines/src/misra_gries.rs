@@ -1,0 +1,238 @@
+//! The Misra-Gries frequent item sketch (Misra & Gries 1982; Demaine et al. 2002;
+//! Karp et al. 2003) and its isomorphism to Deterministic Space Saving.
+//!
+//! Misra-Gries keeps at most `m` counters. A row whose item is tracked increments its
+//! counter; a row whose item is untracked either claims a free counter (initialised to
+//! 1) or, if none is free, decrements *every* counter, dropping those that reach zero.
+//! The estimate for a tracked item is its counter value; untracked items estimate to
+//! zero. Estimates are downward biased by at most the total number of decrement steps,
+//! which equals `N̂_min` of the Deterministic Space Saving sketch run on the same
+//! stream — section 5.2's isomorphism, which [`from_space_saving`] and
+//! [`to_space_saving_estimates`] realise and the tests verify.
+
+use uss_core::hash::FxHashMap;
+use uss_core::space_saving::DeterministicSpaceSaving;
+use uss_core::traits::StreamSketch;
+
+/// The Misra-Gries sketch.
+#[derive(Debug, Clone)]
+pub struct MisraGries {
+    capacity: usize,
+    counters: FxHashMap<u64, u64>,
+    /// Total number of times the "decrement all" reduction fired.
+    decrements: u64,
+    rows: u64,
+}
+
+impl MisraGries {
+    /// Creates a sketch with at most `capacity` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            capacity,
+            counters: FxHashMap::default(),
+            decrements: 0,
+            rows: 0,
+        }
+    }
+
+    /// Total number of decrement steps performed so far. This equals `N̂_min` of the
+    /// Deterministic Space Saving sketch run on the same stream (section 5.2).
+    #[must_use]
+    pub fn decrement_count(&self) -> u64 {
+        self.decrements
+    }
+
+    /// Lower-bound guarantee: for every item, `truth - rows/(capacity+1) ≤ estimate ≤
+    /// truth`. Returns the error bound `rows / (capacity + 1)`.
+    #[must_use]
+    pub fn error_bound(&self) -> f64 {
+        self.rows as f64 / (self.capacity + 1) as f64
+    }
+
+    /// Converts the Misra-Gries counters into Deterministic Space Saving style
+    /// estimates by adding back the number of decrements to every non-zero counter
+    /// (the inverse direction of the isomorphism).
+    #[must_use]
+    pub fn to_space_saving_estimates(&self) -> Vec<(u64, u64)> {
+        self.counters
+            .iter()
+            .map(|(&item, &count)| (item, count + self.decrements))
+            .collect()
+    }
+
+    /// Builds the Misra-Gries view of a Deterministic Space Saving sketch by soft
+    /// thresholding every counter with the sketch's minimum counter:
+    /// `MG_i = (SS_i − SS_min)₊`.
+    #[must_use]
+    pub fn from_space_saving(sketch: &DeterministicSpaceSaving) -> Vec<(u64, u64)> {
+        let min = sketch.min_count();
+        sketch
+            .integer_entries()
+            .into_iter()
+            .filter_map(|(item, count)| {
+                let adjusted = count.saturating_sub(min);
+                (adjusted > 0).then_some((item, adjusted))
+            })
+            .collect()
+    }
+}
+
+impl StreamSketch for MisraGries {
+    fn offer(&mut self, item: u64) {
+        self.rows += 1;
+        if let Some(count) = self.counters.get_mut(&item) {
+            *count += 1;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(item, 1);
+            return;
+        }
+        // Decrement-all reduction.
+        self.decrements += 1;
+        self.counters.retain(|_, count| {
+            *count -= 1;
+            *count > 0
+        });
+    }
+
+    fn rows_processed(&self) -> u64 {
+        self.rows
+    }
+
+    fn estimate(&self, item: u64) -> f64 {
+        self.counters.get(&item).copied().unwrap_or(0) as f64
+    }
+
+    fn entries(&self) -> Vec<(u64, f64)> {
+        self.counters
+            .iter()
+            .map(|(&item, &count)| (item, count as f64))
+            .collect()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn retained_len(&self) -> usize {
+        self.counters.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skewed_stream(rows: usize) -> Vec<u64> {
+        let mut state = 17u64;
+        (0..rows)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let r = (state >> 33) % 100;
+                if r < 60 {
+                    r % 5
+                } else {
+                    r
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_when_under_capacity() {
+        let mut mg = MisraGries::new(10);
+        for item in [1u64, 1, 2, 3, 3, 3] {
+            mg.offer(item);
+        }
+        assert_eq!(mg.estimate(3), 3.0);
+        assert_eq!(mg.estimate(1), 2.0);
+        assert_eq!(mg.estimate(9), 0.0);
+        assert_eq!(mg.decrement_count(), 0);
+    }
+
+    #[test]
+    fn never_overestimates_and_respects_error_bound() {
+        let stream = skewed_stream(20_000);
+        let mut mg = MisraGries::new(9);
+        let mut truth = std::collections::HashMap::new();
+        for &item in &stream {
+            mg.offer(item);
+            *truth.entry(item).or_insert(0u64) += 1;
+        }
+        let bound = mg.error_bound();
+        for (&item, &t) in &truth {
+            let est = mg.estimate(item);
+            assert!(est <= t as f64 + 1e-9, "item {item} overestimated");
+            assert!(
+                est >= t as f64 - bound - 1e-9,
+                "item {item}: {est} vs truth {t}, bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded() {
+        let mut mg = MisraGries::new(5);
+        for i in 0..10_000u64 {
+            mg.offer(i % 77);
+            assert!(mg.retained_len() <= 5);
+        }
+    }
+
+    #[test]
+    fn frequent_item_is_retained() {
+        let mut mg = MisraGries::new(4);
+        for i in 0..1000u64 {
+            if i % 3 == 0 {
+                mg.offer(42);
+            } else {
+                mg.offer(i);
+            }
+        }
+        // Item 42 holds ~1/3 of the stream, far above rows/(capacity+1) = 200.
+        assert!(mg.estimate(42) > 0.0);
+        assert_eq!(mg.top_k(1)[0].0, 42);
+    }
+
+    #[test]
+    fn isomorphism_with_deterministic_space_saving() {
+        // Running both sketches on the same stream: MG estimate = (SS estimate − SS
+        // min)₊ for every item, and the MG decrement count equals SS min. The exact
+        // correspondence (Agarwal et al. 2013) pairs Misra-Gries with k counters
+        // against Space Saving with k + 1 bins.
+        let stream = skewed_stream(5000);
+        let m = 8;
+        let mut mg = MisraGries::new(m - 1);
+        let mut ss = DeterministicSpaceSaving::new(m);
+        for &item in &stream {
+            mg.offer(item);
+            ss.offer(item);
+        }
+        assert_eq!(mg.decrement_count(), ss.min_count());
+        let from_ss: std::collections::HashMap<u64, u64> =
+            MisraGries::from_space_saving(&ss).into_iter().collect();
+        // Every MG counter matches the soft-thresholded SS counter.
+        for (item, count) in mg.entries() {
+            let expected = from_ss.get(&item).copied().unwrap_or(0);
+            assert_eq!(count as u64, expected, "item {item}");
+        }
+        // And the reverse direction: adding decrements back gives SS estimates for the
+        // items MG retained.
+        for (item, ss_style) in mg.to_space_saving_estimates() {
+            assert_eq!(ss_style as f64, ss.estimate(item), "item {item}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = MisraGries::new(0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Sticky Sampling (Manku & Motwani 2002).
+//!
+//! Sticky Sampling tracks a random subset of items: an untracked item is admitted with
+//! the current sampling probability `1/r`, and once admitted ("sticky") its subsequent
+//! occurrences are counted exactly. The rate parameter `r` doubles on a fixed schedule
+//! (after `2t` rows, then `4t`, `8t`, ...), and at each rate change every tracked item
+//! is re-subjected to the new rate by tossing geometric coins that may decrement or
+//! drop its counter. The paper mentions it only in passing (worse practical accuracy
+//! and guarantees than the deterministic sketches), which the evaluation confirms; it
+//! is included for completeness of the baseline suite.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use uss_core::hash::FxHashMap;
+use uss_core::traits::StreamSketch;
+
+/// The Sticky Sampling sketch.
+#[derive(Debug, Clone)]
+pub struct StickySampling {
+    /// Support threshold `s` of the heavy-hitter query the sketch is sized for.
+    support: f64,
+    /// Error parameter ε.
+    epsilon: f64,
+    /// `t = (1/ε) · ln(1/(s·δ))`, the base of the rate-doubling schedule.
+    t: f64,
+    /// Current sampling rate denominator: items are admitted with probability `1/rate`.
+    rate: u64,
+    /// Rows after which the rate next doubles.
+    next_rate_change: u64,
+    counters: FxHashMap<u64, u64>,
+    rows: u64,
+    rng: StdRng,
+}
+
+impl StickySampling {
+    /// Creates a sketch for reporting items with frequency at least `support`, with
+    /// error `epsilon` and failure probability `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < epsilon < support < 1` and `0 < delta < 1`.
+    #[must_use]
+    pub fn new(support: f64, epsilon: f64, delta: f64, seed: u64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < support && support < 1.0,
+            "need 0 < epsilon < support < 1"
+        );
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+        let t = (1.0 / epsilon) * (1.0 / (support * delta)).ln();
+        Self {
+            support,
+            epsilon,
+            t,
+            rate: 1,
+            next_rate_change: (2.0 * t).ceil() as u64,
+            counters: FxHashMap::default(),
+            rows: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The support threshold the sketch was sized for.
+    #[must_use]
+    pub fn support(&self) -> f64 {
+        self.support
+    }
+
+    /// The error parameter ε.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Current admission probability `1/rate`.
+    #[must_use]
+    pub fn admission_probability(&self) -> f64 {
+        1.0 / self.rate as f64
+    }
+
+    /// Heavy-hitter query: items with counted occurrences at least
+    /// `(support − epsilon) · rows`.
+    #[must_use]
+    pub fn frequent_items(&self) -> Vec<(u64, f64)> {
+        let threshold = (self.support - self.epsilon) * self.rows as f64;
+        let mut out: Vec<(u64, f64)> = self
+            .counters
+            .iter()
+            .filter(|(_, &c)| c as f64 >= threshold)
+            .map(|(&item, &c)| (item, c as f64))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("counts are finite"));
+        out
+    }
+
+    fn change_rate(&mut self) {
+        self.rate *= 2;
+        self.next_rate_change += (self.t * self.rate as f64).ceil() as u64;
+        // Re-toss each tracked item against the new rate: diminish its count by a
+        // Geometric(1/rate) number of failed coin flips; drop it if the count runs out.
+        let p = 1.0 / self.rate as f64;
+        let rng = &mut self.rng;
+        self.counters.retain(|_, count| {
+            loop {
+                // Unbiased coin with success probability 1/2 relative to the previous
+                // rate: each tracked occurrence survives the halving independently.
+                if rng.gen_bool(0.5) {
+                    return true;
+                }
+                // Failed toss: remove one occurrence and retry admission of the rest
+                // with the (already halved) probability p, geometrically.
+                if *count == 0 {
+                    return false;
+                }
+                *count -= 1;
+                if *count == 0 {
+                    return false;
+                }
+                if rng.gen_bool(1.0 - p) {
+                    continue;
+                }
+                return true;
+            }
+        });
+    }
+}
+
+impl StreamSketch for StickySampling {
+    fn offer(&mut self, item: u64) {
+        self.rows += 1;
+        if self.rows == self.next_rate_change {
+            self.change_rate();
+        }
+        if let Some(count) = self.counters.get_mut(&item) {
+            *count += 1;
+            return;
+        }
+        let p = 1.0 / self.rate as f64;
+        if self.rng.gen_bool(p) {
+            self.counters.insert(item, 1);
+        }
+    }
+
+    fn rows_processed(&self) -> u64 {
+        self.rows
+    }
+
+    fn estimate(&self, item: u64) -> f64 {
+        self.counters.get(&item).copied().unwrap_or(0) as f64
+    }
+
+    fn entries(&self) -> Vec<(u64, f64)> {
+        self.counters
+            .iter()
+            .map(|(&item, &count)| (item, count as f64))
+            .collect()
+    }
+
+    fn capacity(&self) -> usize {
+        // Expected space bound from the original paper: 2t counters.
+        (2.0 * self.t).ceil() as usize
+    }
+
+    fn retained_len(&self) -> usize {
+        self.counters.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn early_rows_are_counted_exactly() {
+        let mut ss = StickySampling::new(0.1, 0.01, 0.1, 1);
+        for item in [1u64, 1, 1, 2, 2, 3] {
+            ss.offer(item);
+        }
+        // Rate is still 1, so every item is admitted on first sight and then exact.
+        assert_eq!(ss.estimate(1), 3.0);
+        assert_eq!(ss.estimate(2), 2.0);
+        assert_eq!(ss.estimate(3), 1.0);
+        assert_eq!(ss.admission_probability(), 1.0);
+    }
+
+    #[test]
+    fn never_overestimates() {
+        let mut ss = StickySampling::new(0.05, 0.01, 0.1, 2);
+        let mut truth = std::collections::HashMap::new();
+        let mut state = 3u64;
+        for _ in 0..50_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let item = (state >> 33) % 300;
+            ss.offer(item);
+            *truth.entry(item).or_insert(0u64) += 1;
+        }
+        for (&item, &t) in &truth {
+            assert!(
+                ss.estimate(item) <= t as f64 + 1e-9,
+                "item {item}: {} > {t}",
+                ss.estimate(item)
+            );
+        }
+    }
+
+    #[test]
+    fn frequent_items_are_reported() {
+        let mut ss = StickySampling::new(0.2, 0.05, 0.05, 3);
+        for i in 0..20_000u64 {
+            if i % 3 == 0 {
+                ss.offer(42);
+            } else {
+                ss.offer(i % 500);
+            }
+        }
+        let heavy = ss.frequent_items();
+        assert!(
+            heavy.iter().any(|(item, _)| *item == 42),
+            "the 33%-frequency item must be reported"
+        );
+    }
+
+    #[test]
+    fn rate_doubles_and_space_stays_moderate() {
+        let mut ss = StickySampling::new(0.05, 0.02, 0.1, 4);
+        for i in 0..100_000u64 {
+            ss.offer(i); // all-unique worst case
+        }
+        assert!(ss.admission_probability() < 1.0, "rate must have increased");
+        // Expected space is O(t); allow generous slack over the expectation.
+        assert!(
+            ss.retained_len() < 8 * ss.capacity(),
+            "retained {} vs capacity bound {}",
+            ss.retained_len(),
+            ss.capacity()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn invalid_parameters_panic() {
+        let _ = StickySampling::new(0.05, 0.1, 0.1, 1);
+    }
+}

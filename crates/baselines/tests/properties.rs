@@ -1,0 +1,131 @@
+//! Property-based tests for the baseline sketches: the classical one-sided error
+//! guarantees must hold for *every* input sequence, not just the unit-test streams.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use uss_baselines::{
+    AdaptiveSampleAndHold, CountMinSketch, CountSketch, LossyCounting, MisraGries, SampleAndHold,
+};
+use uss_core::traits::StreamSketch;
+
+fn truth(stream: &[u64]) -> HashMap<u64, u64> {
+    let mut counts = HashMap::new();
+    for &item in stream {
+        *counts.entry(item).or_insert(0u64) += 1;
+    }
+    counts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Misra-Gries: never overestimates, undercounts by at most rows/(m+1), and never
+    /// holds more than m counters — for any stream and any capacity.
+    #[test]
+    fn misra_gries_guarantees(stream in vec(0u64..60, 1..500), capacity in 1usize..16) {
+        let mut sketch = MisraGries::new(capacity);
+        for &item in &stream {
+            sketch.offer(item);
+            prop_assert!(sketch.retained_len() <= capacity);
+        }
+        let bound = stream.len() as f64 / (capacity + 1) as f64;
+        for (&item, &count) in &truth(&stream) {
+            let est = sketch.estimate(item);
+            prop_assert!(est <= count as f64 + 1e-9, "item {item} overestimated");
+            prop_assert!(est >= count as f64 - bound - 1e-9, "item {item} undercut beyond the bound");
+        }
+    }
+
+    /// Lossy Counting: never overestimates and undercounts by at most ε·N.
+    #[test]
+    fn lossy_counting_guarantees(stream in vec(0u64..60, 1..500), inv_eps in 5u64..40) {
+        let epsilon = 1.0 / inv_eps as f64;
+        let mut sketch = LossyCounting::new(epsilon);
+        for &item in &stream {
+            sketch.offer(item);
+        }
+        let slack = epsilon * stream.len() as f64;
+        for (&item, &count) in &truth(&stream) {
+            let est = sketch.estimate(item);
+            prop_assert!(est <= count as f64 + 1e-9);
+            prop_assert!(est >= count as f64 - slack - 1e-9);
+        }
+    }
+
+    /// CountMin: never underestimates, and the total over all items is conserved per
+    /// hash row (plain updates are linear).
+    #[test]
+    fn countmin_never_underestimates(stream in vec(0u64..60, 1..400), width in 8usize..64, depth in 1usize..6) {
+        let mut sketch = CountMinSketch::new(width, depth, 7);
+        for &item in &stream {
+            sketch.offer(item);
+        }
+        for (&item, &count) in &truth(&stream) {
+            prop_assert!(sketch.query(item) >= count, "item {item} underestimated");
+        }
+    }
+
+    /// Conservative-update CountMin is still an overestimate but never looser than the
+    /// plain variant.
+    #[test]
+    fn countmin_conservative_is_tighter(stream in vec(0u64..40, 1..300), width in 8usize..32) {
+        let mut plain = CountMinSketch::new(width, 3, 9);
+        let mut conservative = CountMinSketch::new(width, 3, 9).conservative();
+        for &item in &stream {
+            plain.offer(item);
+            conservative.offer(item);
+        }
+        for (&item, &count) in &truth(&stream) {
+            prop_assert!(conservative.query(item) >= count);
+            prop_assert!(conservative.query(item) <= plain.query(item));
+        }
+    }
+
+    /// Count Sketch is linear: adding and then deleting the same multiset returns the
+    /// sketch to exactly zero for every query.
+    #[test]
+    fn count_sketch_deletions_cancel(updates in vec((0u64..40, 1i64..50), 1..60), width in 8usize..64) {
+        let mut sketch = CountSketch::new(width, 5, 3);
+        for &(item, count) in &updates {
+            sketch.add(item, count);
+        }
+        for &(item, count) in &updates {
+            sketch.add(item, -count);
+        }
+        for &(item, _) in &updates {
+            prop_assert!(sketch.query(item).abs() < 1e-9);
+        }
+        prop_assert!(sketch.second_moment().abs() < 1e-9);
+    }
+
+    /// Fixed-rate Sample-and-Hold: held counts never exceed the truth, so estimates
+    /// never exceed truth plus the constant unbiasing adjustment.
+    #[test]
+    fn sample_and_hold_estimates_are_bounded(stream in vec(0u64..40, 1..400), prob in 0.05f64..1.0, seed in any::<u64>()) {
+        let mut sketch = SampleAndHold::new(prob, seed);
+        for &item in &stream {
+            sketch.offer(item);
+        }
+        let adjust = (1.0 - prob) / prob;
+        for (&item, &count) in &truth(&stream) {
+            prop_assert!(sketch.held_count(item) <= count);
+            prop_assert!(sketch.estimate(item) <= count as f64 + adjust + 1e-9);
+        }
+    }
+
+    /// Adaptive Sample-and-Hold never exceeds its capacity and its sampling rate only
+    /// decreases.
+    #[test]
+    fn adaptive_sample_and_hold_respects_capacity(stream in vec(0u64..200, 1..600), capacity in 1usize..20, seed in any::<u64>()) {
+        let mut sketch = AdaptiveSampleAndHold::new(capacity, seed);
+        let mut last_rate = 1.0f64;
+        for &item in &stream {
+            sketch.offer(item);
+            prop_assert!(sketch.retained_len() <= capacity);
+            prop_assert!(sketch.sampling_rate() <= last_rate + 1e-12);
+            last_rate = sketch.sampling_rate();
+        }
+    }
+}

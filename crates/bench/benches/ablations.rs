@@ -1,0 +1,138 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md / section 5.3
+//! of the paper.
+//!
+//! * **Label-replacement rule** — deterministic (`p = 1`) versus unbiased
+//!   (`p = 1/(N̂_min+1)`) eviction on the same stream: measures the cost of the extra
+//!   randomisation and reports (via the accuracy harness in `uss-eval`) that only the
+//!   unbiased rule yields usable subset sums.
+//! * **Reduction operation** — thresholding (Misra-Gries style) versus PPS
+//!   subsampling when shrinking an oversized entry list, the heart of the merge.
+//! * **Counter structure** — integer stream-summary bins versus the real-valued
+//!   heap-backed bins needed by weighted updates.
+//! * **Hashing** — the in-repo Fx hasher versus the standard library's SipHash for
+//!   sketch index lookups.
+
+use std::collections::HashMap;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use uss_core::hash::FxHashMap;
+use uss_core::reduction::{pps_reduce, threshold_reduce};
+use uss_core::{
+    DeterministicSpaceSaving, StreamSketch, UnbiasedSpaceSaving, WeightedSpaceSaving,
+    WeightedStreamSketch,
+};
+use uss_workloads::{shuffled_stream, FrequencyDistribution};
+
+fn stream() -> Vec<u64> {
+    let counts = FrequencyDistribution::Weibull {
+        scale: 5.0,
+        shape: 0.4,
+    }
+    .grid_counts(10_000);
+    let mut rng = StdRng::seed_from_u64(5);
+    shuffled_stream(&counts, &mut rng)
+}
+
+fn bench_label_replacement(c: &mut Criterion) {
+    let rows = stream();
+    let mut group = c.benchmark_group("ablation_label_replacement");
+    group.bench_function("deterministic_p1", |b| {
+        b.iter(|| {
+            let mut sketch = DeterministicSpaceSaving::new(500);
+            for &item in &rows {
+                sketch.offer(black_box(item));
+            }
+            black_box(sketch.retained_len())
+        });
+    });
+    group.bench_function("unbiased_p_1_over_min", |b| {
+        b.iter(|| {
+            let mut sketch = UnbiasedSpaceSaving::with_seed(500, 9);
+            for &item in &rows {
+                sketch.offer(black_box(item));
+            }
+            black_box(sketch.retained_len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_reduction(c: &mut Criterion) {
+    // An oversized entry list, as produced mid-merge.
+    let entries: Vec<(u64, f64)> = (0..4_000u64)
+        .map(|i| (i, ((i % 97) + 1) as f64))
+        .collect();
+    let mut group = c.benchmark_group("ablation_reduction");
+    group.bench_function("threshold_reduce", |b| {
+        b.iter(|| {
+            let mut e = entries.clone();
+            threshold_reduce(&mut e, 1_000);
+            black_box(e.len())
+        });
+    });
+    group.bench_function("pps_reduce", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(11);
+            black_box(pps_reduce(entries.clone(), 1_000, &mut rng).len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_counter_structure(c: &mut Criterion) {
+    let rows = stream();
+    let mut group = c.benchmark_group("ablation_counter_structure");
+    group.bench_function("integer_stream_summary", |b| {
+        b.iter(|| {
+            let mut sketch = UnbiasedSpaceSaving::with_seed(500, 3);
+            for &item in &rows {
+                sketch.offer(black_box(item));
+            }
+            black_box(sketch.retained_len())
+        });
+    });
+    group.bench_function("float_heap_bins", |b| {
+        b.iter(|| {
+            let mut sketch = WeightedSpaceSaving::with_seed(500, 3);
+            for &item in &rows {
+                sketch.offer_weighted(black_box(item), 1.0);
+            }
+            black_box(sketch.retained_len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let rows = stream();
+    let mut group = c.benchmark_group("ablation_hashing");
+    group.bench_function("fx_hash_map", |b| {
+        b.iter(|| {
+            let mut map: FxHashMap<u64, u64> = FxHashMap::default();
+            for &item in &rows {
+                *map.entry(black_box(item)).or_insert(0) += 1;
+            }
+            black_box(map.len())
+        });
+    });
+    group.bench_function("sip_hash_map", |b| {
+        b.iter(|| {
+            let mut map: HashMap<u64, u64> = HashMap::new();
+            for &item in &rows {
+                *map.entry(black_box(item)).or_insert(0) += 1;
+            }
+            black_box(map.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_label_replacement, bench_reduction, bench_counter_structure, bench_hashing
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! One Criterion benchmark per paper figure: each target runs the corresponding
+//! experiment driver end to end at a reduced scale, so `cargo bench` both regenerates
+//! every figure's pipeline and tracks its runtime. The full-scale series (the numbers
+//! recorded in EXPERIMENTS.md) are produced by the `figure_NN` binaries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use uss_eval::experiments::{
+    fig2_inclusion, fig3_subset_error, fig4_bottomk, fig5_vs_priority, fig6_marginals,
+    fig7_pathological, fig8_10_sorted,
+};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("figure_02_inclusion", |b| {
+        let config = fig2_inclusion::InclusionConfig::tiny();
+        b.iter(|| black_box(fig2_inclusion::run(&config).mean_abs_deviation));
+    });
+    group.bench_function("figure_03_subset_error_m200", |b| {
+        let config = fig3_subset_error::SubsetErrorConfig::tiny();
+        b.iter(|| black_box(fig3_subset_error::run(&config).summaries.len()));
+    });
+    group.bench_function("figure_04_bottomk_m100", |b| {
+        let config = fig4_bottomk::tiny_config();
+        b.iter(|| black_box(fig4_bottomk::run_figure4(&config).bottomk_ratio.len()));
+    });
+    group.bench_function("figure_05_vs_priority", |b| {
+        let config = fig5_vs_priority::VsPriorityConfig::tiny();
+        b.iter(|| black_box(fig5_vs_priority::run(&config).uss_win_rate));
+    });
+    group.bench_function("figure_06_marginals", |b| {
+        let config = fig6_marginals::MarginalsConfig::tiny();
+        b.iter(|| black_box(fig6_marginals::run(&config).distinct_tuples));
+    });
+    group.bench_function("figure_07_pathological", |b| {
+        let config = fig7_pathological::PathologicalConfig::tiny();
+        b.iter(|| black_box(fig7_pathological::run(&config).mean_inclusion_unbiased));
+    });
+    group.bench_function("figure_08_09_10_sorted_epochs", |b| {
+        let config = fig8_10_sorted::SortedStreamConfig::tiny();
+        b.iter(|| black_box(fig8_10_sorted::run(&config).epochs.len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,166 @@
+//! Update and merge throughput micro-benchmarks.
+//!
+//! The paper argues (section 6.7) that the Unbiased Space Saving update keeps the
+//! `O(1)` cost of the Deterministic Space Saving update (only the label changes less
+//! often). These benches measure ingest throughput for the Space Saving family and the
+//! main baselines on a skewed stream, plus the cost of the two merge operations and
+//! the weighted / decayed variants.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use uss_baselines::{AdaptiveSampleAndHold, CountMinSketch, LossyCounting, MisraGries};
+use uss_core::merge::{merge_misra_gries, merge_unbiased_entries};
+use uss_core::{
+    DecayedSpaceSaving, DeterministicSpaceSaving, StreamSketch, UnbiasedSpaceSaving,
+    WeightedSpaceSaving, WeightedStreamSketch,
+};
+use uss_workloads::{shuffled_stream, FrequencyDistribution};
+
+const STREAM_ITEMS: usize = 20_000;
+const BINS: usize = 1_000;
+
+fn stream() -> Vec<u64> {
+    let counts = FrequencyDistribution::Weibull {
+        scale: 5.0,
+        shape: 0.4,
+    }
+    .grid_counts(STREAM_ITEMS);
+    let mut rng = StdRng::seed_from_u64(1);
+    shuffled_stream(&counts, &mut rng)
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let rows = stream();
+    let mut group = c.benchmark_group("ingest");
+    group.throughput(Throughput::Elements(rows.len() as u64));
+
+    group.bench_function(BenchmarkId::new("unbiased_space_saving", BINS), |b| {
+        b.iter(|| {
+            let mut sketch = UnbiasedSpaceSaving::with_seed(BINS, 7);
+            for &item in &rows {
+                sketch.offer(black_box(item));
+            }
+            black_box(sketch.rows_processed())
+        });
+    });
+    group.bench_function(BenchmarkId::new("deterministic_space_saving", BINS), |b| {
+        b.iter(|| {
+            let mut sketch = DeterministicSpaceSaving::new(BINS);
+            for &item in &rows {
+                sketch.offer(black_box(item));
+            }
+            black_box(sketch.rows_processed())
+        });
+    });
+    group.bench_function(BenchmarkId::new("weighted_space_saving", BINS), |b| {
+        b.iter(|| {
+            let mut sketch = WeightedSpaceSaving::with_seed(BINS, 7);
+            for &item in &rows {
+                sketch.offer_weighted(black_box(item), 1.0);
+            }
+            black_box(sketch.rows_processed())
+        });
+    });
+    group.bench_function(BenchmarkId::new("decayed_space_saving", BINS), |b| {
+        b.iter(|| {
+            let mut sketch = DecayedSpaceSaving::with_seed(BINS, 0.001, 7);
+            for (t, &item) in rows.iter().enumerate() {
+                sketch.offer_at(black_box(item), t as f64);
+            }
+            black_box(sketch.rows_processed())
+        });
+    });
+    group.bench_function(BenchmarkId::new("misra_gries", BINS), |b| {
+        b.iter(|| {
+            let mut sketch = MisraGries::new(BINS);
+            for &item in &rows {
+                sketch.offer(black_box(item));
+            }
+            black_box(sketch.rows_processed())
+        });
+    });
+    group.bench_function(BenchmarkId::new("lossy_counting", BINS), |b| {
+        b.iter(|| {
+            let mut sketch = LossyCounting::new(1.0 / BINS as f64);
+            for &item in &rows {
+                sketch.offer(black_box(item));
+            }
+            black_box(sketch.rows_processed())
+        });
+    });
+    group.bench_function(BenchmarkId::new("adaptive_sample_and_hold", BINS), |b| {
+        b.iter(|| {
+            let mut sketch = AdaptiveSampleAndHold::new(BINS, 7);
+            for &item in &rows {
+                sketch.offer(black_box(item));
+            }
+            black_box(sketch.rows_processed())
+        });
+    });
+    group.bench_function(BenchmarkId::new("countmin_w1024_d4", BINS), |b| {
+        b.iter(|| {
+            let mut sketch = CountMinSketch::new(1024, 4, 7);
+            for &item in &rows {
+                sketch.offer(black_box(item));
+            }
+            black_box(sketch.rows_processed())
+        });
+    });
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let rows = stream();
+    let half = rows.len() / 2;
+    let mut a = UnbiasedSpaceSaving::with_seed(BINS, 1);
+    let mut b = UnbiasedSpaceSaving::with_seed(BINS, 2);
+    for &item in &rows[..half] {
+        a.offer(item);
+    }
+    for &item in &rows[half..] {
+        b.offer(item);
+    }
+    let ea = a.entries();
+    let eb = b.entries();
+
+    let mut group = c.benchmark_group("merge");
+    group.bench_function("unbiased_pps_merge", |bench| {
+        bench.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(merge_unbiased_entries(&ea, &eb, BINS, &mut rng))
+        });
+    });
+    group.bench_function("misra_gries_merge", |bench| {
+        bench.iter(|| black_box(merge_misra_gries(&ea, &eb, BINS)));
+    });
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let rows = stream();
+    let mut sketch = UnbiasedSpaceSaving::with_seed(BINS, 7);
+    for &item in &rows {
+        sketch.offer(item);
+    }
+    let snapshot = sketch.snapshot();
+    let mut group = c.benchmark_group("query");
+    group.bench_function("subset_sum_with_ci", |b| {
+        b.iter(|| {
+            let (est, ci) = snapshot.subset_confidence_interval(|item| item % 3 == 0, 0.95);
+            black_box((est.sum, ci.width()))
+        });
+    });
+    group.bench_function("top_100", |b| {
+        b.iter(|| black_box(snapshot.top_k(100)));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_updates, bench_merge, bench_queries
+}
+criterion_main!(benches);

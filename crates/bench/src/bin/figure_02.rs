@@ -1,0 +1,27 @@
+//! Reproduces Figure 2: empirical vs theoretical PPS inclusion probabilities.
+
+use uss_bench::{emit, FigureArgs};
+use uss_eval::experiments::fig2_inclusion::{run, InclusionConfig};
+
+fn main() {
+    let args = FigureArgs::parse();
+    let mut config = if args.quick {
+        InclusionConfig::tiny()
+    } else {
+        InclusionConfig::default()
+    };
+    if let Some(reps) = args.reps {
+        config.reps = reps;
+    }
+    if let Some(bins) = args.bins {
+        config.bins = bins;
+    }
+    if let Some(items) = args.items {
+        config.n_items = items;
+    }
+    if let Some(seed) = args.seed {
+        config.seed = seed;
+    }
+    let result = run(&config);
+    emit(&result.to_table(40), &args);
+}

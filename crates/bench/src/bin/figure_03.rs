@@ -1,0 +1,29 @@
+//! Reproduces Figure 3: subset-sum error vs true count, m = 200, three distributions,
+//! Unbiased Space Saving vs priority sampling.
+
+use uss_bench::{emit, FigureArgs};
+use uss_eval::experiments::fig3_subset_error::{run, SubsetErrorConfig};
+
+fn main() {
+    let args = FigureArgs::parse();
+    let mut config = if args.quick {
+        SubsetErrorConfig::tiny()
+    } else {
+        SubsetErrorConfig::figure3()
+    };
+    if let Some(reps) = args.reps {
+        config.reps = reps;
+    }
+    if let Some(bins) = args.bins {
+        config.bins = bins;
+    }
+    if let Some(items) = args.items {
+        config.n_items = items;
+    }
+    if let Some(seed) = args.seed {
+        config.seed = seed;
+    }
+    let result = run(&config);
+    emit(&result.curve_table("Figure 3"), &args);
+    emit(&result.summary_table("Figure 3"), &args);
+}

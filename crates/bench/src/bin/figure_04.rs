@@ -1,0 +1,30 @@
+//! Reproduces Figure 4: subset-sum error with m = 100, adding the bottom-k uniform
+//! item sampler.
+
+use uss_bench::{emit, FigureArgs};
+use uss_eval::experiments::fig4_bottomk::{figure4_config, run_figure4, tiny_config};
+
+fn main() {
+    let args = FigureArgs::parse();
+    let mut config = if args.quick {
+        tiny_config()
+    } else {
+        figure4_config()
+    };
+    if let Some(reps) = args.reps {
+        config.reps = reps;
+    }
+    if let Some(bins) = args.bins {
+        config.bins = bins;
+    }
+    if let Some(items) = args.items {
+        config.n_items = items;
+    }
+    if let Some(seed) = args.seed {
+        config.seed = seed;
+    }
+    let result = run_figure4(&config);
+    emit(&result.inner.curve_table("Figure 4"), &args);
+    emit(&result.inner.summary_table("Figure 4"), &args);
+    emit(&result.ratio_table(), &args);
+}

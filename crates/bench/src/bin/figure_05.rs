@@ -1,0 +1,29 @@
+//! Reproduces Figure 5: per-subset relative MSE of Unbiased Space Saving vs priority
+//! sampling and the relative-efficiency distribution.
+
+use uss_bench::{emit, FigureArgs};
+use uss_eval::experiments::fig5_vs_priority::{run, VsPriorityConfig};
+
+fn main() {
+    let args = FigureArgs::parse();
+    let mut config = if args.quick {
+        VsPriorityConfig::tiny()
+    } else {
+        VsPriorityConfig::default()
+    };
+    if let Some(reps) = args.reps {
+        config.reps = reps;
+    }
+    if let Some(bins) = args.bins {
+        config.bins = bins;
+    }
+    if let Some(items) = args.items {
+        config.n_items = items;
+    }
+    if let Some(seed) = args.seed {
+        config.seed = seed;
+    }
+    let result = run(&config);
+    emit(&result.scatter_table(40), &args);
+    emit(&result.efficiency_table(), &args);
+}

@@ -1,0 +1,29 @@
+//! Reproduces Figure 6: 1-way and 2-way marginal counts on the (synthetic) ad-click
+//! impression data, Unbiased Space Saving vs priority sampling.
+
+use uss_bench::{emit, FigureArgs};
+use uss_eval::experiments::fig6_marginals::{run, MarginalsConfig};
+
+fn main() {
+    let args = FigureArgs::parse();
+    let mut config = if args.quick {
+        MarginalsConfig::tiny()
+    } else {
+        MarginalsConfig::default()
+    };
+    if let Some(reps) = args.reps {
+        config.reps = reps;
+    }
+    if let Some(bins) = args.bins {
+        config.bins = bins;
+    }
+    if let Some(items) = args.items {
+        config.adclick.rows = items;
+    }
+    if let Some(seed) = args.seed {
+        config.seed = seed;
+    }
+    let result = run(&config);
+    emit(&result.to_table(), &args);
+    emit(&result.summary_table(), &args);
+}

@@ -1,0 +1,29 @@
+//! Reproduces Figure 7: the two-phase pathological stream — inclusion probabilities
+//! and first-half query errors for Deterministic vs Unbiased Space Saving.
+
+use uss_bench::{emit, FigureArgs};
+use uss_eval::experiments::fig7_pathological::{run, PathologicalConfig};
+
+fn main() {
+    let args = FigureArgs::parse();
+    let mut config = if args.quick {
+        PathologicalConfig::tiny()
+    } else {
+        PathologicalConfig::default()
+    };
+    if let Some(reps) = args.reps {
+        config.reps = reps;
+    }
+    if let Some(bins) = args.bins {
+        config.bins = bins;
+    }
+    if let Some(items) = args.items {
+        config.items_per_half = items;
+    }
+    if let Some(seed) = args.seed {
+        config.seed = seed;
+    }
+    let result = run(&config);
+    emit(&result.inclusion_table(), &args);
+    emit(&result.error_table(), &args);
+}

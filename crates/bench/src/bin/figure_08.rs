@@ -1,0 +1,28 @@
+//! Reproduces Figure 8: per-epoch confidence-interval widths and coverage on the
+//! sorted pathological stream.
+
+use uss_bench::{emit, FigureArgs};
+use uss_eval::experiments::fig8_10_sorted::{run, SortedStreamConfig};
+
+fn main() {
+    let args = FigureArgs::parse();
+    let mut config = if args.quick {
+        SortedStreamConfig::tiny()
+    } else {
+        SortedStreamConfig::default()
+    };
+    if let Some(reps) = args.reps {
+        config.reps = reps;
+    }
+    if let Some(bins) = args.bins {
+        config.bins = bins;
+    }
+    if let Some(items) = args.items {
+        config.n_items = items;
+    }
+    if let Some(seed) = args.seed {
+        config.seed = seed;
+    }
+    let result = run(&config);
+    emit(&result.figure8_table(), &args);
+}

@@ -1,0 +1,195 @@
+//! Distributed sketching: map-reduce style sharded ingestion plus unbiased merging.
+//!
+//! Section 5.5 motivates the unbiased merge by distributed computation: each mapper
+//! sketches its partition of the stream independently, and only the small sketches
+//! cross the network to be merged at a reducer. This module simulates that pattern
+//! in-process: one OS thread per partition builds an [`UnbiasedSpaceSaving`] sketch,
+//! and the results are folded together with the unbiased PPS merge. The algorithmic
+//! content (what is computed, and that it stays unbiased) is identical to a real
+//! deployment; only the transport differs.
+
+use parking_lot::Mutex;
+
+use crate::merge::merge_unbiased_entries;
+use crate::space_saving::{UnbiasedSpaceSaving, WeightedSpaceSaving};
+use crate::traits::StreamSketch;
+
+/// Configuration for sharded sketching.
+#[derive(Debug, Clone, Copy)]
+pub struct DistributedSketcher {
+    /// Number of bins per mapper sketch (and in the merged result).
+    pub capacity: usize,
+    /// Base RNG seed; mapper `i` uses `seed + i`, the reducer uses `seed ^ 0xD15C0`.
+    pub seed: u64,
+}
+
+impl DistributedSketcher {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self { capacity, seed }
+    }
+
+    /// Sketches each partition on its own thread and merges the per-partition sketches
+    /// into a single weighted sketch answering queries over the union of partitions.
+    #[must_use]
+    pub fn sketch_partitions(&self, partitions: &[Vec<u64>]) -> WeightedSpaceSaving {
+        let results: Mutex<Vec<(usize, UnbiasedSpaceSaving)>> =
+            Mutex::new(Vec::with_capacity(partitions.len()));
+        crossbeam::thread::scope(|scope| {
+            for (i, partition) in partitions.iter().enumerate() {
+                let results = &results;
+                let capacity = self.capacity;
+                let seed = self.seed + i as u64;
+                scope.spawn(move |_| {
+                    let mut sketch = UnbiasedSpaceSaving::with_seed(capacity, seed);
+                    for &item in partition {
+                        sketch.offer(item);
+                    }
+                    results.lock().push((i, sketch));
+                });
+            }
+        })
+        .expect("mapper thread panicked");
+
+        let mut mappers = results.into_inner();
+        // Deterministic merge order regardless of thread completion order.
+        mappers.sort_by_key(|(i, _)| *i);
+        self.reduce(mappers.into_iter().map(|(_, s)| s))
+    }
+
+    /// Merges an iterator of mapper sketches (the reduce step), preserving
+    /// unbiasedness at every fold.
+    #[must_use]
+    pub fn reduce<I>(&self, sketches: I) -> WeightedSpaceSaving
+    where
+        I: IntoIterator<Item = UnbiasedSpaceSaving>,
+    {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xD15C0);
+        let mut acc_entries: Vec<(u64, f64)> = Vec::new();
+        let mut acc_rows: u64 = 0;
+        for sketch in sketches {
+            acc_entries = merge_unbiased_entries(
+                &acc_entries,
+                &sketch.entries(),
+                self.capacity,
+                &mut rng,
+            );
+            acc_rows += sketch.rows_processed();
+        }
+        let mut out = WeightedSpaceSaving::with_seed(self.capacity, self.seed ^ 0xFEED);
+        out.load_entries(acc_entries, acc_rows as f64);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn partitions() -> Vec<Vec<u64>> {
+        // Four partitions with overlapping heavy items and disjoint tails.
+        (0..4usize)
+            .map(|p| {
+                let mut v = Vec::new();
+                for i in 0..3000u64 {
+                    if i % 3 == 0 {
+                        v.push(1); // globally heavy
+                    } else if i % 3 == 1 {
+                        v.push(2 + p as u64); // heavy within the partition
+                    } else {
+                        v.push(1000 + p as u64 * 10_000 + i); // unique tail
+                    }
+                }
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_sketch_covers_all_rows() {
+        let sketcher = DistributedSketcher::new(50, 7);
+        let parts = partitions();
+        let total_rows: usize = parts.iter().map(Vec::len).sum();
+        let merged = sketcher.sketch_partitions(&parts);
+        assert_eq!(merged.rows_processed(), total_rows as u64);
+        assert!(merged.retained_len() <= 50);
+    }
+
+    #[test]
+    fn global_heavy_hitter_is_found_with_accurate_count() {
+        let sketcher = DistributedSketcher::new(50, 3);
+        let parts = partitions();
+        let truth = parts
+            .iter()
+            .flatten()
+            .filter(|&&i| i == 1)
+            .count() as f64;
+        let merged = sketcher.sketch_partitions(&parts);
+        let est = merged.estimate(1);
+        assert!(
+            (est - truth).abs() / truth < 0.15,
+            "estimate {est} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn distributed_result_matches_single_sketch_statistically() {
+        // The subset sum over the per-partition heavy items should be estimated
+        // unbiasedly; average over several seeds.
+        let parts = partitions();
+        let truth: f64 = parts
+            .iter()
+            .flatten()
+            .filter(|&&i| (2..=5).contains(&i))
+            .count() as f64;
+        let reps = 60;
+        let mut sum = 0.0;
+        for seed in 0..reps {
+            let sketcher = DistributedSketcher::new(40, seed);
+            let merged = sketcher.sketch_partitions(&parts);
+            sum += merged
+                .entries()
+                .iter()
+                .filter(|(i, _)| (2..=5).contains(i))
+                .map(|(_, c)| c)
+                .sum::<f64>();
+        }
+        let mean = sum / reps as f64;
+        assert!(
+            (mean - truth).abs() / truth < 0.1,
+            "mean {mean} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn reduce_of_empty_iterator_is_empty() {
+        let sketcher = DistributedSketcher::new(10, 1);
+        let merged = sketcher.reduce(std::iter::empty());
+        assert_eq!(merged.retained_len(), 0);
+        assert_eq!(merged.rows_processed(), 0);
+    }
+
+    #[test]
+    fn single_partition_equals_plain_sketching_rows() {
+        let sketcher = DistributedSketcher::new(20, 5);
+        let part: Vec<u64> = (0..500u64).map(|i| i % 37).collect();
+        let merged = sketcher.sketch_partitions(std::slice::from_ref(&part));
+        assert_eq!(merged.rows_processed(), 500);
+        let mass: f64 = merged.entries().iter().map(|(_, c)| c).sum();
+        assert!((mass - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = DistributedSketcher::new(0, 1);
+    }
+}

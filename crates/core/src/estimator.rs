@@ -1,0 +1,362 @@
+//! Query-side API: immutable snapshots of a sketch supporting subset-sum estimates
+//! with variance / confidence intervals, frequent-item extraction, and proportion
+//! estimates.
+//!
+//! Sketches are mutable streaming objects; analysis code usually wants a stable view
+//! to run many queries against. [`SketchSnapshot`] captures the retained
+//! `(item, count)` pairs together with the minimum counter `N̂_min` (the quantity
+//! driving the variance estimator of section 6.4) and the number of processed rows.
+
+use serde::{Deserialize, Serialize};
+
+use crate::traits::StreamSketch;
+use crate::variance::{
+    normal_confidence_interval, subset_variance_estimate, ConfidenceInterval,
+};
+
+/// A point-in-time view of a Space Saving style sketch.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct SketchSnapshot {
+    entries: Vec<(u64, f64)>,
+    min_count: f64,
+    rows: u64,
+    capacity: usize,
+}
+
+/// A subset-sum estimate bundled with its estimated sampling variability.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+pub struct SubsetEstimate {
+    /// Estimated sum of counts over the subset.
+    pub sum: f64,
+    /// Estimated variance (equation 5 of the paper); upward biased by construction.
+    pub variance: f64,
+    /// Number of sketch entries that fell in the subset (`C_S`).
+    pub items_in_sketch: usize,
+}
+
+impl SubsetEstimate {
+    /// Estimated standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Normal-approximation confidence interval at the given level, clamped at zero.
+    #[must_use]
+    pub fn confidence_interval(&self, confidence: f64) -> ConfidenceInterval {
+        normal_confidence_interval(self.sum, self.variance, confidence).clamped_at_zero()
+    }
+
+    /// Relative standard error `σ̂ / sum` (infinite for a zero estimate).
+    #[must_use]
+    pub fn relative_std_error(&self) -> f64 {
+        if self.sum == 0.0 {
+            f64::INFINITY
+        } else {
+            self.std_dev() / self.sum
+        }
+    }
+}
+
+impl SketchSnapshot {
+    /// Builds a snapshot from raw parts.
+    #[must_use]
+    pub fn new(entries: Vec<(u64, f64)>, min_count: f64, rows: u64, capacity: usize) -> Self {
+        Self {
+            entries,
+            min_count,
+            rows,
+            capacity,
+        }
+    }
+
+    /// Builds a snapshot from any [`StreamSketch`]. The minimum counter is taken to be
+    /// the smallest retained estimate when the sketch is at capacity and 0 otherwise.
+    #[must_use]
+    pub fn from_sketch<S: StreamSketch + ?Sized>(sketch: &S) -> Self {
+        let entries = sketch.entries();
+        let min_count = if entries.len() >= sketch.capacity() {
+            entries
+                .iter()
+                .map(|(_, c)| *c)
+                .fold(f64::INFINITY, f64::min)
+        } else {
+            0.0
+        };
+        Self {
+            entries,
+            min_count: if min_count.is_finite() { min_count } else { 0.0 },
+            rows: sketch.rows_processed(),
+            capacity: sketch.capacity(),
+        }
+    }
+
+    /// The retained `(item, estimated count)` pairs.
+    #[must_use]
+    pub fn entries(&self) -> &[(u64, f64)] {
+        &self.entries
+    }
+
+    /// The minimum counter `N̂_min` (0 if the sketch never filled).
+    #[must_use]
+    pub fn min_count(&self) -> f64 {
+        self.min_count
+    }
+
+    /// Number of rows processed by the sketch that produced this snapshot.
+    #[must_use]
+    pub fn rows_processed(&self) -> u64 {
+        self.rows
+    }
+
+    /// Capacity (number of bins) of the producing sketch.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of retained items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no items are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Point estimate for a single item (0 if not retained).
+    #[must_use]
+    pub fn estimate(&self, item: u64) -> f64 {
+        self.entries
+            .iter()
+            .find(|(i, _)| *i == item)
+            .map_or(0.0, |(_, c)| *c)
+    }
+
+    /// Sum of all retained counts (equals the number of rows / total weight processed
+    /// for Space Saving sketches).
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.entries.iter().map(|(_, c)| c).sum()
+    }
+
+    /// Estimated sum of counts over all items satisfying `predicate`, with variance.
+    pub fn subset_estimate<F>(&self, mut predicate: F) -> SubsetEstimate
+    where
+        F: FnMut(u64) -> bool,
+    {
+        let mut sum = 0.0;
+        let mut items = 0usize;
+        for &(item, count) in &self.entries {
+            if predicate(item) {
+                sum += count;
+                items += 1;
+            }
+        }
+        SubsetEstimate {
+            sum,
+            variance: subset_variance_estimate(self.min_count, items),
+            items_in_sketch: items,
+        }
+    }
+
+    /// Shorthand for the point estimate of a subset sum.
+    pub fn subset_sum<F>(&self, predicate: F) -> f64
+    where
+        F: FnMut(u64) -> bool,
+    {
+        self.subset_estimate(predicate).sum
+    }
+
+    /// Estimated proportion of all rows whose item satisfies `predicate`.
+    pub fn subset_proportion<F>(&self, predicate: F) -> f64
+    where
+        F: FnMut(u64) -> bool,
+    {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        self.subset_sum(predicate) / self.rows as f64
+    }
+
+    /// Items whose estimated count exceeds `phi · rows` — the classical frequent-item
+    /// (heavy hitter) query — sorted by estimated count, descending.
+    #[must_use]
+    pub fn frequent_items(&self, phi: f64) -> Vec<(u64, f64)> {
+        assert!(phi > 0.0 && phi < 1.0, "phi must be in (0, 1)");
+        let threshold = phi * self.rows as f64;
+        let mut result: Vec<(u64, f64)> = self
+            .entries
+            .iter()
+            .copied()
+            .filter(|(_, c)| *c > threshold)
+            .collect();
+        result.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("counts are finite"));
+        result
+    }
+
+    /// The `k` items with the largest estimated counts, descending.
+    #[must_use]
+    pub fn top_k(&self, k: usize) -> Vec<(u64, f64)> {
+        let mut entries = self.entries.clone();
+        entries.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("counts are finite"));
+        entries.truncate(k);
+        entries
+    }
+
+    /// Estimated relative frequency (`count / rows`) of every retained item, sorted
+    /// descending.
+    #[must_use]
+    pub fn proportions(&self) -> Vec<(u64, f64)> {
+        if self.rows == 0 {
+            return Vec::new();
+        }
+        let mut result: Vec<(u64, f64)> = self
+            .entries
+            .iter()
+            .map(|&(i, c)| (i, c / self.rows as f64))
+            .collect();
+        result.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("counts are finite"));
+        result
+    }
+
+    /// Convenience: subset estimate plus its confidence interval in one call.
+    pub fn subset_confidence_interval<F>(
+        &self,
+        predicate: F,
+        confidence: f64,
+    ) -> (SubsetEstimate, ConfidenceInterval)
+    where
+        F: FnMut(u64) -> bool,
+    {
+        let est = self.subset_estimate(predicate);
+        let ci = est.confidence_interval(confidence);
+        (est, ci)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> SketchSnapshot {
+        SketchSnapshot::new(
+            vec![(1, 50.0), (2, 30.0), (3, 10.0), (4, 10.0)],
+            10.0,
+            100,
+            4,
+        )
+    }
+
+    #[test]
+    fn subset_estimate_sums_matching_items() {
+        let snap = snapshot();
+        let est = snap.subset_estimate(|i| i <= 2);
+        assert_eq!(est.sum, 80.0);
+        assert_eq!(est.items_in_sketch, 2);
+        assert_eq!(est.variance, 200.0); // 10^2 * 2
+        assert!((est.std_dev() - 200.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_subset_still_reports_floor_variance() {
+        let snap = snapshot();
+        let est = snap.subset_estimate(|i| i > 100);
+        assert_eq!(est.sum, 0.0);
+        assert_eq!(est.items_in_sketch, 0);
+        assert_eq!(est.variance, 100.0); // C_S floors at 1
+        assert!(est.relative_std_error().is_infinite());
+    }
+
+    #[test]
+    fn proportions_and_subset_proportion() {
+        let snap = snapshot();
+        assert!((snap.subset_proportion(|i| i == 1) - 0.5).abs() < 1e-12);
+        let props = snap.proportions();
+        assert_eq!(props[0], (1, 0.5));
+        assert_eq!(props.len(), 4);
+    }
+
+    #[test]
+    fn frequent_items_threshold() {
+        let snap = snapshot();
+        let heavy = snap.frequent_items(0.25);
+        assert_eq!(heavy, vec![(1, 50.0), (2, 30.0)]);
+        let heavier = snap.frequent_items(0.45);
+        assert_eq!(heavier, vec![(1, 50.0)]);
+    }
+
+    #[test]
+    fn top_k_orders_descending() {
+        let snap = snapshot();
+        assert_eq!(snap.top_k(3), vec![(1, 50.0), (2, 30.0), (3, 10.0)]);
+        assert_eq!(snap.top_k(0), vec![]);
+    }
+
+    #[test]
+    fn estimate_and_total() {
+        let snap = snapshot();
+        assert_eq!(snap.estimate(2), 30.0);
+        assert_eq!(snap.estimate(99), 0.0);
+        assert_eq!(snap.total(), 100.0);
+        assert_eq!(snap.len(), 4);
+        assert!(!snap.is_empty());
+    }
+
+    #[test]
+    fn confidence_interval_covers_point_estimate() {
+        let snap = snapshot();
+        let (est, ci) = snap.subset_confidence_interval(|i| i == 1, 0.95);
+        assert!(ci.contains(est.sum));
+        assert!(ci.lower >= 0.0);
+    }
+
+    #[test]
+    fn from_sketch_uses_capacity_to_decide_min_count() {
+        struct Fake {
+            entries: Vec<(u64, f64)>,
+            capacity: usize,
+        }
+        impl StreamSketch for Fake {
+            fn offer(&mut self, _item: u64) {}
+            fn rows_processed(&self) -> u64 {
+                42
+            }
+            fn estimate(&self, _item: u64) -> f64 {
+                0.0
+            }
+            fn entries(&self) -> Vec<(u64, f64)> {
+                self.entries.clone()
+            }
+            fn capacity(&self) -> usize {
+                self.capacity
+            }
+        }
+        let not_full = Fake {
+            entries: vec![(1, 3.0), (2, 5.0)],
+            capacity: 4,
+        };
+        assert_eq!(SketchSnapshot::from_sketch(&not_full).min_count(), 0.0);
+        let full = Fake {
+            entries: vec![(1, 3.0), (2, 5.0)],
+            capacity: 2,
+        };
+        assert_eq!(SketchSnapshot::from_sketch(&full).min_count(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "phi")]
+    fn invalid_phi_panics() {
+        let _ = snapshot().frequent_items(1.5);
+    }
+
+    #[test]
+    fn snapshot_equality_and_clone() {
+        let snap = snapshot();
+        let copy = snap.clone();
+        assert_eq!(snap, copy);
+    }
+}

@@ -1,0 +1,183 @@
+//! Fast hashing utilities.
+//!
+//! The sketches index their counters by opaque `u64` item identifiers. Two helpers live
+//! here:
+//!
+//! * [`FxHasher`] / [`FxBuildHasher`] — a small, allocation-free re-implementation of
+//!   the Firefox/rustc "Fx" multiply-xor hash. The standard library's SipHash is
+//!   collision-resistant but slow for short integer keys; the perf guidance for this
+//!   repository calls for a fast integer hasher, and implementing the ~20-line Fx mix
+//!   in-repo avoids an extra dependency.
+//! * [`hash_bytes`] / [`hash_fields`] — helpers that turn user-level keys (strings,
+//!   dimension tuples, IP pairs) into the `u64` item identifiers the sketches consume.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx hash seed (the golden-ratio constant used by rustc's FxHasher).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic hasher for short keys (the Fx multiply-xor scheme).
+///
+/// Not HashDoS-resistant: use only where keys are not attacker-controlled or where the
+/// consequences of collisions are merely performance, as is the case for sketch
+/// counter indexes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("chunk is 8 bytes"));
+            self.add_to_hash(word);
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]; plug into `HashMap::with_hasher`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by item identifiers using the fast Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// Hashes an arbitrary byte string to a 64-bit item identifier (SplitMix-finalised Fx).
+#[must_use]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.write_u64(bytes.len() as u64);
+    splitmix64(h.finish())
+}
+
+/// Hashes a sequence of field values (e.g. the dimension tuple identifying a unit of
+/// analysis) into a single 64-bit item identifier. Field boundaries are length-prefixed
+/// so `["ab","c"]` and `["a","bc"]` hash differently.
+#[must_use]
+pub fn hash_fields<I, T>(fields: I) -> u64
+where
+    I: IntoIterator<Item = T>,
+    T: AsRef<[u8]>,
+{
+    let mut h = FxHasher::default();
+    let mut n_fields = 0u64;
+    for f in fields {
+        let bytes = f.as_ref();
+        h.write_u64(bytes.len() as u64);
+        h.write(bytes);
+        n_fields += 1;
+    }
+    h.write_u64(n_fields);
+    splitmix64(h.finish())
+}
+
+/// Combines two 64-bit identifiers into one (order-sensitive); used for composite keys
+/// such as (user, ad) pairs or (source IP, destination IP) flows.
+#[must_use]
+pub fn combine(a: u64, b: u64) -> u64 {
+    splitmix64(a.rotate_left(32) ^ splitmix64(b) ^ 0x9E37_79B9_7F4A_7C15)
+}
+
+/// SplitMix64 finaliser, used to turn the weak Fx state into a well-mixed identifier.
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_bytes_is_deterministic() {
+        assert_eq!(hash_bytes(b"hello"), hash_bytes(b"hello"));
+        assert_ne!(hash_bytes(b"hello"), hash_bytes(b"hellp"));
+    }
+
+    #[test]
+    fn hash_bytes_distinguishes_lengths() {
+        assert_ne!(hash_bytes(b""), hash_bytes(b"\0"));
+        assert_ne!(hash_bytes(b"a"), hash_bytes(b"a\0"));
+    }
+
+    #[test]
+    fn hash_fields_respects_boundaries() {
+        assert_ne!(hash_fields(["ab", "c"]), hash_fields(["a", "bc"]));
+        assert_ne!(hash_fields(["ab"]), hash_fields(["ab", ""]));
+        assert_eq!(hash_fields(["x", "y"]), hash_fields(["x", "y"]));
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        assert_ne!(combine(1, 2), combine(2, 1));
+        assert_eq!(combine(1, 2), combine(1, 2));
+    }
+
+    #[test]
+    fn fx_hashmap_round_trip() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, (i * 3) as u32);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&i), Some(&((i * 3) as u32)));
+        }
+    }
+
+    #[test]
+    fn splitmix_avalanches() {
+        let d = (splitmix64(42) ^ splitmix64(43)).count_ones();
+        assert!(d > 16, "poor avalanche: {d} differing bits");
+    }
+
+    #[test]
+    fn hasher_handles_unaligned_tails() {
+        // 9 bytes exercises the chunk + remainder path.
+        let a = hash_bytes(b"123456789");
+        let b = hash_bytes(b"123456780");
+        assert_ne!(a, b);
+    }
+}

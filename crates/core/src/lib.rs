@@ -1,0 +1,88 @@
+//! # Unbiased Space Saving
+//!
+//! A from-scratch Rust implementation of the data sketch introduced in *"Data Sketches
+//! for Disaggregated Subset Sum and Frequent Item Estimation"* (Daniel Ting, SIGMOD
+//! 2018), together with every substrate it builds on.
+//!
+//! The sketch answers two questions about a massive, *disaggregated* stream — one
+//! where the per-item metric of interest (clicks per ad, bytes per IP flow, events per
+//! user) is spread over many rows:
+//!
+//! 1. **Disaggregated subset sums**: an unbiased estimate of
+//!    `Σ_{items i in S} n_i` for *any* subset `S` chosen after the fact, with a
+//!    variance estimate and a confidence interval.
+//! 2. **Frequent items**: the heavy hitters and consistent estimates of their
+//!    frequencies.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use uss_core::prelude::*;
+//!
+//! // Sketch a click stream with 100 bins.
+//! let mut sketch = UnbiasedSpaceSaving::with_seed(100, 42);
+//! for user in 0u64..10_000 {
+//!     // each user clicks 1 + (user % 7) times
+//!     for _ in 0..=(user % 7) {
+//!         sketch.offer(user);
+//!     }
+//! }
+//!
+//! // Unbiased estimate of total clicks from users 0..1000, with a 95% CI.
+//! let snapshot = sketch.snapshot();
+//! let (estimate, ci) = snapshot.subset_confidence_interval(|u| u < 1000, 0.95);
+//! assert!(estimate.sum >= 0.0);
+//! assert!(ci.upper >= ci.lower);
+//!
+//! // Heavy hitters.
+//! let top = snapshot.top_k(5);
+//! assert_eq!(top.len(), 5);
+//! ```
+//!
+//! ## Crate layout
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`space_saving`] | [`UnbiasedSpaceSaving`], [`DeterministicSpaceSaving`], the weighted and time-decayed generalisations |
+//! | [`stream_summary`] | the O(1)-update counter structure of Metwally et al. |
+//! | [`reduction`] | thresholding vs PPS-subsampling reduction operations (section 5.3) |
+//! | [`merge`] | biased Misra-Gries merge and the unbiased PPS merge (section 5.5) |
+//! | [`distributed`] | map-reduce style sharded sketching built on the unbiased merge |
+//! | [`estimator`] | query-side snapshots: subset sums, frequent items, proportions |
+//! | [`variance`] | the equation-5 variance estimator and Normal confidence intervals |
+//! | [`hash`] | fast hashing of user-level keys to item identifiers |
+//! | [`traits`] | the [`StreamSketch`](traits::StreamSketch) family of traits |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod distributed;
+pub mod estimator;
+pub mod hash;
+pub mod merge;
+pub mod reduction;
+pub mod space_saving;
+pub mod stream_summary;
+pub mod traits;
+pub mod variance;
+
+pub use estimator::{SketchSnapshot, SubsetEstimate};
+pub use space_saving::{
+    DecayedSpaceSaving, DeterministicSpaceSaving, UnbiasedSpaceSaving, WeightedSpaceSaving,
+};
+pub use stream_summary::StreamSummary;
+pub use traits::{MergeableSketch, StreamSketch, WeightedStreamSketch};
+pub use variance::{normal_confidence_interval, subset_variance_estimate, ConfidenceInterval};
+
+/// Commonly used items, for glob import in examples and applications.
+pub mod prelude {
+    pub use crate::distributed::DistributedSketcher;
+    pub use crate::estimator::{SketchSnapshot, SubsetEstimate};
+    pub use crate::hash::{combine, hash_bytes, hash_fields};
+    pub use crate::merge::{merge_deterministic, merge_misra_gries, merge_unbiased};
+    pub use crate::space_saving::{
+        DecayedSpaceSaving, DeterministicSpaceSaving, UnbiasedSpaceSaving, WeightedSpaceSaving,
+    };
+    pub use crate::traits::{MergeableSketch, StreamSketch, WeightedStreamSketch};
+    pub use crate::variance::{normal_confidence_interval, ConfidenceInterval};
+}

@@ -1,0 +1,230 @@
+//! Merge operations for Space Saving sketches (section 5.5 of the paper).
+//!
+//! Merging lets sketches built over different partitions of the data (different days,
+//! different mappers, different data centres) be combined into a single sketch that
+//! answers queries over the union. Two merges are provided:
+//!
+//! * [`merge_misra_gries`] — the classical *biased* merge of Agarwal et al. (2013):
+//!   sum the per-item counts and soft-threshold by the `(m+1)`-th largest. Preserves
+//!   the deterministic error guarantee but biases all counts downward, so repeated
+//!   merging accumulates bias in subset sums.
+//! * [`merge_unbiased`] — the paper's *unbiased* merge: sum the per-item counts, then
+//!   apply the PPS subsampling reduction of [`crate::reduction::pps_reduce`], which
+//!   preserves the expected count of every item (Theorem 2). The price is that the
+//!   merged sketch may recover slightly fewer of the very top items than the biased
+//!   merge (Figure 1 of the paper) and that counters become real-valued, so the result
+//!   is a [`WeightedSpaceSaving`].
+
+use rand::Rng;
+
+use crate::reduction::{combine_entries, pps_reduce, threshold_reduce};
+use crate::space_saving::{DeterministicSpaceSaving, UnbiasedSpaceSaving, WeightedSpaceSaving};
+use crate::traits::{MergeableSketch, StreamSketch};
+
+/// Biased Misra-Gries style merge of two entry lists down to `capacity` entries.
+/// Returns the soft-thresholded entries (estimates in the *Misra-Gries* convention,
+/// i.e. lower bounds).
+#[must_use]
+pub fn merge_misra_gries(
+    a: &[(u64, f64)],
+    b: &[(u64, f64)],
+    capacity: usize,
+) -> Vec<(u64, f64)> {
+    let mut combined = combine_entries(a, b);
+    threshold_reduce(&mut combined, capacity);
+    combined
+}
+
+/// Unbiased merge of two entry lists down to `capacity` entries via PPS subsampling.
+#[must_use]
+pub fn merge_unbiased_entries<R: Rng + ?Sized>(
+    a: &[(u64, f64)],
+    b: &[(u64, f64)],
+    capacity: usize,
+    rng: &mut R,
+) -> Vec<(u64, f64)> {
+    let combined = combine_entries(a, b);
+    pps_reduce(combined, capacity, rng)
+}
+
+/// Merges two Unbiased Space Saving sketches into a weighted sketch over the union of
+/// their streams, preserving unbiasedness of every per-item count.
+///
+/// The output capacity is the larger of the two input capacities.
+#[must_use]
+pub fn merge_unbiased(
+    a: &UnbiasedSpaceSaving,
+    b: &UnbiasedSpaceSaving,
+    seed: u64,
+) -> WeightedSpaceSaving {
+    let capacity = a.capacity().max(b.capacity());
+    let mut out = WeightedSpaceSaving::with_seed(capacity, seed);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let entries = merge_unbiased_entries(&a.entries(), &b.entries(), capacity, &mut rng);
+    let rows = (a.rows_processed() + b.rows_processed()) as f64;
+    out.load_entries(entries, rows);
+    out
+}
+
+/// Merges two Deterministic Space Saving sketches with the biased Misra-Gries merge,
+/// returning the merged entries in the *Space Saving* convention (threshold added back
+/// onto every surviving counter, matching the isomorphism of section 5.2).
+#[must_use]
+pub fn merge_deterministic(
+    a: &DeterministicSpaceSaving,
+    b: &DeterministicSpaceSaving,
+) -> Vec<(u64, f64)> {
+    let capacity = a.capacity().max(b.capacity());
+    let mut combined = combine_entries(&a.entries(), &b.entries());
+    let threshold = threshold_reduce(&mut combined, capacity);
+    // Space Saving convention: estimates include the mass that was thresholded away.
+    for (_, c) in &mut combined {
+        *c += threshold;
+    }
+    combined
+}
+
+use rand::SeedableRng;
+
+impl MergeableSketch for WeightedSpaceSaving {
+    /// Merges `other` into `self` using the unbiased PPS reduction; `self`'s capacity
+    /// and internal random state are reused.
+    fn merge_from(&mut self, other: &Self) {
+        let capacity = self.capacity();
+        let combined = combine_entries(&self.entries(), &other.entries());
+        // Deterministically derive a reduction seed from the two sketches' masses so
+        // merge_from stays reproducible for seeded sketches.
+        let seed = (self.total_weight().to_bits()) ^ other.total_weight().to_bits().rotate_left(17);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let reduced = pps_reduce(combined, capacity, &mut rng);
+        let rows = self.total_weight() + other.total_weight();
+        self.load_entries(reduced, rows);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::StreamSketch;
+
+    fn sketch_from(stream: &[u64], capacity: usize, seed: u64) -> UnbiasedSpaceSaving {
+        let mut s = UnbiasedSpaceSaving::with_seed(capacity, seed);
+        for &item in stream {
+            s.offer(item);
+        }
+        s
+    }
+
+    #[test]
+    fn misra_gries_merge_bounds_size() {
+        let a: Vec<(u64, f64)> = (0..20).map(|i| (i, (i + 1) as f64)).collect();
+        let b: Vec<(u64, f64)> = (10..30).map(|i| (i, 2.0)).collect();
+        let merged = merge_misra_gries(&a, &b, 8);
+        assert!(merged.len() <= 8);
+    }
+
+    #[test]
+    fn misra_gries_merge_never_overestimates() {
+        let a = vec![(1, 10.0), (2, 6.0), (3, 2.0)];
+        let b = vec![(1, 5.0), (4, 7.0), (5, 1.0)];
+        let merged = merge_misra_gries(&a, &b, 3);
+        for (item, count) in merged {
+            let truth: f64 = a
+                .iter()
+                .chain(&b)
+                .filter(|(i, _)| *i == item)
+                .map(|(_, c)| c)
+                .sum();
+            assert!(count <= truth + 1e-12, "item {item}: {count} > {truth}");
+        }
+    }
+
+    #[test]
+    fn unbiased_merge_keeps_capacity_and_total_mass_in_expectation() {
+        let stream_a: Vec<u64> = (0..2000u64).map(|i| i % 111).collect();
+        let stream_b: Vec<u64> = (0..3000u64).map(|i| 50 + i % 200).collect();
+        let total = (stream_a.len() + stream_b.len()) as f64;
+        let reps = 300;
+        let mut mass = 0.0;
+        for seed in 0..reps {
+            let a = sketch_from(&stream_a, 40, seed);
+            let b = sketch_from(&stream_b, 40, seed + 1000);
+            let merged = merge_unbiased(&a, &b, seed);
+            assert!(merged.retained_len() <= 40);
+            mass += merged.entries().iter().map(|(_, c)| c).sum::<f64>();
+        }
+        let mean = mass / reps as f64;
+        assert!(
+            (mean - total).abs() / total < 0.02,
+            "mean merged mass {mean} vs {total}"
+        );
+    }
+
+    #[test]
+    fn unbiased_merge_item_estimates_are_unbiased() {
+        // Item 7 appears 150 times in stream A only; the merged estimate must average
+        // to ~150 even though both sketches are lossy.
+        let mut stream_a: Vec<u64> = (0..1500u64).map(|i| 100 + i % 97).collect();
+        stream_a.extend(std::iter::repeat_n(7u64, 150));
+        let stream_b: Vec<u64> = (0..1500u64).map(|i| 300 + i % 83).collect();
+        let truth = 150.0;
+        let reps = 600;
+        let mut sum = 0.0;
+        for seed in 0..reps {
+            let a = sketch_from(&stream_a, 30, seed);
+            let b = sketch_from(&stream_b, 30, seed + 5000);
+            let merged = merge_unbiased(&a, &b, seed);
+            sum += merged.estimate(7);
+        }
+        let mean = sum / reps as f64;
+        assert!(
+            (mean - truth).abs() / truth < 0.12,
+            "mean merged estimate {mean} vs {truth}"
+        );
+    }
+
+    #[test]
+    fn deterministic_merge_restores_space_saving_convention() {
+        let mut a = DeterministicSpaceSaving::new(4);
+        let mut b = DeterministicSpaceSaving::new(4);
+        for item in [1u64, 1, 1, 2, 2, 3] {
+            a.offer(item);
+        }
+        for item in [1u64, 4, 4, 5, 6, 6] {
+            b.offer(item);
+        }
+        let merged = merge_deterministic(&a, &b);
+        assert!(merged.len() <= 4);
+        // Item 1 is the heaviest overall and must be present with an estimate at least
+        // its true combined count.
+        let one = merged.iter().find(|(i, _)| *i == 1).expect("item 1 kept");
+        assert!(one.1 >= 4.0);
+    }
+
+    #[test]
+    fn merge_from_accumulates_mass() {
+        let mut a = WeightedSpaceSaving::with_seed(20, 1);
+        let mut b = WeightedSpaceSaving::with_seed(20, 2);
+        for i in 0..500u64 {
+            a.offer(i % 60);
+            b.offer(i % 35);
+        }
+        let total = a.total_weight() + b.total_weight();
+        a.merge_from(&b);
+        assert!(a.retained_len() <= 20);
+        // Mass is preserved in expectation; for a single merge allow a loose band.
+        let mass: f64 = a.entries().iter().map(|(_, c)| c).sum();
+        assert!(mass > 0.5 * total && mass < 1.5 * total);
+        // The row/weight accounting reflects the union of the two input streams.
+        assert!((a.total_weight() - total).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merging_empty_sketches_is_harmless() {
+        let a = UnbiasedSpaceSaving::with_seed(8, 1);
+        let b = UnbiasedSpaceSaving::with_seed(8, 2);
+        let merged = merge_unbiased(&a, &b, 3);
+        assert_eq!(merged.retained_len(), 0);
+        assert_eq!(merged.rows_processed(), 0);
+    }
+}

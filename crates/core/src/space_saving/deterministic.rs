@@ -1,0 +1,263 @@
+//! The original (deterministic) Space Saving sketch.
+
+use crate::stream_summary::StreamSummary;
+use crate::traits::StreamSketch;
+
+/// Deterministic Space Saving (Metwally, Agrawal, El Abbadi 2005).
+///
+/// Maintains `m` counters. A row whose item is already tracked increments that item's
+/// counter. Otherwise the minimum counter is incremented and *always* relabelled with
+/// the new item. Guarantees: every item's estimate overshoots its true count by at most
+/// `n_tot / m`, and every item with true count above `n_tot / m` is retained.
+///
+/// The counts are biased upward for retained items, which is what the Unbiased variant
+/// fixes; this implementation is used as the paper's comparison baseline and for the
+/// Misra-Gries isomorphism tests.
+#[derive(Debug, Clone)]
+pub struct DeterministicSpaceSaving {
+    summary: StreamSummary,
+    rows: u64,
+}
+
+impl DeterministicSpaceSaving {
+    /// Creates a sketch with `capacity` bins (the paper's `m`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            summary: StreamSummary::new(capacity),
+            rows: 0,
+        }
+    }
+
+    /// The smallest count currently stored (`N̂_min`), or 0 if the sketch is not full.
+    #[must_use]
+    pub fn min_count(&self) -> u64 {
+        if self.summary.is_full() {
+            self.summary.min_value().unwrap_or(0)
+        } else {
+            0
+        }
+    }
+
+    /// Exact per-item counts as integers (the estimates are integral for this sketch).
+    #[must_use]
+    pub fn integer_entries(&self) -> Vec<(u64, u64)> {
+        self.summary.entries().collect()
+    }
+
+    /// Deterministic error bound: any estimate is within `rows / capacity` of the true
+    /// count (upward only).
+    #[must_use]
+    pub fn error_bound(&self) -> f64 {
+        self.rows as f64 / self.summary.capacity() as f64
+    }
+
+    /// The guaranteed-frequent threshold: any item whose true count exceeds this value
+    /// is certainly retained in the sketch.
+    #[must_use]
+    pub fn guaranteed_threshold(&self) -> f64 {
+        self.error_bound()
+    }
+
+    /// Lower bound on the true count of `item` (Misra-Gries style): estimate minus the
+    /// minimum count, clamped at zero. Zero if the item is not retained.
+    #[must_use]
+    pub fn lower_bound(&self, item: u64) -> u64 {
+        match self.summary.count(item) {
+            Some(c) => c.saturating_sub(self.min_count()),
+            None => 0,
+        }
+    }
+
+    /// Offers `count` occurrences of `item` at once (equivalent to `count` unit
+    /// offers for this sketch because the relabel decision is deterministic).
+    pub fn offer_many(&mut self, item: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.rows += count;
+        if self.summary.increment(item, count) {
+            return;
+        }
+        if !self.summary.is_full() {
+            self.summary.insert(item, count);
+        } else {
+            self.summary.replace_min(item, count);
+        }
+    }
+}
+
+impl StreamSketch for DeterministicSpaceSaving {
+    fn offer(&mut self, item: u64) {
+        self.offer_many(item, 1);
+    }
+
+    fn rows_processed(&self) -> u64 {
+        self.rows
+    }
+
+    fn estimate(&self, item: u64) -> f64 {
+        self.summary.count(item).unwrap_or(0) as f64
+    }
+
+    fn entries(&self) -> Vec<(u64, f64)> {
+        self.summary
+            .entries()
+            .map(|(item, count)| (item, count as f64))
+            .collect()
+    }
+
+    fn capacity(&self) -> usize {
+        self.summary.capacity()
+    }
+
+    fn retained_len(&self) -> usize {
+        self.summary.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_are_exact_until_capacity_is_reached() {
+        let mut sketch = DeterministicSpaceSaving::new(10);
+        for item in [1u64, 2, 3, 1, 2, 1] {
+            sketch.offer(item);
+        }
+        assert_eq!(sketch.estimate(1), 3.0);
+        assert_eq!(sketch.estimate(2), 2.0);
+        assert_eq!(sketch.estimate(3), 1.0);
+        assert_eq!(sketch.estimate(4), 0.0);
+        assert_eq!(sketch.rows_processed(), 6);
+        assert_eq!(sketch.min_count(), 0);
+    }
+
+    #[test]
+    fn eviction_always_adopts_the_new_item() {
+        let mut sketch = DeterministicSpaceSaving::new(2);
+        sketch.offer(1);
+        sketch.offer(2);
+        sketch.offer(3); // evicts the minimum (count 1), new estimate 2
+        assert_eq!(sketch.estimate(3), 2.0);
+        assert_eq!(sketch.retained_len(), 2);
+        // One of items 1, 2 was evicted and now estimates to 0.
+        let zeroed = [1u64, 2]
+            .iter()
+            .filter(|&&i| sketch.estimate(i) == 0.0)
+            .count();
+        assert_eq!(zeroed, 1);
+    }
+
+    #[test]
+    fn total_mass_equals_rows_processed() {
+        // The classic Space Saving invariant: Σ counters = number of rows.
+        let mut sketch = DeterministicSpaceSaving::new(5);
+        let stream: Vec<u64> = (0..500).map(|i| i % 37).collect();
+        for &item in &stream {
+            sketch.offer(item);
+        }
+        let total: f64 = sketch.entries().iter().map(|(_, c)| c).sum();
+        assert_eq!(total, stream.len() as f64);
+    }
+
+    #[test]
+    fn error_bound_holds_for_every_item() {
+        let mut sketch = DeterministicSpaceSaving::new(20);
+        // Zipf-ish synthetic stream over 200 items.
+        let mut true_counts = std::collections::HashMap::new();
+        let mut state = 7u64;
+        for _ in 0..20_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let r = (state >> 33) % 1000;
+            // Skewed mapping: low item ids are much more frequent.
+            let item = if r < 700 { r % 10 } else { r % 200 };
+            sketch.offer(item);
+            *true_counts.entry(item).or_insert(0u64) += 1;
+        }
+        let bound = sketch.error_bound();
+        for (&item, &truth) in &true_counts {
+            let est = sketch.estimate(item);
+            assert!(
+                est <= truth as f64 + bound + 1e-9,
+                "item {item}: est {est}, truth {truth}, bound {bound}"
+            );
+            // Estimates never undershoot for retained items; absent items estimate 0.
+            if est > 0.0 {
+                assert!(est + 1e-9 >= truth as f64 - bound);
+            }
+        }
+    }
+
+    #[test]
+    fn frequent_items_are_always_retained() {
+        let mut sketch = DeterministicSpaceSaving::new(10);
+        // Item 999 takes >1/10 of a 10,000-row stream; the rest is spread widely.
+        for i in 0..10_000u64 {
+            if i % 5 == 0 {
+                sketch.offer(999);
+            } else {
+                sketch.offer(i);
+            }
+        }
+        assert!(sketch.estimate(999) >= 2000.0);
+        let top = sketch.top_k(1);
+        assert_eq!(top[0].0, 999);
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_truth() {
+        let mut sketch = DeterministicSpaceSaving::new(4);
+        for i in 0..100u64 {
+            sketch.offer(i % 9);
+        }
+        for item in 0..9u64 {
+            let truth = (0..100u64).filter(|i| i % 9 == item).count() as u64;
+            assert!(sketch.lower_bound(item) <= truth);
+        }
+    }
+
+    #[test]
+    fn offer_many_matches_repeated_offers() {
+        let mut a = DeterministicSpaceSaving::new(3);
+        let mut b = DeterministicSpaceSaving::new(3);
+        for &(item, count) in &[(1u64, 5u64), (2, 3), (3, 1), (4, 2), (1, 2)] {
+            a.offer_many(item, count);
+            for _ in 0..count {
+                b.offer(item);
+            }
+        }
+        assert_eq!(a.rows_processed(), b.rows_processed());
+        // Deterministic variant: the two ingestion orders coincide row-for-row, so the
+        // sketches agree exactly.
+        let mut ea = a.entries();
+        let mut eb = b.entries();
+        ea.sort_by_key(|e| e.0);
+        eb.sort_by_key(|e| e.0);
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn pathological_sequence_wipes_out_history() {
+        // Section 6.3: after c 1's and c 2's, a single 3 and 4 capture everything.
+        let c = 100;
+        let mut sketch = DeterministicSpaceSaving::new(2);
+        for _ in 0..c {
+            sketch.offer(1);
+        }
+        for _ in 0..c {
+            sketch.offer(2);
+        }
+        sketch.offer(3);
+        sketch.offer(4);
+        assert_eq!(sketch.estimate(1), 0.0);
+        assert_eq!(sketch.estimate(2), 0.0);
+        assert_eq!(sketch.estimate(3), (c + 1) as f64);
+        assert_eq!(sketch.estimate(4), (c + 1) as f64);
+    }
+}

@@ -1,0 +1,25 @@
+//! The Space Saving family of sketches.
+//!
+//! * [`DeterministicSpaceSaving`] — the original Space Saving sketch of Metwally et
+//!   al. (2005): always relabel the minimum bin. Excellent deterministic frequent-item
+//!   guarantees, but biased counts that fail badly on subset sums over non-i.i.d.
+//!   streams (section 6.3 of the paper).
+//! * [`UnbiasedSpaceSaving`] — the paper's contribution: relabel the minimum bin only
+//!   with probability `1/(N̂_min + 1)`. Counts become unbiased for every item
+//!   (Theorem 1), subset sums become unbiased, and frequent items are still captured
+//!   with probability 1 on i.i.d. streams (Theorem 3).
+//! * [`WeightedSpaceSaving`] — the real-valued-counter generalisation of section 5.3:
+//!   rows may carry arbitrary non-negative weights, and the reduction step is a PPS
+//!   subsample. Produced by unbiased merges and used by the forward-decay variant.
+//! * [`DecayedSpaceSaving`] — time-decayed aggregation via forward decay
+//!   (section 5.3's "forward decay sampling" generalisation).
+
+mod decayed;
+mod deterministic;
+mod unbiased;
+mod weighted;
+
+pub use decayed::DecayedSpaceSaving;
+pub use deterministic::DeterministicSpaceSaving;
+pub use unbiased::UnbiasedSpaceSaving;
+pub use weighted::WeightedSpaceSaving;

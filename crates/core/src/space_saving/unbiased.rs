@@ -1,0 +1,396 @@
+//! Unbiased Space Saving — the paper's core contribution (Algorithm 1 with
+//! `p = 1/(N̂_min + 1)`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::estimator::SketchSnapshot;
+use crate::space_saving::WeightedSpaceSaving;
+use crate::stream_summary::StreamSummary;
+use crate::traits::StreamSketch;
+
+/// Unbiased Space Saving (Ting 2018).
+///
+/// Identical to Deterministic Space Saving except in the eviction step: when a row's
+/// item is not tracked and the sketch is full, the minimum counter is always
+/// incremented but its label is replaced with the new item only with probability
+/// `1 / (N̂_min + 1)`.
+///
+/// Properties proved in the paper and verified by this crate's tests:
+///
+/// * every item's count estimate is unbiased (Theorem 1), hence every subset-sum
+///   estimate is unbiased;
+/// * the total of all counters always equals the number of rows processed;
+/// * on i.i.d. streams frequent items (true frequency > 1/m) are eventually retained
+///   with probability 1 and their proportions are consistently estimated (Theorem 3);
+/// * the retained tail items converge to a probability-proportional-to-size sample
+///   (Theorem 9), so the sketch matches priority sampling accuracy without
+///   pre-aggregation;
+/// * on adversarial/non-i.i.d. streams the inclusion probability of an item never
+///   falls below that of uniform row sampling (Theorem 10).
+#[derive(Debug, Clone)]
+pub struct UnbiasedSpaceSaving {
+    summary: StreamSummary,
+    rows: u64,
+    rng: StdRng,
+}
+
+impl UnbiasedSpaceSaving {
+    /// Creates a sketch with `capacity` bins seeded from the operating system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self::with_rng(capacity, StdRng::from_entropy())
+    }
+
+    /// Creates a sketch with `capacity` bins and a deterministic seed; use for
+    /// reproducible experiments and tests.
+    #[must_use]
+    pub fn with_seed(capacity: usize, seed: u64) -> Self {
+        Self::with_rng(capacity, StdRng::seed_from_u64(seed))
+    }
+
+    fn with_rng(capacity: usize, rng: StdRng) -> Self {
+        Self {
+            summary: StreamSummary::new(capacity),
+            rows: 0,
+            rng,
+        }
+    }
+
+    /// The smallest count currently stored (`N̂_min`), or 0 if the sketch is not full.
+    /// This is the threshold separating "nearly exact" frequent-item counts from the
+    /// PPS-sampled tail, and the quantity entering the variance estimator.
+    #[must_use]
+    pub fn min_count(&self) -> u64 {
+        if self.summary.is_full() {
+            self.summary.min_value().unwrap_or(0)
+        } else {
+            0
+        }
+    }
+
+    /// Exact integer entries (the estimates are integral for unit-weight streams).
+    #[must_use]
+    pub fn integer_entries(&self) -> Vec<(u64, u64)> {
+        self.summary.entries().collect()
+    }
+
+    /// Takes an immutable snapshot of the sketch for querying: subset sums, variance
+    /// estimates, confidence intervals, frequent items and proportions.
+    #[must_use]
+    pub fn snapshot(&self) -> SketchSnapshot {
+        SketchSnapshot::new(
+            self.entries(),
+            self.min_count() as f64,
+            self.rows,
+            self.summary.capacity(),
+        )
+    }
+
+    /// Converts the sketch into the real-valued-counter representation used by merges
+    /// and weighted updates. Counts are preserved exactly.
+    #[must_use]
+    pub fn to_weighted(&self) -> WeightedSpaceSaving {
+        let mut w = WeightedSpaceSaving::with_seed(self.summary.capacity(), self.rng.clone().gen());
+        w.load_entries(
+            self.summary
+                .entries()
+                .map(|(item, count)| (item, count as f64)),
+            self.rows as f64,
+        );
+        w
+    }
+
+    /// Offers `count` occurrences of `item` at once. Unlike the deterministic variant
+    /// this is *not* exactly equivalent to `count` unit offers (the relabel
+    /// probability is applied per batch using the weighted rule of section 5.3,
+    /// `p = count / (N̂_min + count)`), but it preserves unbiasedness.
+    pub fn offer_many(&mut self, item: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.rows += count;
+        if self.summary.increment(item, count) {
+            return;
+        }
+        if !self.summary.is_full() {
+            self.summary.insert(item, count);
+            return;
+        }
+        let min = self.summary.min_value().expect("full sketch is non-empty");
+        // Relabel with probability count / (min + count); either way the minimum
+        // counter absorbs the mass so the total stays exact.
+        let p = count as f64 / (min + count) as f64;
+        if self.rng.gen_bool(p.clamp(0.0, 1.0)) {
+            self.summary.replace_min(item, count);
+        } else {
+            self.summary.increment_min(count);
+        }
+    }
+}
+
+impl StreamSketch for UnbiasedSpaceSaving {
+    fn offer(&mut self, item: u64) {
+        self.rows += 1;
+        if self.summary.increment(item, 1) {
+            return;
+        }
+        if !self.summary.is_full() {
+            self.summary.insert(item, 1);
+            return;
+        }
+        let min = self.summary.min_value().expect("full sketch is non-empty");
+        // Algorithm 1: increment the minimum bin, adopting the new label with
+        // probability 1/(N̂_min + 1).
+        let p = 1.0 / (min + 1) as f64;
+        if self.rng.gen_bool(p) {
+            self.summary.replace_min(item, 1);
+        } else {
+            self.summary.increment_min(1);
+        }
+    }
+
+    fn rows_processed(&self) -> u64 {
+        self.rows
+    }
+
+    fn estimate(&self, item: u64) -> f64 {
+        self.summary.count(item).unwrap_or(0) as f64
+    }
+
+    fn entries(&self) -> Vec<(u64, f64)> {
+        self.summary
+            .entries()
+            .map(|(item, count)| (item, count as f64))
+            .collect()
+    }
+
+    fn capacity(&self) -> usize {
+        self.summary.capacity()
+    }
+
+    fn retained_len(&self) -> usize {
+        self.summary.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+
+    #[test]
+    fn exact_until_capacity() {
+        let mut sketch = UnbiasedSpaceSaving::with_seed(8, 1);
+        for item in [5u64, 5, 6, 7, 5, 6] {
+            sketch.offer(item);
+        }
+        assert_eq!(sketch.estimate(5), 3.0);
+        assert_eq!(sketch.estimate(6), 2.0);
+        assert_eq!(sketch.estimate(7), 1.0);
+        assert_eq!(sketch.min_count(), 0);
+    }
+
+    #[test]
+    fn total_mass_equals_rows_processed() {
+        let mut sketch = UnbiasedSpaceSaving::with_seed(7, 2);
+        let mut state = 11u64;
+        for _ in 0..5000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            sketch.offer((state >> 33) % 200);
+        }
+        let total: f64 = sketch.entries().iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 5000.0);
+        assert_eq!(sketch.rows_processed(), 5000);
+    }
+
+    #[test]
+    fn count_estimates_are_unbiased() {
+        // Monte-Carlo check of Theorem 1 on a short adversarial-ish stream: item 42
+        // appears 3 times early then never again, with plenty of other items after.
+        let stream: Vec<u64> = {
+            let mut s = vec![42u64, 42, 42];
+            s.extend(100..160u64);
+            s
+        };
+        let truth = 3.0;
+        let reps = 30_000;
+        let mut sum = 0.0;
+        for seed in 0..reps {
+            let mut sketch = UnbiasedSpaceSaving::with_seed(5, seed);
+            for &item in &stream {
+                sketch.offer(item);
+            }
+            sum += sketch.estimate(42);
+        }
+        let mean = sum / reps as f64;
+        assert!(
+            (mean - truth).abs() < 0.08,
+            "estimate for a tail item should be unbiased: mean {mean} vs {truth}"
+        );
+    }
+
+    #[test]
+    fn subset_sum_is_unbiased_on_pathological_order() {
+        // Sorted (ascending-frequency-last) stream; query the first half of the items.
+        let mut stream = Vec::new();
+        for item in 0..40u64 {
+            for _ in 0..(item + 1) {
+                stream.push(item);
+            }
+        }
+        let truth: f64 = (0..20u64).map(|i| (i + 1) as f64).sum();
+        let reps = 8000;
+        let mut sum = 0.0;
+        for seed in 0..reps {
+            let mut sketch = UnbiasedSpaceSaving::with_seed(10, seed);
+            for &item in &stream {
+                sketch.offer(item);
+            }
+            sum += sketch.subset_sum(&mut |i| i < 20);
+        }
+        let mean = sum / reps as f64;
+        assert!(
+            (mean - truth).abs() / truth < 0.05,
+            "mean {mean} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn frequent_items_survive_pathological_two_phase_stream() {
+        // Section 6.3's example: c 1's, c 2's, then single 3 and 4. Unbiased Space
+        // Saving keeps items 1 and 2 with probability (1-1/c)^2 ≈ 1.
+        let c = 200;
+        let mut kept = 0;
+        let reps = 500;
+        for seed in 0..reps {
+            let mut sketch = UnbiasedSpaceSaving::with_seed(2, seed);
+            for _ in 0..c {
+                sketch.offer(1);
+            }
+            for _ in 0..c {
+                sketch.offer(2);
+            }
+            sketch.offer(3);
+            sketch.offer(4);
+            if sketch.estimate(1) > 0.0 && sketch.estimate(2) > 0.0 {
+                kept += 1;
+            }
+        }
+        let p = kept as f64 / reps as f64;
+        let expected = (1.0 - 1.0 / c as f64).powi(2);
+        assert!(
+            (p - expected).abs() < 0.05,
+            "retention probability {p} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn frequent_item_proportion_is_consistent_on_iid_stream() {
+        // Theorem 3 / Corollary 5: item drawn with probability 0.3 > 1/m is retained
+        // and its estimated proportion converges.
+        let mut sketch = UnbiasedSpaceSaving::with_seed(20, 9);
+        let mut state = 99u64;
+        let n = 200_000u64;
+        for _ in 0..n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let r = (state >> 33) % 1000;
+            let item = if r < 300 { 1 } else { 2 + (state >> 40) % 5000 };
+            sketch.offer(item);
+        }
+        let p_hat = sketch.estimate(1) / n as f64;
+        assert!(
+            (p_hat - 0.3).abs() < 0.02,
+            "estimated proportion {p_hat} should be close to 0.3"
+        );
+    }
+
+    #[test]
+    fn all_unique_stream_keeps_total_but_spreads_labels() {
+        let mut sketch = UnbiasedSpaceSaving::with_seed(16, 4);
+        for item in 0..10_000u64 {
+            sketch.offer(item);
+        }
+        let total: f64 = sketch.entries().iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 10_000.0);
+        assert_eq!(sketch.retained_len(), 16);
+    }
+
+    #[test]
+    fn offer_many_preserves_total_and_unbiasedness() {
+        let reps = 20_000;
+        let mut sum = 0.0;
+        for seed in 0..reps {
+            let mut sketch = UnbiasedSpaceSaving::with_seed(3, seed);
+            sketch.offer_many(1, 10);
+            sketch.offer_many(2, 10);
+            sketch.offer_many(3, 10);
+            sketch.offer_many(4, 5); // must evict someone
+            let total: f64 = sketch.entries().iter().map(|(_, c)| c).sum();
+            assert_eq!(total, 35.0);
+            sum += sketch.estimate(4);
+        }
+        let mean = sum / reps as f64;
+        assert!((mean - 5.0).abs() < 0.15, "mean estimate for item 4: {mean}");
+    }
+
+    #[test]
+    fn snapshot_carries_min_count_and_rows() {
+        let mut sketch = UnbiasedSpaceSaving::with_seed(2, 5);
+        for item in [1u64, 1, 2, 2, 3] {
+            sketch.offer(item);
+        }
+        let snap = sketch.snapshot();
+        assert_eq!(snap.rows_processed(), 5);
+        assert_eq!(snap.capacity(), 2);
+        assert!(snap.min_count() >= 1.0);
+    }
+
+    #[test]
+    fn conversion_to_weighted_preserves_counts() {
+        let mut sketch = UnbiasedSpaceSaving::with_seed(4, 6);
+        for item in [1u64, 1, 2, 3, 3, 3, 4, 5] {
+            sketch.offer(item);
+        }
+        let weighted = sketch.to_weighted();
+        let mut a: Vec<(u64, f64)> = sketch.entries();
+        let mut b: Vec<(u64, f64)> = weighted.entries();
+        a.sort_by_key(|e| e.0);
+        b.sort_by_key(|e| e.0);
+        assert_eq!(a, b);
+        assert_eq!(weighted.rows_processed(), sketch.rows_processed());
+    }
+
+    #[test]
+    fn inclusion_probability_beats_uniform_row_sampling() {
+        // Theorem 10: an item with n_i occurrences has inclusion probability at least
+        // 1 - (1 - n_i/n_tot)^m even on the worst-case (all-distinct-then-item) order.
+        let n_i = 50u64;
+        let n_other = 950u64;
+        let m = 10;
+        let reps = 4000;
+        let mut included = 0;
+        for seed in 0..reps {
+            let mut sketch = UnbiasedSpaceSaving::with_seed(m, seed);
+            for j in 0..n_other {
+                sketch.offer(1000 + j);
+            }
+            for _ in 0..n_i {
+                sketch.offer(7);
+            }
+            if sketch.estimate(7) > 0.0 {
+                included += 1;
+            }
+        }
+        let p = included as f64 / reps as f64;
+        let bound = 1.0 - (1.0 - n_i as f64 / (n_i + n_other) as f64).powi(m as i32);
+        assert!(
+            p >= bound - 0.03,
+            "inclusion probability {p} below the Theorem 10 bound {bound}"
+        );
+    }
+}

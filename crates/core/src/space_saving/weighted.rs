@@ -1,0 +1,409 @@
+//! Weighted (real-valued counter) Space Saving — the section 5.3 generalisation.
+//!
+//! Rows may carry arbitrary non-negative weights, so counters are `f64` and the
+//! constant-time bucket trick of the stream-summary structure no longer applies; an
+//! indexed binary min-heap gives `O(log m)` updates instead. The eviction rule is the
+//! weighted analogue of Algorithm 1: on a row `(item, w)` whose item is not tracked,
+//! the minimum counter absorbs `w` and adopts the new label with probability
+//! `w / (N̂_min + w)`, which keeps every estimate unbiased by the same martingale
+//! argument as Theorem 1/2. Unbiased merges produce sketches in this representation
+//! because Horvitz-Thompson adjusted counts are real-valued.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::estimator::SketchSnapshot;
+use crate::hash::FxHashMap;
+use crate::traits::{StreamSketch, WeightedStreamSketch};
+
+/// Space Saving with real-valued counters and weighted updates.
+#[derive(Debug, Clone)]
+pub struct WeightedSpaceSaving {
+    capacity: usize,
+    /// Slot -> item label.
+    items: Vec<u64>,
+    /// Slot -> current count.
+    counts: Vec<f64>,
+    /// Heap position -> slot (min-heap ordered by `counts`).
+    heap: Vec<u32>,
+    /// Slot -> heap position.
+    pos: Vec<u32>,
+    index: FxHashMap<u64, u32>,
+    rows: u64,
+    total_weight: f64,
+    rng: StdRng,
+}
+
+impl WeightedSpaceSaving {
+    /// Creates a sketch with `capacity` bins seeded from the operating system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self::with_rng(capacity, StdRng::from_entropy())
+    }
+
+    /// Creates a sketch with a deterministic seed for reproducible runs.
+    #[must_use]
+    pub fn with_seed(capacity: usize, seed: u64) -> Self {
+        Self::with_rng(capacity, StdRng::seed_from_u64(seed))
+    }
+
+    fn with_rng(capacity: usize, rng: StdRng) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            capacity,
+            items: Vec::with_capacity(capacity),
+            counts: Vec::with_capacity(capacity),
+            heap: Vec::with_capacity(capacity),
+            pos: Vec::with_capacity(capacity),
+            index: FxHashMap::default(),
+            rows: 0,
+            total_weight: 0.0,
+            rng,
+        }
+    }
+
+    /// The smallest count currently stored, or 0 if the sketch is not full.
+    #[must_use]
+    pub fn min_count(&self) -> f64 {
+        if self.items.len() >= self.capacity {
+            self.counts[self.heap[0] as usize]
+        } else {
+            0.0
+        }
+    }
+
+    /// Total weight offered so far (equals the sum of all counters — the weighted
+    /// Space Saving mass-conservation invariant).
+    #[must_use]
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Takes an immutable snapshot for querying (subset sums, variance, intervals).
+    #[must_use]
+    pub fn snapshot(&self) -> SketchSnapshot {
+        SketchSnapshot::new(self.entries(), self.min_count(), self.rows, self.capacity)
+    }
+
+    /// Replaces the sketch contents with the given `(item, count)` entries and resets
+    /// the processed-row accounting to `rows_weight`. Used when converting from the
+    /// integer-counter sketch and when materialising merge results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more entries are supplied than the sketch's capacity, if an item is
+    /// repeated, or if a count is negative or non-finite.
+    pub fn load_entries<I>(&mut self, entries: I, rows_weight: f64)
+    where
+        I: IntoIterator<Item = (u64, f64)>,
+    {
+        self.items.clear();
+        self.counts.clear();
+        self.heap.clear();
+        self.pos.clear();
+        self.index.clear();
+        for (item, count) in entries {
+            assert!(count.is_finite() && count >= 0.0, "counts must be non-negative");
+            assert!(
+                self.items.len() < self.capacity,
+                "more entries than capacity"
+            );
+            assert!(!self.index.contains_key(&item), "duplicate item in entries");
+            let slot = self.items.len() as u32;
+            self.items.push(item);
+            self.counts.push(count);
+            self.index.insert(item, slot);
+            self.heap.push(slot);
+            self.pos.push(slot);
+        }
+        // Heapify.
+        let n = self.heap.len();
+        for i in (0..n / 2).rev() {
+            self.sift_down(i);
+        }
+        self.total_weight = rows_weight;
+        self.rows = rows_weight.round().max(0.0) as u64;
+    }
+
+    /// Multiplies every counter (and the total weight) by `factor > 0`. Uniform
+    /// scaling preserves the heap order; used by the forward-decay variant to
+    /// renormalise and avoid floating-point overflow.
+    pub fn scale_all(&mut self, factor: f64) {
+        assert!(factor.is_finite() && factor > 0.0, "scale factor must be positive");
+        for c in &mut self.counts {
+            *c *= factor;
+        }
+        self.total_weight *= factor;
+    }
+
+    // ----- heap helpers -----
+
+    fn less(&self, a: u32, b: u32) -> bool {
+        self.counts[a as usize] < self.counts[b as usize]
+    }
+
+    fn swap_heap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i] as usize] = i as u32;
+        self.pos[self.heap[j] as usize] = j as u32;
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.less(self.heap[i], self.heap[parent]) {
+                self.swap_heap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let left = 2 * i + 1;
+            let right = 2 * i + 2;
+            let mut smallest = i;
+            if left < n && self.less(self.heap[left], self.heap[smallest]) {
+                smallest = left;
+            }
+            if right < n && self.less(self.heap[right], self.heap[smallest]) {
+                smallest = right;
+            }
+            if smallest == i {
+                break;
+            }
+            self.swap_heap(i, smallest);
+            i = smallest;
+        }
+    }
+
+    fn increase_count(&mut self, slot: u32, by: f64) {
+        self.counts[slot as usize] += by;
+        // Counts only grow, so the slot can only need to move down the min-heap.
+        self.sift_down(self.pos[slot as usize] as usize);
+    }
+
+    fn insert_new(&mut self, item: u64, weight: f64) {
+        let slot = self.items.len() as u32;
+        self.items.push(item);
+        self.counts.push(weight);
+        self.index.insert(item, slot);
+        self.heap.push(slot);
+        self.pos.push(self.heap.len() as u32 - 1);
+        self.sift_up(self.heap.len() - 1);
+    }
+}
+
+impl StreamSketch for WeightedSpaceSaving {
+    fn offer(&mut self, item: u64) {
+        self.offer_weighted(item, 1.0);
+    }
+
+    fn rows_processed(&self) -> u64 {
+        self.rows
+    }
+
+    fn estimate(&self, item: u64) -> f64 {
+        self.index
+            .get(&item)
+            .map_or(0.0, |&slot| self.counts[slot as usize])
+    }
+
+    fn entries(&self) -> Vec<(u64, f64)> {
+        self.items
+            .iter()
+            .zip(&self.counts)
+            .map(|(&item, &count)| (item, count))
+            .collect()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn retained_len(&self) -> usize {
+        self.items.len()
+    }
+}
+
+impl WeightedStreamSketch for WeightedSpaceSaving {
+    fn offer_weighted(&mut self, item: u64, weight: f64) {
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "weights must be non-negative and finite"
+        );
+        self.rows += 1;
+        if weight == 0.0 {
+            return;
+        }
+        self.total_weight += weight;
+        if let Some(&slot) = self.index.get(&item) {
+            self.increase_count(slot, weight);
+            return;
+        }
+        if self.items.len() < self.capacity {
+            self.insert_new(item, weight);
+            return;
+        }
+        let min_slot = self.heap[0];
+        let min = self.counts[min_slot as usize];
+        let p = weight / (min + weight);
+        if self.rng.gen_bool(p.clamp(0.0, 1.0)) {
+            let old_item = self.items[min_slot as usize];
+            self.index.remove(&old_item);
+            self.items[min_slot as usize] = item;
+            self.index.insert(item, min_slot);
+        }
+        self.increase_count(min_slot, weight);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_until_capacity_with_weights() {
+        let mut s = WeightedSpaceSaving::with_seed(4, 1);
+        s.offer_weighted(1, 2.5);
+        s.offer_weighted(2, 1.0);
+        s.offer_weighted(1, 0.5);
+        assert!((s.estimate(1) - 3.0).abs() < 1e-12);
+        assert!((s.estimate(2) - 1.0).abs() < 1e-12);
+        assert_eq!(s.estimate(3), 0.0);
+        assert_eq!(s.rows_processed(), 3);
+        assert!((s.total_weight() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mass_conservation_under_eviction() {
+        let mut s = WeightedSpaceSaving::with_seed(3, 2);
+        let mut total = 0.0;
+        for i in 0..200u64 {
+            let w = (i % 7 + 1) as f64 * 0.5;
+            s.offer_weighted(i, w);
+            total += w;
+        }
+        let sum: f64 = s.entries().iter().map(|(_, c)| c).sum();
+        assert!((sum - total).abs() < 1e-9);
+        assert!((s.total_weight() - total).abs() < 1e-9);
+        assert_eq!(s.retained_len(), 3);
+    }
+
+    #[test]
+    fn zero_weight_rows_are_counted_but_change_nothing() {
+        let mut s = WeightedSpaceSaving::with_seed(2, 3);
+        s.offer_weighted(1, 0.0);
+        assert_eq!(s.rows_processed(), 1);
+        assert_eq!(s.retained_len(), 0);
+        assert_eq!(s.total_weight(), 0.0);
+    }
+
+    #[test]
+    fn weighted_estimates_are_unbiased() {
+        // Item 9 carries weight 4 early, then is flushed by heavier items; its
+        // estimate must average to 4.
+        let reps = 30_000;
+        let mut sum = 0.0;
+        for seed in 0..reps {
+            let mut s = WeightedSpaceSaving::with_seed(3, seed);
+            s.offer_weighted(9, 4.0);
+            for i in 0..30u64 {
+                s.offer_weighted(100 + i, 3.0);
+            }
+            sum += s.estimate(9);
+        }
+        let mean = sum / reps as f64;
+        assert!((mean - 4.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn unit_weight_matches_streamsketch_offer() {
+        let mut a = WeightedSpaceSaving::with_seed(5, 4);
+        let mut b = WeightedSpaceSaving::with_seed(5, 4);
+        for i in 0..50u64 {
+            a.offer(i % 9);
+            b.offer_weighted(i % 9, 1.0);
+        }
+        let mut ea = a.entries();
+        let mut eb = b.entries();
+        ea.sort_by_key(|e| e.0);
+        eb.sort_by_key(|e| e.0);
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn load_entries_round_trips() {
+        let mut s = WeightedSpaceSaving::with_seed(4, 5);
+        s.load_entries(vec![(1, 5.0), (2, 2.0), (3, 1.0)], 8.0);
+        assert_eq!(s.retained_len(), 3);
+        assert!((s.estimate(1) - 5.0).abs() < 1e-12);
+        assert_eq!(s.min_count(), 0.0, "not at capacity yet");
+        s.offer_weighted(4, 1.0);
+        assert!((s.min_count() - 1.0).abs() < 1e-12);
+        let sum: f64 = s.entries().iter().map(|(_, c)| c).sum();
+        assert!((sum - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "more entries than capacity")]
+    fn load_too_many_entries_panics() {
+        let mut s = WeightedSpaceSaving::with_seed(2, 6);
+        s.load_entries(vec![(1, 1.0), (2, 1.0), (3, 1.0)], 3.0);
+    }
+
+    #[test]
+    fn scale_all_scales_counts_and_total() {
+        let mut s = WeightedSpaceSaving::with_seed(4, 7);
+        s.load_entries(vec![(1, 4.0), (2, 2.0)], 6.0);
+        s.scale_all(0.5);
+        assert!((s.estimate(1) - 2.0).abs() < 1e-12);
+        assert!((s.estimate(2) - 1.0).abs() < 1e-12);
+        assert!((s.total_weight() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_count_tracks_smallest_counter() {
+        let mut s = WeightedSpaceSaving::with_seed(3, 8);
+        s.offer_weighted(1, 5.0);
+        s.offer_weighted(2, 1.0);
+        s.offer_weighted(3, 3.0);
+        assert!((s.min_count() - 1.0).abs() < 1e-12);
+        s.offer_weighted(2, 10.0);
+        assert!((s.min_count() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heap_positions_stay_consistent_under_stress() {
+        let mut s = WeightedSpaceSaving::with_seed(16, 9);
+        let mut state = 3u64;
+        for _ in 0..20_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let item = (state >> 33) % 200;
+            let w = ((state >> 20) % 8 + 1) as f64 * 0.25;
+            s.offer_weighted(item, w);
+            // Invariants: pos/heap are inverse permutations and the root is minimal.
+            for (p, &slot) in s.heap.iter().enumerate() {
+                assert_eq!(s.pos[slot as usize] as usize, p);
+            }
+            let root = s.counts[s.heap[0] as usize];
+            for &slot in &s.heap {
+                assert!(s.counts[slot as usize] >= root - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_panics() {
+        let mut s = WeightedSpaceSaving::with_seed(2, 10);
+        s.offer_weighted(1, -1.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Common traits implemented by every sketch in this workspace.
+//!
+//! The evaluation harness and the examples are written against these traits so that
+//! Unbiased Space Saving, Deterministic Space Saving, and the baseline sketches can be
+//! swapped freely.
+
+/// A sketch that ingests a *disaggregated* stream: one call per row, where each row is
+/// a single occurrence of an item (the unit of analysis).
+pub trait StreamSketch {
+    /// Offers one row — a single occurrence of `item` with unit weight.
+    fn offer(&mut self, item: u64);
+
+    /// Total number of rows offered so far (including rows whose item was discarded).
+    fn rows_processed(&self) -> u64;
+
+    /// Point estimate of the total count of `item` over the whole stream. Items not
+    /// currently retained estimate to `0`.
+    fn estimate(&self, item: u64) -> f64;
+
+    /// Every retained `(item, estimated count)` pair, in unspecified order.
+    fn entries(&self) -> Vec<(u64, f64)>;
+
+    /// Maximum number of retained items (the paper's `m`).
+    fn capacity(&self) -> usize;
+
+    /// Number of items currently retained.
+    fn retained_len(&self) -> usize {
+        self.entries().len()
+    }
+
+    /// Estimates the sum of counts over all items satisfying `predicate`
+    /// (the disaggregated subset sum query).
+    fn subset_sum(&self, predicate: &mut dyn FnMut(u64) -> bool) -> f64 {
+        self.entries()
+            .into_iter()
+            .filter(|(item, _)| predicate(*item))
+            .map(|(_, count)| count)
+            .sum()
+    }
+
+    /// The `k` retained items with the largest estimated counts, descending.
+    fn top_k(&self, k: usize) -> Vec<(u64, f64)> {
+        let mut entries = self.entries();
+        entries.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("counts are finite"));
+        entries.truncate(k);
+        entries
+    }
+}
+
+/// A sketch that additionally accepts rows carrying an arbitrary non-negative weight
+/// (e.g. bytes per packet rather than packet counts), per section 5.3 of the paper.
+pub trait WeightedStreamSketch: StreamSketch {
+    /// Offers one row carrying `weight` units of the metric for `item`.
+    fn offer_weighted(&mut self, item: u64, weight: f64);
+}
+
+/// A sketch that can absorb the contents of another sketch of the same type, enabling
+/// distributed and multi-dataset aggregation (section 5.5 of the paper).
+pub trait MergeableSketch: Sized {
+    /// Merges `other` into `self`. The result answers queries about the union of the
+    /// two input streams.
+    fn merge_from(&mut self, other: &Self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy exact-counting sketch used to exercise the default trait methods.
+    struct Exact {
+        counts: std::collections::BTreeMap<u64, u64>,
+        rows: u64,
+    }
+
+    impl StreamSketch for Exact {
+        fn offer(&mut self, item: u64) {
+            *self.counts.entry(item).or_insert(0) += 1;
+            self.rows += 1;
+        }
+        fn rows_processed(&self) -> u64 {
+            self.rows
+        }
+        fn estimate(&self, item: u64) -> f64 {
+            self.counts.get(&item).copied().unwrap_or(0) as f64
+        }
+        fn entries(&self) -> Vec<(u64, f64)> {
+            self.counts.iter().map(|(&i, &c)| (i, c as f64)).collect()
+        }
+        fn capacity(&self) -> usize {
+            usize::MAX
+        }
+    }
+
+    #[test]
+    fn default_subset_sum_and_top_k() {
+        let mut sketch = Exact {
+            counts: Default::default(),
+            rows: 0,
+        };
+        for item in [1u64, 1, 1, 2, 2, 3] {
+            sketch.offer(item);
+        }
+        assert_eq!(sketch.rows_processed(), 6);
+        assert_eq!(sketch.retained_len(), 3);
+        assert_eq!(sketch.subset_sum(&mut |i| i != 3), 5.0);
+        let top = sketch.top_k(2);
+        assert_eq!(top, vec![(1, 3.0), (2, 2.0)]);
+    }
+}

@@ -1,0 +1,221 @@
+//! Property-based tests for the core sketch invariants.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use uss_core::prelude::*;
+use uss_core::reduction::{combine_entries, pps_reduce, threshold_reduce};
+use uss_core::StreamSummary;
+
+/// Arbitrary small streams: item ids are kept in a narrow range so collisions and
+/// evictions actually happen.
+fn stream_strategy(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    vec(0u64..50, 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The Space Saving mass-conservation invariant: the counters always sum to the
+    /// number of rows processed, for any input sequence and any capacity.
+    #[test]
+    fn unbiased_total_mass_equals_rows(stream in stream_strategy(400), capacity in 1usize..20, seed in any::<u64>()) {
+        let mut sketch = UnbiasedSpaceSaving::with_seed(capacity, seed);
+        for &item in &stream {
+            sketch.offer(item);
+        }
+        let total: f64 = sketch.entries().iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(total, stream.len() as f64);
+        prop_assert_eq!(sketch.rows_processed(), stream.len() as u64);
+    }
+
+    /// Same invariant for the deterministic variant.
+    #[test]
+    fn deterministic_total_mass_equals_rows(stream in stream_strategy(400), capacity in 1usize..20) {
+        let mut sketch = DeterministicSpaceSaving::new(capacity);
+        for &item in &stream {
+            sketch.offer(item);
+        }
+        let total: f64 = sketch.entries().iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(total, stream.len() as f64);
+    }
+
+    /// Deterministic Space Saving's classical guarantee: every estimate overshoots the
+    /// true count by at most `rows / capacity`, and never undershoots for retained
+    /// items.
+    #[test]
+    fn deterministic_error_bound(stream in stream_strategy(500), capacity in 1usize..16) {
+        let mut sketch = DeterministicSpaceSaving::new(capacity);
+        let mut truth = std::collections::HashMap::new();
+        for &item in &stream {
+            sketch.offer(item);
+            *truth.entry(item).or_insert(0u64) += 1;
+        }
+        let bound = stream.len() as f64 / capacity as f64;
+        for (&item, &count) in &truth {
+            let est = sketch.estimate(item);
+            prop_assert!(est <= count as f64 + bound + 1e-9);
+            if est > 0.0 {
+                prop_assert!(est >= count as f64 - bound - 1e-9);
+            }
+        }
+    }
+
+    /// The number of retained items never exceeds the capacity, and retained estimates
+    /// are always positive.
+    #[test]
+    fn retained_len_bounded(stream in stream_strategy(300), capacity in 1usize..12, seed in any::<u64>()) {
+        let mut sketch = UnbiasedSpaceSaving::with_seed(capacity, seed);
+        for &item in &stream {
+            sketch.offer(item);
+            prop_assert!(sketch.retained_len() <= capacity);
+        }
+        for (_, count) in sketch.entries() {
+            prop_assert!(count > 0.0);
+        }
+    }
+
+    /// The weighted sketch conserves total weight exactly for any weight sequence.
+    #[test]
+    fn weighted_mass_conservation(
+        rows in vec((0u64..30, 0u32..1000u32), 1..200),
+        capacity in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let mut sketch = WeightedSpaceSaving::with_seed(capacity, seed);
+        let mut total = 0.0;
+        for &(item, w) in &rows {
+            let w = f64::from(w) / 16.0;
+            sketch.offer_weighted(item, w);
+            total += w;
+        }
+        let sum: f64 = sketch.entries().iter().map(|(_, c)| c).sum();
+        prop_assert!((sum - total).abs() < 1e-6 * total.max(1.0));
+    }
+
+    /// The stream-summary structure never violates its internal invariants under any
+    /// operation sequence expressible through the sketch API.
+    #[test]
+    fn stream_summary_invariants(ops in vec((0u64..40, 1u64..5), 1..300), capacity in 1usize..12) {
+        let mut summary = StreamSummary::new(capacity);
+        for &(item, by) in &ops {
+            if summary.increment(item, by) {
+                // incremented existing
+            } else if !summary.is_full() {
+                summary.insert(item, by);
+            } else {
+                summary.replace_min(item, by);
+            }
+            prop_assert!(summary.validate().is_ok(), "{:?}", summary.validate());
+        }
+    }
+
+    /// The Misra-Gries threshold reduction never overestimates and never keeps more
+    /// than the target number of entries.
+    #[test]
+    fn threshold_reduce_properties(
+        counts in vec(1u32..1000u32, 1..60),
+        target in 0usize..20,
+    ) {
+        let entries: Vec<(u64, f64)> = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as u64, f64::from(c)))
+            .collect();
+        let mut reduced = entries.clone();
+        threshold_reduce(&mut reduced, target);
+        prop_assert!(reduced.len() <= target.max(entries.len().min(target)) || entries.len() <= target);
+        prop_assert!(reduced.len() <= entries.len());
+        for (item, count) in &reduced {
+            let original = entries.iter().find(|(i, _)| i == item).unwrap().1;
+            prop_assert!(*count <= original + 1e-9);
+            prop_assert!(*count > 0.0);
+        }
+    }
+
+    /// The PPS reduction keeps at most the target number of entries, keeps items at or
+    /// above the threshold verbatim, and never invents items.
+    #[test]
+    fn pps_reduce_properties(
+        counts in vec(1u32..1000u32, 1..60),
+        target in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let entries: Vec<(u64, f64)> = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as u64, f64::from(c)))
+            .collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let reduced = pps_reduce(entries.clone(), target, &mut rng);
+        prop_assert!(reduced.len() <= entries.len().max(target));
+        if entries.len() > target {
+            prop_assert!(reduced.len() <= target);
+        }
+        for (item, count) in &reduced {
+            let original = entries.iter().find(|(i, _)| i == item);
+            prop_assert!(original.is_some(), "reduction invented item {item}");
+            prop_assert!(*count >= original.unwrap().1 - 1e-9, "counts never shrink");
+        }
+    }
+
+    /// Combining entry lists is commutative and preserves totals exactly.
+    #[test]
+    fn combine_entries_commutative(
+        a in vec((0u64..30, 1u32..100u32), 0..30),
+        b in vec((0u64..30, 1u32..100u32), 0..30),
+    ) {
+        let a: Vec<(u64, f64)> = a.into_iter().map(|(i, c)| (i, f64::from(c))).collect();
+        let b: Vec<(u64, f64)> = b.into_iter().map(|(i, c)| (i, f64::from(c))).collect();
+        // Deduplicate items within each list first (combine assumes each side is a
+        // sketch entry list, where items are unique).
+        let a = combine_entries(&a, &[]);
+        let b = combine_entries(&b, &[]);
+        let mut ab = combine_entries(&a, &b);
+        let mut ba = combine_entries(&b, &a);
+        ab.sort_by_key(|e| e.0);
+        ba.sort_by_key(|e| e.0);
+        prop_assert_eq!(&ab, &ba);
+        let total_in: f64 = a.iter().chain(&b).map(|(_, c)| c).sum();
+        let total_out: f64 = ab.iter().map(|(_, c)| c).sum();
+        prop_assert!((total_in - total_out).abs() < 1e-9);
+    }
+
+    /// Snapshot subset sums decompose: the estimate for a union of two disjoint
+    /// predicates equals the sum of the two estimates.
+    #[test]
+    fn subset_sum_is_additive(stream in stream_strategy(400), capacity in 1usize..16, seed in any::<u64>()) {
+        let mut sketch = UnbiasedSpaceSaving::with_seed(capacity, seed);
+        for &item in &stream {
+            sketch.offer(item);
+        }
+        let snap = sketch.snapshot();
+        let low = snap.subset_sum(|i| i < 20);
+        let high = snap.subset_sum(|i| i >= 20);
+        let all = snap.subset_sum(|_| true);
+        prop_assert!((low + high - all).abs() < 1e-9);
+        prop_assert!((all - stream.len() as f64).abs() < 1e-9);
+    }
+
+    /// Merging preserves the row accounting and respects the capacity bound.
+    #[test]
+    fn merge_row_accounting(
+        a_stream in stream_strategy(200),
+        b_stream in stream_strategy(200),
+        capacity in 2usize..16,
+        seed in any::<u64>(),
+    ) {
+        let mut a = UnbiasedSpaceSaving::with_seed(capacity, seed);
+        let mut b = UnbiasedSpaceSaving::with_seed(capacity, seed ^ 1);
+        for &item in &a_stream {
+            a.offer(item);
+        }
+        for &item in &b_stream {
+            b.offer(item);
+        }
+        let merged = merge_unbiased(&a, &b, seed);
+        prop_assert_eq!(merged.rows_processed(), (a_stream.len() + b_stream.len()) as u64);
+        prop_assert!(merged.retained_len() <= capacity);
+    }
+}

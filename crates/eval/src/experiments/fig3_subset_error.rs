@@ -1,0 +1,343 @@
+//! Figures 3 (and the shared machinery for Figure 4): relative error of random subset
+//! sums versus the true subset count, across the three synthetic frequency
+//! distributions.
+//!
+//! For each distribution the harness draws random subsets of items, repeatedly
+//! re-shuffles the disaggregated stream, sketches it with every method, and reports the
+//! relative RMSE of each subset bucketed by its true count — the smoothed "relative
+//! error versus true count" curves of the paper. The headline observations to
+//! reproduce: error falls as the true count grows, error falls as skew rises, and
+//! Unbiased Space Saving matches (or slightly beats) priority sampling even though the
+//! latter uses pre-aggregated data.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::experiments::subset_harness::run_subset_comparison;
+use crate::methods::Method;
+use crate::metrics::BucketedSeries;
+use crate::report::{fmt_num, Table};
+use uss_workloads::{random_subsets, FrequencyDistribution};
+
+/// Configuration shared by Figures 3, 4 and 5.
+#[derive(Debug, Clone)]
+pub struct SubsetErrorConfig {
+    /// Named frequency distributions to evaluate.
+    pub distributions: Vec<(String, FrequencyDistribution)>,
+    /// Methods to compare.
+    pub methods: Vec<Method>,
+    /// Number of distinct items per workload.
+    pub n_items: usize,
+    /// Sketch bins / sample size.
+    pub bins: usize,
+    /// Number of items per random query subset.
+    pub subset_size: usize,
+    /// Number of random query subsets.
+    pub n_subsets: usize,
+    /// Monte-Carlo repetitions.
+    pub reps: usize,
+    /// Cap on individual item counts (keeps stream lengths manageable).
+    pub count_cap: u64,
+    /// Number of geometric buckets for the error-vs-true-count curve.
+    pub buckets: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl SubsetErrorConfig {
+    /// The paper's three synthetic distributions at reduced scale.
+    #[must_use]
+    pub fn paper_distributions() -> Vec<(String, FrequencyDistribution)> {
+        vec![
+            (
+                "Weibull(shape 0.32)".to_string(),
+                FrequencyDistribution::Weibull {
+                    scale: 200.0,
+                    shape: 0.32,
+                },
+            ),
+            (
+                "Geometric(0.03)".to_string(),
+                FrequencyDistribution::Geometric { p: 0.03 },
+            ),
+            (
+                "Weibull(shape 0.15)".to_string(),
+                FrequencyDistribution::Weibull {
+                    scale: 20.0,
+                    shape: 0.15,
+                },
+            ),
+        ]
+    }
+
+    /// Figure 3 defaults: 200 bins, Unbiased Space Saving versus priority sampling.
+    #[must_use]
+    pub fn figure3() -> Self {
+        Self {
+            distributions: Self::paper_distributions(),
+            methods: vec![Method::UnbiasedSpaceSaving, Method::PrioritySampling],
+            n_items: 1000,
+            bins: 200,
+            subset_size: 100,
+            n_subsets: 60,
+            reps: 60,
+            count_cap: 20_000,
+            buckets: 8,
+            seed: 3,
+        }
+    }
+
+    /// A configuration small enough for unit tests.
+    #[must_use]
+    pub fn tiny() -> Self {
+        Self {
+            distributions: vec![(
+                "Geometric(0.05)".to_string(),
+                FrequencyDistribution::Geometric { p: 0.05 },
+            )],
+            methods: vec![Method::UnbiasedSpaceSaving, Method::PrioritySampling],
+            n_items: 150,
+            bins: 40,
+            subset_size: 25,
+            n_subsets: 8,
+            reps: 30,
+            count_cap: 10_000,
+            buckets: 4,
+            seed: 3,
+        }
+    }
+}
+
+/// One bucketed output row.
+#[derive(Debug, Clone)]
+pub struct ErrorRow {
+    /// Distribution name.
+    pub distribution: String,
+    /// Method evaluated.
+    pub method: Method,
+    /// Lower edge of the true-count bucket.
+    pub bucket_lo: f64,
+    /// Upper edge of the true-count bucket.
+    pub bucket_hi: f64,
+    /// Mean relative RMSE of the subsets in this bucket.
+    pub mean_rrmse: f64,
+    /// Number of subsets in the bucket.
+    pub n_subsets: u64,
+}
+
+/// Per-(distribution, method) overall summary.
+#[derive(Debug, Clone)]
+pub struct SummaryRow {
+    /// Distribution name.
+    pub distribution: String,
+    /// Method evaluated.
+    pub method: Method,
+    /// Mean RRMSE over all subsets.
+    pub mean_rrmse: f64,
+    /// Mean absolute relative bias over all subsets (≈ 0 for unbiased methods).
+    pub mean_abs_bias: f64,
+}
+
+/// Result of the subset-error experiment.
+#[derive(Debug, Clone)]
+pub struct SubsetErrorResult {
+    /// Error-versus-true-count curve rows.
+    pub rows: Vec<ErrorRow>,
+    /// Per-method overall summaries.
+    pub summaries: Vec<SummaryRow>,
+    /// Sketch bins used.
+    pub bins: usize,
+}
+
+/// Runs the experiment with the given configuration.
+#[must_use]
+pub fn run(config: &SubsetErrorConfig) -> SubsetErrorResult {
+    let mut rows = Vec::new();
+    let mut summaries = Vec::new();
+    for (dist_idx, (name, dist)) in config.distributions.iter().enumerate() {
+        let counts: Vec<u64> = dist
+            .grid_counts(config.n_items)
+            .into_iter()
+            .map(|c| c.min(config.count_cap))
+            .collect();
+        let mut subset_rng =
+            StdRng::seed_from_u64(config.seed.wrapping_add(dist_idx as u64 * 7919));
+        let subsets = random_subsets(
+            config.n_items,
+            config.subset_size,
+            config.n_subsets,
+            &mut subset_rng,
+        );
+        let accuracy = run_subset_comparison(
+            &counts,
+            &subsets,
+            &config.methods,
+            config.bins,
+            config.reps,
+            config.seed.wrapping_add(dist_idx as u64),
+        );
+
+        let truths: Vec<f64> = accuracy
+            .iter()
+            .filter(|a| a.method == config.methods[0])
+            .map(|a| a.truth)
+            .collect();
+        let lo = truths.iter().copied().fold(f64::INFINITY, f64::min).max(1.0);
+        let hi = truths.iter().copied().fold(0.0, f64::max).max(lo * 2.0);
+
+        for &method in &config.methods {
+            let mut series = BucketedSeries::geometric(lo, hi * 1.001, config.buckets);
+            let cells: Vec<_> = accuracy.iter().filter(|a| a.method == method).collect();
+            for cell in &cells {
+                series.record(cell.truth, cell.accumulator.rrmse());
+            }
+            for (bucket_lo, bucket_hi, mean_rrmse, n) in series.rows() {
+                rows.push(ErrorRow {
+                    distribution: name.clone(),
+                    method,
+                    bucket_lo,
+                    bucket_hi,
+                    mean_rrmse,
+                    n_subsets: n,
+                });
+            }
+            let mean_rrmse = cells.iter().map(|c| c.accumulator.rrmse()).sum::<f64>()
+                / cells.len().max(1) as f64;
+            let mean_abs_bias = cells
+                .iter()
+                .map(|c| c.accumulator.relative_bias().abs())
+                .sum::<f64>()
+                / cells.len().max(1) as f64;
+            summaries.push(SummaryRow {
+                distribution: name.clone(),
+                method,
+                mean_rrmse,
+                mean_abs_bias,
+            });
+        }
+    }
+    SubsetErrorResult {
+        rows,
+        summaries,
+        bins: config.bins,
+    }
+}
+
+impl SubsetErrorResult {
+    /// The error-versus-true-count curve (both panels of Figure 3 / 4).
+    #[must_use]
+    pub fn curve_table(&self, figure_name: &str) -> Table {
+        let mut table = Table::new(
+            format!("{figure_name} — relative RMSE vs true subset count (m = {})", self.bins),
+            &[
+                "distribution",
+                "method",
+                "true_count_lo",
+                "true_count_hi",
+                "mean_rrmse",
+                "subsets",
+            ],
+        );
+        for r in &self.rows {
+            table.push_row(vec![
+                r.distribution.clone(),
+                r.method.name().to_string(),
+                fmt_num(r.bucket_lo),
+                fmt_num(r.bucket_hi),
+                fmt_num(r.mean_rrmse),
+                r.n_subsets.to_string(),
+            ]);
+        }
+        table
+    }
+
+    /// The overall per-method summary.
+    #[must_use]
+    pub fn summary_table(&self, figure_name: &str) -> Table {
+        let mut table = Table::new(
+            format!("{figure_name} — overall accuracy (m = {})", self.bins),
+            &["distribution", "method", "mean_rrmse", "mean_abs_bias"],
+        );
+        for s in &self.summaries {
+            table.push_row(vec![
+                s.distribution.clone(),
+                s.method.name().to_string(),
+                fmt_num(s.mean_rrmse),
+                fmt_num(s.mean_abs_bias),
+            ]);
+        }
+        table
+    }
+
+    /// Mean RRMSE for one method across all distributions (used by tests and by the
+    /// Figure 4 assertions about bottom-k).
+    #[must_use]
+    pub fn overall_rrmse(&self, method: Method) -> f64 {
+        let cells: Vec<&SummaryRow> = self
+            .summaries
+            .iter()
+            .filter(|s| s.method == method)
+            .collect();
+        cells.iter().map(|s| s.mean_rrmse).sum::<f64>() / cells.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_shape_unbiased_matches_priority() {
+        let result = run(&SubsetErrorConfig::tiny());
+        let uss = result.overall_rrmse(Method::UnbiasedSpaceSaving);
+        let pri = result.overall_rrmse(Method::PrioritySampling);
+        assert!(uss.is_finite() && pri.is_finite());
+        // The paper's headline: USS is comparable to (or better than) priority
+        // sampling. Allow a generous factor at test scale.
+        assert!(
+            uss <= pri * 2.0,
+            "USS RRMSE {uss} should be comparable to priority sampling {pri}"
+        );
+        // Both unbiased methods must have tiny bias.
+        for s in &result.summaries {
+            assert!(
+                s.mean_abs_bias < 0.2,
+                "{}: bias {}",
+                s.method.name(),
+                s.mean_abs_bias
+            );
+        }
+    }
+
+    #[test]
+    fn error_decreases_with_true_count() {
+        let result = run(&SubsetErrorConfig::tiny());
+        // Compare the first and last populated buckets for USS: larger subsets should
+        // have (weakly) smaller relative error.
+        let uss_rows: Vec<&ErrorRow> = result
+            .rows
+            .iter()
+            .filter(|r| r.method == Method::UnbiasedSpaceSaving)
+            .collect();
+        if uss_rows.len() >= 2 {
+            let first = uss_rows.first().unwrap();
+            let last = uss_rows.last().unwrap();
+            assert!(
+                last.mean_rrmse <= first.mean_rrmse * 1.5,
+                "error should not grow with the true count: {} -> {}",
+                first.mean_rrmse,
+                last.mean_rrmse
+            );
+        }
+    }
+
+    #[test]
+    fn tables_render() {
+        let result = run(&SubsetErrorConfig::tiny());
+        let curve = result.curve_table("Figure 3");
+        let summary = result.summary_table("Figure 3");
+        assert!(!curve.is_empty());
+        assert_eq!(summary.len(), result.summaries.len());
+        assert!(curve.to_string().contains("Unbiased Space Saving"));
+    }
+}

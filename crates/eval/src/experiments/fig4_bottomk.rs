@@ -1,0 +1,119 @@
+//! Figure 4: with a smaller space budget (m = 100) and the bottom-k uniform item
+//! sampler added, Unbiased Space Saving is orders of magnitude more accurate than
+//! uniform sampling on skewed data while remaining comparable to priority sampling.
+//!
+//! Shares its machinery with Figure 3 (`fig3_subset_error`); only the configuration
+//! (bins, method list) differs, plus assertions/summaries about the bottom-k gap.
+
+use crate::experiments::fig3_subset_error::{run, SubsetErrorConfig, SubsetErrorResult};
+use crate::methods::Method;
+use crate::report::{fmt_num, Table};
+
+/// Figure 4 configuration: m = 100, adds bottom-k.
+#[must_use]
+pub fn figure4_config() -> SubsetErrorConfig {
+    SubsetErrorConfig {
+        bins: 100,
+        methods: vec![
+            Method::UnbiasedSpaceSaving,
+            Method::PrioritySampling,
+            Method::BottomK,
+        ],
+        ..SubsetErrorConfig::figure3()
+    }
+}
+
+/// A test-scale configuration.
+#[must_use]
+pub fn tiny_config() -> SubsetErrorConfig {
+    SubsetErrorConfig {
+        bins: 25,
+        methods: vec![
+            Method::UnbiasedSpaceSaving,
+            Method::PrioritySampling,
+            Method::BottomK,
+        ],
+        ..SubsetErrorConfig::tiny()
+    }
+}
+
+/// Result of the Figure 4 experiment: the shared subset-error result plus the
+/// bottom-k/USS error ratio per distribution.
+#[derive(Debug, Clone)]
+pub struct BottomKResult {
+    /// Underlying subset-error result (curves and summaries for all three methods).
+    pub inner: SubsetErrorResult,
+    /// `(distribution, bottom-k RRMSE / USS RRMSE)` pairs.
+    pub bottomk_ratio: Vec<(String, f64)>,
+}
+
+/// Runs the Figure 4 experiment.
+#[must_use]
+pub fn run_figure4(config: &SubsetErrorConfig) -> BottomKResult {
+    let inner = run(config);
+    let mut bottomk_ratio = Vec::new();
+    let distributions: Vec<String> = config.distributions.iter().map(|(n, _)| n.clone()).collect();
+    for name in distributions {
+        let uss = inner
+            .summaries
+            .iter()
+            .find(|s| s.distribution == name && s.method == Method::UnbiasedSpaceSaving)
+            .map_or(f64::NAN, |s| s.mean_rrmse);
+        let bk = inner
+            .summaries
+            .iter()
+            .find(|s| s.distribution == name && s.method == Method::BottomK)
+            .map_or(f64::NAN, |s| s.mean_rrmse);
+        bottomk_ratio.push((name, bk / uss));
+    }
+    BottomKResult {
+        inner,
+        bottomk_ratio,
+    }
+}
+
+impl BottomKResult {
+    /// Summary table of the uniform-sampling penalty.
+    #[must_use]
+    pub fn ratio_table(&self) -> Table {
+        let mut table = Table::new(
+            "Figure 4 — Bottom-k error relative to Unbiased Space Saving",
+            &["distribution", "bottomk_rrmse_over_uss"],
+        );
+        for (name, ratio) in &self.bottomk_ratio {
+            table.push_row(vec![name.clone(), fmt_num(*ratio)]);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bottom_k_is_clearly_worse_than_unbiased_space_saving() {
+        let result = run_figure4(&tiny_config());
+        for (name, ratio) in &result.bottomk_ratio {
+            assert!(
+                *ratio > 1.5,
+                "{name}: bottom-k should be substantially worse (ratio {ratio})"
+            );
+        }
+    }
+
+    #[test]
+    fn uss_still_comparable_to_priority_at_smaller_m() {
+        let result = run_figure4(&tiny_config());
+        let uss = result.inner.overall_rrmse(Method::UnbiasedSpaceSaving);
+        let pri = result.inner.overall_rrmse(Method::PrioritySampling);
+        assert!(uss <= pri * 2.0, "USS {uss} vs priority {pri}");
+    }
+
+    #[test]
+    fn ratio_table_renders_one_row_per_distribution() {
+        let cfg = tiny_config();
+        let result = run_figure4(&cfg);
+        assert_eq!(result.ratio_table().len(), cfg.distributions.len());
+    }
+}

@@ -1,0 +1,234 @@
+//! Figure 5: per-subset relative MSE of Unbiased Space Saving against priority
+//! sampling, and the distribution of the relative efficiency
+//! `Var(priority) / Var(USS)`.
+//!
+//! The paper scatters the relative MSE of each random subset under the two methods and
+//! summarises the per-subset variance ratios (values between roughly 0.9 and 1.5,
+//! i.e. USS is never worse and often slightly better despite operating on
+//! disaggregated data). The reproduction reports the same per-subset pairs plus
+//! quantiles of the efficiency ratio.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::experiments::subset_harness::run_subset_comparison;
+use crate::methods::Method;
+use crate::report::{fmt_num, Table};
+use uss_workloads::{random_subsets, FrequencyDistribution};
+
+/// Configuration for the Figure 5 comparison.
+#[derive(Debug, Clone)]
+pub struct VsPriorityConfig {
+    /// Item frequency distribution.
+    pub distribution: FrequencyDistribution,
+    /// Number of distinct items.
+    pub n_items: usize,
+    /// Sketch bins / priority sample size.
+    pub bins: usize,
+    /// Items per random query subset.
+    pub subset_size: usize,
+    /// Number of random query subsets (points in the scatter).
+    pub n_subsets: usize,
+    /// Monte-Carlo repetitions per subset.
+    pub reps: usize,
+    /// Cap on item counts.
+    pub count_cap: u64,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for VsPriorityConfig {
+    fn default() -> Self {
+        Self {
+            distribution: FrequencyDistribution::Weibull {
+                scale: 200.0,
+                shape: 0.32,
+            },
+            n_items: 1000,
+            bins: 100,
+            subset_size: 100,
+            n_subsets: 150,
+            reps: 120,
+            count_cap: 50_000,
+            seed: 5,
+        }
+    }
+}
+
+impl VsPriorityConfig {
+    /// Test-scale configuration.
+    #[must_use]
+    pub fn tiny() -> Self {
+        Self {
+            distribution: FrequencyDistribution::Geometric { p: 0.04 },
+            n_items: 200,
+            bins: 40,
+            subset_size: 30,
+            n_subsets: 25,
+            reps: 40,
+            count_cap: 10_000,
+            seed: 5,
+        }
+    }
+}
+
+/// One scatter point: the same subset estimated by both methods.
+#[derive(Debug, Clone, Copy)]
+pub struct ScatterPoint {
+    /// True subset sum.
+    pub truth: f64,
+    /// Relative MSE of Unbiased Space Saving.
+    pub uss_relative_mse: f64,
+    /// Relative MSE of priority sampling.
+    pub priority_relative_mse: f64,
+    /// Relative efficiency `Var(priority) / Var(USS)` (> 1 means USS wins).
+    pub relative_efficiency: f64,
+}
+
+/// Result of the Figure 5 experiment.
+#[derive(Debug, Clone)]
+pub struct VsPriorityResult {
+    /// Per-subset scatter points.
+    pub points: Vec<ScatterPoint>,
+    /// Quantiles (min, 25%, median, 75%, max) of the relative efficiency.
+    pub efficiency_quantiles: [f64; 5],
+    /// Fraction of subsets where USS has lower relative MSE.
+    pub uss_win_rate: f64,
+}
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(config: &VsPriorityConfig) -> VsPriorityResult {
+    let counts: Vec<u64> = config
+        .distribution
+        .grid_counts(config.n_items)
+        .into_iter()
+        .map(|c| c.min(config.count_cap))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xF16);
+    let subsets = random_subsets(config.n_items, config.subset_size, config.n_subsets, &mut rng);
+    let methods = [Method::UnbiasedSpaceSaving, Method::PrioritySampling];
+    let accuracy = run_subset_comparison(
+        &counts,
+        &subsets,
+        &methods,
+        config.bins,
+        config.reps,
+        config.seed,
+    );
+
+    let mut points = Vec::with_capacity(config.n_subsets);
+    for i in 0..subsets.len() {
+        let uss = &accuracy[i];
+        let pri = &accuracy[subsets.len() + i];
+        debug_assert_eq!(uss.method, Method::UnbiasedSpaceSaving);
+        debug_assert_eq!(pri.method, Method::PrioritySampling);
+        let uss_var = uss.accumulator.empirical_variance();
+        let pri_var = pri.accumulator.empirical_variance();
+        points.push(ScatterPoint {
+            truth: uss.truth,
+            uss_relative_mse: uss.accumulator.relative_mse(),
+            priority_relative_mse: pri.accumulator.relative_mse(),
+            relative_efficiency: if uss_var > 0.0 { pri_var / uss_var } else { 1.0 },
+        });
+    }
+
+    let mut effs: Vec<f64> = points.iter().map(|p| p.relative_efficiency).collect();
+    effs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let q = |p: f64| -> f64 {
+        if effs.is_empty() {
+            return f64::NAN;
+        }
+        let idx = ((effs.len() - 1) as f64 * p).round() as usize;
+        effs[idx]
+    };
+    let wins = points
+        .iter()
+        .filter(|p| p.uss_relative_mse <= p.priority_relative_mse)
+        .count();
+    VsPriorityResult {
+        efficiency_quantiles: [q(0.0), q(0.25), q(0.5), q(0.75), q(1.0)],
+        uss_win_rate: wins as f64 / points.len().max(1) as f64,
+        points,
+    }
+}
+
+impl VsPriorityResult {
+    /// The per-subset scatter (subsampled to at most `max_rows` rows).
+    #[must_use]
+    pub fn scatter_table(&self, max_rows: usize) -> Table {
+        let mut table = Table::new(
+            format!(
+                "Figure 5 — relative MSE per subset (USS win rate = {})",
+                fmt_num(self.uss_win_rate)
+            ),
+            &["true_count", "uss_rel_mse", "priority_rel_mse", "var_ratio"],
+        );
+        let step = (self.points.len() / max_rows.max(1)).max(1);
+        for p in self.points.iter().step_by(step) {
+            table.push_row(vec![
+                fmt_num(p.truth),
+                fmt_num(p.uss_relative_mse),
+                fmt_num(p.priority_relative_mse),
+                fmt_num(p.relative_efficiency),
+            ]);
+        }
+        table
+    }
+
+    /// The relative-efficiency box summary (right panel of Figure 5).
+    #[must_use]
+    pub fn efficiency_table(&self) -> Table {
+        let mut table = Table::new(
+            "Figure 5 — relative efficiency Var(priority)/Var(USS)",
+            &["min", "q25", "median", "q75", "max"],
+        );
+        table.push_row(self.efficiency_quantiles.iter().map(|&v| fmt_num(v)).collect());
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uss_is_competitive_with_priority_sampling() {
+        let result = run(&VsPriorityConfig::tiny());
+        assert_eq!(result.points.len(), 25);
+        // Median relative efficiency should be in the vicinity of 1 (USS no worse).
+        let median = result.efficiency_quantiles[2];
+        assert!(
+            median > 0.5,
+            "median efficiency {median} suggests USS is much worse than priority sampling"
+        );
+        // And USS should win (or tie) a non-trivial fraction of subsets.
+        assert!(result.uss_win_rate > 0.2, "win rate {}", result.uss_win_rate);
+    }
+
+    #[test]
+    fn relative_mse_values_are_finite_and_nonnegative() {
+        let result = run(&VsPriorityConfig::tiny());
+        for p in &result.points {
+            assert!(p.uss_relative_mse.is_finite() && p.uss_relative_mse >= 0.0);
+            assert!(p.priority_relative_mse.is_finite() && p.priority_relative_mse >= 0.0);
+            assert!(p.truth > 0.0);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_sorted() {
+        let result = run(&VsPriorityConfig::tiny());
+        let q = result.efficiency_quantiles;
+        for w in q.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn tables_render() {
+        let result = run(&VsPriorityConfig::tiny());
+        assert!(result.scatter_table(10).len() <= 15);
+        assert_eq!(result.efficiency_table().len(), 1);
+    }
+}

@@ -1,0 +1,403 @@
+//! Figure 7: the two-phase pathological stream on which Deterministic Space Saving
+//! fails while Unbiased Space Saving keeps behaving like a PPS sample.
+//!
+//! The stream is split into two halves drawn from disjoint item populations (e.g. data
+//! partitioned by hashed user id and processed partition by partition). Deterministic
+//! Space Saving's tail bins only remember the most recent labels, so items that appear
+//! only in the first half are almost never retained (unless they are among the very
+//! top), and querying them gives estimates near zero with relative error up to 100%.
+//! Unbiased Space Saving's inclusion probabilities still follow the PPS profile over
+//! the *whole* stream, and its subset estimates for first-half items stay unbiased.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::metrics::{mean, EstimateAccumulator};
+use crate::report::{fmt_num, Table};
+use uss_core::{DeterministicSpaceSaving, StreamSketch, UnbiasedSpaceSaving};
+use uss_sampling::pps_inclusion_probabilities;
+use uss_workloads::{two_phase_stream, FrequencyDistribution};
+
+/// Configuration for the two-phase pathological experiment.
+#[derive(Debug, Clone)]
+pub struct PathologicalConfig {
+    /// Items per half (the halves use disjoint item id ranges).
+    pub items_per_half: usize,
+    /// Sketch bins.
+    pub bins: usize,
+    /// Monte-Carlo repetitions (fresh shuffles of each half and fresh sketch seeds).
+    pub reps: usize,
+    /// Frequency distribution of each half.
+    pub distribution: FrequencyDistribution,
+    /// Cap on item counts.
+    pub count_cap: u64,
+    /// Number of query subsets drawn from the first half (contiguous count-sorted
+    /// slices, mirroring the paper's "query items in the first half" evaluation).
+    pub n_first_half_queries: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PathologicalConfig {
+    fn default() -> Self {
+        Self {
+            items_per_half: 1000,
+            bins: 100,
+            reps: 200,
+            distribution: FrequencyDistribution::Weibull {
+                scale: 50.0,
+                shape: 0.32,
+            },
+            count_cap: 50_000,
+            n_first_half_queries: 20,
+            seed: 7,
+        }
+    }
+}
+
+impl PathologicalConfig {
+    /// Test-scale configuration.
+    #[must_use]
+    pub fn tiny() -> Self {
+        Self {
+            items_per_half: 150,
+            bins: 30,
+            reps: 80,
+            distribution: FrequencyDistribution::Geometric { p: 0.04 },
+            count_cap: 10_000,
+            n_first_half_queries: 6,
+            seed: 7,
+        }
+    }
+}
+
+/// Inclusion-probability comparison row (one bucket of first-half items).
+#[derive(Debug, Clone, Copy)]
+pub struct InclusionComparisonRow {
+    /// Lower edge of the true-count bucket.
+    pub count_lo: f64,
+    /// Upper edge of the true-count bucket.
+    pub count_hi: f64,
+    /// Mean theoretical PPS inclusion probability (over the full stream).
+    pub theoretical: f64,
+    /// Mean observed inclusion probability under Unbiased Space Saving.
+    pub unbiased: f64,
+    /// Mean observed inclusion probability under Deterministic Space Saving.
+    pub deterministic: f64,
+    /// Number of items in the bucket.
+    pub n_items: u64,
+}
+
+/// Subset-error comparison row for first-half queries.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryErrorRow {
+    /// True subset count.
+    pub truth: f64,
+    /// Relative RMSE of Unbiased Space Saving.
+    pub unbiased_rrmse: f64,
+    /// Relative RMSE of Deterministic Space Saving.
+    pub deterministic_rrmse: f64,
+    /// Relative bias of Deterministic Space Saving (large and negative when it forgets
+    /// the first half).
+    pub deterministic_bias: f64,
+}
+
+/// Result of the pathological experiment.
+#[derive(Debug, Clone)]
+pub struct PathologicalResult {
+    /// Inclusion probability comparison (first-half items only, bucketed by count).
+    pub inclusion: Vec<InclusionComparisonRow>,
+    /// Per-query error comparison for first-half subsets.
+    pub queries: Vec<QueryErrorRow>,
+    /// Mean inclusion probability of first-half items under each sketch.
+    pub mean_inclusion_unbiased: f64,
+    /// Mean inclusion probability of first-half items under Deterministic SS.
+    pub mean_inclusion_deterministic: f64,
+}
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(config: &PathologicalConfig) -> PathologicalResult {
+    let n = config.items_per_half;
+    let counts_a: Vec<u64> = config
+        .distribution
+        .grid_counts(n)
+        .into_iter()
+        .map(|c| c.min(config.count_cap))
+        .collect();
+    let counts_b = counts_a.clone();
+    // Combined per-item counts over both halves (items n..2n are the second half).
+    let combined: Vec<u64> = counts_a.iter().chain(counts_b.iter()).copied().collect();
+    let weights: Vec<f64> = combined.iter().map(|&c| c as f64).collect();
+    let design = pps_inclusion_probabilities(&weights, config.bins);
+
+    // First-half queries: contiguous slices of the count-sorted first-half items.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| counts_a[i]);
+    let slice_len = (n / config.n_first_half_queries).max(1);
+    let query_sets: Vec<Vec<u64>> = (0..config.n_first_half_queries)
+        .map(|q| {
+            let start = q * slice_len;
+            let end = ((q + 1) * slice_len).min(n);
+            let mut items: Vec<u64> = order[start..end].iter().map(|&i| i as u64).collect();
+            items.sort_unstable();
+            items
+        })
+        .filter(|s| !s.is_empty())
+        .collect();
+    let query_truths: Vec<f64> = query_sets
+        .iter()
+        .map(|s| s.iter().map(|&i| counts_a[i as usize] as f64).sum())
+        .collect();
+
+    let mut unbiased_inclusions = vec![0u64; n];
+    let mut deterministic_inclusions = vec![0u64; n];
+    let mut unbiased_acc: Vec<EstimateAccumulator> = query_truths
+        .iter()
+        .map(|&t| EstimateAccumulator::new(t))
+        .collect();
+    let mut deterministic_acc: Vec<EstimateAccumulator> = query_truths
+        .iter()
+        .map(|&t| EstimateAccumulator::new(t))
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    for rep in 0..config.reps {
+        let rows = two_phase_stream(&counts_a, &counts_b, &mut rng);
+        let mut uss =
+            UnbiasedSpaceSaving::with_seed(config.bins, config.seed.wrapping_add(rep as u64));
+        let mut dss = DeterministicSpaceSaving::new(config.bins);
+        for &item in &rows {
+            uss.offer(item);
+            dss.offer(item);
+        }
+        let uss_snap = uss.snapshot();
+        for (item, _) in uss_snap.entries() {
+            if (*item as usize) < n {
+                unbiased_inclusions[*item as usize] += 1;
+            }
+        }
+        for (item, _) in dss.entries() {
+            if (item as usize) < n {
+                deterministic_inclusions[item as usize] += 1;
+            }
+        }
+        for (q_idx, items) in query_sets.iter().enumerate() {
+            unbiased_acc[q_idx]
+                .push(uss_snap.subset_sum(|item| items.binary_search(&item).is_ok()));
+            deterministic_acc[q_idx]
+                .push(dss.subset_sum(&mut |item| items.binary_search(&item).is_ok()));
+        }
+    }
+
+    // Bucket the inclusion probabilities by true count (geometric bucket edges).
+    let lo = counts_a.iter().copied().min().unwrap_or(1).max(1) as f64;
+    let hi = counts_a.iter().copied().max().unwrap_or(2) as f64;
+    let upper = (hi * 1.001).max(lo * 2.0);
+    let mut inclusion_rows = Vec::new();
+    {
+        let buckets_n = 6;
+        let ratio = (upper / lo).powf(1.0 / buckets_n as f64);
+        let mut edges = Vec::with_capacity(buckets_n);
+        let mut edge = lo;
+        for _ in 0..buckets_n {
+            edges.push((edge, edge * ratio));
+            edge *= ratio;
+        }
+        for (bucket_lo, bucket_hi) in edges {
+            let items: Vec<usize> = (0..n)
+                .filter(|&i| {
+                    let c = counts_a[i] as f64;
+                    c >= bucket_lo && (c < bucket_hi || bucket_hi >= hi)
+                })
+                .collect();
+            if items.is_empty() {
+                continue;
+            }
+            let theoretical = mean(
+                &items
+                    .iter()
+                    .map(|&i| design.inclusion_probabilities[i])
+                    .collect::<Vec<f64>>(),
+            );
+            let unbiased = mean(
+                &items
+                    .iter()
+                    .map(|&i| unbiased_inclusions[i] as f64 / config.reps as f64)
+                    .collect::<Vec<f64>>(),
+            );
+            let deterministic = mean(
+                &items
+                    .iter()
+                    .map(|&i| deterministic_inclusions[i] as f64 / config.reps as f64)
+                    .collect::<Vec<f64>>(),
+            );
+            inclusion_rows.push(InclusionComparisonRow {
+                count_lo: bucket_lo,
+                count_hi: bucket_hi,
+                theoretical,
+                unbiased,
+                deterministic,
+                n_items: items.len() as u64,
+            });
+        }
+    }
+
+    let queries = query_truths
+        .iter()
+        .enumerate()
+        .map(|(q, &truth)| QueryErrorRow {
+            truth,
+            unbiased_rrmse: unbiased_acc[q].rrmse(),
+            deterministic_rrmse: deterministic_acc[q].rrmse(),
+            deterministic_bias: deterministic_acc[q].relative_bias(),
+        })
+        .collect();
+
+    let mean_inclusion_unbiased = mean(
+        &unbiased_inclusions
+            .iter()
+            .map(|&c| c as f64 / config.reps as f64)
+            .collect::<Vec<f64>>(),
+    );
+    let mean_inclusion_deterministic = mean(
+        &deterministic_inclusions
+            .iter()
+            .map(|&c| c as f64 / config.reps as f64)
+            .collect::<Vec<f64>>(),
+    );
+
+    PathologicalResult {
+        inclusion: inclusion_rows,
+        queries,
+        mean_inclusion_unbiased,
+        mean_inclusion_deterministic,
+    }
+}
+
+impl PathologicalResult {
+    /// The inclusion-probability comparison (left panels of Figure 7).
+    #[must_use]
+    pub fn inclusion_table(&self) -> Table {
+        let mut table = Table::new(
+            format!(
+                "Figure 7 — first-half inclusion probabilities (mean: unbiased {}, deterministic {})",
+                fmt_num(self.mean_inclusion_unbiased),
+                fmt_num(self.mean_inclusion_deterministic)
+            ),
+            &[
+                "count_lo",
+                "count_hi",
+                "theoretical_pps",
+                "unbiased",
+                "deterministic",
+                "items",
+            ],
+        );
+        for r in &self.inclusion {
+            table.push_row(vec![
+                fmt_num(r.count_lo),
+                fmt_num(r.count_hi),
+                fmt_num(r.theoretical),
+                fmt_num(r.unbiased),
+                fmt_num(r.deterministic),
+                r.n_items.to_string(),
+            ]);
+        }
+        table
+    }
+
+    /// The first-half query error comparison (right panel of Figure 7).
+    #[must_use]
+    pub fn error_table(&self) -> Table {
+        let mut table = Table::new(
+            "Figure 7 — relative error on first-half subsets",
+            &["true_count", "unbiased_rrmse", "deterministic_rrmse", "deterministic_bias"],
+        );
+        for q in &self.queries {
+            table.push_row(vec![
+                fmt_num(q.truth),
+                fmt_num(q.unbiased_rrmse),
+                fmt_num(q.deterministic_rrmse),
+                fmt_num(q.deterministic_bias),
+            ]);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_space_saving_forgets_the_first_half() {
+        let result = run(&PathologicalConfig::tiny());
+        // Unbiased Space Saving retains first-half items far more often than the
+        // deterministic sketch does.
+        assert!(
+            result.mean_inclusion_unbiased > 2.0 * result.mean_inclusion_deterministic,
+            "unbiased {} vs deterministic {}",
+            result.mean_inclusion_unbiased,
+            result.mean_inclusion_deterministic
+        );
+    }
+
+    #[test]
+    fn deterministic_queries_are_badly_biased_unbiased_are_not() {
+        let result = run(&PathologicalConfig::tiny());
+        let mean_det_bias = mean(
+            &result
+                .queries
+                .iter()
+                .map(|q| q.deterministic_bias)
+                .collect::<Vec<f64>>(),
+        );
+        // Deterministic SS underestimates first-half subsets badly (mostly forgotten).
+        assert!(
+            mean_det_bias < -0.3,
+            "deterministic bias {mean_det_bias} should be strongly negative"
+        );
+        // And on the larger first-half subsets (where the relative error of an
+        // unbiased estimator is small) the deterministic sketch is far worse. Tiny
+        // subsets are dominated by sampling noise for every method, so restrict the
+        // comparison to queries above the median true count, as the paper's
+        // error-versus-true-count panel does.
+        let mut truths: Vec<f64> = result.queries.iter().map(|q| q.truth).collect();
+        truths.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median_truth = truths[truths.len() / 2];
+        let large: Vec<&QueryErrorRow> = result
+            .queries
+            .iter()
+            .filter(|q| q.truth >= median_truth)
+            .collect();
+        let det = mean(&large.iter().map(|q| q.deterministic_rrmse).collect::<Vec<f64>>());
+        let unb = mean(&large.iter().map(|q| q.unbiased_rrmse).collect::<Vec<f64>>());
+        assert!(
+            det > 1.5 * unb,
+            "deterministic RRMSE {det} vs unbiased {unb} on large subsets"
+        );
+    }
+
+    #[test]
+    fn unbiased_inclusion_tracks_theoretical_pps() {
+        let result = run(&PathologicalConfig::tiny());
+        for r in &result.inclusion {
+            assert!(
+                (r.unbiased - r.theoretical).abs() < 0.25,
+                "bucket [{}, {}): observed {} vs theoretical {}",
+                r.count_lo,
+                r.count_hi,
+                r.unbiased,
+                r.theoretical
+            );
+        }
+    }
+
+    #[test]
+    fn tables_render() {
+        let result = run(&PathologicalConfig::tiny());
+        assert!(!result.inclusion_table().is_empty());
+        assert!(!result.error_table().is_empty());
+    }
+}

@@ -1,0 +1,26 @@
+//! Experiment drivers reproducing every figure of the paper's evaluation (section 7).
+//!
+//! Each submodule owns one figure (or a group of figures sharing a workload), exposes
+//! a `*Config` struct with bench-scale defaults plus a `tiny()` constructor for fast
+//! tests, a `run` function returning a structured result, and `to_table(s)` methods
+//! rendering the same series the paper plots. The figure binaries in `uss-bench` are
+//! thin CLI wrappers around these drivers.
+//!
+//! | figure | module | what it shows |
+//! |--------|--------|---------------|
+//! | 2 | [`fig2_inclusion`] | empirical inclusion probabilities match theoretical PPS |
+//! | 3 | [`fig3_subset_error`] | USS vs priority sampling error by subset size / skew, m = 200 |
+//! | 4 | [`fig4_bottomk`] | adds bottom-k, m = 100: uniform sampling is orders of magnitude worse |
+//! | 5 | [`fig5_vs_priority`] | per-subset relative MSE scatter and relative efficiency |
+//! | 6 | [`fig6_marginals`] | 1-way / 2-way marginals on the (synthetic) ad-click data |
+//! | 7 | [`fig7_pathological`] | two-phase stream: Deterministic SS fails, USS stays PPS-like |
+//! | 8–10 | [`fig8_10_sorted`] | sorted pathological stream: confidence intervals, variance estimate quality, per-epoch RRMSE |
+
+pub mod fig2_inclusion;
+pub mod fig3_subset_error;
+pub mod fig4_bottomk;
+pub mod fig5_vs_priority;
+pub mod fig6_marginals;
+pub mod fig7_pathological;
+pub mod fig8_10_sorted;
+pub mod subset_harness;

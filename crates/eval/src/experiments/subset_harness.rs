@@ -1,0 +1,111 @@
+//! Shared Monte-Carlo harness for the random-subset experiments (Figures 3, 4 and 5).
+//!
+//! Given a per-item count vector, a list of query subsets, a list of methods and a
+//! space budget, the harness repeatedly re-shuffles the disaggregated stream,
+//! re-sketches it with every method and records each method's estimate of every
+//! subset, returning an accuracy matrix of [`EstimateAccumulator`]s.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::methods::Method;
+use crate::metrics::EstimateAccumulator;
+use uss_workloads::{shuffled_stream, true_subset_sum};
+
+/// Accuracy of one method on one subset, over all repetitions.
+#[derive(Debug, Clone)]
+pub struct SubsetAccuracy {
+    /// The method that produced the estimates.
+    pub method: Method,
+    /// Index of the subset in the query list.
+    pub subset_index: usize,
+    /// True subset sum.
+    pub truth: f64,
+    /// Accumulated estimates.
+    pub accumulator: EstimateAccumulator,
+}
+
+/// Runs the Monte-Carlo subset-sum comparison.
+///
+/// Returns one [`SubsetAccuracy`] per (method, subset) pair, in method-major order.
+#[must_use]
+pub fn run_subset_comparison(
+    counts: &[u64],
+    subsets: &[Vec<u64>],
+    methods: &[Method],
+    bins: usize,
+    reps: usize,
+    seed: u64,
+) -> Vec<SubsetAccuracy> {
+    let truths: Vec<f64> = subsets
+        .iter()
+        .map(|s| true_subset_sum(counts, s) as f64)
+        .collect();
+    let mut results: Vec<SubsetAccuracy> = methods
+        .iter()
+        .flat_map(|&method| {
+            truths.iter().enumerate().map(move |(i, &t)| SubsetAccuracy {
+                method,
+                subset_index: i,
+                truth: t,
+                accumulator: EstimateAccumulator::new(t),
+            })
+        })
+        .collect();
+
+    let mut shuffle_rng = StdRng::seed_from_u64(seed ^ 0x5117_F1ED);
+    for rep in 0..reps {
+        let rows = shuffled_stream(counts, &mut shuffle_rng);
+        for (m_idx, &method) in methods.iter().enumerate() {
+            let estimates = method.estimate_subsets(
+                &rows,
+                counts,
+                bins,
+                subsets,
+                seed.wrapping_add(rep as u64).wrapping_mul(0x9E37_79B9),
+            );
+            for (s_idx, est) in estimates.into_iter().enumerate() {
+                results[m_idx * subsets.len() + s_idx].accumulator.push(est);
+            }
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uss_workloads::{random_subsets, FrequencyDistribution};
+
+    #[test]
+    fn harness_produces_one_cell_per_method_and_subset() {
+        let counts = FrequencyDistribution::Geometric { p: 0.1 }.grid_counts(100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let subsets = random_subsets(100, 20, 3, &mut rng);
+        let methods = [Method::UnbiasedSpaceSaving, Method::PrioritySampling];
+        let results = run_subset_comparison(&counts, &subsets, &methods, 30, 4, 7);
+        assert_eq!(results.len(), 6);
+        for r in &results {
+            assert_eq!(r.accumulator.len(), 4);
+            assert!(r.truth > 0.0);
+        }
+    }
+
+    #[test]
+    fn unbiased_methods_have_small_bias_over_many_reps() {
+        let counts = FrequencyDistribution::Geometric { p: 0.08 }.grid_counts(150);
+        let mut rng = StdRng::seed_from_u64(2);
+        let subsets = random_subsets(150, 50, 2, &mut rng);
+        let methods = [Method::UnbiasedSpaceSaving, Method::PrioritySampling];
+        let results = run_subset_comparison(&counts, &subsets, &methods, 40, 60, 3);
+        for r in results {
+            assert!(
+                r.accumulator.relative_bias().abs() < 0.15,
+                "{} subset {}: bias {}",
+                r.method.name(),
+                r.subset_index,
+                r.accumulator.relative_bias()
+            );
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Evaluation harness reproducing the experimental section (section 7) of
+//! *"Data Sketches for Disaggregated Subset Sum and Frequent Item Estimation"*.
+//!
+//! The harness has four layers:
+//!
+//! * [`metrics`] — RRMSE / relative-MSE accumulators, coverage counters, and
+//!   bucketed error-versus-true-count series.
+//! * [`methods`] — the estimation methods under comparison (Unbiased and
+//!   Deterministic Space Saving, priority sampling, bottom-k, adaptive
+//!   sample-and-hold) behind a single subset-estimation interface.
+//! * [`experiments`] — one driver per paper figure, each with bench-scale defaults, a
+//!   `tiny()` test configuration, and table renderers producing the series the paper
+//!   plots.
+//! * [`report`] — plain-text / CSV table output.
+//!
+//! The figure binaries in the `uss-bench` crate are thin command-line wrappers around
+//! [`experiments`]; see EXPERIMENTS.md at the workspace root for the recorded
+//! paper-versus-measured comparison.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod methods;
+pub mod metrics;
+pub mod report;
+
+pub use methods::Method;
+pub use metrics::{BucketedSeries, CoverageCounter, EstimateAccumulator};
+pub use report::Table;

@@ -1,0 +1,368 @@
+//! Error metrics used throughout the evaluation.
+//!
+//! The paper reports the *relative root mean squared error* (RRMSE)
+//! `sqrt(MSE) / n_S` of subset-sum estimates, empirical inclusion probabilities, the
+//! coverage of nominal-95% confidence intervals, and ratios of estimated to true
+//! standard deviations. This module provides small, well-tested building blocks for
+//! all of them.
+
+/// Relative error `(estimate − truth) / truth` (signed). Returns 0 when both are zero
+/// and infinity when only the truth is zero.
+#[must_use]
+pub fn relative_error(estimate: f64, truth: f64) -> f64 {
+    if truth == 0.0 {
+        if estimate == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (estimate - truth) / truth
+    }
+}
+
+/// Mean of a slice (0 for an empty slice).
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Population variance of a slice (0 for fewer than two values).
+#[must_use]
+pub fn variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64
+}
+
+/// Standard deviation of a slice.
+#[must_use]
+pub fn std_dev(values: &[f64]) -> f64 {
+    variance(values).sqrt()
+}
+
+/// Accumulates repeated estimates of a single true quantity and reports bias, MSE,
+/// RRMSE and empirical variance.
+#[derive(Debug, Clone)]
+pub struct EstimateAccumulator {
+    truth: f64,
+    estimates: Vec<f64>,
+}
+
+impl EstimateAccumulator {
+    /// Creates an accumulator for estimates of `truth`.
+    #[must_use]
+    pub fn new(truth: f64) -> Self {
+        Self {
+            truth,
+            estimates: Vec::new(),
+        }
+    }
+
+    /// The true value.
+    #[must_use]
+    pub fn truth(&self) -> f64 {
+        self.truth
+    }
+
+    /// Adds one estimate.
+    pub fn push(&mut self, estimate: f64) {
+        self.estimates.push(estimate);
+    }
+
+    /// Number of estimates recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.estimates.len()
+    }
+
+    /// Whether no estimates have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.estimates.is_empty()
+    }
+
+    /// Mean of the recorded estimates.
+    #[must_use]
+    pub fn mean_estimate(&self) -> f64 {
+        mean(&self.estimates)
+    }
+
+    /// Signed relative bias `(mean − truth)/truth`.
+    #[must_use]
+    pub fn relative_bias(&self) -> f64 {
+        relative_error(self.mean_estimate(), self.truth)
+    }
+
+    /// Mean squared error against the truth.
+    #[must_use]
+    pub fn mse(&self) -> f64 {
+        if self.estimates.is_empty() {
+            return 0.0;
+        }
+        self.estimates
+            .iter()
+            .map(|e| (e - self.truth).powi(2))
+            .sum::<f64>()
+            / self.estimates.len() as f64
+    }
+
+    /// Relative root mean squared error `sqrt(MSE)/truth` — the paper's headline
+    /// metric. Infinite when the truth is zero and the MSE is not.
+    #[must_use]
+    pub fn rrmse(&self) -> f64 {
+        if self.truth == 0.0 {
+            if self.mse() == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.mse().sqrt() / self.truth
+        }
+    }
+
+    /// Relative MSE `MSE / truth²` (the quantity scattered in Figure 5).
+    #[must_use]
+    pub fn relative_mse(&self) -> f64 {
+        let r = self.rrmse();
+        r * r
+    }
+
+    /// Empirical variance of the estimates themselves (not around the truth).
+    #[must_use]
+    pub fn empirical_variance(&self) -> f64 {
+        variance(&self.estimates)
+    }
+
+    /// Empirical standard deviation of the estimates.
+    #[must_use]
+    pub fn empirical_std_dev(&self) -> f64 {
+        self.empirical_variance().sqrt()
+    }
+}
+
+/// Tracks how often confidence intervals cover their true value.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoverageCounter {
+    covered: u64,
+    total: u64,
+    width_sum: f64,
+}
+
+impl CoverageCounter {
+    /// Creates an empty counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one interval: whether it covered the truth and its width.
+    pub fn record(&mut self, covered: bool, width: f64) {
+        self.total += 1;
+        if covered {
+            self.covered += 1;
+        }
+        self.width_sum += width;
+    }
+
+    /// Number of intervals recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Empirical coverage in `[0, 1]` (1 when nothing was recorded).
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.covered as f64 / self.total as f64
+        }
+    }
+
+    /// Average interval width.
+    #[must_use]
+    pub fn mean_width(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.width_sum / self.total as f64
+        }
+    }
+}
+
+/// Buckets `(truth, value)` observations by the magnitude of `truth` and reports the
+/// per-bucket mean, mirroring the smoothed "error versus true count" curves of
+/// Figures 3, 4, 6 and 7.
+#[derive(Debug, Clone)]
+pub struct BucketedSeries {
+    edges: Vec<f64>,
+    sums: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl BucketedSeries {
+    /// Creates a series with the given ascending bucket edges; values with truth below
+    /// `edges[0]` land in bucket 0, above the last edge in the final bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two edges are given or they are not strictly ascending.
+    #[must_use]
+    pub fn new(edges: Vec<f64>) -> Self {
+        assert!(edges.len() >= 2, "need at least two bucket edges");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must be strictly ascending"
+        );
+        let n = edges.len() - 1;
+        Self {
+            edges,
+            sums: vec![0.0; n],
+            counts: vec![0; n],
+        }
+    }
+
+    /// Creates geometrically spaced bucket edges covering `[lo, hi]`.
+    #[must_use]
+    pub fn geometric(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(lo > 0.0 && hi > lo && buckets > 0);
+        let ratio = (hi / lo).powf(1.0 / buckets as f64);
+        let mut edges = Vec::with_capacity(buckets + 1);
+        let mut edge = lo;
+        for _ in 0..=buckets {
+            edges.push(edge);
+            edge *= ratio;
+        }
+        Self::new(edges)
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, truth: f64, value: f64) {
+        let n = self.counts.len();
+        let mut bucket = n - 1;
+        for i in 0..n {
+            if truth < self.edges[i + 1] {
+                bucket = i;
+                break;
+            }
+        }
+        self.sums[bucket] += value;
+        self.counts[bucket] += 1;
+    }
+
+    /// Per-bucket `(lower edge, upper edge, mean value, observation count)` rows,
+    /// skipping empty buckets.
+    #[must_use]
+    pub fn rows(&self) -> Vec<(f64, f64, f64, u64)> {
+        (0..self.counts.len())
+            .filter(|&i| self.counts[i] > 0)
+            .map(|i| {
+                (
+                    self.edges[i],
+                    self.edges[i + 1],
+                    self.sums[i] / self.counts[i] as f64,
+                    self.counts[i],
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_handles_zero_truth() {
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert!(relative_error(1.0, 0.0).is_infinite());
+        assert!((relative_error(110.0, 100.0) - 0.1).abs() < 1e-12);
+        assert!((relative_error(90.0, 100.0) + 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_variance_std() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&v) - 5.0).abs() < 1e-12);
+        assert!((variance(&v) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&v) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn accumulator_computes_bias_mse_rrmse() {
+        let mut acc = EstimateAccumulator::new(100.0);
+        for e in [90.0, 110.0, 100.0, 100.0] {
+            acc.push(e);
+        }
+        assert_eq!(acc.len(), 4);
+        assert!((acc.mean_estimate() - 100.0).abs() < 1e-12);
+        assert!(acc.relative_bias().abs() < 1e-12);
+        assert!((acc.mse() - 50.0).abs() < 1e-12);
+        assert!((acc.rrmse() - 50.0_f64.sqrt() / 100.0).abs() < 1e-12);
+        assert!((acc.relative_mse() - 50.0 / 10_000.0).abs() < 1e-12);
+        assert!((acc.empirical_variance() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_zero_truth() {
+        let mut acc = EstimateAccumulator::new(0.0);
+        acc.push(0.0);
+        assert_eq!(acc.rrmse(), 0.0);
+        acc.push(1.0);
+        assert!(acc.rrmse().is_infinite());
+    }
+
+    #[test]
+    fn coverage_counter_tracks_rates_and_width() {
+        let mut c = CoverageCounter::new();
+        c.record(true, 10.0);
+        c.record(true, 20.0);
+        c.record(false, 30.0);
+        c.record(true, 40.0);
+        assert_eq!(c.total(), 4);
+        assert!((c.coverage() - 0.75).abs() < 1e-12);
+        assert!((c.mean_width() - 25.0).abs() < 1e-12);
+        assert_eq!(CoverageCounter::new().coverage(), 1.0);
+    }
+
+    #[test]
+    fn bucketed_series_routes_observations() {
+        let mut s = BucketedSeries::new(vec![0.0, 10.0, 100.0, 1000.0]);
+        s.record(5.0, 1.0);
+        s.record(7.0, 3.0);
+        s.record(50.0, 10.0);
+        s.record(5000.0, 7.0); // beyond the last edge -> final bucket
+        let rows = s.rows();
+        assert_eq!(rows.len(), 3);
+        assert!((rows[0].2 - 2.0).abs() < 1e-12);
+        assert_eq!(rows[0].3, 2);
+        assert!((rows[1].2 - 10.0).abs() < 1e-12);
+        assert!((rows[2].2 - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_buckets_cover_range() {
+        let s = BucketedSeries::geometric(1.0, 1000.0, 3);
+        assert_eq!(s.edges.len(), 4);
+        assert!((s.edges[0] - 1.0).abs() < 1e-9);
+        assert!((s.edges[3] - 1000.0).abs() < 1e-6);
+        assert!((s.edges[1] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn non_ascending_edges_panic() {
+        let _ = BucketedSeries::new(vec![0.0, 5.0, 5.0]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Plain-text and CSV reporting for experiment results.
+//!
+//! The paper presents its results as figures; the reproduction binaries print the same
+//! series as aligned text tables (and optionally CSV) so the shapes — who wins, by what
+//! factor, where the crossovers are — can be read directly from a terminal or piped
+//! into a plotting tool.
+
+use std::fmt;
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row; the number of cells must match the number of headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a column-count mismatch.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells but the table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as CSV (headers first, comma separated, no quoting — cells
+    /// produced by this crate never contain commas).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Column widths.
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .zip(&widths)
+            .map(|(h, w)| format!("{h:>w$}"))
+            .collect();
+        writeln!(f, "{}", header_line.join("  "))?;
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(rule))?;
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            writeln!(f, "{}", line.join("  "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with a sensible number of significant digits for reports.
+#[must_use]
+pub fn fmt_num(x: f64) -> String {
+    if !x.is_finite() {
+        return format!("{x}");
+    }
+    let a = x.abs();
+    if a >= 1000.0 || (a > 0.0 && a < 0.001) {
+        format!("{x:.3e}")
+    } else if a >= 10.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_text_and_csv() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.push_row(vec!["alpha".to_string(), "1".to_string()]);
+        t.push_row(vec!["b".to_string(), "22.5".to_string()]);
+        let text = t.to_string();
+        assert!(text.contains("## demo"));
+        assert!(text.contains("alpha"));
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("name,value\n"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["only one".to_string()]);
+    }
+
+    #[test]
+    fn number_formatting_covers_ranges() {
+        assert_eq!(fmt_num(0.5), "0.5000");
+        assert_eq!(fmt_num(12.345), "12.35");
+        assert!(fmt_num(123456.0).contains('e'));
+        assert!(fmt_num(0.000001).contains('e'));
+        assert_eq!(fmt_num(f64::INFINITY), "inf");
+    }
+}

@@ -1,0 +1,266 @@
+//! Bottom-k sketches: uniform random sampling of distinct items from a stream.
+//!
+//! The bottom-k sketch (Cohen & Kaplan 2007) hashes every item to a uniform random
+//! rank and keeps the `k` smallest ranks. On a disaggregated stream it yields a uniform
+//! sample of the *distinct items* regardless of how many rows each item occupies, and
+//! a counter per retained item gives the exact count of the rows seen *while the item
+//! was retained*; here we keep exact counts for retained items by counting every
+//! occurrence (the item set is uniform, so the subset-sum estimator inflates by the
+//! sampling fraction of distinct items). This is the weak baseline of Figure 4: it
+//! ignores item sizes entirely, so skewed data hurts it badly.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use crate::{HorvitzThompsonSample, SampledItem};
+
+/// Bottom-k sketch over a disaggregated stream of item occurrences.
+///
+/// Items are ranked by a pseudo-random permutation derived from a keyed hash of the
+/// item identifier (so the same item always receives the same rank and repeated
+/// occurrences do not re-roll their rank). The `k` items with the smallest ranks are
+/// retained together with the count of their occurrences observed over the entire
+/// stream (counts started before retention are lost only if the item was evicted,
+/// mirroring practical implementations).
+#[derive(Debug, Clone)]
+pub struct BottomKSketch {
+    capacity: usize,
+    seed: u64,
+    /// Retained items: item -> (rank, count of occurrences while retained).
+    retained: HashMap<u64, (u64, u64)>,
+    /// Number of distinct items observed (tracked exactly for the inclusion fraction;
+    /// real systems would estimate this from the k-th rank, which we also expose).
+    distinct_seen: HashMap<u64, ()>,
+    rows_processed: u64,
+}
+
+impl BottomKSketch {
+    /// Creates a bottom-k sketch retaining at most `capacity` distinct items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            capacity,
+            seed,
+            retained: HashMap::with_capacity(capacity + 1),
+            distinct_seen: HashMap::new(),
+            rows_processed: 0,
+        }
+    }
+
+    /// Number of retained items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.retained.len()
+    }
+
+    /// Whether no items are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.retained.is_empty()
+    }
+
+    /// Total number of rows offered to the sketch.
+    #[must_use]
+    pub fn rows_processed(&self) -> u64 {
+        self.rows_processed
+    }
+
+    /// Number of distinct items observed so far.
+    #[must_use]
+    pub fn distinct_items(&self) -> usize {
+        self.distinct_seen.len()
+    }
+
+    /// Offers one row (a single occurrence of `item`) to the sketch.
+    pub fn offer(&mut self, item: u64) {
+        self.offer_weighted(item, 1);
+    }
+
+    /// Offers `count` occurrences of `item` at once.
+    pub fn offer_weighted(&mut self, item: u64, count: u64) {
+        self.rows_processed += count;
+        self.distinct_seen.entry(item).or_insert(());
+        let rank = splitmix64(item ^ self.seed);
+        match self.retained.entry(item) {
+            Entry::Occupied(mut e) => {
+                e.get_mut().1 += count;
+            }
+            Entry::Vacant(e) => {
+                e.insert((rank, count));
+                if self.retained.len() > self.capacity {
+                    // Evict the item with the largest rank.
+                    let (&evict, _) = self
+                        .retained
+                        .iter()
+                        .max_by_key(|(_, (rank, _))| *rank)
+                        .expect("sketch over capacity is non-empty");
+                    self.retained.remove(&evict);
+                }
+            }
+        }
+    }
+
+    /// Finalises the sketch into a Horvitz-Thompson sample: every retained item has the
+    /// same inclusion probability `min(1, k / D)` where `D` is the number of distinct
+    /// items seen, because the rank permutation is uniform over items.
+    #[must_use]
+    pub fn into_sample(self) -> HorvitzThompsonSample {
+        let d = self.distinct_seen.len();
+        let pi = if d == 0 {
+            1.0
+        } else {
+            (self.capacity as f64 / d as f64).min(1.0)
+        };
+        let items = self
+            .retained
+            .into_iter()
+            .map(|(item, (_, count))| SampledItem {
+                item,
+                weight: count as f64,
+                inclusion_probability: pi,
+            })
+            .collect();
+        HorvitzThompsonSample::new(items, d)
+    }
+
+    /// Estimates the total count of items satisfying `predicate` without consuming the
+    /// sketch.
+    pub fn subset_sum<F>(&self, mut predicate: F) -> f64
+    where
+        F: FnMut(u64) -> bool,
+    {
+        let d = self.distinct_seen.len();
+        if d == 0 {
+            return 0.0;
+        }
+        let pi = (self.capacity as f64 / d as f64).min(1.0);
+        self.retained
+            .iter()
+            .filter(|(&item, _)| predicate(item))
+            .map(|(_, &(_, count))| count as f64 / pi)
+            .sum()
+    }
+}
+
+/// SplitMix64 finaliser: a fast, well-mixed 64-bit hash used to derive item ranks.
+#[must_use]
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_at_most_k_items() {
+        let mut sk = BottomKSketch::new(10, 7);
+        for i in 0..1000u64 {
+            sk.offer(i);
+        }
+        assert_eq!(sk.len(), 10);
+        assert_eq!(sk.distinct_items(), 1000);
+        assert_eq!(sk.rows_processed(), 1000);
+    }
+
+    #[test]
+    fn small_population_kept_exactly() {
+        let mut sk = BottomKSketch::new(100, 1);
+        for i in 0..20u64 {
+            for _ in 0..(i + 1) {
+                sk.offer(i);
+            }
+        }
+        let sample = sk.into_sample();
+        assert_eq!(sample.len(), 20);
+        let total: f64 = sample.total();
+        let expected: f64 = (1..=20u64).map(|c| c as f64).sum();
+        assert!((total - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_occurrences_do_not_evict() {
+        // A retained item seen many times stays retained and keeps an exact count.
+        let mut sk = BottomKSketch::new(5, 3);
+        for _ in 0..50 {
+            sk.offer(42);
+        }
+        for i in 0..100u64 {
+            sk.offer(i);
+        }
+        for _ in 0..50 {
+            sk.offer(42);
+        }
+        if let Some(&(_, count)) = sk.retained.get(&42) {
+            assert_eq!(count, 100);
+        }
+        assert_eq!(sk.len(), 5);
+    }
+
+    #[test]
+    fn inclusion_probability_is_k_over_distinct() {
+        let mut sk = BottomKSketch::new(25, 9);
+        for i in 0..500u64 {
+            sk.offer(i);
+        }
+        let sample = sk.into_sample();
+        for s in &sample.items {
+            assert!((s.inclusion_probability - 0.05).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn total_estimate_is_roughly_unbiased_over_seeds() {
+        // Uniform item sampling is unbiased for the total; average over many seeds.
+        let n_items = 400u64;
+        let true_total: f64 = (0..n_items).map(|i| (i % 17 + 1) as f64).sum();
+        let mut sum = 0.0;
+        let reps = 600;
+        for seed in 0..reps {
+            let mut sk = BottomKSketch::new(40, seed);
+            for i in 0..n_items {
+                sk.offer_weighted(i, i % 17 + 1);
+            }
+            sum += sk.into_sample().total();
+        }
+        let mean = sum / reps as f64;
+        assert!(
+            (mean - true_total).abs() / true_total < 0.05,
+            "mean {mean} vs {true_total}"
+        );
+    }
+
+    #[test]
+    fn subset_sum_uses_uniform_inflation() {
+        let mut sk = BottomKSketch::new(1000, 5);
+        for i in 0..100u64 {
+            sk.offer_weighted(i, 2);
+        }
+        // Everything retained: estimate is exact.
+        let est = sk.subset_sum(|i| i < 50);
+        assert!((est - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_spreads() {
+        assert_eq!(splitmix64(1), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+        // Crude avalanche check: flipping one bit changes many output bits.
+        let diff = (splitmix64(0x1234) ^ splitmix64(0x1235)).count_ones();
+        assert!(diff > 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = BottomKSketch::new(0, 1);
+    }
+}

@@ -1,0 +1,212 @@
+//! The Horvitz-Thompson estimator for unequal-probability samples.
+//!
+//! Given a sample drawn with per-item inclusion probabilities `π_i`, the
+//! Horvitz-Thompson estimator of the population total is `Σ_{i in sample} x_i / π_i`.
+//! It is unbiased for any design with `π_i > 0` for every item with `x_i > 0`
+//! (section 5.1 of the paper). All fixed-size samplers in this crate hand back samples
+//! in this form so that subset sums can be estimated with a single pass.
+
+use crate::SampledItem;
+
+/// A Horvitz-Thompson sample: sampled items with their inclusion probabilities, plus
+/// the population size for bookkeeping.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HorvitzThompsonSample {
+    /// The sampled items (each with weight and inclusion probability).
+    pub items: Vec<SampledItem>,
+    /// Number of items in the population the sample was drawn from.
+    pub population_size: usize,
+}
+
+impl HorvitzThompsonSample {
+    /// Creates a sample from parts.
+    #[must_use]
+    pub fn new(items: Vec<SampledItem>, population_size: usize) -> Self {
+        Self {
+            items,
+            population_size,
+        }
+    }
+
+    /// Number of items actually retained in the sample.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the sample is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Horvitz-Thompson estimate of the total weight of items satisfying `predicate`.
+    pub fn subset_sum<F>(&self, predicate: F) -> f64
+    where
+        F: FnMut(u64) -> bool,
+    {
+        crate::estimate_subset_sum(&self.items, predicate)
+    }
+
+    /// Horvitz-Thompson estimate of the population total (no filter).
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.items.iter().map(SampledItem::adjusted_weight).sum()
+    }
+
+    /// Upper bound on the variance of a subset-sum estimate, assuming the inclusion
+    /// indicators are non-positively correlated (true for all fixed-size designs in
+    /// this crate): `Σ x_i^2 (1-π_i)/π_i` over sampled items in the subset, each term
+    /// divided once more by `π_i` to unbias it (see equation 1 of the paper).
+    pub fn subset_variance_upper_bound<F>(&self, mut predicate: F) -> f64
+    where
+        F: FnMut(u64) -> bool,
+    {
+        self.items
+            .iter()
+            .filter(|s| predicate(s.item))
+            .map(|s| {
+                let pi = s.inclusion_probability;
+                if pi <= 0.0 || pi >= 1.0 {
+                    0.0
+                } else {
+                    s.weight * s.weight * (1.0 - pi) / (pi * pi)
+                }
+            })
+            .sum()
+    }
+}
+
+/// One-shot Horvitz-Thompson estimate: sums `weight / probability` for items where the
+/// inclusion indicator is `true`.
+///
+/// # Panics
+///
+/// Panics if the three slices have different lengths.
+#[must_use]
+pub fn ht_estimate(weights: &[f64], inclusion_probabilities: &[f64], included: &[bool]) -> f64 {
+    assert_eq!(weights.len(), inclusion_probabilities.len());
+    assert_eq!(weights.len(), included.len());
+    weights
+        .iter()
+        .zip(inclusion_probabilities)
+        .zip(included)
+        .filter(|(_, &z)| z)
+        .map(|((&x, &pi), _)| if pi > 0.0 { x / pi } else { 0.0 })
+        .sum()
+}
+
+/// Population-side upper bound on the Horvitz-Thompson variance for a Poisson-like PPS
+/// design: `Σ_i x_i^2 (1 - π_i) / π_i` (equation 1 of the paper, written with
+/// `α_i n_i = n_i / π_i`). Exact for independent (Poisson) sampling, an upper bound for
+/// fixed-size designs with negatively correlated inclusions.
+#[must_use]
+pub fn ht_variance_upper_bound(weights: &[f64], inclusion_probabilities: &[f64]) -> f64 {
+    assert_eq!(weights.len(), inclusion_probabilities.len());
+    weights
+        .iter()
+        .zip(inclusion_probabilities)
+        .map(|(&x, &pi)| {
+            if pi <= 0.0 || pi >= 1.0 {
+                0.0
+            } else {
+                x * x * (1.0 - pi) / pi
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn ht_estimate_full_inclusion_is_exact() {
+        let w = vec![1.0, 2.0, 3.0];
+        let pi = vec![1.0, 1.0, 1.0];
+        let z = vec![true, true, true];
+        assert_eq!(ht_estimate(&w, &pi, &z), 6.0);
+    }
+
+    #[test]
+    fn ht_estimate_is_unbiased_under_poisson_sampling() {
+        // Monte-Carlo check of unbiasedness for independent Bernoulli(π_i) sampling.
+        let weights: Vec<f64> = (1..=40).map(|i| i as f64).collect();
+        let total: f64 = weights.iter().sum();
+        let probs: Vec<f64> = weights.iter().map(|&w| (w / 45.0).min(1.0)).collect();
+        let mut rng = StdRng::seed_from_u64(42);
+        let reps = 20_000;
+        let mut sum_est = 0.0;
+        for _ in 0..reps {
+            let included: Vec<bool> = probs.iter().map(|&p| rng.gen_bool(p)).collect();
+            sum_est += ht_estimate(&weights, &probs, &included);
+        }
+        let mean = sum_est / reps as f64;
+        // Standard error of the mean is well under 1% of the total here.
+        assert!(
+            (mean - total).abs() / total < 0.02,
+            "mean {mean} vs total {total}"
+        );
+    }
+
+    #[test]
+    fn variance_bound_zero_for_certainties() {
+        assert_eq!(ht_variance_upper_bound(&[5.0, 3.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn variance_bound_matches_poisson_formula() {
+        let v = ht_variance_upper_bound(&[2.0], &[0.5]);
+        // x^2 (1-pi)/pi = 4 * 0.5 / 0.5 = 4
+        assert!((v - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_subset_sum_and_total() {
+        let items = vec![
+            SampledItem {
+                item: 1,
+                weight: 4.0,
+                inclusion_probability: 0.5,
+            },
+            SampledItem {
+                item: 2,
+                weight: 6.0,
+                inclusion_probability: 1.0,
+            },
+        ];
+        let sample = HorvitzThompsonSample::new(items, 10);
+        assert_eq!(sample.len(), 2);
+        assert!(!sample.is_empty());
+        assert!((sample.total() - 14.0).abs() < 1e-12);
+        assert!((sample.subset_sum(|i| i == 1) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subset_variance_bound_ignores_certainties() {
+        let items = vec![
+            SampledItem {
+                item: 1,
+                weight: 4.0,
+                inclusion_probability: 0.5,
+            },
+            SampledItem {
+                item: 2,
+                weight: 6.0,
+                inclusion_probability: 1.0,
+            },
+        ];
+        let sample = HorvitzThompsonSample::new(items, 2);
+        let v = sample.subset_variance_upper_bound(|_| true);
+        // Only the first item contributes: 16 * 0.5 / 0.25 = 32.
+        assert!((v - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let _ = ht_estimate(&[1.0], &[0.5, 0.5], &[true, true]);
+    }
+}

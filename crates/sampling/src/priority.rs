@@ -1,0 +1,331 @@
+//! Priority sampling (Duffield, Lund, Thorup 2007).
+//!
+//! Priority sampling draws an approximately probability-proportional-to-size sample of
+//! fixed size `m` from pre-aggregated data. Each item with weight `x_i` is assigned a
+//! priority `R_i = x_i / U_i` with `U_i ~ Uniform(0,1)`; the `m` items with the largest
+//! priorities form the sample, and the threshold `τ` is the `(m+1)`-th largest
+//! priority. Each sampled item is assigned the pseudo-inclusion probability
+//! `min{1, x_i/τ}`, and Horvitz-Thompson style estimates with these pseudo
+//! probabilities are unbiased for any subset sum (Szegedy 2006 shows the scheme is
+//! near-optimal). This is the paper's strongest baseline: it operates on
+//! *pre-aggregated* per-item counts, which the disaggregated sketches never see.
+
+use rand::Rng;
+
+use crate::{HorvitzThompsonSample, SampledItem, WeightedItem};
+
+/// The result of drawing one priority sample.
+pub type PrioritySample = HorvitzThompsonSample;
+
+/// Draws a priority sample of size `m` from pre-aggregated `items`.
+///
+/// Items with non-positive weight are never sampled. If the population has at most `m`
+/// positive-weight items, all of them are returned with inclusion probability 1.
+pub fn priority_sample<R: Rng + ?Sized>(
+    items: &[WeightedItem],
+    m: usize,
+    rng: &mut R,
+) -> PrioritySample {
+    let positive: Vec<&WeightedItem> = items.iter().filter(|it| it.weight > 0.0).collect();
+    let population_size = items.len();
+    if m == 0 || positive.is_empty() {
+        return HorvitzThompsonSample::new(Vec::new(), population_size);
+    }
+    if positive.len() <= m {
+        let sampled = positive
+            .iter()
+            .map(|it| SampledItem {
+                item: it.item,
+                weight: it.weight,
+                inclusion_probability: 1.0,
+            })
+            .collect();
+        return HorvitzThompsonSample::new(sampled, population_size);
+    }
+
+    // Priorities R_i = x_i / U_i. Larger is more likely to be kept.
+    let mut prioritized: Vec<(f64, &WeightedItem)> = positive
+        .iter()
+        .map(|it| {
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            (it.weight / u, *it)
+        })
+        .collect();
+    // Select the m largest priorities; the threshold is the (m+1)-th largest.
+    prioritized.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("priorities are finite"));
+    let threshold = prioritized[m].0;
+    let sampled = prioritized[..m]
+        .iter()
+        .map(|(_, it)| SampledItem {
+            item: it.item,
+            weight: it.weight,
+            inclusion_probability: (it.weight / threshold).min(1.0),
+        })
+        .collect();
+    HorvitzThompsonSample::new(sampled, population_size)
+}
+
+/// An incremental priority sampler ("sketch") that keeps the `m` largest priorities
+/// seen so far using a min-heap keyed by priority, so pre-aggregated items can be
+/// streamed through it.
+#[derive(Debug, Clone)]
+pub struct PrioritySketch {
+    capacity: usize,
+    // Min-heap over priority implemented on a Vec (std BinaryHeap is a max-heap and
+    // f64 is not Ord); the heap is small (size m), so sift costs are negligible.
+    heap: Vec<(f64, WeightedItem)>,
+    /// Largest priority evicted so far; together with the in-heap minimum it defines
+    /// the estimation threshold.
+    evicted_max_priority: f64,
+    population_size: usize,
+}
+
+impl PrioritySketch {
+    /// Creates a sketch retaining at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            capacity,
+            heap: Vec::with_capacity(capacity + 1),
+            evicted_max_priority: 0.0,
+            population_size: 0,
+        }
+    }
+
+    /// Number of items currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the sketch holds no items.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Offers a pre-aggregated item to the sketch.
+    pub fn offer<R: Rng + ?Sized>(&mut self, item: WeightedItem, rng: &mut R) {
+        self.population_size += 1;
+        if item.weight <= 0.0 {
+            return;
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let priority = item.weight / u;
+        self.heap.push((priority, item));
+        self.sift_up(self.heap.len() - 1);
+        if self.heap.len() > self.capacity {
+            let (evicted_priority, _) = self.pop_min();
+            if evicted_priority > self.evicted_max_priority {
+                self.evicted_max_priority = evicted_priority;
+            }
+        }
+    }
+
+    /// Finalises the sketch into a Horvitz-Thompson sample using the priority-sampling
+    /// threshold (the largest priority *not* retained).
+    #[must_use]
+    pub fn into_sample(self) -> PrioritySample {
+        let threshold = self.evicted_max_priority;
+        let sampled = self
+            .heap
+            .into_iter()
+            .map(|(_, it)| SampledItem {
+                item: it.item,
+                weight: it.weight,
+                inclusion_probability: if threshold > 0.0 {
+                    (it.weight / threshold).min(1.0)
+                } else {
+                    1.0
+                },
+            })
+            .collect();
+        HorvitzThompsonSample::new(sampled, self.population_size)
+    }
+
+    fn sift_up(&mut self, mut idx: usize) {
+        while idx > 0 {
+            let parent = (idx - 1) / 2;
+            if self.heap[idx].0 < self.heap[parent].0 {
+                self.heap.swap(idx, parent);
+                idx = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn pop_min(&mut self) -> (f64, WeightedItem) {
+        let last = self.heap.len() - 1;
+        self.heap.swap(0, last);
+        let min = self.heap.pop().expect("heap is non-empty");
+        // Sift down from the root.
+        let mut idx = 0;
+        loop {
+            let left = 2 * idx + 1;
+            let right = 2 * idx + 2;
+            let mut smallest = idx;
+            if left < self.heap.len() && self.heap[left].0 < self.heap[smallest].0 {
+                smallest = left;
+            }
+            if right < self.heap.len() && self.heap[right].0 < self.heap[smallest].0 {
+                smallest = right;
+            }
+            if smallest == idx {
+                break;
+            }
+            self.heap.swap(idx, smallest);
+            idx = smallest;
+        }
+        min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn population(n: usize) -> Vec<WeightedItem> {
+        (0..n)
+            .map(|i| WeightedItem::new(i as u64, (i % 13 + 1) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn small_population_is_fully_included() {
+        let items = population(5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let sample = priority_sample(&items, 10, &mut rng);
+        assert_eq!(sample.len(), 5);
+        assert!(sample
+            .items
+            .iter()
+            .all(|s| (s.inclusion_probability - 1.0).abs() < 1e-12));
+        let true_total: f64 = items.iter().map(|it| it.weight).sum();
+        assert!((sample.total() - true_total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_size_is_exactly_m() {
+        let items = population(500);
+        let mut rng = StdRng::seed_from_u64(2);
+        let sample = priority_sample(&items, 64, &mut rng);
+        assert_eq!(sample.len(), 64);
+    }
+
+    #[test]
+    fn zero_weight_items_are_never_sampled() {
+        let mut items = population(50);
+        items.push(WeightedItem::new(999, 0.0));
+        let mut rng = StdRng::seed_from_u64(3);
+        let sample = priority_sample(&items, 20, &mut rng);
+        assert!(sample.items.iter().all(|s| s.item != 999));
+    }
+
+    #[test]
+    fn total_estimate_is_unbiased() {
+        let items = population(200);
+        let true_total: f64 = items.iter().map(|it| it.weight).sum();
+        let mut rng = StdRng::seed_from_u64(4);
+        let reps = 4000;
+        let mut sum = 0.0;
+        for _ in 0..reps {
+            sum += priority_sample(&items, 32, &mut rng).total();
+        }
+        let mean = sum / reps as f64;
+        assert!(
+            (mean - true_total).abs() / true_total < 0.03,
+            "mean {mean} vs {true_total}"
+        );
+    }
+
+    #[test]
+    fn subset_estimate_is_unbiased() {
+        let items = population(200);
+        let true_subset: f64 = items
+            .iter()
+            .filter(|it| it.item % 7 == 0)
+            .map(|it| it.weight)
+            .sum();
+        let mut rng = StdRng::seed_from_u64(5);
+        let reps = 6000;
+        let mut sum = 0.0;
+        for _ in 0..reps {
+            sum += priority_sample(&items, 48, &mut rng).subset_sum(|i| i % 7 == 0);
+        }
+        let mean = sum / reps as f64;
+        assert!(
+            (mean - true_subset).abs() / true_subset < 0.05,
+            "mean {mean} vs {true_subset}"
+        );
+    }
+
+    #[test]
+    fn streaming_sketch_matches_batch_semantics() {
+        let items = population(300);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut sketch = PrioritySketch::new(40);
+        for &it in &items {
+            sketch.offer(it, &mut rng);
+        }
+        let sample = sketch.into_sample();
+        assert_eq!(sample.len(), 40);
+        assert_eq!(sample.population_size, 300);
+        // All retained items must carry a valid probability in (0, 1].
+        assert!(sample
+            .items
+            .iter()
+            .all(|s| s.inclusion_probability > 0.0 && s.inclusion_probability <= 1.0));
+    }
+
+    #[test]
+    fn streaming_sketch_total_is_unbiased() {
+        let items = population(120);
+        let true_total: f64 = items.iter().map(|it| it.weight).sum();
+        let mut rng = StdRng::seed_from_u64(7);
+        let reps = 3000;
+        let mut sum = 0.0;
+        for _ in 0..reps {
+            let mut sketch = PrioritySketch::new(30);
+            for &it in &items {
+                sketch.offer(it, &mut rng);
+            }
+            sum += sketch.into_sample().total();
+        }
+        let mean = sum / reps as f64;
+        assert!(
+            (mean - true_total).abs() / true_total < 0.04,
+            "mean {mean} vs {true_total}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = PrioritySketch::new(0);
+    }
+
+    #[test]
+    fn frequent_items_have_probability_one() {
+        // One huge item among small ones must always be kept with pi = 1.
+        let mut items = population(100);
+        items.push(WeightedItem::new(7777, 1e6));
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..50 {
+            let sample = priority_sample(&items, 20, &mut rng);
+            let big = sample
+                .items
+                .iter()
+                .find(|s| s.item == 7777)
+                .expect("huge item always sampled");
+            assert!((big.inclusion_probability - 1.0).abs() < 1e-12);
+        }
+    }
+}

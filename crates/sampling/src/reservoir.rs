@@ -1,0 +1,224 @@
+//! Reservoir sampling.
+//!
+//! Two variants are provided:
+//!
+//! * [`ReservoirOne`] — a size-one reservoir over a weighted stream: after offering
+//!   items with weights `w_1..w_t`, the retained label is item `i` with probability
+//!   `w_i / Σ w_j`. This is exactly the mechanism by which an Unbiased Space Saving bin
+//!   picks its label (section 6.2 of the paper: "the bin label is a reservoir sample of
+//!   size 1 for the items added to the bin"), broken out here so it can be tested and
+//!   reused independently.
+//! * [`ReservoirK`] — the classical size-`k` uniform reservoir over an unweighted
+//!   stream (Algorithm R), used by the workload generators and as a building block for
+//!   uniform row sampling baselines.
+
+use rand::Rng;
+
+/// A weighted reservoir of size one.
+///
+/// After observing weights `w_1, ..., w_t`, holds label `i` with probability
+/// `w_i / Σ_j w_j`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ReservoirOne {
+    label: Option<u64>,
+    total_weight: f64,
+}
+
+impl ReservoirOne {
+    /// Creates an empty reservoir.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current label, if any item has been offered with positive weight.
+    #[must_use]
+    pub fn label(&self) -> Option<u64> {
+        self.label
+    }
+
+    /// Total weight offered so far.
+    #[must_use]
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Offers `item` with the given positive `weight`; the label switches to `item`
+    /// with probability `weight / (total_weight + weight)`.
+    pub fn offer<R: Rng + ?Sized>(&mut self, item: u64, weight: f64, rng: &mut R) {
+        if weight <= 0.0 {
+            return;
+        }
+        self.total_weight += weight;
+        let p = weight / self.total_weight;
+        if self.label.is_none() || rng.gen_bool(p.clamp(0.0, 1.0)) {
+            self.label = Some(item);
+        }
+    }
+}
+
+/// A uniform reservoir sample of size `k` over an unweighted stream (Algorithm R).
+#[derive(Debug, Clone)]
+pub struct ReservoirK {
+    capacity: usize,
+    items: Vec<u64>,
+    seen: u64,
+}
+
+impl ReservoirK {
+    /// Creates a reservoir retaining at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            capacity,
+            items: Vec::with_capacity(capacity),
+            seen: 0,
+        }
+    }
+
+    /// Items currently retained (in arbitrary order).
+    #[must_use]
+    pub fn items(&self) -> &[u64] {
+        &self.items
+    }
+
+    /// Number of rows observed so far.
+    #[must_use]
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Offers one row to the reservoir.
+    pub fn offer<R: Rng + ?Sized>(&mut self, item: u64, rng: &mut R) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+        } else {
+            let j = rng.gen_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.items[j as usize] = item;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reservoir_one_starts_empty() {
+        let r = ReservoirOne::new();
+        assert_eq!(r.label(), None);
+        assert_eq!(r.total_weight(), 0.0);
+    }
+
+    #[test]
+    fn reservoir_one_single_item_always_retained() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut r = ReservoirOne::new();
+        r.offer(9, 3.0, &mut rng);
+        assert_eq!(r.label(), Some(9));
+        assert!((r.total_weight() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reservoir_one_ignores_non_positive_weight() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut r = ReservoirOne::new();
+        r.offer(9, 0.0, &mut rng);
+        r.offer(9, -1.0, &mut rng);
+        assert_eq!(r.label(), None);
+    }
+
+    #[test]
+    fn reservoir_one_label_proportional_to_weight() {
+        // Offer item 1 with weight 3 and item 2 with weight 1: P(label = 1) = 3/4.
+        let mut rng = StdRng::seed_from_u64(3);
+        let reps = 40_000;
+        let mut ones = 0;
+        for _ in 0..reps {
+            let mut r = ReservoirOne::new();
+            r.offer(1, 3.0, &mut rng);
+            r.offer(2, 1.0, &mut rng);
+            if r.label() == Some(1) {
+                ones += 1;
+            }
+        }
+        let p = ones as f64 / reps as f64;
+        assert!((p - 0.75).abs() < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn reservoir_one_order_does_not_matter() {
+        // Same two items offered in the other order give the same marginal distribution.
+        let mut rng = StdRng::seed_from_u64(4);
+        let reps = 40_000;
+        let mut ones = 0;
+        for _ in 0..reps {
+            let mut r = ReservoirOne::new();
+            r.offer(2, 1.0, &mut rng);
+            r.offer(1, 3.0, &mut rng);
+            if r.label() == Some(1) {
+                ones += 1;
+            }
+        }
+        let p = ones as f64 / reps as f64;
+        assert!((p - 0.75).abs() < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn reservoir_k_keeps_first_k() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut r = ReservoirK::new(5);
+        for i in 0..5u64 {
+            r.offer(i, &mut rng);
+        }
+        let mut items = r.items().to_vec();
+        items.sort_unstable();
+        assert_eq!(items, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn reservoir_k_is_uniform() {
+        // Sample 1 of 4 items many times; each item should appear ~25% of the time.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut counts = [0u32; 4];
+        let reps = 40_000;
+        for _ in 0..reps {
+            let mut r = ReservoirK::new(1);
+            for i in 0..4u64 {
+                r.offer(i, &mut rng);
+            }
+            counts[r.items()[0] as usize] += 1;
+        }
+        for &c in &counts {
+            let p = c as f64 / reps as f64;
+            assert!((p - 0.25).abs() < 0.015, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn reservoir_k_size_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut r = ReservoirK::new(8);
+        for i in 0..10_000u64 {
+            r.offer(i, &mut rng);
+        }
+        assert_eq!(r.items().len(), 8);
+        assert_eq!(r.seen(), 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn reservoir_k_zero_capacity_panics() {
+        let _ = ReservoirK::new(0);
+    }
+}

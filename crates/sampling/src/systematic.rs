@@ -1,0 +1,156 @@
+//! Systematic probability-proportional-to-size sampling.
+//!
+//! Systematic PPS sampling places the items on a line segment of length `Σ π_i`, each
+//! item occupying an interval of length `π_i`, draws a single uniform start
+//! `u ~ Uniform(0, 1)` and selects every item whose interval contains a point
+//! `u + k` for integer `k ≥ 0`. It achieves the prescribed marginal inclusion
+//! probabilities with a single random number and a fixed sample size when `Σ π_i` is an
+//! integer. It is an inexpensive alternative to the splitting procedure inside merge
+//! reductions; its drawback is strong (positive or negative) correlation between
+//! inclusions of nearby items, which the splitting procedure avoids.
+
+use rand::Rng;
+
+/// Draws inclusion indicators with the given marginal inclusion probabilities using
+/// systematic sampling.
+///
+/// # Panics
+///
+/// Panics if any probability is outside `[0, 1]` or non-finite.
+pub fn systematic_sample<R: Rng + ?Sized>(
+    inclusion_probabilities: &[f64],
+    rng: &mut R,
+) -> Vec<bool> {
+    for &p in inclusion_probabilities {
+        assert!(
+            p.is_finite() && (0.0..=1.0).contains(&p),
+            "inclusion probabilities must lie in [0, 1]"
+        );
+    }
+    let n = inclusion_probabilities.len();
+    let mut included = vec![false; n];
+    if n == 0 {
+        return included;
+    }
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let mut cumulative = 0.0;
+    // Select item i iff some integer grid point u + k falls inside
+    // (cumulative, cumulative + pi].
+    let mut next_point = u;
+    for (i, &p) in inclusion_probabilities.iter().enumerate() {
+        let upper = cumulative + p;
+        while next_point <= upper {
+            if next_point > cumulative {
+                included[i] = true;
+            }
+            next_point += 1.0;
+        }
+        cumulative = upper;
+    }
+    included
+}
+
+/// Draws a systematic PPS sample of expected size `m` from raw weights: computes the
+/// thresholded PPS design and applies [`systematic_sample`]. Returns the indicators and
+/// the design.
+pub fn systematic_pps_sample<R: Rng + ?Sized>(
+    weights: &[f64],
+    m: usize,
+    rng: &mut R,
+) -> (Vec<bool>, crate::PpsDesign) {
+    let design = crate::pps::pps_inclusion_probabilities(weights, m);
+    let included = systematic_sample(&design.inclusion_probabilities, rng);
+    (included, design)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_input() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(systematic_sample(&[], &mut rng).is_empty());
+    }
+
+    #[test]
+    fn certainty_items_are_always_selected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let inc = systematic_sample(&[1.0, 0.25, 1.0, 0.75], &mut rng);
+            assert!(inc[0]);
+            assert!(inc[2]);
+        }
+    }
+
+    #[test]
+    fn integer_mass_gives_fixed_size() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let probs = vec![0.25, 0.25, 0.25, 0.25, 0.5, 0.5, 1.0];
+        for _ in 0..500 {
+            let inc = systematic_sample(&probs, &mut rng);
+            assert_eq!(inc.iter().filter(|&&b| b).count(), 3);
+        }
+    }
+
+    #[test]
+    fn marginals_are_respected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let probs = vec![0.2, 0.4, 0.4, 0.6, 0.4];
+        let reps = 60_000;
+        let mut counts = vec![0u32; probs.len()];
+        for _ in 0..reps {
+            let inc = systematic_sample(&probs, &mut rng);
+            for (c, z) in counts.iter_mut().zip(inc) {
+                if z {
+                    *c += 1;
+                }
+            }
+        }
+        for (i, (&c, &p)) in counts.iter().zip(&probs).enumerate() {
+            let emp = c as f64 / reps as f64;
+            assert!((emp - p).abs() < 0.01, "coordinate {i}: {emp} vs {p}");
+        }
+    }
+
+    #[test]
+    fn zero_probability_never_selected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let inc = systematic_sample(&[0.0, 1.0, 0.0], &mut rng);
+            assert!(!inc[0]);
+            assert!(!inc[2]);
+        }
+    }
+
+    #[test]
+    fn pps_wrapper_unbiased_total() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let weights: Vec<f64> = (1..=60).map(|i| ((i * 13) % 23 + 1) as f64).collect();
+        let true_total: f64 = weights.iter().sum();
+        let reps = 5000;
+        let mut sum = 0.0;
+        for _ in 0..reps {
+            let (inc, design) = systematic_pps_sample(&weights, 12, &mut rng);
+            sum += crate::horvitz_thompson::ht_estimate(
+                &weights,
+                &design.inclusion_probabilities,
+                &inc,
+            );
+        }
+        let mean = sum / reps as f64;
+        assert!(
+            (mean - true_total).abs() / true_total < 0.03,
+            "mean {mean} vs {true_total}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "inclusion probabilities")]
+    fn invalid_probability_panics() {
+        let mut rng = StdRng::seed_from_u64(7);
+        systematic_sample(&[f64::NAN], &mut rng);
+    }
+}

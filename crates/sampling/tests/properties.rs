@@ -1,0 +1,110 @@
+//! Property-based tests for the sampling substrate.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use uss_sampling::{
+    ht_estimate, pps_inclusion_probabilities, priority::priority_sample, BottomKSketch,
+    SplittingSampler, WeightedItem,
+};
+
+fn weights_strategy() -> impl Strategy<Value = Vec<f64>> {
+    vec(1u32..10_000u32, 1..80).prop_map(|v| v.into_iter().map(f64::from).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The thresholded PPS design always produces probabilities in [0, 1] whose sum is
+    /// min(m, number of positive weights).
+    #[test]
+    fn pps_design_expected_size(weights in weights_strategy(), m in 1usize..40) {
+        let design = pps_inclusion_probabilities(&weights, m);
+        for &p in &design.inclusion_probabilities {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+        }
+        let expected: f64 = design.expected_sample_size();
+        let target = m.min(weights.len()) as f64;
+        prop_assert!((expected - target).abs() < 1e-6, "expected {expected} vs {target}");
+    }
+
+    /// Probabilities are monotone in the weights: a heavier item never has a smaller
+    /// inclusion probability.
+    #[test]
+    fn pps_design_is_monotone(weights in weights_strategy(), m in 1usize..40) {
+        let design = pps_inclusion_probabilities(&weights, m);
+        for i in 0..weights.len() {
+            for j in 0..weights.len() {
+                if weights[i] >= weights[j] {
+                    prop_assert!(design.inclusion_probabilities[i] >= design.inclusion_probabilities[j] - 1e-12);
+                }
+            }
+        }
+    }
+
+    /// The splitting sampler realises exactly the fixed size implied by an
+    /// integer-mass design and honours certainties.
+    #[test]
+    fn splitting_fixed_size(weights in weights_strategy(), m in 1usize..30, seed in any::<u64>()) {
+        prop_assume!(m < weights.len());
+        let design = pps_inclusion_probabilities(&weights, m);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let included = SplittingSampler::new().sample(&design.inclusion_probabilities, &mut rng);
+        let size = included.iter().filter(|&&b| b).count();
+        prop_assert_eq!(size, m);
+        for (i, &p) in design.inclusion_probabilities.iter().enumerate() {
+            if p >= 1.0 {
+                prop_assert!(included[i], "certainty item must always be selected");
+            }
+        }
+    }
+
+    /// Horvitz-Thompson with a full census is exact for any weights.
+    #[test]
+    fn ht_census_is_exact(weights in weights_strategy()) {
+        let probs = vec![1.0; weights.len()];
+        let included = vec![true; weights.len()];
+        let est = ht_estimate(&weights, &probs, &included);
+        let truth: f64 = weights.iter().sum();
+        prop_assert!((est - truth).abs() < 1e-9 * truth.max(1.0));
+    }
+
+    /// A priority sample never exceeds the requested size, never includes zero-weight
+    /// items, and assigns every kept item a probability in (0, 1].
+    #[test]
+    fn priority_sample_structure(weights in weights_strategy(), m in 1usize..30, seed in any::<u64>()) {
+        let items: Vec<WeightedItem> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| WeightedItem::new(i as u64, w))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sample = priority_sample(&items, m, &mut rng);
+        prop_assert!(sample.len() <= m.max(items.len().min(m)) || items.len() <= m);
+        prop_assert!(sample.len() <= items.len());
+        for s in &sample.items {
+            prop_assert!(s.inclusion_probability > 0.0 && s.inclusion_probability <= 1.0);
+            prop_assert!(s.weight > 0.0);
+        }
+    }
+
+    /// Bottom-k retains at most k distinct items and its per-item counts never exceed
+    /// the true occurrence counts.
+    #[test]
+    fn bottom_k_counts_never_exceed_truth(stream in vec(0u64..40, 1..300), k in 1usize..20, seed in any::<u64>()) {
+        let mut sketch = BottomKSketch::new(k, seed);
+        let mut truth = std::collections::HashMap::new();
+        for &item in &stream {
+            sketch.offer(item);
+            *truth.entry(item).or_insert(0u64) += 1;
+        }
+        let sample = sketch.into_sample();
+        prop_assert!(sample.len() <= k);
+        for s in &sample.items {
+            let t = truth[&s.item];
+            prop_assert!(s.weight as u64 <= t);
+        }
+    }
+}

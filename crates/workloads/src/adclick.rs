@@ -1,0 +1,408 @@
+//! Synthetic ad-impression streams standing in for the Criteo click dataset.
+//!
+//! The paper's real-data experiments (Figures 5–6) use a 45-million-impression sample
+//! of the Criteo Kaggle display-advertising dataset, keeping 9 categorical features
+//! and measuring how well the sketches estimate 1-way and 2-way marginal counts (the
+//! historical-count features used in click prediction). The dataset is not
+//! redistributable, so this module generates a synthetic impression stream with the
+//! properties the experiments actually exercise:
+//!
+//! * 9 categorical features with heavy-tailed (Zipf) value distributions and widely
+//!   varying cardinalities (tens to hundreds of thousands of values);
+//! * correlations between features (e.g. ad → advertiser is a deterministic mapping,
+//!   site → vertical is many-to-one), so multi-way marginals are not independent
+//!   products;
+//! * a click label driven by a logistic model with per-advertiser and per-site
+//!   effects, so click-through-rate style queries are meaningful.
+//!
+//! The estimators under test only ever see hashed feature tuples and row multiplicity,
+//! so matching cardinality and skew profiles exercises identical code paths to the
+//! real data (see DESIGN.md, "Substitutions").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::distributions::ZipfSampler;
+
+/// Number of categorical features, matching the 9 used from the Criteo data.
+pub const NUM_FEATURES: usize = 9;
+
+/// Human-readable names for the synthetic features.
+pub const FEATURE_NAMES: [&str; NUM_FEATURES] = [
+    "advertiser",
+    "ad",
+    "campaign",
+    "site",
+    "vertical",
+    "device",
+    "country",
+    "user_segment",
+    "ad_format",
+];
+
+/// One synthetic ad impression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Impression {
+    /// Categorical feature values, indexed as in [`FEATURE_NAMES`].
+    pub features: [u32; NUM_FEATURES],
+    /// Whether the impression was clicked.
+    pub clicked: bool,
+}
+
+impl Impression {
+    /// Hashes the values of the selected features into a 64-bit item identifier, the
+    /// unit of analysis for marginal-count queries. Feature indices must be strictly
+    /// increasing.
+    #[must_use]
+    pub fn marginal_key(&self, feature_indices: &[usize]) -> u64 {
+        let mut key = 0xcbf2_9ce4_8422_2325_u64;
+        for &f in feature_indices {
+            let v = u64::from(self.features[f]) | ((f as u64) << 32);
+            key = splitmix(key ^ v);
+        }
+        key
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Configuration of the synthetic impression stream.
+#[derive(Debug, Clone, Copy)]
+pub struct AdClickConfig {
+    /// Number of impressions to generate.
+    pub rows: usize,
+    /// Number of distinct advertisers.
+    pub advertisers: usize,
+    /// Number of distinct ads (each ad belongs to exactly one advertiser).
+    pub ads: usize,
+    /// Number of distinct campaigns (each campaign belongs to exactly one advertiser).
+    pub campaigns: usize,
+    /// Number of distinct publisher sites (each site belongs to one vertical).
+    pub sites: usize,
+    /// Number of site verticals.
+    pub verticals: usize,
+    /// Number of device types.
+    pub devices: usize,
+    /// Number of countries.
+    pub countries: usize,
+    /// Number of user segments.
+    pub user_segments: usize,
+    /// Number of ad formats.
+    pub ad_formats: usize,
+    /// Zipf exponent controlling the skew of every categorical marginal.
+    pub skew: f64,
+    /// Base click-through rate.
+    pub base_ctr: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AdClickConfig {
+    fn default() -> Self {
+        Self {
+            rows: 100_000,
+            advertisers: 2_000,
+            ads: 50_000,
+            campaigns: 10_000,
+            sites: 5_000,
+            verticals: 25,
+            devices: 4,
+            countries: 40,
+            user_segments: 1_000,
+            ad_formats: 8,
+            skew: 1.05,
+            base_ctr: 0.03,
+            seed: 0xAD5EED,
+        }
+    }
+}
+
+/// Generator of synthetic ad impressions.
+#[derive(Debug, Clone)]
+pub struct AdClickGenerator {
+    config: AdClickConfig,
+    ad_sampler: ZipfSampler,
+    site_sampler: ZipfSampler,
+    campaign_sampler: ZipfSampler,
+    segment_sampler: ZipfSampler,
+    country_sampler: ZipfSampler,
+    /// ad -> advertiser mapping (deterministic, skewed toward low advertiser ids).
+    ad_to_advertiser: Vec<u32>,
+    /// site -> vertical mapping.
+    site_to_vertical: Vec<u32>,
+    /// Per-advertiser additive CTR effect.
+    advertiser_effect: Vec<f64>,
+    /// Per-site additive CTR effect.
+    site_effect: Vec<f64>,
+    rng: StdRng,
+    generated: usize,
+}
+
+impl AdClickGenerator {
+    /// Creates a generator from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cardinality is zero or `base_ctr` is outside `(0, 1)`.
+    #[must_use]
+    pub fn new(config: AdClickConfig) -> Self {
+        assert!(config.rows > 0, "rows must be positive");
+        assert!(
+            config.advertisers > 0
+                && config.ads > 0
+                && config.campaigns > 0
+                && config.sites > 0
+                && config.verticals > 0
+                && config.devices > 0
+                && config.countries > 0
+                && config.user_segments > 0
+                && config.ad_formats > 0,
+            "all cardinalities must be positive"
+        );
+        assert!(
+            config.base_ctr > 0.0 && config.base_ctr < 1.0,
+            "base_ctr must be in (0, 1)"
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let advertiser_zipf = ZipfSampler::new(config.advertisers, config.skew);
+        let vertical_zipf = ZipfSampler::new(config.verticals, config.skew);
+        let ad_to_advertiser = (0..config.ads)
+            .map(|_| advertiser_zipf.sample(&mut rng) as u32)
+            .collect();
+        let site_to_vertical = (0..config.sites)
+            .map(|_| vertical_zipf.sample(&mut rng) as u32)
+            .collect();
+        let advertiser_effect = (0..config.advertisers)
+            .map(|_| rng.gen_range(-0.5..0.5))
+            .collect();
+        let site_effect = (0..config.sites).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        Self {
+            ad_sampler: ZipfSampler::new(config.ads, config.skew),
+            site_sampler: ZipfSampler::new(config.sites, config.skew),
+            campaign_sampler: ZipfSampler::new(config.campaigns, config.skew),
+            segment_sampler: ZipfSampler::new(config.user_segments, config.skew),
+            country_sampler: ZipfSampler::new(config.countries, 0.8),
+            ad_to_advertiser,
+            site_to_vertical,
+            advertiser_effect,
+            site_effect,
+            rng,
+            config,
+            generated: 0,
+        }
+    }
+
+    /// The configuration this generator was built from.
+    #[must_use]
+    pub fn config(&self) -> &AdClickConfig {
+        &self.config
+    }
+
+    fn next_impression(&mut self) -> Impression {
+        let ad = self.ad_sampler.sample(&mut self.rng) as u32;
+        let advertiser = self.ad_to_advertiser[ad as usize];
+        let campaign = self.campaign_sampler.sample(&mut self.rng) as u32;
+        let site = self.site_sampler.sample(&mut self.rng) as u32;
+        let vertical = self.site_to_vertical[site as usize];
+        let device = self.rng.gen_range(0..self.config.devices) as u32;
+        let country = self.country_sampler.sample(&mut self.rng) as u32;
+        let segment = self.segment_sampler.sample(&mut self.rng) as u32;
+        let format = self.rng.gen_range(0..self.config.ad_formats) as u32;
+
+        // Logistic CTR model with advertiser and site effects.
+        let logit = (self.config.base_ctr / (1.0 - self.config.base_ctr)).ln()
+            + self.advertiser_effect[advertiser as usize]
+            + self.site_effect[site as usize];
+        let ctr = 1.0 / (1.0 + (-logit).exp());
+        let clicked = self.rng.gen_bool(ctr.clamp(0.0, 1.0));
+
+        Impression {
+            features: [
+                advertiser, ad, campaign, site, vertical, device, country, segment, format,
+            ],
+            clicked,
+        }
+    }
+
+    /// Generates the full stream into a vector.
+    #[must_use]
+    pub fn generate(mut self) -> Vec<Impression> {
+        let rows = self.config.rows;
+        (0..rows).map(|_| self.next_impression()).collect()
+    }
+}
+
+impl Iterator for AdClickGenerator {
+    type Item = Impression;
+
+    fn next(&mut self) -> Option<Impression> {
+        if self.generated >= self.config.rows {
+            return None;
+        }
+        self.generated += 1;
+        Some(self.next_impression())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.config.rows - self.generated;
+        (remaining, Some(remaining))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    fn small_config() -> AdClickConfig {
+        AdClickConfig {
+            rows: 20_000,
+            advertisers: 100,
+            ads: 1_000,
+            campaigns: 300,
+            sites: 200,
+            verticals: 10,
+            devices: 3,
+            countries: 12,
+            user_segments: 50,
+            ad_formats: 4,
+            skew: 1.05,
+            base_ctr: 0.05,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn generates_the_requested_number_of_rows() {
+        let rows = AdClickGenerator::new(small_config()).generate();
+        assert_eq!(rows.len(), 20_000);
+    }
+
+    #[test]
+    fn iterator_and_generate_agree_on_length_and_determinism() {
+        let a: Vec<Impression> = AdClickGenerator::new(small_config()).collect();
+        let b = AdClickGenerator::new(small_config()).generate();
+        assert_eq!(a, b, "same seed must give the same stream");
+    }
+
+    #[test]
+    fn feature_values_respect_cardinalities() {
+        let cfg = small_config();
+        let rows = AdClickGenerator::new(cfg).generate();
+        let limits = [
+            cfg.advertisers,
+            cfg.ads,
+            cfg.campaigns,
+            cfg.sites,
+            cfg.verticals,
+            cfg.devices,
+            cfg.countries,
+            cfg.user_segments,
+            cfg.ad_formats,
+        ];
+        for imp in &rows {
+            for (f, &v) in imp.features.iter().enumerate() {
+                assert!((v as usize) < limits[f], "feature {f} value {v} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn ad_to_advertiser_mapping_is_consistent() {
+        let rows = AdClickGenerator::new(small_config()).generate();
+        let mut mapping: HashMap<u32, u32> = HashMap::new();
+        for imp in &rows {
+            let ad = imp.features[1];
+            let advertiser = imp.features[0];
+            if let Some(&prev) = mapping.get(&ad) {
+                assert_eq!(prev, advertiser, "ad {ad} maps to two advertisers");
+            } else {
+                mapping.insert(ad, advertiser);
+            }
+        }
+    }
+
+    #[test]
+    fn site_to_vertical_mapping_is_consistent() {
+        let rows = AdClickGenerator::new(small_config()).generate();
+        let mut mapping: HashMap<u32, u32> = HashMap::new();
+        for imp in &rows {
+            let site = imp.features[3];
+            let vertical = imp.features[4];
+            assert_eq!(*mapping.entry(site).or_insert(vertical), vertical);
+        }
+    }
+
+    #[test]
+    fn marginals_are_skewed() {
+        let rows = AdClickGenerator::new(small_config()).generate();
+        let mut ad_counts: HashMap<u32, u64> = HashMap::new();
+        for imp in &rows {
+            *ad_counts.entry(imp.features[1]).or_insert(0) += 1;
+        }
+        let mut counts: Vec<u64> = ad_counts.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top_share: u64 = counts.iter().take(counts.len() / 20 + 1).sum();
+        let total: u64 = counts.iter().sum();
+        assert!(
+            top_share as f64 / total as f64 > 0.15,
+            "top 5% of ads should carry a disproportionate share (got {:.3})",
+            top_share as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn overall_ctr_is_near_the_configured_base_rate() {
+        let cfg = small_config();
+        let rows = AdClickGenerator::new(cfg).generate();
+        let clicks = rows.iter().filter(|r| r.clicked).count();
+        let ctr = clicks as f64 / rows.len() as f64;
+        assert!(
+            ctr > cfg.base_ctr / 3.0 && ctr < cfg.base_ctr * 3.0,
+            "ctr {ctr} too far from base {}",
+            cfg.base_ctr
+        );
+    }
+
+    #[test]
+    fn marginal_key_distinguishes_feature_sets() {
+        let imp = Impression {
+            features: [1, 2, 3, 4, 5, 6, 7, 8, 9],
+            clicked: false,
+        };
+        let k1 = imp.marginal_key(&[0]);
+        let k2 = imp.marginal_key(&[1]);
+        let k12 = imp.marginal_key(&[0, 1]);
+        assert_ne!(k1, k2);
+        assert_ne!(k1, k12);
+        // Same features, same values -> same key.
+        let other = Impression {
+            features: [1, 2, 99, 99, 99, 99, 99, 99, 99],
+            clicked: true,
+        };
+        assert_eq!(imp.marginal_key(&[0, 1]), other.marginal_key(&[0, 1]));
+    }
+
+    #[test]
+    fn distinct_marginal_keys_scale_with_feature_cardinality() {
+        let rows = AdClickGenerator::new(small_config()).generate();
+        let devices: HashSet<u64> = rows.iter().map(|r| r.marginal_key(&[5])).collect();
+        let ads: HashSet<u64> = rows.iter().map(|r| r.marginal_key(&[1])).collect();
+        assert!(devices.len() <= 3);
+        assert!(ads.len() > 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "cardinalities")]
+    fn zero_cardinality_panics() {
+        let _ = AdClickGenerator::new(AdClickConfig {
+            devices: 0,
+            ..small_config()
+        });
+    }
+}

@@ -1,0 +1,389 @@
+//! Item-frequency distributions used by the paper's experiments (section 7).
+//!
+//! The paper draws per-item counts from a *discretized Weibull* distribution — a
+//! generalisation of the geometric distribution whose tail weight is tuned by the
+//! shape parameter — using the inverse-CDF method on a regular grid of quantiles so
+//! runs are reproducible. The three synthetic configurations are
+//! `Weibull(5·10⁵, 0.32)`, `Geometric(0.03)` and `Weibull(5·10⁵, 0.15)` (increasing
+//! skew). A Zipf generator is also provided for the ad-impression simulator.
+
+use rand::Rng;
+
+/// Inverse CDF of the (continuous) Weibull distribution with the given `scale` (λ) and
+/// `shape` (k): `F⁻¹(u) = λ · (−ln(1−u))^{1/k}`.
+///
+/// # Panics
+///
+/// Panics if `u` is outside `[0, 1)` or the parameters are not positive.
+#[must_use]
+pub fn weibull_inverse_cdf(u: f64, scale: f64, shape: f64) -> f64 {
+    assert!((0.0..1.0).contains(&u), "u must be in [0, 1)");
+    assert!(scale > 0.0 && shape > 0.0, "parameters must be positive");
+    scale * (-(1.0 - u).ln()).powf(1.0 / shape)
+}
+
+/// Inverse CDF of the geometric distribution (number of trials, support `1, 2, ...`)
+/// with success probability `p`.
+///
+/// # Panics
+///
+/// Panics if `u` is outside `[0, 1)` or `p` is not in `(0, 1)`.
+#[must_use]
+pub fn geometric_inverse_cdf(u: f64, p: f64) -> u64 {
+    assert!((0.0..1.0).contains(&u), "u must be in [0, 1)");
+    assert!(p > 0.0 && p < 1.0, "p must be in (0, 1)");
+    ((1.0 - u).ln() / (1.0 - p).ln()).ceil().max(1.0) as u64
+}
+
+/// The three synthetic frequency distributions evaluated in the paper, plus Zipf.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FrequencyDistribution {
+    /// Rounded Weibull with the given scale (λ) and shape (k). Smaller shapes are more
+    /// skewed; the paper uses shapes 0.32 and 0.15 with scale 5·10⁵.
+    Weibull {
+        /// Scale parameter λ.
+        scale: f64,
+        /// Shape parameter k.
+        shape: f64,
+    },
+    /// Geometric with success probability `p` (the paper uses `p = 0.03`).
+    Geometric {
+        /// Success probability.
+        p: f64,
+    },
+    /// Zipf over ranks `1..=n` with the given exponent, scaled so the most frequent
+    /// item has approximately `max_count` occurrences.
+    Zipf {
+        /// Tail exponent (≥ 0); larger is more skewed.
+        exponent: f64,
+        /// Count of the most frequent item.
+        max_count: u64,
+    },
+}
+
+impl FrequencyDistribution {
+    /// The paper's `Weibull(5·10⁵, 0.32)` configuration (moderate skew).
+    #[must_use]
+    pub fn paper_weibull_moderate() -> Self {
+        Self::Weibull {
+            scale: 5.0e5,
+            shape: 0.32,
+        }
+    }
+
+    /// The paper's `Geometric(0.03)` configuration.
+    #[must_use]
+    pub fn paper_geometric() -> Self {
+        Self::Geometric { p: 0.03 }
+    }
+
+    /// The paper's `Weibull(5·10⁵, 0.15)` configuration (heavy skew; standard
+    /// deviation roughly 30× the mean).
+    #[must_use]
+    pub fn paper_weibull_heavy() -> Self {
+        Self::Weibull {
+            scale: 5.0e5,
+            shape: 0.15,
+        }
+    }
+
+    /// Draws a single count at quantile `u ∈ [0, 1)`. Counts are at least 1 so every
+    /// item occurs in the stream.
+    #[must_use]
+    pub fn count_at_quantile(&self, u: f64, n_items: usize, rank: usize) -> u64 {
+        match *self {
+            Self::Weibull { scale, shape } => {
+                weibull_inverse_cdf(u, scale, shape).round().max(1.0) as u64
+            }
+            Self::Geometric { p } => geometric_inverse_cdf(u, p),
+            Self::Zipf {
+                exponent,
+                max_count,
+            } => {
+                // Quantile is ignored; Zipf counts are deterministic in the rank.
+                // `rank` 0 is the least frequent item, so its Zipf rank is `n_items`
+                // and the most frequent item (rank `n_items - 1`) has Zipf rank 1.
+                let _ = u;
+                let zipf_rank = (n_items - rank) as f64;
+                ((max_count as f64) / zipf_rank.powf(exponent))
+                    .round()
+                    .max(1.0) as u64
+            }
+        }
+    }
+
+    /// Generates `n_items` per-item counts with the paper's reproducible grid method:
+    /// quantiles `u_i = (i + 0.5)/n` on a regular grid rather than random draws.
+    #[must_use]
+    pub fn grid_counts(&self, n_items: usize) -> Vec<u64> {
+        (0..n_items)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / n_items as f64;
+                self.count_at_quantile(u, n_items, i)
+            })
+            .collect()
+    }
+
+    /// Generates `n_items` per-item counts with independent random quantiles.
+    pub fn random_counts<R: Rng + ?Sized>(&self, n_items: usize, rng: &mut R) -> Vec<u64> {
+        (0..n_items)
+            .map(|i| {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                self.count_at_quantile(u, n_items, i)
+            })
+            .collect()
+    }
+}
+
+/// Simple Zipf ranks: probability of rank `r` (1-based) proportional to `1/r^s`,
+/// normalised over `1..=n`. Used for categorical feature values in the ad-click
+/// simulator.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with exponent `s ≥ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is negative / non-finite.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "n must be positive");
+        assert!(s.is_finite() && s >= 0.0, "exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 1..=n {
+            acc += 1.0 / (r as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler is empty (never true; `new` requires `n > 0`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a 0-based rank (0 is the most frequent).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("finite"))
+        {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability of the 0-based rank `r`.
+    #[must_use]
+    pub fn probability(&self, r: usize) -> f64 {
+        if r >= self.cdf.len() {
+            return 0.0;
+        }
+        if r == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[r] - self.cdf[r - 1]
+        }
+    }
+}
+
+/// Summary statistics of a count vector, used to report workload skew.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CountSummary {
+    /// Number of items.
+    pub items: usize,
+    /// Total of all counts (the number of stream rows).
+    pub total: u64,
+    /// Largest count.
+    pub max: u64,
+    /// Mean count.
+    pub mean: f64,
+    /// Standard deviation of the counts.
+    pub std_dev: f64,
+}
+
+/// Computes summary statistics for a count vector.
+#[must_use]
+pub fn summarize_counts(counts: &[u64]) -> CountSummary {
+    let items = counts.len();
+    let total: u64 = counts.iter().sum();
+    let max = counts.iter().copied().max().unwrap_or(0);
+    let mean = if items == 0 {
+        0.0
+    } else {
+        total as f64 / items as f64
+    };
+    let var = if items == 0 {
+        0.0
+    } else {
+        counts
+            .iter()
+            .map(|&c| (c as f64 - mean).powi(2))
+            .sum::<f64>()
+            / items as f64
+    };
+    CountSummary {
+        items,
+        total,
+        max,
+        mean,
+        std_dev: var.sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weibull_inverse_cdf_is_monotone() {
+        let mut prev = 0.0;
+        for i in 1..100 {
+            let u = i as f64 / 100.0;
+            let v = weibull_inverse_cdf(u, 1000.0, 0.5);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn weibull_median_matches_closed_form() {
+        // Median of Weibull(λ, k) is λ (ln 2)^{1/k}.
+        let scale = 500.0;
+        let shape = 1.5;
+        let median = weibull_inverse_cdf(0.5, scale, shape);
+        let expected = scale * std::f64::consts::LN_2.powf(1.0 / shape);
+        assert!((median - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geometric_inverse_cdf_matches_distribution() {
+        // F(k) = 1 - (1-p)^k, so F^{-1}(F(k)) = k.
+        let p: f64 = 0.2;
+        for k in 1..20u64 {
+            let u = 1.0 - (1.0 - p).powi(k as i32) - 1e-12;
+            assert_eq!(geometric_inverse_cdf(u, p), k);
+        }
+    }
+
+    #[test]
+    fn grid_counts_are_reproducible_and_positive() {
+        let d = FrequencyDistribution::paper_weibull_heavy();
+        let a = d.grid_counts(1000);
+        let b = d.grid_counts(1000);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn heavy_weibull_is_more_skewed_than_moderate() {
+        let heavy = summarize_counts(&FrequencyDistribution::paper_weibull_heavy().grid_counts(1000));
+        let moderate =
+            summarize_counts(&FrequencyDistribution::paper_weibull_moderate().grid_counts(1000));
+        let heavy_cv = heavy.std_dev / heavy.mean;
+        let moderate_cv = moderate.std_dev / moderate.mean;
+        assert!(
+            heavy_cv > moderate_cv,
+            "heavy skew must exceed moderate: {heavy_cv} vs {moderate_cv}"
+        );
+        // The paper notes the heavy configuration has std-dev ≈ 30× the mean over its
+        // infinite support; on a 1000-point grid the ratio is smaller but still large.
+        assert!(heavy_cv > 5.0, "coefficient of variation {heavy_cv}");
+    }
+
+    #[test]
+    fn geometric_counts_have_expected_mean() {
+        let d = FrequencyDistribution::paper_geometric();
+        let counts = d.grid_counts(10_000);
+        let s = summarize_counts(&counts);
+        // Mean of Geometric(p) (number of trials) is 1/p ≈ 33.3.
+        assert!((s.mean - 1.0 / 0.03).abs() < 2.0, "mean {}", s.mean);
+    }
+
+    #[test]
+    fn zipf_counts_are_monotone_in_rank() {
+        let d = FrequencyDistribution::Zipf {
+            exponent: 1.1,
+            max_count: 10_000,
+        };
+        let counts = d.grid_counts(500);
+        // grid_counts indexes rank 0 as the least frequent by construction.
+        for w in counts.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(*counts.last().unwrap(), 10_000);
+    }
+
+    #[test]
+    fn random_counts_use_the_rng() {
+        let d = FrequencyDistribution::paper_geometric();
+        let mut rng1 = StdRng::seed_from_u64(1);
+        let mut rng2 = StdRng::seed_from_u64(1);
+        let mut rng3 = StdRng::seed_from_u64(2);
+        assert_eq!(d.random_counts(100, &mut rng1), d.random_counts(100, &mut rng2));
+        assert_ne!(d.random_counts(100, &mut rng1), d.random_counts(100, &mut rng3));
+    }
+
+    #[test]
+    fn zipf_sampler_probabilities_sum_to_one_and_decay() {
+        let z = ZipfSampler::new(100, 1.0);
+        let total: f64 = (0..100).map(|r| z.probability(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(z.probability(0) > z.probability(1));
+        assert!(z.probability(1) > z.probability(50));
+        assert_eq!(z.probability(500), 0.0);
+        assert_eq!(z.len(), 100);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    fn zipf_sampler_empirical_frequencies_match() {
+        let z = ZipfSampler::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u32; 10];
+        let reps = 100_000;
+        for _ in 0..reps {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for r in 0..10 {
+            let emp = counts[r] as f64 / reps as f64;
+            assert!(
+                (emp - z.probability(r)).abs() < 0.01,
+                "rank {r}: {emp} vs {}",
+                z.probability(r)
+            );
+        }
+    }
+
+    #[test]
+    fn summary_handles_empty_input() {
+        let s = summarize_counts(&[]);
+        assert_eq!(s.items, 0);
+        assert_eq!(s.total, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "u must be")]
+    fn invalid_quantile_panics() {
+        let _ = weibull_inverse_cdf(1.0, 10.0, 1.0);
+    }
+}

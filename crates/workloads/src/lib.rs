@@ -1,0 +1,29 @@
+//! Workload generators for the Unbiased Space Saving evaluation.
+//!
+//! Three layers:
+//!
+//! * [`distributions`] — per-item frequency distributions (discretized Weibull,
+//!   geometric, Zipf) generated on a reproducible quantile grid, exactly as in
+//!   section 7 of the paper.
+//! * [`streams`] — orderings of the disaggregated rows implied by a count vector:
+//!   random permutation (the exchangeable / i.i.d. setting), frequency-sorted
+//!   (pathological for Unbiased Space Saving), two-phase partitioned (pathological for
+//!   Deterministic Space Saving), bursty, and all-unique; plus epoch / random-subset
+//!   query helpers.
+//! * [`adclick`] — a synthetic 9-feature ad-impression stream standing in for the
+//!   Criteo dataset used in Figures 5–6 (see DESIGN.md for the substitution
+//!   rationale).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adclick;
+pub mod distributions;
+pub mod streams;
+
+pub use adclick::{AdClickConfig, AdClickGenerator, Impression, FEATURE_NAMES, NUM_FEATURES};
+pub use distributions::{summarize_counts, CountSummary, FrequencyDistribution, ZipfSampler};
+pub use streams::{
+    all_unique_stream, bursty_stream, epoch_ranges, random_subsets, rows_in_item_order,
+    shuffled_stream, sorted_stream, true_subset_sum, two_phase_stream,
+};

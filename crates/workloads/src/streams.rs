@@ -1,0 +1,292 @@
+//! Stream orderings: how the disaggregated rows implied by a per-item count vector are
+//! arranged in time.
+//!
+//! The order matters a great deal (section 6.3 of the paper): Deterministic Space
+//! Saving is accurate on exchangeable (randomly permuted) streams but fails completely
+//! on streams whose item arrival rates drift — partially sorted data, partitioned
+//! data processed partition by partition, periodic bursts, or all-distinct rows. This
+//! module generates all of the orderings used in the paper's experiments. Item `i`
+//! (0-based) occurs exactly `counts[i]` times in every ordering; only the positions
+//! differ.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Expands a count vector into rows in item order: all of item 0, then item 1, ...
+/// (i.e. sorted by item index, which for grid-generated counts means sorted ascending
+/// by frequency).
+#[must_use]
+pub fn rows_in_item_order(counts: &[u64]) -> Vec<u64> {
+    let total: u64 = counts.iter().sum();
+    let mut rows = Vec::with_capacity(total as usize);
+    for (item, &count) in counts.iter().enumerate() {
+        rows.extend(std::iter::repeat_n(item as u64, count as usize));
+    }
+    rows
+}
+
+/// A randomly permuted (exchangeable) stream: the i.i.d. setting of the paper's
+/// theorems, by de Finetti's argument.
+pub fn shuffled_stream<R: Rng + ?Sized>(counts: &[u64], rng: &mut R) -> Vec<u64> {
+    let mut rows = rows_in_item_order(counts);
+    rows.shuffle(rng);
+    rows
+}
+
+/// A stream sorted by item frequency. `ascending = true` puts the least frequent items
+/// first (the worst case for Unbiased Space Saving studied in Figures 8–10);
+/// `ascending = false` is the optimally favourable order where every frequent item is
+/// seen first and retained deterministically.
+#[must_use]
+pub fn sorted_stream(counts: &[u64], ascending: bool) -> Vec<u64> {
+    let mut order: Vec<usize> = (0..counts.len()).collect();
+    if ascending {
+        order.sort_by_key(|&i| counts[i]);
+    } else {
+        order.sort_by_key(|&i| std::cmp::Reverse(counts[i]));
+    }
+    let total: u64 = counts.iter().sum();
+    let mut rows = Vec::with_capacity(total as usize);
+    for i in order {
+        rows.extend(std::iter::repeat_n(i as u64, counts[i] as usize));
+    }
+    rows
+}
+
+/// The two-phase pathological stream of Figure 7: the first half draws from one item
+/// population, the second half from a disjoint population (item ids are offset by
+/// `first.len()`), and each half is internally shuffled. This models data partitioned
+/// by some key and processed partition by partition.
+pub fn two_phase_stream<R: Rng + ?Sized>(
+    first_half_counts: &[u64],
+    second_half_counts: &[u64],
+    rng: &mut R,
+) -> Vec<u64> {
+    let mut rows = shuffled_stream(first_half_counts, rng);
+    let offset = first_half_counts.len() as u64;
+    let mut second = shuffled_stream(second_half_counts, rng);
+    for item in &mut second {
+        *item += offset;
+    }
+    rows.extend(second);
+    rows
+}
+
+/// A stream in which every row is a distinct item — the most extreme pathological
+/// case: Deterministic Space Saving degenerates to "the last m rows".
+#[must_use]
+pub fn all_unique_stream(rows: usize) -> Vec<u64> {
+    (0..rows as u64).collect()
+}
+
+/// A periodic-burst stream: `n_bursts` bursts of `burst_item` (each of length
+/// `burst_len`) are interleaved into an otherwise shuffled background stream at evenly
+/// spaced positions. Models an item whose arrival rate spikes periodically and drops
+/// below the guaranteed-retention threshold in between.
+pub fn bursty_stream<R: Rng + ?Sized>(
+    background_counts: &[u64],
+    burst_item: u64,
+    n_bursts: usize,
+    burst_len: usize,
+    rng: &mut R,
+) -> Vec<u64> {
+    let background = shuffled_stream(background_counts, rng);
+    if n_bursts == 0 || burst_len == 0 {
+        return background;
+    }
+    let mut rows = Vec::with_capacity(background.len() + n_bursts * burst_len);
+    let segment = background.len() / n_bursts.max(1);
+    let mut cursor = 0;
+    for b in 0..n_bursts {
+        let end = if b + 1 == n_bursts {
+            background.len()
+        } else {
+            (b + 1) * segment
+        };
+        rows.extend_from_slice(&background[cursor..end]);
+        rows.extend(std::iter::repeat_n(burst_item, burst_len));
+        cursor = end;
+    }
+    rows
+}
+
+/// Splits `n_items` item indices into `n_epochs` contiguous ranges of (nearly) equal
+/// size, used by the sorted-stream experiments (Figures 8–10) to query per-epoch
+/// subset sums.
+#[must_use]
+pub fn epoch_ranges(n_items: usize, n_epochs: usize) -> Vec<std::ops::Range<u64>> {
+    assert!(n_epochs > 0, "need at least one epoch");
+    let base = n_items / n_epochs;
+    let remainder = n_items % n_epochs;
+    let mut ranges = Vec::with_capacity(n_epochs);
+    let mut start = 0u64;
+    for e in 0..n_epochs {
+        let len = base + usize::from(e < remainder);
+        ranges.push(start..start + len as u64);
+        start += len as u64;
+    }
+    ranges
+}
+
+/// Draws `n_subsets` random item subsets of the given size (without replacement within
+/// a subset), used for the random filter-condition queries of Figures 3–5.
+pub fn random_subsets<R: Rng + ?Sized>(
+    n_items: usize,
+    subset_size: usize,
+    n_subsets: usize,
+    rng: &mut R,
+) -> Vec<Vec<u64>> {
+    assert!(subset_size <= n_items, "subset larger than the population");
+    let mut all: Vec<u64> = (0..n_items as u64).collect();
+    (0..n_subsets)
+        .map(|_| {
+            all.shuffle(rng);
+            let mut subset = all[..subset_size].to_vec();
+            subset.sort_unstable();
+            subset
+        })
+        .collect()
+}
+
+/// True subset sum for a subset of item indices against a count vector.
+#[must_use]
+pub fn true_subset_sum(counts: &[u64], subset: &[u64]) -> u64 {
+    subset
+        .iter()
+        .map(|&i| counts.get(i as usize).copied().unwrap_or(0))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn histogram(rows: &[u64]) -> HashMap<u64, u64> {
+        let mut h = HashMap::new();
+        for &r in rows {
+            *h.entry(r).or_insert(0) += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn item_order_expansion_matches_counts() {
+        let counts = vec![2, 0, 3, 1];
+        let rows = rows_in_item_order(&counts);
+        assert_eq!(rows, vec![0, 0, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn shuffling_preserves_the_multiset() {
+        let counts = vec![5, 1, 7, 0, 2];
+        let mut rng = StdRng::seed_from_u64(1);
+        let rows = shuffled_stream(&counts, &mut rng);
+        let h = histogram(&rows);
+        for (item, &count) in counts.iter().enumerate() {
+            assert_eq!(h.get(&(item as u64)).copied().unwrap_or(0), count);
+        }
+        assert_eq!(rows.len(), 15);
+    }
+
+    #[test]
+    fn sorted_ascending_puts_rare_items_first() {
+        let counts = vec![10, 1, 5];
+        let rows = sorted_stream(&counts, true);
+        assert_eq!(rows[0], 1, "the rarest item must come first");
+        assert_eq!(*rows.last().unwrap(), 0, "the most frequent item must come last");
+        assert_eq!(histogram(&rows), histogram(&rows_in_item_order(&counts)));
+    }
+
+    #[test]
+    fn sorted_descending_puts_frequent_items_first() {
+        let counts = vec![10, 1, 5];
+        let rows = sorted_stream(&counts, false);
+        assert_eq!(rows[0], 0);
+        assert_eq!(*rows.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn two_phase_stream_uses_disjoint_item_ranges() {
+        let a = vec![3, 3];
+        let b = vec![2, 2];
+        let mut rng = StdRng::seed_from_u64(2);
+        let rows = two_phase_stream(&a, &b, &mut rng);
+        assert_eq!(rows.len(), 10);
+        assert!(rows[..6].iter().all(|&i| i < 2));
+        assert!(rows[6..].iter().all(|&i| (2..4).contains(&i)));
+    }
+
+    #[test]
+    fn all_unique_stream_has_no_repeats() {
+        let rows = all_unique_stream(1000);
+        let h = histogram(&rows);
+        assert_eq!(h.len(), 1000);
+        assert!(h.values().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn bursty_stream_contains_all_bursts_and_background() {
+        let counts = vec![4, 4, 4];
+        let mut rng = StdRng::seed_from_u64(3);
+        let rows = bursty_stream(&counts, 99, 3, 5, &mut rng);
+        let h = histogram(&rows);
+        assert_eq!(h[&99], 15);
+        assert_eq!(rows.len(), 12 + 15);
+        for item in 0..3u64 {
+            assert_eq!(h[&item], 4);
+        }
+    }
+
+    #[test]
+    fn bursty_stream_with_zero_bursts_is_just_background() {
+        let counts = vec![2, 2];
+        let mut rng = StdRng::seed_from_u64(4);
+        let rows = bursty_stream(&counts, 99, 0, 5, &mut rng);
+        assert_eq!(rows.len(), 4);
+        assert!(!rows.contains(&99));
+    }
+
+    #[test]
+    fn epoch_ranges_cover_everything_without_overlap() {
+        let ranges = epoch_ranges(1003, 10);
+        assert_eq!(ranges.len(), 10);
+        assert_eq!(ranges[0].start, 0);
+        assert_eq!(ranges.last().unwrap().end, 1003);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        let sizes: Vec<u64> = ranges.iter().map(|r| r.end - r.start).collect();
+        assert!(sizes.iter().all(|&s| s == 100 || s == 101));
+    }
+
+    #[test]
+    fn random_subsets_have_requested_size_and_no_duplicates() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let subsets = random_subsets(500, 100, 20, &mut rng);
+        assert_eq!(subsets.len(), 20);
+        for s in &subsets {
+            assert_eq!(s.len(), 100);
+            let mut dedup = s.clone();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 100, "subset contains duplicates");
+            assert!(s.iter().all(|&i| i < 500));
+        }
+    }
+
+    #[test]
+    fn true_subset_sum_sums_the_right_items() {
+        let counts = vec![10, 20, 30, 40];
+        assert_eq!(true_subset_sum(&counts, &[0, 3]), 50);
+        assert_eq!(true_subset_sum(&counts, &[]), 0);
+        assert_eq!(true_subset_sum(&counts, &[99]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one epoch")]
+    fn zero_epochs_panics() {
+        let _ = epoch_ranges(10, 0);
+    }
+}

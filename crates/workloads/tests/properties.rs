@@ -1,0 +1,119 @@
+//! Property-based tests for the workload generators: every stream ordering must be a
+//! permutation of the multiset implied by the count vector, and the query helpers must
+//! partition the item space correctly.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+use uss_workloads::{
+    epoch_ranges, random_subsets, rows_in_item_order, shuffled_stream, sorted_stream,
+    true_subset_sum, two_phase_stream, FrequencyDistribution,
+};
+
+fn histogram(rows: &[u64]) -> HashMap<u64, u64> {
+    let mut h = HashMap::new();
+    for &r in rows {
+        *h.entry(r).or_insert(0) += 1;
+    }
+    h
+}
+
+fn expected(counts: &[u64]) -> HashMap<u64, u64> {
+    counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, &c)| (i as u64, c))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every ordering is a permutation of the same multiset of rows.
+    #[test]
+    fn orderings_preserve_the_multiset(counts in vec(0u64..20, 1..80), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let want = expected(&counts);
+        prop_assert_eq!(histogram(&rows_in_item_order(&counts)), want.clone());
+        prop_assert_eq!(histogram(&shuffled_stream(&counts, &mut rng)), want.clone());
+        prop_assert_eq!(histogram(&sorted_stream(&counts, true)), want.clone());
+        prop_assert_eq!(histogram(&sorted_stream(&counts, false)), want);
+    }
+
+    /// The two-phase stream concatenates the two halves on disjoint id ranges and
+    /// preserves both multisets.
+    #[test]
+    fn two_phase_preserves_both_halves(
+        a in vec(0u64..15, 1..40),
+        b in vec(0u64..15, 1..40),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows = two_phase_stream(&a, &b, &mut rng);
+        let first_len: u64 = a.iter().sum();
+        let h = histogram(&rows);
+        for (item, &count) in &expected(&a) {
+            prop_assert_eq!(h.get(item).copied().unwrap_or(0), count);
+        }
+        for (item, &count) in &expected(&b) {
+            prop_assert_eq!(h.get(&(item + a.len() as u64)).copied().unwrap_or(0), count);
+        }
+        // The first half of the stream only contains first-half items.
+        prop_assert!(rows[..first_len as usize].iter().all(|&i| (i as usize) < a.len()));
+    }
+
+    /// Epoch ranges partition the item space exactly, with sizes differing by at most
+    /// one.
+    #[test]
+    fn epoch_ranges_partition(n_items in 1usize..5000, n_epochs in 1usize..20) {
+        let ranges = epoch_ranges(n_items, n_epochs);
+        prop_assert_eq!(ranges.len(), n_epochs);
+        prop_assert_eq!(ranges[0].start, 0);
+        prop_assert_eq!(ranges.last().unwrap().end, n_items as u64);
+        let mut sizes = Vec::new();
+        for w in ranges.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start);
+        }
+        for r in &ranges {
+            sizes.push(r.end - r.start);
+        }
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    /// Random subsets have the requested size, contain no duplicates, stay in range,
+    /// and their true sums are consistent with the count vector.
+    #[test]
+    fn random_subsets_are_valid(counts in vec(0u64..50, 10..200), subset_size in 1usize..10, seed in any::<u64>()) {
+        prop_assume!(subset_size <= counts.len());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let subsets = random_subsets(counts.len(), subset_size, 5, &mut rng);
+        let total: u64 = counts.iter().sum();
+        for s in &subsets {
+            prop_assert_eq!(s.len(), subset_size);
+            let mut dedup = s.clone();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), subset_size);
+            prop_assert!(s.iter().all(|&i| (i as usize) < counts.len()));
+            prop_assert!(true_subset_sum(&counts, s) <= total);
+        }
+    }
+
+    /// Grid counts are deterministic, positive, and non-decreasing in the item index
+    /// for the distributions whose inverse CDF is monotone.
+    #[test]
+    fn grid_counts_are_monotone(n_items in 2usize..500, p in 0.01f64..0.5) {
+        let counts = FrequencyDistribution::Geometric { p }.grid_counts(n_items);
+        prop_assert_eq!(counts.len(), n_items);
+        prop_assert!(counts.iter().all(|&c| c >= 1));
+        for w in counts.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        prop_assert_eq!(counts, FrequencyDistribution::Geometric { p }.grid_counts(n_items));
+    }
+}

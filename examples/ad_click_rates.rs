@@ -1,0 +1,112 @@
+//! Historical click counts for ad prediction — the paper's motivating application.
+//!
+//! The raw data is a disaggregated impression stream (one row per impression). The
+//! features a click model actually needs are *aggregates*: impressions and clicks per
+//! advertiser, per (advertiser, site) pair, per user segment, and so on — for
+//! arbitrary slices chosen later by feature engineering. This example sketches the
+//! impression and click streams once and then answers several such historical-count
+//! queries, comparing against exact answers computed from the raw data.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example ad_click_rates
+//! ```
+
+use unbiased_space_saving::core::hash::FxHashMap;
+use unbiased_space_saving::prelude::*;
+use unbiased_space_saving::workloads::{AdClickConfig, AdClickGenerator, Impression};
+
+/// The unit of analysis: the (advertiser, site) pair of an impression.
+fn advertiser_site_key(imp: &Impression) -> u64 {
+    imp.marginal_key(&[0, 3])
+}
+
+fn main() {
+    // 1. Generate a synthetic impression log (a stand-in for the Criteo data).
+    let config = AdClickConfig {
+        rows: 400_000,
+        ..AdClickConfig::default()
+    };
+    let impressions: Vec<Impression> = AdClickGenerator::new(config).collect();
+    println!(
+        "impression log: {} rows, overall CTR {:.2}%",
+        impressions.len(),
+        100.0 * impressions.iter().filter(|i| i.clicked).count() as f64 / impressions.len() as f64
+    );
+
+    // 2. Sketch impressions and clicks at the (advertiser, site) granularity.
+    //    Two sketches share the same key space, so click-through rates for any
+    //    slice can be estimated as a ratio of two subset sums.
+    let bins = 5_000;
+    let mut impression_sketch = UnbiasedSpaceSaving::with_seed(bins, 1);
+    let mut click_sketch = UnbiasedSpaceSaving::with_seed(bins, 2);
+    // Remember which advertiser each key belongs to so slices can be expressed as
+    // predicates over the key. A real deployment would re-derive this from the
+    // dimension values carried alongside the sketch or use a keyed predicate.
+    let mut key_advertiser: FxHashMap<u64, u32> = FxHashMap::default();
+    for imp in &impressions {
+        let key = advertiser_site_key(imp);
+        key_advertiser.entry(key).or_insert(imp.features[0]);
+        impression_sketch.offer(key);
+        if imp.clicked {
+            click_sketch.offer(key);
+        }
+    }
+    let impressions_snap = impression_sketch.snapshot();
+    let clicks_snap = click_sketch.snapshot();
+    println!(
+        "sketched {} impression rows and {} click rows into 2 × {bins} bins\n",
+        impressions_snap.rows_processed(),
+        clicks_snap.rows_processed()
+    );
+
+    // 3. Historical-count queries for a few advertisers (slices over the key space).
+    println!("historical counts per advertiser (estimate vs exact)");
+    println!(
+        "{:>10}  {:>12} {:>12}  {:>10} {:>10}  {:>8} {:>8}",
+        "advertiser", "impr_est", "impr_true", "click_est", "click_true", "ctr_est", "ctr_true"
+    );
+    for advertiser in [0u32, 1, 2, 5, 10] {
+        let predicate = |item: u64| key_advertiser.get(&item) == Some(&advertiser);
+        let impr_est = impressions_snap.subset_sum(predicate);
+        let click_est = clicks_snap.subset_sum(predicate);
+        let impr_true = impressions
+            .iter()
+            .filter(|i| i.features[0] == advertiser)
+            .count() as f64;
+        let click_true = impressions
+            .iter()
+            .filter(|i| i.features[0] == advertiser && i.clicked)
+            .count() as f64;
+        let ctr_est = if impr_est > 0.0 { click_est / impr_est } else { 0.0 };
+        let ctr_true = if impr_true > 0.0 {
+            click_true / impr_true
+        } else {
+            0.0
+        };
+        println!(
+            "{advertiser:>10}  {impr_est:>12.0} {impr_true:>12.0}  {click_est:>10.0} {click_true:>10.0}  {:>7.2}% {:>7.2}%",
+            100.0 * ctr_est,
+            100.0 * ctr_true
+        );
+    }
+
+    // 4. Error bars: the sketch quantifies its own uncertainty per query.
+    let advertiser = 1u32;
+    let (est, ci) = impressions_snap.subset_confidence_interval(
+        |item| key_advertiser.get(&item) == Some(&advertiser),
+        0.95,
+    );
+    println!(
+        "\nadvertiser {advertiser}: impressions = {:.0} (95% CI [{:.0}, {:.0}], {} keys in sketch)",
+        est.sum, ci.lower, ci.upper, est.items_in_sketch
+    );
+
+    // 5. The heaviest (advertiser, site) placements, straight from the sketch.
+    println!("\ntop-5 (advertiser, site) placements by impressions");
+    for (key, count) in impressions_snap.top_k(5) {
+        let advertiser = key_advertiser.get(&key).copied().unwrap_or(u32::MAX);
+        println!("  advertiser {advertiser:>5}, key {key:>20}: {count:>9.0} impressions");
+    }
+}

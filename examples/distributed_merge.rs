@@ -1,0 +1,103 @@
+//! Distributed sketching: per-partition sketches merged without bias.
+//!
+//! In a map-reduce (or multi-datacentre) deployment each worker sketches only the rows
+//! routed to it, and only the small sketches travel to the reducer. The merge must not
+//! bias the counts, otherwise repeated aggregation (days into weeks into months)
+//! accumulates error. This example compares the unbiased PPS merge with the biased
+//! Misra-Gries merge on the same partitioned workload.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example distributed_merge
+//! ```
+
+use rand::SeedableRng;
+use unbiased_space_saving::core::distributed::DistributedSketcher;
+use unbiased_space_saving::core::merge::merge_misra_gries;
+use unbiased_space_saving::prelude::*;
+
+fn main() {
+    // 1. A workload partitioned by arrival (e.g. one partition per hour): every
+    //    partition shares some global heavy hitters but has its own local traffic.
+    let n_partitions = 8;
+    let mut partitions: Vec<Vec<u64>> = Vec::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    for p in 0..n_partitions {
+        let counts = FrequencyDistribution::Weibull {
+            scale: 6.0,
+            shape: 0.5,
+        }
+        .grid_counts(5_000);
+        let mut rows = shuffled_stream(&counts, &mut rng);
+        // Grid counts are ascending in the item id, so the top-count items are the
+        // last 50 ids. Those keep their ids in every partition (the globally heavy
+        // items); everything else is offset into a partition-local id range.
+        for item in &mut rows {
+            if *item < 4_950 {
+                *item += 1_000_000 * (p as u64 + 1);
+            }
+        }
+        partitions.push(rows);
+    }
+    let total_rows: usize = partitions.iter().map(Vec::len).sum();
+    println!("{n_partitions} partitions, {total_rows} rows in total");
+
+    // 2. Sketch every partition on its own thread and merge unbiasedly.
+    let capacity = 800;
+    let sketcher = DistributedSketcher::new(capacity, 5);
+    let merged = sketcher.sketch_partitions(&partitions);
+    println!(
+        "merged sketch: {} bins, {} rows accounted for",
+        merged.capacity(),
+        merged.rows_processed()
+    );
+
+    // 3. Compare the unbiased merge against the biased Misra-Gries merge on the
+    //    subset of globally heavy items (ids 4950..5000), whose true total we know.
+    let is_global = |i: u64| (4_950..5_000).contains(&i);
+    let truth: f64 = partitions
+        .iter()
+        .flatten()
+        .filter(|&&i| is_global(i))
+        .count() as f64;
+    let unbiased_estimate: f64 = merged
+        .entries()
+        .iter()
+        .filter(|(i, _)| is_global(*i))
+        .map(|(_, c)| c)
+        .sum();
+
+    // Biased alternative: fold the per-partition sketches with the Misra-Gries merge.
+    let mut mg_entries: Vec<(u64, f64)> = Vec::new();
+    for (p, partition) in partitions.iter().enumerate() {
+        let mut sketch = UnbiasedSpaceSaving::with_seed(capacity, 100 + p as u64);
+        for &item in partition {
+            sketch.offer(item);
+        }
+        mg_entries = merge_misra_gries(&mg_entries, &sketch.entries(), capacity);
+    }
+    let biased_estimate: f64 = mg_entries
+        .iter()
+        .filter(|(i, _)| is_global(*i))
+        .map(|(_, c)| c)
+        .sum();
+
+    println!("\nglobal heavy-hitter subset (items 4950..5000)");
+    println!("  true total          : {truth:.0}");
+    println!(
+        "  unbiased PPS merge  : {unbiased_estimate:.0}  ({:+.2}% error)",
+        100.0 * (unbiased_estimate - truth) / truth
+    );
+    println!(
+        "  Misra-Gries merge   : {biased_estimate:.0}  ({:+.2}% error, always ≤ truth)",
+        100.0 * (biased_estimate - truth) / truth
+    );
+
+    // 4. Frequent items survive the merge: show the global top 5.
+    println!("\nglobal top-5 items after the unbiased merge");
+    let snapshot = merged.snapshot();
+    for (item, count) in snapshot.top_k(5) {
+        println!("  item {item:>9}: {count:>9.0} rows");
+    }
+}

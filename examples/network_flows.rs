@@ -1,0 +1,136 @@
+//! Network traffic accounting with weighted updates and time decay.
+//!
+//! IP-flow monitoring is the other application family the paper highlights: the raw
+//! data is a packet stream, the unit of analysis is the (source, destination) flow,
+//! the metric is bytes rather than packets (weighted updates), and operators care both
+//! about current heavy hitters (with recent traffic weighted more heavily) and about
+//! subnet-level aggregates (subset sums over flows).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example network_flows
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use unbiased_space_saving::core::hash::combine;
+use unbiased_space_saving::prelude::*;
+
+/// A synthetic packet: source/destination hosts, bytes, and a timestamp in seconds.
+struct Packet {
+    src: u32,
+    dst: u32,
+    bytes: u32,
+    time: f64,
+}
+
+fn synthetic_packets(n: usize, seed: u64) -> Vec<Packet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut packets = Vec::with_capacity(n);
+    let mut time = 0.0;
+    for i in 0..n {
+        time += rng.gen_range(0.0..0.002);
+        // A few "elephant" flows plus a heavy tail of mice; one attack flow appears
+        // only in the last tenth of the trace.
+        let (src, dst) = if i > n * 9 / 10 && rng.gen_bool(0.3) {
+            (666, 80) // late-onset flood towards one service
+        } else if rng.gen_bool(0.2) {
+            (1, 2) // steady elephant flow
+        } else {
+            (rng.gen_range(0..5000), rng.gen_range(0..200))
+        };
+        let bytes = if rng.gen_bool(0.1) {
+            rng.gen_range(1000..1500)
+        } else {
+            rng.gen_range(40..400)
+        };
+        packets.push(Packet {
+            src,
+            dst,
+            bytes,
+            time,
+        });
+    }
+    packets
+}
+
+fn flow_key(src: u32, dst: u32) -> u64 {
+    combine(u64::from(src), u64::from(dst))
+}
+
+fn main() {
+    let packets = synthetic_packets(800_000, 99);
+    let total_bytes: u64 = packets.iter().map(|p| u64::from(p.bytes)).sum();
+    println!(
+        "trace: {} packets, {:.1} MB, {:.0} seconds",
+        packets.len(),
+        total_bytes as f64 / 1e6,
+        packets.last().map_or(0.0, |p| p.time)
+    );
+
+    // ------------------------------------------------------------------
+    // 1. Byte-weighted sketch over flows (weighted Space Saving).
+    // ------------------------------------------------------------------
+    let mut byte_sketch = WeightedSpaceSaving::with_seed(2_000, 3);
+    // 2. A forward-decayed sketch (half-life 60 s) for "what is hot right now".
+    let mut decayed = DecayedSpaceSaving::with_seed(2_000, std::f64::consts::LN_2 / 60.0, 4);
+    for p in &packets {
+        let key = flow_key(p.src, p.dst);
+        byte_sketch.offer_weighted(key, f64::from(p.bytes));
+        decayed.offer_weighted_at(key, f64::from(p.bytes), p.time);
+    }
+    let snapshot = byte_sketch.snapshot();
+
+    // ------------------------------------------------------------------
+    // 3. Heavy hitters by total bytes vs by *recent* bytes.
+    // ------------------------------------------------------------------
+    let now = packets.last().map_or(0.0, |p| p.time);
+    println!("\ntop flows by total bytes (whole trace)");
+    for (key, bytes) in snapshot.top_k(3) {
+        println!("  flow {key:>20}: {:>10.0} bytes", bytes);
+    }
+    println!("\ntop flows by exponentially decayed bytes (half-life 60 s)");
+    for (key, bytes) in decayed.top_k_decayed(3, now) {
+        println!("  flow {key:>20}: {:>10.0} decayed bytes", bytes);
+    }
+    let attack_key = flow_key(666, 80);
+    println!(
+        "\nlate-onset flood flow {attack_key}: rank by total = {}, decayed estimate = {:.0}",
+        snapshot
+            .top_k(snapshot.len())
+            .iter()
+            .position(|(k, _)| *k == attack_key)
+            .map_or("not retained".to_string(), |p| format!("#{}", p + 1)),
+        decayed.decayed_estimate(attack_key, now)
+    );
+
+    // ------------------------------------------------------------------
+    // 4. Subnet-level subset sum: all traffic towards destinations 0..100
+    //    ("the web tier"), with the exact answer for comparison.
+    // ------------------------------------------------------------------
+    let mut web_tier_keys = std::collections::HashSet::new();
+    for dst in 0..100u32 {
+        for src in 0..5000u32 {
+            web_tier_keys.insert(flow_key(src, dst));
+        }
+        web_tier_keys.insert(flow_key(1, dst));
+        web_tier_keys.insert(flow_key(666, dst));
+    }
+    let est = snapshot.subset_estimate(|key| web_tier_keys.contains(&key));
+    let truth: f64 = packets
+        .iter()
+        .filter(|p| p.dst < 100)
+        .map(|p| f64::from(p.bytes))
+        .sum();
+    let ci = est.confidence_interval(0.95);
+    println!("\nbytes to the web tier (destinations 0..100)");
+    println!("  true value : {truth:.0}");
+    println!("  estimate   : {:.0}", est.sum);
+    println!("  95% CI     : [{:.0}, {:.0}]", ci.lower, ci.upper);
+    println!(
+        "  rel. error : {:.2}%",
+        100.0 * (est.sum - truth).abs() / truth
+    );
+}

@@ -1,0 +1,78 @@
+//! Quickstart: sketch a disaggregated event stream, then answer subset-sum and
+//! frequent-item queries from the same small sketch.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::SeedableRng;
+use unbiased_space_saving::prelude::*;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. Build a synthetic "event log": rows over 20k users, with a
+    //    heavy-tailed number of events per user. In a real system each row
+    //    would come from a log file or message queue.
+    // ------------------------------------------------------------------
+    let counts = FrequencyDistribution::Weibull {
+        scale: 8.0,
+        shape: 0.4,
+    }
+    .grid_counts(20_000);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let rows = shuffled_stream(&counts, &mut rng);
+    println!("event log: {} rows over {} users", rows.len(), counts.len());
+
+    // ------------------------------------------------------------------
+    // 2. Sketch the stream with 1,000 bins (5% of the users).
+    // ------------------------------------------------------------------
+    let mut sketch = UnbiasedSpaceSaving::with_seed(1_000, 42);
+    for &user in &rows {
+        sketch.offer(user);
+    }
+    let snapshot = sketch.snapshot();
+
+    // ------------------------------------------------------------------
+    // 3. Disaggregated subset sum: total events from an arbitrary user segment
+    //    chosen *after* the sketch was built, with a 95% confidence interval.
+    // ------------------------------------------------------------------
+    let segment = |user: u64| user % 7 == 3; // any filter works
+    let truth: u64 = counts
+        .iter()
+        .enumerate()
+        .filter(|(user, _)| segment(*user as u64))
+        .map(|(_, &c)| c)
+        .sum();
+    let (estimate, ci) = snapshot.subset_confidence_interval(segment, 0.95);
+    println!("\nsegment total events");
+    println!("  true value : {truth}");
+    println!("  estimate   : {:.0}", estimate.sum);
+    println!("  95% CI     : [{:.0}, {:.0}]", ci.lower, ci.upper);
+    println!(
+        "  rel. error : {:.2}%",
+        100.0 * (estimate.sum - truth as f64).abs() / truth as f64
+    );
+
+    // ------------------------------------------------------------------
+    // 4. Frequent items: the heaviest users and their estimated shares.
+    // ------------------------------------------------------------------
+    println!("\ntop-5 users by estimated event count");
+    for (user, count) in snapshot.top_k(5) {
+        println!(
+            "  user {user:>6}: {count:>8.0} events ({:.3}% of traffic)",
+            100.0 * count / snapshot.rows_processed() as f64
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // 5. The same sketch also reports its own uncertainty profile.
+    // ------------------------------------------------------------------
+    println!(
+        "\nsketch: {} bins, N_min = {}, {} rows processed",
+        snapshot.capacity(),
+        snapshot.min_count(),
+        snapshot.rows_processed()
+    );
+}

@@ -1,0 +1,41 @@
+//! Facade crate re-exporting the whole Unbiased Space Saving workspace.
+//!
+//! This crate exists so that downstream users (and the examples and integration tests
+//! in this repository) can depend on a single package:
+//!
+//! ```
+//! use unbiased_space_saving::prelude::*;
+//!
+//! let mut sketch = UnbiasedSpaceSaving::with_seed(64, 7);
+//! for row in 0u64..10_000 {
+//!     sketch.offer(row % 257);
+//! }
+//! let snapshot = sketch.snapshot();
+//! let estimate = snapshot.subset_sum(|item| item < 100);
+//! assert!(estimate > 0.0);
+//! ```
+//!
+//! See the individual crates for the full APIs:
+//!
+//! * [`core`] (`uss-core`) — the sketches, merges, estimators and variance tools.
+//! * [`sampling`] (`uss-sampling`) — the PPS sampling substrate and baselines.
+//! * [`baselines`] (`uss-baselines`) — competing frequent-item and
+//!   disaggregated-subset-sum sketches.
+//! * [`workloads`] (`uss-workloads`) — synthetic and ad-click workload generators.
+//! * [`eval`] (`uss-eval`) — the experiment drivers reproducing the paper's figures.
+
+#![warn(missing_docs)]
+
+pub use uss_baselines as baselines;
+pub use uss_core as core;
+pub use uss_eval as eval;
+pub use uss_sampling as sampling;
+pub use uss_workloads as workloads;
+
+/// Commonly used items across the workspace.
+pub mod prelude {
+    pub use uss_core::prelude::*;
+    pub use uss_eval::{EstimateAccumulator, Method};
+    pub use uss_sampling::{PrioritySketch, WeightedItem};
+    pub use uss_workloads::{shuffled_stream, FrequencyDistribution};
+}

@@ -1,0 +1,210 @@
+//! Workspace-level integration tests: exercise the public API the way the examples
+//! and the benchmark harness do, spanning all crates.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use unbiased_space_saving::core::distributed::DistributedSketcher;
+use unbiased_space_saving::core::merge::merge_unbiased;
+use unbiased_space_saving::prelude::*;
+use unbiased_space_saving::workloads::{
+    sorted_stream, true_subset_sum, two_phase_stream, AdClickConfig, AdClickGenerator,
+};
+
+fn workload(n_items: usize, seed: u64) -> (Vec<u64>, Vec<u64>) {
+    let counts = FrequencyDistribution::Weibull {
+        scale: 10.0,
+        shape: 0.45,
+    }
+    .grid_counts(n_items);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows = shuffled_stream(&counts, &mut rng);
+    (rows, counts)
+}
+
+#[test]
+fn disaggregated_subset_sum_end_to_end() {
+    let (rows, counts) = workload(3_000, 1);
+    let mut sketch = UnbiasedSpaceSaving::with_seed(600, 7);
+    for &item in &rows {
+        sketch.offer(item);
+    }
+    let snapshot = sketch.snapshot();
+
+    // Total mass is exact.
+    assert_eq!(snapshot.total(), rows.len() as f64);
+
+    // A large arbitrary subset is estimated well and covered by its CI most of the
+    // time; a single run just checks the interval is sane and the error modest.
+    // Spread the subset across the whole frequency range (grid counts are monotone
+    // in the item index, so a prefix of the id space would be a tail-only subset with
+    // a tiny total and huge relative variance for every method).
+    let subset: Vec<u64> = (0..3_000).filter(|i| i % 3 != 0).collect();
+    let truth = true_subset_sum(&counts, &subset) as f64;
+    let (est, ci) = snapshot.subset_confidence_interval(|i| subset.binary_search(&i).is_ok(), 0.95);
+    assert!((est.sum - truth).abs() / truth < 0.25, "est {} truth {truth}", est.sum);
+    assert!(ci.upper >= ci.lower && ci.lower >= 0.0);
+}
+
+#[test]
+fn frequent_items_match_across_sketches() {
+    // The heavy hitters found by Unbiased Space Saving agree with the exact top items.
+    let (rows, counts) = workload(2_000, 2);
+    let mut sketch = UnbiasedSpaceSaving::with_seed(200, 3);
+    for &item in &rows {
+        sketch.offer(item);
+    }
+    let mut exact: Vec<(u64, u64)> = counts.iter().enumerate().map(|(i, &c)| (i as u64, c)).collect();
+    exact.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    let exact_top: std::collections::HashSet<u64> = exact[..10].iter().map(|&(i, _)| i).collect();
+    let sketch_top: std::collections::HashSet<u64> =
+        sketch.snapshot().top_k(10).into_iter().map(|(i, _)| i).collect();
+    let overlap = exact_top.intersection(&sketch_top).count();
+    assert!(overlap >= 8, "only {overlap}/10 of the true top items were found");
+}
+
+#[test]
+fn comparison_harness_runs_every_method() {
+    let (rows, counts) = workload(800, 3);
+    let subsets = vec![(0..200u64).collect::<Vec<_>>(), (200..800u64).collect::<Vec<_>>()];
+    for method in Method::ALL {
+        let estimates = method.estimate_subsets(&rows, &counts, 100, &subsets, 11);
+        assert_eq!(estimates.len(), 2);
+        let total_truth: f64 = counts.iter().map(|&c| c as f64).sum();
+        let total_est: f64 = estimates.iter().sum();
+        assert!(
+            (total_est - total_truth).abs() / total_truth < 0.6,
+            "{}: total {total_est} vs {total_truth}",
+            method.name()
+        );
+    }
+}
+
+#[test]
+fn distributed_pipeline_matches_single_sketch() {
+    // Shard a stream, sketch each shard on its own thread, merge, and compare the
+    // subset estimate against both the truth and a single-sketch run.
+    let (rows, counts) = workload(2_000, 4);
+    let shards: Vec<Vec<u64>> = rows.chunks(rows.len() / 4 + 1).map(<[u64]>::to_vec).collect();
+    let merged = DistributedSketcher::new(400, 9).sketch_partitions(&shards);
+
+    let mut single = UnbiasedSpaceSaving::with_seed(400, 10);
+    for &item in &rows {
+        single.offer(item);
+    }
+
+    let subset: Vec<u64> = (0..2_000).filter(|i| i % 2 == 0).collect();
+    let truth = true_subset_sum(&counts, &subset) as f64;
+    let merged_est: f64 = merged
+        .entries()
+        .iter()
+        .filter(|(i, _)| subset.binary_search(i).is_ok())
+        .map(|(_, c)| c)
+        .sum();
+    let single_est = single.snapshot().subset_sum(|i| subset.binary_search(&i).is_ok());
+    assert!((merged_est - truth).abs() / truth < 0.3, "merged {merged_est} vs {truth}");
+    assert!((single_est - truth).abs() / truth < 0.3, "single {single_est} vs {truth}");
+    assert_eq!(merged.rows_processed(), rows.len() as u64);
+}
+
+#[test]
+fn pairwise_merge_preserves_subset_estimates() {
+    let (rows_a, counts_a) = workload(1_500, 5);
+    let (rows_b, counts_b) = workload(1_500, 6);
+    let mut a = UnbiasedSpaceSaving::with_seed(300, 1);
+    let mut b = UnbiasedSpaceSaving::with_seed(300, 2);
+    for &item in &rows_a {
+        a.offer(item);
+    }
+    for &item in &rows_b {
+        b.offer(item);
+    }
+    let merged = merge_unbiased(&a, &b, 77);
+    let subset: Vec<u64> = (0..1_500).filter(|i| i % 2 == 0).collect();
+    let truth = (true_subset_sum(&counts_a, &subset) + true_subset_sum(&counts_b, &subset)) as f64;
+    let est: f64 = merged
+        .entries()
+        .iter()
+        .filter(|(i, _)| subset.binary_search(i).is_ok())
+        .map(|(_, c)| c)
+        .sum();
+    assert!((est - truth).abs() / truth < 0.3, "merged estimate {est} vs {truth}");
+}
+
+#[test]
+fn pathological_orders_do_not_break_unbiasedness() {
+    // Sorted and two-phase streams: averaged over a few seeds, the subset estimates
+    // stay close to the truth, unlike the deterministic sketch.
+    let counts = FrequencyDistribution::Geometric { p: 0.05 }.grid_counts(500);
+    let subset: Vec<u64> = (0..250).collect();
+    let truth = true_subset_sum(&counts, &subset) as f64;
+
+    let sorted = sorted_stream(&counts, true);
+    let mut rng = StdRng::seed_from_u64(8);
+    let two_phase = two_phase_stream(&counts[..250], &counts[250..], &mut rng);
+
+    for stream in [&sorted, &two_phase] {
+        let reps = 40;
+        let mut sum = 0.0;
+        for seed in 0..reps {
+            let mut sketch = UnbiasedSpaceSaving::with_seed(80, seed);
+            for &item in stream.iter() {
+                sketch.offer(item);
+            }
+            sum += sketch.snapshot().subset_sum(|i| subset.binary_search(&i).is_ok());
+        }
+        let mean = sum / reps as f64;
+        let rel = (mean - truth).abs() / truth;
+        assert!(rel < 0.25, "mean {mean} vs truth {truth} (rel {rel})");
+    }
+}
+
+#[test]
+fn adclick_marginals_are_recoverable_from_the_sketch() {
+    let impressions: Vec<_> = AdClickGenerator::new(AdClickConfig {
+        rows: 30_000,
+        ..AdClickConfig::default()
+    })
+    .collect();
+    let mut sketch = UnbiasedSpaceSaving::with_seed(1_000, 5);
+    let mut key_to_advertiser = std::collections::HashMap::new();
+    for imp in &impressions {
+        let key = imp.marginal_key(&[0, 1, 2, 3, 4, 5, 6, 7, 8]);
+        key_to_advertiser.entry(key).or_insert(imp.features[0]);
+        sketch.offer(key);
+    }
+    let snapshot = sketch.snapshot();
+    // The most frequent advertiser's impression count should be estimated within a
+    // reasonable relative error.
+    let mut advertiser_counts = std::collections::HashMap::new();
+    for imp in &impressions {
+        *advertiser_counts.entry(imp.features[0]).or_insert(0u64) += 1;
+    }
+    let (&top_adv, &truth) = advertiser_counts.iter().max_by_key(|(_, &c)| c).unwrap();
+    let est = snapshot.subset_sum(|key| key_to_advertiser.get(&key) == Some(&top_adv));
+    let relative_error = (est - truth as f64).abs() / truth as f64;
+    assert!(
+        relative_error < 0.3,
+        "advertiser {top_adv}: est {est} vs truth {truth}"
+    );
+}
+
+#[test]
+fn figure_experiments_run_at_tiny_scale() {
+    use unbiased_space_saving::eval::experiments as ex;
+    // Smoke-test every figure driver end to end through the public API.
+    let fig2 = ex::fig2_inclusion::run(&ex::fig2_inclusion::InclusionConfig::tiny());
+    assert!(!fig2.rows.is_empty());
+    let fig3 = ex::fig3_subset_error::run(&ex::fig3_subset_error::SubsetErrorConfig::tiny());
+    assert!(!fig3.summaries.is_empty());
+    let fig4 = ex::fig4_bottomk::run_figure4(&ex::fig4_bottomk::tiny_config());
+    assert!(!fig4.bottomk_ratio.is_empty());
+    let fig5 = ex::fig5_vs_priority::run(&ex::fig5_vs_priority::VsPriorityConfig::tiny());
+    assert!(!fig5.points.is_empty());
+    let fig6 = ex::fig6_marginals::run(&ex::fig6_marginals::MarginalsConfig::tiny());
+    assert!(!fig6.rows.is_empty());
+    let fig7 = ex::fig7_pathological::run(&ex::fig7_pathological::PathologicalConfig::tiny());
+    assert!(!fig7.queries.is_empty());
+    let fig8 = ex::fig8_10_sorted::run(&ex::fig8_10_sorted::SortedStreamConfig::tiny());
+    assert_eq!(fig8.epochs.len(), 5);
+}
