@@ -2,8 +2,9 @@
 //! Karp et al. 2003) and its isomorphism to Deterministic Space Saving.
 //!
 //! Misra-Gries keeps at most `m` counters. A row whose item is tracked increments its
-//! counter; a row whose item is untracked either claims a free counter (initialised to
-//! 1) or, if none is free, decrements *every* counter, dropping those that reach zero.
+//! counter; a row whose item is untracked either claims a free counter (initialised
+//! to one) or, if none is free, decrements *every* counter, dropping those that reach
+//! zero.
 //! The estimate for a tracked item is its counter value; untracked items estimate to
 //! zero. Estimates are downward biased by at most the total number of decrement steps,
 //! which equals `N̂_min` of the Deterministic Space Saving sketch run on the same

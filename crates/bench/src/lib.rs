@@ -33,11 +33,11 @@ impl FigureArgs {
     /// unrecognised flag.
     #[must_use]
     pub fn parse() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::parse_from(std::env::args().skip(1))
     }
 
     /// Parses from an explicit iterator (used by tests).
-    pub fn from_iter<I, S>(args: I) -> Self
+    pub fn parse_from<I, S>(args: I) -> Self
     where
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
@@ -92,7 +92,7 @@ mod tests {
 
     #[test]
     fn parses_flags() {
-        let args = FigureArgs::from_iter(["--quick", "--csv", "--reps", "17", "--seed", "3"]);
+        let args = FigureArgs::parse_from(["--quick", "--csv", "--reps", "17", "--seed", "3"]);
         assert!(args.quick);
         assert!(args.csv);
         assert_eq!(args.reps, Some(17));
@@ -102,7 +102,7 @@ mod tests {
 
     #[test]
     fn defaults_are_empty() {
-        let args = FigureArgs::from_iter(Vec::<String>::new());
+        let args = FigureArgs::parse_from(Vec::<String>::new());
         assert!(!args.quick);
         assert!(!args.csv);
         assert!(args.reps.is_none());

@@ -41,12 +41,12 @@ impl DistributedSketcher {
     pub fn sketch_partitions(&self, partitions: &[Vec<u64>]) -> WeightedSpaceSaving {
         let results: Mutex<Vec<(usize, UnbiasedSpaceSaving)>> =
             Mutex::new(Vec::with_capacity(partitions.len()));
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (i, partition) in partitions.iter().enumerate() {
                 let results = &results;
                 let capacity = self.capacity;
                 let seed = self.seed + i as u64;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut sketch = UnbiasedSpaceSaving::with_seed(capacity, seed);
                     for &item in partition {
                         sketch.offer(item);
@@ -54,8 +54,7 @@ impl DistributedSketcher {
                     results.lock().push((i, sketch));
                 });
             }
-        })
-        .expect("mapper thread panicked");
+        });
 
         let mut mappers = results.into_inner();
         // Deterministic merge order regardless of thread completion order.

@@ -192,7 +192,8 @@ mod tests {
             Method::PrioritySampling,
             Method::AdaptiveSampleAndHold,
         ] {
-            let est = method.estimate_subsets(&rows, &counts, 60, &[subset.clone()], 3)[0];
+            let est =
+                method.estimate_subsets(&rows, &counts, 60, std::slice::from_ref(&subset), 3)[0];
             let rel = (est - truth).abs() / truth;
             assert!(rel < 0.5, "{}: rel error {rel}", method.name());
         }

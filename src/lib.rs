@@ -32,6 +32,12 @@ pub use uss_eval as eval;
 pub use uss_sampling as sampling;
 pub use uss_workloads as workloads;
 
+// Compile and run the README's quick-start as a doc-test, so the documented flow
+// can never drift from the real API.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
+
 /// Commonly used items across the workspace.
 pub mod prelude {
     pub use uss_core::prelude::*;

@@ -1,0 +1,220 @@
+//! Round-trip tests for the distributed pipeline: shard a stream K ways, sketch each
+//! shard independently, merge with the unbiased PPS merge, and check the merged
+//! estimates against both the truth and an unsharded sketch of the same stream.
+//!
+//! These complement `end_to_end.rs` by exercising `DistributedSketcher::reduce`
+//! directly (fold order), the pairwise `merge_unbiased` tree, and the confidence
+//! intervals of the merged snapshot — the section 5.5 claims of the paper.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use unbiased_space_saving::core::distributed::DistributedSketcher;
+use unbiased_space_saving::core::merge::merge_unbiased;
+use unbiased_space_saving::prelude::*;
+use unbiased_space_saving::workloads::true_subset_sum;
+
+const N_ITEMS: usize = 2_000;
+const CAPACITY: usize = 400;
+
+/// A reproducible skewed workload: per-item counts plus the shuffled row stream.
+fn workload(seed: u64) -> (Vec<u64>, Vec<u64>) {
+    let counts = FrequencyDistribution::Weibull {
+        scale: 12.0,
+        shape: 0.4,
+    }
+    .grid_counts(N_ITEMS);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (shuffled_stream(&counts, &mut rng), counts)
+}
+
+/// Round-robin sharding, the worst case for per-shard locality: every shard sees a
+/// thinned copy of the whole stream.
+fn shard_round_robin(rows: &[u64], k: usize) -> Vec<Vec<u64>> {
+    let mut shards: Vec<Vec<u64>> = (0..k)
+        .map(|_| Vec::with_capacity(rows.len() / k + 1))
+        .collect();
+    for (i, &row) in rows.iter().enumerate() {
+        shards[i % k].push(row);
+    }
+    shards
+}
+
+/// The query subset used throughout: every third item, spread across the whole
+/// frequency range so the subset total is a stable fraction of the stream.
+fn query_subset() -> Vec<u64> {
+    (0..N_ITEMS as u64).filter(|i| i % 3 == 0).collect()
+}
+
+#[test]
+fn kway_round_trip_conserves_mass_and_tracks_truth() {
+    let (rows, counts) = workload(21);
+    let subset = query_subset();
+    let truth = true_subset_sum(&counts, &subset) as f64;
+
+    for k in [2, 4, 8] {
+        let shards = shard_round_robin(&rows, k);
+        let merged = DistributedSketcher::new(CAPACITY, 100 + k as u64).sketch_partitions(&shards);
+
+        // Row accounting survives the round trip exactly, and the merge respects the
+        // bin budget.
+        assert_eq!(merged.rows_processed(), rows.len() as u64, "k={k}");
+        assert!(merged.retained_len() <= CAPACITY, "k={k}");
+        let mass: f64 = merged.entries().iter().map(|(_, c)| c).sum();
+        assert!(
+            (mass - rows.len() as f64).abs() < 1e-6 * rows.len() as f64,
+            "k={k}: merged mass {mass} vs {} rows",
+            rows.len()
+        );
+
+        // The merged subset estimate stays close to the truth.
+        let est = merged
+            .snapshot()
+            .subset_sum(|i| subset.binary_search(&i).is_ok());
+        let rel = (est - truth).abs() / truth;
+        assert!(rel < 0.25, "k={k}: estimate {est} vs truth {truth} (rel {rel})");
+    }
+}
+
+#[test]
+fn sharded_estimate_agrees_with_unsharded_sketch() {
+    let (rows, _counts) = workload(22);
+    let subset = query_subset();
+
+    let mut single = UnbiasedSpaceSaving::with_seed(CAPACITY, 5);
+    for &item in &rows {
+        single.offer(item);
+    }
+    let single_est = single
+        .snapshot()
+        .subset_sum(|i| subset.binary_search(&i).is_ok());
+
+    let shards = shard_round_robin(&rows, 6);
+    let merged = DistributedSketcher::new(CAPACITY, 6).sketch_partitions(&shards);
+    let merged_est = merged
+        .snapshot()
+        .subset_sum(|i| subset.binary_search(&i).is_ok());
+
+    // Two estimators of the same quantity with the same space budget: they must agree
+    // within the scale of their own sampling noise, not merely within the truth's
+    // order of magnitude.
+    let scale = single_est.max(1.0);
+    let rel_gap = (merged_est - single_est).abs() / scale;
+    assert!(
+        rel_gap < 0.3,
+        "merged {merged_est} vs single {single_est} (relative gap {rel_gap})"
+    );
+}
+
+#[test]
+fn merged_confidence_intervals_cover_the_truth() {
+    // Coverage check for the merged sketch's equation-5 confidence intervals: over
+    // many independent round trips, the 95% CI must cover the truth far more often
+    // than not. The threshold (70%) is low enough to be robust to the CI being
+    // slightly optimistic after a merge, while still failing if the variance
+    // estimate were nonsense.
+    let (rows, counts) = workload(23);
+    let subset = query_subset();
+    let truth = true_subset_sum(&counts, &subset) as f64;
+
+    let reps = 40;
+    let mut covered = 0;
+    for seed in 0..reps {
+        let shards = shard_round_robin(&rows, 4);
+        let merged = DistributedSketcher::new(CAPACITY, 1_000 + seed).sketch_partitions(&shards);
+        let (_, ci) = merged
+            .snapshot()
+            .subset_confidence_interval(|i| subset.binary_search(&i).is_ok(), 0.95);
+        assert!(ci.upper >= ci.lower, "degenerate CI at seed {seed}");
+        if ci.contains(truth) {
+            covered += 1;
+        }
+    }
+    assert!(
+        covered >= reps * 7 / 10,
+        "95% CI covered the truth only {covered}/{reps} times"
+    );
+}
+
+#[test]
+fn unbiasedness_survives_the_merge_over_seeds() {
+    // The headline property of section 5.5: averaging the merged subset estimate over
+    // independent seeds converges on the truth (the merge introduces variance but no
+    // bias), even though each shard's sketch only keeps a fifth of the space needed
+    // to store its shard exactly.
+    let (rows, counts) = workload(24);
+    let subset = query_subset();
+    let truth = true_subset_sum(&counts, &subset) as f64;
+
+    let reps = 60;
+    let mut sum = 0.0;
+    for seed in 0..reps {
+        let shards = shard_round_robin(&rows, 5);
+        let merged = DistributedSketcher::new(CAPACITY, 2_000 + seed).sketch_partitions(&shards);
+        sum += merged
+            .snapshot()
+            .subset_sum(|i| subset.binary_search(&i).is_ok());
+    }
+    let mean = sum / reps as f64;
+    let rel = (mean - truth).abs() / truth;
+    assert!(rel < 0.08, "mean {mean} vs truth {truth} (rel {rel})");
+}
+
+#[test]
+fn pairwise_merge_tree_matches_fold_reduce() {
+    // Merging ((a ⊕ b) ⊕ (c ⊕ d)) pairwise must agree with the DistributedSketcher's
+    // sequential fold on row accounting and (statistically) on subset estimates.
+    let (rows, counts) = workload(25);
+    let subset = query_subset();
+    let truth = true_subset_sum(&counts, &subset) as f64;
+
+    let shards = shard_round_robin(&rows, 4);
+    let sketches: Vec<UnbiasedSpaceSaving> = shards
+        .iter()
+        .enumerate()
+        .map(|(i, shard)| {
+            let mut s = UnbiasedSpaceSaving::with_seed(CAPACITY, 3_000 + i as u64);
+            for &item in shard {
+                s.offer(item);
+            }
+            s
+        })
+        .collect();
+
+    let fold = DistributedSketcher::new(CAPACITY, 31).reduce(sketches.clone());
+
+    let left = merge_unbiased(&sketches[0], &sketches[1], 32);
+    let right = merge_unbiased(&sketches[2], &sketches[3], 33);
+    // Third level of the tree: merge the two weighted intermediates through the
+    // entry-level API.
+    let mut rng = StdRng::seed_from_u64(34);
+    let tree_entries = unbiased_space_saving::core::merge::merge_unbiased_entries(
+        &left.entries(),
+        &right.entries(),
+        CAPACITY,
+        &mut rng,
+    );
+
+    let fold_rows = fold.rows_processed();
+    assert_eq!(fold_rows, rows.len() as u64);
+    let tree_mass: f64 = tree_entries.iter().map(|(_, c)| c).sum();
+    assert!(
+        (tree_mass - rows.len() as f64).abs() < 1e-6 * rows.len() as f64,
+        "tree-merge mass {tree_mass} vs {} rows",
+        rows.len()
+    );
+    assert!(tree_entries.len() <= CAPACITY);
+
+    let fold_est = fold
+        .snapshot()
+        .subset_sum(|i| subset.binary_search(&i).is_ok());
+    let tree_est: f64 = tree_entries
+        .iter()
+        .filter(|(i, _)| subset.binary_search(i).is_ok())
+        .map(|(_, c)| c)
+        .sum();
+    for (name, est) in [("fold", fold_est), ("tree", tree_est)] {
+        let rel = (est - truth).abs() / truth;
+        assert!(rel < 0.25, "{name} estimate {est} vs truth {truth} (rel {rel})");
+    }
+}

@@ -1,0 +1,250 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro/builder surface the workspace benches use (`criterion_group!`,
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_function`, `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, `black_box`) backed by a deliberately small harness:
+//! each benchmark runs a warm-up pass and a fixed number of timed samples, then prints
+//! the median time per iteration (and derived throughput when declared). No
+//! statistical analysis, plots or baselines — swap in real criterion for those.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle; collects and runs benchmarks as they are registered.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark (builder style, as in real
+    /// criterion's `Criterion::default().sample_size(n)`).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Registers and immediately runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_benchmark_id();
+        run_benchmark(&label, self.sample_size, None, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix, sample size and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Declares how much work one iteration performs, enabling a throughput report.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Registers and runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_benchmark(&label, samples, self.throughput, &mut f);
+        self
+    }
+
+    /// Registers and runs a benchmark parameterised by an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_benchmark(&label, samples, self.throughput, &mut |b: &mut Bencher| {
+            f(b, input);
+        });
+        self
+    }
+
+    /// Ends the group (the vendored harness runs benchmarks eagerly, so this only
+    /// prints a separator).
+    pub fn finish(self) {
+        eprintln!();
+    }
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    samples: usize,
+    /// Median time per iteration, filled in by `iter`.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median per-iteration duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: target ~10ms per sample, at least one iteration.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            per_iter.push(start.elapsed() / iters as u32);
+        }
+        per_iter.sort_unstable();
+        self.elapsed = per_iter[per_iter.len() / 2];
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    let mut bencher = Bencher {
+        samples,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed;
+    match throughput {
+        Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+            let rate = n as f64 / per_iter.as_secs_f64();
+            eprintln!("{label:<60} {per_iter:>12.2?}/iter   {rate:>14.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+            let rate = n as f64 / per_iter.as_secs_f64() / (1024.0 * 1024.0);
+            eprintln!("{label:<60} {per_iter:>12.2?}/iter   {rate:>14.1} MiB/s");
+        }
+        _ => eprintln!("{label:<60} {per_iter:>12.2?}/iter"),
+    }
+}
+
+/// Work performed by one benchmark iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark name with an attached parameter, e.g. `merge/1024`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter shown after a `/`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a printable benchmark label.
+pub trait IntoBenchmarkId {
+    /// Returns the label.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

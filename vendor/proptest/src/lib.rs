@@ -1,0 +1,157 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property tests use:
+//! the [`proptest!`] macro (including `#![proptest_config(...)]`), the
+//! [`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assume!`] macros, range and tuple
+//! strategies, [`collection::vec`], [`arbitrary::any`], `Just`, and
+//! `Strategy::prop_map`/`prop_flat_map`.
+//!
+//! Differences from upstream: no shrinking (a failing case reports the generated
+//! inputs verbatim), and case generation is deterministic per test name so CI runs
+//! are reproducible. Set `PROPTEST_RNG_SEED` to an integer to explore a different
+//! deterministic stream.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+pub mod arbitrary;
+pub mod collection;
+pub mod test_runner;
+
+/// Mirrors `proptest::prop` for code that spells strategies `prop::collection::vec`.
+pub mod prop {
+    pub use crate::arbitrary;
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+/// The glob-import surface used by tests: traits, strategies and macros.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }` item becomes
+/// a `#[test]` that runs the body over many generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($cfg:expr);) => {};
+    (config = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::rng_for_test(stringify!($name));
+            let mut __cases_run: u32 = 0;
+            let mut __attempts: u32 = 0;
+            while __cases_run < __config.cases {
+                __attempts += 1;
+                assert!(
+                    __attempts < __config.cases.saturating_mul(32).saturating_add(1024),
+                    "proptest test `{}`: too many cases rejected by prop_assume!",
+                    stringify!($name),
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __rng);)+
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => __cases_run += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "proptest test `{}` failed at case {}: {}",
+                            stringify!($name),
+                            __cases_run,
+                            __msg,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test, failing the current case (not the
+/// whole process) so the runner can report the offending inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)*);
+    }};
+}
+
+/// Asserts two expressions are unequal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), __l,
+        );
+    }};
+}
+
+/// Rejects the current case (without failing) when its inputs don't satisfy a
+/// precondition; the runner draws a replacement case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}

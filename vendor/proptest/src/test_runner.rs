@@ -1,0 +1,57 @@
+//! The (minimal) test runner: configuration, case outcomes and RNG plumbing.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies. A concrete type keeps the `Strategy` trait
+/// object-safe and the macro expansion simple.
+pub type TestRng = StdRng;
+
+/// Runner configuration; only `cases` is honoured by this vendored runner.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases each test must pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// The outcome of a single generated case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+    /// A `prop_assume!` precondition failed; the case is redrawn.
+    Reject(String),
+}
+
+/// Deterministic per-test RNG: seeded from a hash of the test name, optionally mixed
+/// with the `PROPTEST_RNG_SEED` environment variable to explore other streams.
+#[must_use]
+pub fn rng_for_test(name: &str) -> TestRng {
+    // FNV-1a over the test name.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    if let Ok(extra) = std::env::var("PROPTEST_RNG_SEED") {
+        if let Ok(seed) = extra.trim().parse::<u64>() {
+            // Offset before multiplying so seed 0 also selects a distinct stream.
+            h ^= seed.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+    StdRng::seed_from_u64(h)
+}

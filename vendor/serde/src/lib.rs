@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace derives `Serialize`/`Deserialize` on a few result types so they are
+//! ready for wire formats, but never actually serializes offline. The traits here are
+//! markers with blanket implementations, and the re-exported derives (behind the
+//! `derive` feature, mirroring upstream) expand to nothing. Swapping the real `serde`
+//! back in requires no source changes in the workspace.
+
+#![warn(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; every type trivially satisfies it.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; every type trivially satisfies it.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` (wire formats are out of
+//! scope offline), so these derive macros intentionally expand to nothing: the
+//! `#[derive(...)]` attributes compile, and the marker traits in the vendored
+//! `serde` crate are blanket-implemented instead.
+
+use proc_macro::TokenStream;
+
+/// No-op derive for `Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op derive for `Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
