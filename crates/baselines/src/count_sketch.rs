@@ -131,6 +131,15 @@ impl StreamSketch for CountSketch {
         self.add(item, 1);
     }
 
+    /// Batched ingest: the sketch is linear, so a run of `k` equal consecutive items
+    /// is one [`add`](CountSketch::add) of `k` — each row's buckets and signs are
+    /// hashed once instead of `k` times.
+    fn offer_batch(&mut self, items: &[u64]) {
+        for run in items.chunk_by(|a, b| a == b) {
+            self.add(run[0], run.len() as i64);
+        }
+    }
+
     fn rows_processed(&self) -> u64 {
         self.rows_processed
     }

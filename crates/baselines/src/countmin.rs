@@ -132,6 +132,17 @@ impl StreamSketch for CountMinSketch {
         self.add(item, 1);
     }
 
+    /// Batched ingest: a run of `k` equal consecutive items becomes one
+    /// [`add`](CountMinSketch::add) of `k`, hashing each row's buckets once instead of
+    /// `k` times. Exactly equivalent to `k` unit offers for both the plain update
+    /// (the sketch is linear) and the conservative update (raising every counter
+    /// below `est + k` in one step reaches the same fixpoint as `k` single raises).
+    fn offer_batch(&mut self, items: &[u64]) {
+        for run in items.chunk_by(|a, b| a == b) {
+            self.add(run[0], run.len() as u64);
+        }
+    }
+
     fn rows_processed(&self) -> u64 {
         self.rows_processed
     }

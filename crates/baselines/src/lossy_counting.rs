@@ -81,7 +81,7 @@ impl LossyCounting {
             .filter(|(_, e)| e.count as f64 >= threshold)
             .map(|(&item, e)| (item, e.count as f64))
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("counts are finite"));
+        out.sort_by(|a, b| b.1.total_cmp(&a.1));
         out
     }
 

@@ -103,6 +103,36 @@ impl StreamSketch for MisraGries {
         });
     }
 
+    /// Batched ingest: a run of `k` equal consecutive items needs one hash probe when
+    /// the item is tracked (or one insert when a counter is free) instead of `k`.
+    /// While the item is untracked at capacity, the decrement-all reductions are
+    /// replayed row by row — each one can free counters and change what happens to the
+    /// next row — and the rest of the run is absorbed the moment the item claims a
+    /// counter. Exactly equivalent to offering each row in order.
+    fn offer_batch(&mut self, items: &[u64]) {
+        for run in items.chunk_by(|a, b| a == b) {
+            let item = run[0];
+            let mut rem = run.len() as u64;
+            if let Some(count) = self.counters.get_mut(&item) {
+                *count += rem;
+                self.rows += rem;
+            } else if self.counters.len() < self.capacity {
+                self.counters.insert(item, rem);
+                self.rows += rem;
+            } else {
+                while rem > 0 {
+                    self.offer(item);
+                    rem -= 1;
+                    if let Some(count) = self.counters.get_mut(&item) {
+                        *count += rem;
+                        self.rows += rem;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
     fn rows_processed(&self) -> u64 {
         self.rows
     }

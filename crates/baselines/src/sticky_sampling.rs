@@ -89,7 +89,7 @@ impl StickySampling {
             .filter(|(_, &c)| c as f64 >= threshold)
             .map(|(&item, &c)| (item, c as f64))
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("counts are finite"));
+        out.sort_by(|a, b| b.1.total_cmp(&a.1));
         out
     }
 

@@ -129,3 +129,94 @@ proptest! {
         }
     }
 }
+
+/// Entries in item order, so batched and sequential runs compare exactly.
+fn sorted_entries<S: StreamSketch>(sketch: &S) -> Vec<(u64, f64)> {
+    let mut entries = sketch.entries();
+    entries.sort_by_key(|e| e.0);
+    entries
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `offer_batch` ≡ sequential `offer` calls for Misra-Gries, for any stream, any
+    /// capacity, and any batching; streams are partially sorted so runs of equal
+    /// items exercise the grouped fast path.
+    #[test]
+    fn misra_gries_offer_batch_matches_sequential(
+        mut stream in vec(0u64..60, 1..500),
+        sort_prefix in 0usize..500,
+        cut in 1usize..83,
+        capacity in 1usize..16,
+    ) {
+        let prefix = sort_prefix.min(stream.len());
+        stream[..prefix].sort_unstable();
+        let mut batched = MisraGries::new(capacity);
+        let mut sequential = MisraGries::new(capacity);
+        for chunk in stream.chunks(cut) {
+            batched.offer_batch(chunk);
+        }
+        for &item in &stream {
+            sequential.offer(item);
+        }
+        prop_assert_eq!(batched.rows_processed(), sequential.rows_processed());
+        prop_assert_eq!(batched.decrement_count(), sequential.decrement_count());
+        prop_assert_eq!(sorted_entries(&batched), sorted_entries(&sequential));
+    }
+
+    /// `offer_batch` ≡ sequential offers for CountMin, in both plain and conservative
+    /// update modes (every counter must match, not just the queries).
+    #[test]
+    fn countmin_offer_batch_matches_sequential(
+        mut stream in vec(0u64..60, 1..400),
+        sort_prefix in 0usize..400,
+        cut in 1usize..83,
+        conservative in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let prefix = sort_prefix.min(stream.len());
+        stream[..prefix].sort_unstable();
+        let make = || {
+            let cm = CountMinSketch::new(32, 3, seed);
+            if conservative { cm.conservative() } else { cm }
+        };
+        let mut batched = make();
+        let mut sequential = make();
+        for chunk in stream.chunks(cut) {
+            batched.offer_batch(chunk);
+        }
+        for &item in &stream {
+            sequential.offer(item);
+        }
+        prop_assert_eq!(batched.rows_processed(), sequential.rows_processed());
+        for item in 0u64..60 {
+            prop_assert_eq!(batched.query(item), sequential.query(item));
+        }
+    }
+
+    /// `offer_batch` ≡ sequential offers for the (linear) Count Sketch.
+    #[test]
+    fn count_sketch_offer_batch_matches_sequential(
+        mut stream in vec(0u64..60, 1..400),
+        sort_prefix in 0usize..400,
+        cut in 1usize..83,
+        seed in any::<u64>(),
+    ) {
+        let prefix = sort_prefix.min(stream.len());
+        stream[..prefix].sort_unstable();
+        let mut batched = CountSketch::new(32, 3, seed);
+        let mut sequential = CountSketch::new(32, 3, seed);
+        for chunk in stream.chunks(cut) {
+            batched.offer_batch(chunk);
+        }
+        for &item in &stream {
+            sequential.offer(item);
+        }
+        prop_assert_eq!(batched.rows_processed(), sequential.rows_processed());
+        for item in 0u64..60 {
+            prop_assert_eq!(batched.query(item), sequential.query(item));
+        }
+        prop_assert_eq!(batched.second_moment(), sequential.second_moment());
+    }
+}

@@ -3,14 +3,17 @@
 //! The paper argues (section 6.7) that the Unbiased Space Saving update keeps the
 //! `O(1)` cost of the Deterministic Space Saving update (only the label changes less
 //! often). These benches measure ingest throughput for the Space Saving family and the
-//! main baselines on a skewed stream, plus the cost of the two merge operations and
-//! the weighted / decayed variants.
+//! main baselines on a skewed stream (both row-at-a-time and batched), the sharded
+//! ingest engine end to end, plus the cost of the two merge operations and the
+//! weighted / decayed variants. `bench_ingest` (a `uss-bench` binary) measures the
+//! same ingest tiers with machine-readable `BENCH_ingest.json` output for CI.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use uss_baselines::{AdaptiveSampleAndHold, CountMinSketch, LossyCounting, MisraGries};
+use uss_core::engine::{EngineConfig, ShardedIngestEngine};
 use uss_core::merge::{merge_misra_gries, merge_unbiased_entries};
 use uss_core::{
     DecayedSpaceSaving, DeterministicSpaceSaving, StreamSketch, UnbiasedSpaceSaving,
@@ -41,6 +44,15 @@ fn bench_updates(c: &mut Criterion) {
             let mut sketch = UnbiasedSpaceSaving::with_seed(BINS, 7);
             for &item in &rows {
                 sketch.offer(black_box(item));
+            }
+            black_box(sketch.rows_processed())
+        });
+    });
+    group.bench_function(BenchmarkId::new("unbiased_space_saving_batched", BINS), |b| {
+        b.iter(|| {
+            let mut sketch = UnbiasedSpaceSaving::with_seed(BINS, 7);
+            for chunk in rows.chunks(4096) {
+                sketch.offer_batch(black_box(chunk));
             }
             black_box(sketch.rows_processed())
         });
@@ -111,6 +123,37 @@ fn bench_updates(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_engine(c: &mut Criterion) {
+    let rows = stream();
+    let mut group = c.benchmark_group("engine");
+    group.throughput(Throughput::Elements(rows.len() as u64));
+    for shards in [1usize, 4] {
+        group.bench_function(BenchmarkId::new("sharded_combined", shards), |b| {
+            b.iter(|| {
+                let engine = ShardedIngestEngine::new(EngineConfig::new(shards, BINS, 7));
+                let mut handle = engine.handle();
+                handle.offer_batch(black_box(&rows));
+                handle.flush();
+                drop(handle);
+                black_box(engine.finish().rows_processed())
+            });
+        });
+    }
+    group.bench_function(BenchmarkId::new("sharded_exact", 4usize), |b| {
+        b.iter(|| {
+            let engine = ShardedIngestEngine::new(
+                EngineConfig::new(4, BINS, 7).with_combiner_items(0),
+            );
+            let mut handle = engine.handle();
+            handle.offer_batch(black_box(&rows));
+            handle.flush();
+            drop(handle);
+            black_box(engine.finish().rows_processed())
+        });
+    });
+    group.finish();
+}
+
 fn bench_merge(c: &mut Criterion) {
     let rows = stream();
     let half = rows.len() / 2;
@@ -161,6 +204,6 @@ fn bench_queries(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_updates, bench_merge, bench_queries
+    targets = bench_updates, bench_engine, bench_merge, bench_queries
 }
 criterion_main!(benches);

@@ -1,0 +1,257 @@
+//! Ingest-path throughput benchmark with machine-readable output.
+//!
+//! Measures rows/s over the same materialized skewed stream for the three tiers of
+//! the ingest stack, so the perf trajectory is tracked from PR to PR:
+//!
+//! 1. `single_thread_unbatched` — one `StreamSketch::offer` call per row (the
+//!    pre-batching baseline);
+//! 2. `single_thread_batched` — `offer_batch` over fixed-size chunks (row-exact);
+//! 3. `engine_exact` — the sharded engine with the map-side combiner disabled
+//!    (row-exact per shard, concurrency only);
+//! 4. `engine_combined` — the sharded engine as configured by default: batches are
+//!    pre-aggregated and applied as unbiased multi-increments.
+//!
+//! Results go to `BENCH_ingest.json` (override with `--out`) and a human-readable
+//! table to stdout. `--quick` runs a smaller stream for CI smoke coverage.
+//!
+//! Usage: `bench_ingest [--quick] [--bins N] [--items N] [--shards N] [--reps N]
+//! [--seed N] [--out PATH]`
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use uss_core::engine::{EngineConfig, ShardedIngestEngine};
+use uss_core::{StreamSketch, UnbiasedSpaceSaving};
+use uss_workloads::{shuffled_stream, FrequencyDistribution};
+
+/// One measured configuration.
+struct Measurement {
+    name: &'static str,
+    description: String,
+    rows_per_sec: f64,
+    elapsed_sec: f64,
+}
+
+struct Options {
+    quick: bool,
+    bins: usize,
+    items: usize,
+    shards: usize,
+    reps: usize,
+    seed: u64,
+    out: String,
+}
+
+impl Options {
+    fn parse() -> Self {
+        let mut opts = Self {
+            quick: false,
+            bins: 1_000,
+            items: 20_000,
+            shards: 4,
+            reps: 3,
+            seed: 7,
+            out: "BENCH_ingest.json".to_string(),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let mut num = |flag: &str| -> usize {
+                args.next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("{flag} requires a numeric argument");
+                        std::process::exit(2);
+                    })
+            };
+            match arg.as_str() {
+                "--quick" => opts.quick = true,
+                "--bins" => opts.bins = num("--bins"),
+                "--items" => opts.items = num("--items"),
+                "--shards" => opts.shards = num("--shards"),
+                "--reps" => opts.reps = num("--reps"),
+                "--seed" => opts.seed = num("--seed") as u64,
+                "--out" => {
+                    opts.out = args.next().unwrap_or_else(|| {
+                        eprintln!("--out requires a path");
+                        std::process::exit(2);
+                    });
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "usage: bench_ingest [--quick] [--bins N] [--items N] [--shards N] \
+                         [--reps N] [--seed N] [--out PATH]"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unrecognised argument: {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if opts.quick {
+            opts.reps = opts.reps.min(2);
+        }
+        opts
+    }
+}
+
+/// A heavy-traffic stream: Zipf-distributed events over a hot item universe,
+/// shuffled into arrival order.
+fn build_stream(opts: &Options) -> Vec<u64> {
+    let max_count = if opts.quick { 60_000 } else { 600_000 };
+    let counts = FrequencyDistribution::Zipf {
+        exponent: 1.1,
+        max_count,
+    }
+    .grid_counts(opts.items);
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    shuffled_stream(&counts, &mut rng)
+}
+
+/// Runs `f` `reps` times and returns the best (smallest) elapsed seconds — the
+/// standard way to strip scheduler noise from a throughput figure.
+fn best_elapsed<F: FnMut() -> u64>(reps: usize, rows: usize, mut f: F) -> (f64, f64) {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let processed = f();
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(processed, rows as u64, "a run dropped rows");
+        best = best.min(elapsed);
+    }
+    (rows as f64 / best, best)
+}
+
+fn run_engine(rows: &[u64], config: EngineConfig) -> u64 {
+    let engine = ShardedIngestEngine::new(config);
+    let mut handle = engine.handle();
+    handle.offer_batch(rows);
+    handle.flush();
+    drop(handle);
+    engine.finish().rows_processed()
+}
+
+fn main() {
+    let opts = Options::parse();
+    eprintln!("building stream ({} items)...", opts.items);
+    let rows = build_stream(&opts);
+    let n = rows.len();
+    eprintln!("measuring over {n} rows, {} reps each", opts.reps);
+
+    let mut results: Vec<Measurement> = Vec::new();
+
+    let (rps, elapsed) = best_elapsed(opts.reps, n, || {
+        let mut sketch = UnbiasedSpaceSaving::with_seed(opts.bins, opts.seed);
+        for &item in &rows {
+            sketch.offer(item);
+        }
+        sketch.rows_processed()
+    });
+    results.push(Measurement {
+        name: "single_thread_unbatched",
+        description: "one offer() call per row".into(),
+        rows_per_sec: rps,
+        elapsed_sec: elapsed,
+    });
+
+    let (rps, elapsed) = best_elapsed(opts.reps, n, || {
+        let mut sketch = UnbiasedSpaceSaving::with_seed(opts.bins, opts.seed);
+        for chunk in rows.chunks(4096) {
+            sketch.offer_batch(chunk);
+        }
+        sketch.rows_processed()
+    });
+    results.push(Measurement {
+        name: "single_thread_batched",
+        description: "offer_batch() over 4096-row chunks (row-exact)".into(),
+        rows_per_sec: rps,
+        elapsed_sec: elapsed,
+    });
+
+    let (rps, elapsed) = best_elapsed(opts.reps, n, || {
+        run_engine(
+            &rows,
+            EngineConfig::new(opts.shards, opts.bins, opts.seed).with_combiner_items(0),
+        )
+    });
+    results.push(Measurement {
+        name: "engine_exact",
+        description: format!(
+            "{}-shard engine, combiner off (row-exact per shard)",
+            opts.shards
+        ),
+        rows_per_sec: rps,
+        elapsed_sec: elapsed,
+    });
+
+    let (rps, elapsed) = best_elapsed(opts.reps, n, || {
+        run_engine(&rows, EngineConfig::new(opts.shards, opts.bins, opts.seed))
+    });
+    results.push(Measurement {
+        name: "engine_combined",
+        description: format!(
+            "{}-shard engine with map-side combining (unbiased multi-increments)",
+            opts.shards
+        ),
+        rows_per_sec: rps,
+        elapsed_sec: elapsed,
+    });
+
+    let baseline = results[0].rows_per_sec;
+    println!(
+        "{:<26} {:>14} {:>12} {:>10}",
+        "config", "rows/s", "elapsed_s", "speedup"
+    );
+    for m in &results {
+        println!(
+            "{:<26} {:>14.0} {:>12.4} {:>9.2}x",
+            m.name,
+            m.rows_per_sec,
+            m.elapsed_sec,
+            m.rows_per_sec / baseline
+        );
+    }
+
+    let json = render_json(&opts, n, &results);
+    std::fs::write(&opts.out, json).unwrap_or_else(|e| {
+        eprintln!("failed to write {}: {e}", opts.out);
+        std::process::exit(1);
+    });
+    eprintln!("wrote {}", opts.out);
+}
+
+/// Hand-rolled JSON (the vendored serde is a marker-only stand-in).
+fn render_json(opts: &Options, rows: usize, results: &[Measurement]) -> String {
+    let baseline = results[0].rows_per_sec;
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"ingest\",\n");
+    out.push_str(&format!("  \"quick\": {},\n", opts.quick));
+    out.push_str(&format!("  \"rows\": {rows},\n"));
+    out.push_str(&format!("  \"distinct_items\": {},\n", opts.items));
+    out.push_str(&format!("  \"bins\": {},\n", opts.bins));
+    out.push_str(&format!("  \"shards\": {},\n", opts.shards));
+    out.push_str(&format!("  \"reps\": {},\n", opts.reps));
+    out.push_str(&format!("  \"seed\": {},\n", opts.seed));
+    out.push_str("  \"configs\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", m.name));
+        out.push_str(&format!("      \"description\": \"{}\",\n", m.description));
+        out.push_str(&format!("      \"rows_per_sec\": {:.0},\n", m.rows_per_sec));
+        out.push_str(&format!("      \"elapsed_sec\": {:.6},\n", m.elapsed_sec));
+        out.push_str(&format!(
+            "      \"speedup_vs_unbatched\": {:.3}\n",
+            m.rows_per_sec / baseline
+        ));
+        out.push_str(if i + 1 == results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -2,15 +2,17 @@
 //!
 //! Section 5.5 motivates the unbiased merge by distributed computation: each mapper
 //! sketches its partition of the stream independently, and only the small sketches
-//! cross the network to be merged at a reducer. This module simulates that pattern
-//! in-process: one OS thread per partition builds an [`UnbiasedSpaceSaving`] sketch,
-//! and the results are folded together with the unbiased PPS merge. The algorithmic
+//! cross the network to be merged at a reducer. This module is the deterministic
+//! map-reduce convenience wrapper over the live [`crate::engine`]: each partition is
+//! streamed to its own engine shard (one OS thread per partition, combiner disabled so
+//! every mapper sketch is row-for-row identical to sequential ingestion), and the
+//! shard results are folded together with the unbiased PPS merge. The algorithmic
 //! content (what is computed, and that it stays unbiased) is identical to a real
-//! deployment; only the transport differs.
+//! deployment; only the transport differs. For continuous multi-producer ingestion
+//! with queries *during* the stream, use [`crate::engine::ShardedIngestEngine`]
+//! directly.
 
-use parking_lot::Mutex;
-
-use crate::merge::merge_unbiased_entries;
+use crate::engine::{fold_reports, EngineConfig, ShardReport, ShardedIngestEngine};
 use crate::space_saving::{UnbiasedSpaceSaving, WeightedSpaceSaving};
 use crate::traits::StreamSketch;
 
@@ -35,31 +37,39 @@ impl DistributedSketcher {
         Self { capacity, seed }
     }
 
-    /// Sketches each partition on its own thread and merges the per-partition sketches
-    /// into a single weighted sketch answering queries over the union of partitions.
+    /// Rows per batch when streaming a partition to its engine shard.
+    const FEED_BATCH_ROWS: usize = 8192;
+
+    /// Sketches each partition on its own engine shard and merges the per-partition
+    /// sketches into a single weighted sketch answering queries over the union of
+    /// partitions.
+    ///
+    /// Mapper `i` is engine shard `i` (seeded `seed + i`, combiner disabled), so the
+    /// result is identical to sketching each partition sequentially and folding with
+    /// [`reduce`](Self::reduce).
     #[must_use]
     pub fn sketch_partitions(&self, partitions: &[Vec<u64>]) -> WeightedSpaceSaving {
-        let results: Mutex<Vec<(usize, UnbiasedSpaceSaving)>> =
-            Mutex::new(Vec::with_capacity(partitions.len()));
+        if partitions.is_empty() {
+            return self.reduce(std::iter::empty());
+        }
+        let config = EngineConfig::new(partitions.len(), self.capacity, self.seed)
+            .with_combiner_items(0)
+            .with_batch_rows(Self::FEED_BATCH_ROWS);
+        let engine = ShardedIngestEngine::new(config);
+        // One feeding thread per partition, so the shard workers sketch all
+        // partitions concurrently (a single feeder would stall shard i+1 behind
+        // shard i's bounded queue).
         std::thread::scope(|scope| {
-            for (i, partition) in partitions.iter().enumerate() {
-                let results = &results;
-                let capacity = self.capacity;
-                let seed = self.seed + i as u64;
+            for (shard, partition) in partitions.iter().enumerate() {
+                let engine = &engine;
                 scope.spawn(move || {
-                    let mut sketch = UnbiasedSpaceSaving::with_seed(capacity, seed);
-                    for &item in partition {
-                        sketch.offer(item);
+                    for chunk in partition.chunks(Self::FEED_BATCH_ROWS) {
+                        engine.ingest_to_shard(shard, chunk.to_vec());
                     }
-                    results.lock().push((i, sketch));
                 });
             }
         });
-
-        let mut mappers = results.into_inner();
-        // Deterministic merge order regardless of thread completion order.
-        mappers.sort_by_key(|(i, _)| *i);
-        self.reduce(mappers.into_iter().map(|(_, s)| s))
+        engine.finish()
     }
 
     /// Merges an iterator of mapper sketches (the reduce step), preserving
@@ -69,23 +79,15 @@ impl DistributedSketcher {
     where
         I: IntoIterator<Item = UnbiasedSpaceSaving>,
     {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xD15C0);
-        let mut acc_entries: Vec<(u64, f64)> = Vec::new();
-        let mut acc_rows: u64 = 0;
-        for sketch in sketches {
-            acc_entries = merge_unbiased_entries(
-                &acc_entries,
-                &sketch.entries(),
-                self.capacity,
-                &mut rng,
-            );
-            acc_rows += sketch.rows_processed();
-        }
-        let mut out = WeightedSpaceSaving::with_seed(self.capacity, self.seed ^ 0xFEED);
-        out.load_entries(acc_entries, acc_rows as f64);
-        out
+        fold_reports(
+            self.capacity,
+            self.seed ^ 0xD15C0,
+            self.seed ^ 0xFEED,
+            sketches.into_iter().map(|sketch| ShardReport {
+                entries: sketch.entries(),
+                rows: sketch.rows_processed(),
+            }),
+        )
     }
 }
 

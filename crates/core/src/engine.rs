@@ -1,0 +1,565 @@
+//! Concurrent sharded ingest engine: live, queryable sketching of heavy streams.
+//!
+//! The plain sketches in [`crate::space_saving`] are single-threaded values: one
+//! owner, one `offer` call per row. This module scales the same algorithmic content to
+//! a production-shaped ingest path built around the property that makes it correct —
+//! Ting's unbiased PPS merge (section 5.5), under which sharded sketches can be folded
+//! at any time into a single sketch that stays unbiased for every after-the-fact
+//! subset-sum query.
+//!
+//! A [`ShardedIngestEngine`] owns `N` worker shards, each an OS thread with a private
+//! [`UnbiasedSpaceSaving`] sketch. Producers obtain cheap cloneable
+//! [`IngestHandle`]s, which route rows to shards *by item hash* (so every occurrence
+//! of an item lands on the same shard and frequent-item counts stay sharp) and move
+//! them over bounded queues in coarse batches. Each worker optionally runs a
+//! *map-side combiner*: incoming batches are pre-aggregated into `(item, count)`
+//! pairs and applied with [`UnbiasedSpaceSaving::offer_many`] multi-increments — the
+//! weighted update of section 5.3, which preserves unbiasedness for any grouping —
+//! so on skewed traffic the sketch sees orders of magnitude fewer updates than rows.
+//!
+//! [`ShardedIngestEngine::snapshot`] serves queries while ingest continues: it asks
+//! every shard (through the same FIFO queues, so all previously enqueued batches are
+//! drained first) for its current entries and folds them with the unbiased PPS merge.
+//! [`ShardedIngestEngine::finish`] closes the queues, joins the workers, and folds
+//! their final sketches the same way.
+//!
+//! # Engine or plain sketch?
+//!
+//! Use a plain [`UnbiasedSpaceSaving`] when one thread owns the stream and exact
+//! row-order reproducibility matters (experiments, tests, small streams). Use the
+//! engine when rows arrive from many producers, when ingest must overlap with
+//! queries, or when throughput matters more than row-level determinism: the combiner
+//! reorders rows *within* a flush window, which changes no expectation (every subset
+//! sum stays unbiased) but does change individual sample paths.
+//! [`crate::distributed::DistributedSketcher`] remains the deterministic map-reduce
+//! convenience wrapper over this engine.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::thread::JoinHandle;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::hash::{splitmix64, FxHashMap};
+use crate::merge::merge_unbiased_entries;
+use crate::space_saving::{UnbiasedSpaceSaving, WeightedSpaceSaving};
+use crate::traits::StreamSketch;
+
+/// Configuration for a [`ShardedIngestEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Number of worker shards (one OS thread and one sketch each).
+    pub shards: usize,
+    /// Bins per shard sketch, and in every merged snapshot.
+    pub capacity: usize,
+    /// Base RNG seed: shard `i` sketches with `seed + i`; merges derive their seeds
+    /// from `seed` exactly as [`crate::distributed::DistributedSketcher`] does.
+    pub seed: u64,
+    /// Bound of each shard's queue, in batches. Producers block once a shard is this
+    /// many batches behind — the engine's backpressure.
+    pub queue_depth: usize,
+    /// Rows buffered per shard inside an [`IngestHandle`] before a batch is sent.
+    pub batch_rows: usize,
+    /// Maximum distinct items held in a worker's map-side combiner before it is
+    /// flushed into the sketch with unbiased multi-increments. `0` disables the
+    /// combiner: rows are then applied in arrival order through
+    /// [`StreamSketch::offer_batch`], which is row-for-row equivalent to sequential
+    /// `offer` calls.
+    pub combiner_items: usize,
+}
+
+impl EngineConfig {
+    /// A sensible default configuration: queue depth 4, 4096-row batches, and a
+    /// combiner bounded at 65 536 distinct items per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `capacity` is zero.
+    #[must_use]
+    pub fn new(shards: usize, capacity: usize, seed: u64) -> Self {
+        assert!(shards > 0, "engine needs at least one shard");
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            shards,
+            capacity,
+            seed,
+            queue_depth: 4,
+            batch_rows: 4096,
+            combiner_items: 1 << 16,
+        }
+    }
+
+    /// Overrides the per-shard combiner bound (`0` disables combining).
+    #[must_use]
+    pub fn with_combiner_items(mut self, combiner_items: usize) -> Self {
+        self.combiner_items = combiner_items;
+        self
+    }
+
+    /// Overrides the producer-side batch size, in rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_rows` is zero.
+    #[must_use]
+    pub fn with_batch_rows(mut self, batch_rows: usize) -> Self {
+        assert!(batch_rows > 0, "batch_rows must be positive");
+        self.batch_rows = batch_rows;
+        self
+    }
+
+    /// Overrides the per-shard queue bound, in batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_depth` is zero.
+    #[must_use]
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        assert!(queue_depth > 0, "queue_depth must be positive");
+        self.queue_depth = queue_depth;
+        self
+    }
+}
+
+/// What a worker reports when asked for a snapshot: its live entries and row count.
+/// Also the unit the crate-internal [`fold_reports`] merge folds over.
+pub(crate) struct ShardReport {
+    pub(crate) entries: Vec<(u64, f64)>,
+    pub(crate) rows: u64,
+}
+
+enum ShardMsg {
+    /// A batch of unit-weight rows for this shard.
+    Rows(Vec<u64>),
+    /// Flush the combiner and report the shard's current state.
+    Report(Sender<ShardReport>),
+    /// Stop after the queue drained this far, even if producer handles (and thus
+    /// clones of the shard's sender) are still alive.
+    Shutdown,
+}
+
+/// A live, concurrently-fed, queryable sharded sketch. See the [module docs](self)
+/// for the architecture and for when to prefer it over a plain sketch.
+#[derive(Debug)]
+pub struct ShardedIngestEngine {
+    config: EngineConfig,
+    senders: Vec<SyncSender<ShardMsg>>,
+    workers: Vec<JoinHandle<UnbiasedSpaceSaving>>,
+    snapshots: AtomicU64,
+}
+
+impl ShardedIngestEngine {
+    /// Spawns the worker shards and returns the running engine.
+    #[must_use]
+    pub fn new(config: EngineConfig) -> Self {
+        assert!(config.shards > 0, "engine needs at least one shard");
+        assert!(config.capacity > 0, "capacity must be positive");
+        let mut senders = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let (tx, rx) = sync_channel(config.queue_depth);
+            let sketch =
+                UnbiasedSpaceSaving::with_seed(config.capacity, config.seed + shard as u64);
+            let combiner_items = config.combiner_items;
+            workers.push(std::thread::spawn(move || {
+                run_worker(rx, sketch, combiner_items)
+            }));
+            senders.push(tx);
+        }
+        Self {
+            config,
+            senders,
+            workers,
+            snapshots: AtomicU64::new(0),
+        }
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Number of worker shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Creates a producer handle. Handles are independent (each has its own batch
+    /// buffers) and cheap; create one per producer thread.
+    #[must_use]
+    pub fn handle(&self) -> IngestHandle {
+        IngestHandle {
+            senders: self.senders.clone(),
+            buffers: (0..self.senders.len())
+                .map(|_| Vec::with_capacity(self.config.batch_rows))
+                .collect(),
+            batch_rows: self.config.batch_rows,
+        }
+    }
+
+    /// Sends a batch of rows directly to an explicit shard, bypassing hash routing.
+    /// This is the partition-oriented entry point used by
+    /// [`crate::distributed::DistributedSketcher`], where "shard" means "partition of
+    /// the input" rather than "slice of the item space". Blocks while the shard's
+    /// queue is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range or the engine's workers have been torn down.
+    pub fn ingest_to_shard(&self, shard: usize, rows: Vec<u64>) {
+        if rows.is_empty() {
+            return;
+        }
+        self.senders[shard]
+            .send(ShardMsg::Rows(rows))
+            .expect("shard worker disconnected");
+    }
+
+    /// Folds the live shards into one queryable [`WeightedSpaceSaving`] without
+    /// stopping ingest: every shard drains the batches already queued to it (the
+    /// report request travels the same FIFO queue), flushes its combiner, and reports
+    /// its entries, which are then merged with the unbiased PPS merge. Rows still
+    /// buffered inside [`IngestHandle`]s are *not* included — call
+    /// [`IngestHandle::flush`] first if they must be.
+    ///
+    /// Each snapshot uses a fresh merge seed, so repeated snapshots are independent
+    /// draws of the merge's sampling step.
+    #[must_use]
+    pub fn snapshot(&self) -> WeightedSpaceSaving {
+        let n = self.snapshots.fetch_add(1, Ordering::Relaxed);
+        let salt = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        // Request every shard's report before awaiting any, so the per-shard
+        // combiner flushes run concurrently on the workers.
+        let receivers: Vec<_> = self
+            .senders
+            .iter()
+            .map(|sender| {
+                let (tx, rx) = std::sync::mpsc::channel();
+                sender
+                    .send(ShardMsg::Report(tx))
+                    .expect("shard worker disconnected");
+                rx
+            })
+            .collect();
+        let reports: Vec<ShardReport> = receivers
+            .into_iter()
+            .map(|rx| rx.recv().expect("shard worker dropped its report"))
+            .collect();
+        fold_reports(
+            self.config.capacity,
+            self.config.seed ^ 0xD15C0 ^ salt,
+            self.config.seed ^ 0xFEED ^ salt,
+            reports,
+        )
+    }
+
+    /// Stops every worker after it drains the batches already queued to it, joins the
+    /// workers, and folds their final sketches with the unbiased PPS merge. Uses the
+    /// same merge seeds as [`crate::distributed::DistributedSketcher::reduce`], so a
+    /// partition-fed engine reproduces the map-reduce simulation exactly.
+    ///
+    /// Stop producers before finishing: [`IngestHandle`]s may outlive the engine, but
+    /// rows offered concurrently with or after `finish` race the shutdown — they are
+    /// dropped if they enqueue behind the stop message, and panic the offering thread
+    /// ("shard worker disconnected") once the worker is gone. Rows still buffered in
+    /// a handle when `finish` runs are likewise lost — flush first.
+    #[must_use]
+    pub fn finish(mut self) -> WeightedSpaceSaving {
+        for sender in &self.senders {
+            // A worker is only gone if it panicked; join below surfaces that.
+            let _ = sender.send(ShardMsg::Shutdown);
+        }
+        self.senders.clear();
+        let reports: Vec<ShardReport> = self
+            .workers
+            .drain(..)
+            .map(|worker| {
+                let sketch = worker.join().expect("ingest worker panicked");
+                ShardReport {
+                    entries: sketch.entries(),
+                    rows: sketch.rows_processed(),
+                }
+            })
+            .collect();
+        fold_reports(
+            self.config.capacity,
+            self.config.seed ^ 0xD15C0,
+            self.config.seed ^ 0xFEED,
+            reports,
+        )
+    }
+}
+
+/// A producer-side handle: routes rows to shards by item hash and ships them in
+/// batches. Unflushed rows are sent on drop (best-effort) or by [`flush`](Self::flush).
+#[derive(Debug)]
+pub struct IngestHandle {
+    senders: Vec<SyncSender<ShardMsg>>,
+    buffers: Vec<Vec<u64>>,
+    batch_rows: usize,
+}
+
+impl IngestHandle {
+    /// Offers one row. Blocks only when the destination shard's queue is full.
+    #[inline]
+    pub fn offer(&mut self, item: u64) {
+        let shard = self.route(item);
+        self.buffers[shard].push(item);
+        if self.buffers[shard].len() >= self.batch_rows {
+            self.dispatch(shard);
+        }
+    }
+
+    /// Offers a batch of rows.
+    pub fn offer_batch(&mut self, items: &[u64]) {
+        for &item in items {
+            self.offer(item);
+        }
+    }
+
+    /// Sends every buffered row to its shard, emptying the handle's buffers.
+    pub fn flush(&mut self) {
+        for shard in 0..self.buffers.len() {
+            if !self.buffers[shard].is_empty() {
+                self.dispatch(shard);
+            }
+        }
+    }
+
+    #[inline]
+    fn route(&self, item: u64) -> usize {
+        if self.senders.len() == 1 {
+            return 0;
+        }
+        // Multiply-shift of the avalanched hash: an unbiased map onto 0..shards.
+        ((u128::from(splitmix64(item)) * self.senders.len() as u128) >> 64) as usize
+    }
+
+    fn dispatch(&mut self, shard: usize) {
+        let batch = std::mem::replace(
+            &mut self.buffers[shard],
+            Vec::with_capacity(self.batch_rows),
+        );
+        self.senders[shard]
+            .send(ShardMsg::Rows(batch))
+            .expect("shard worker disconnected");
+    }
+}
+
+impl Clone for IngestHandle {
+    /// Clones the routing state; the new handle starts with empty buffers.
+    fn clone(&self) -> Self {
+        Self {
+            senders: self.senders.clone(),
+            buffers: (0..self.senders.len())
+                .map(|_| Vec::with_capacity(self.batch_rows))
+                .collect(),
+            batch_rows: self.batch_rows,
+        }
+    }
+}
+
+impl Drop for IngestHandle {
+    /// Best-effort flush so producer threads cannot silently drop buffered rows.
+    fn drop(&mut self) {
+        for shard in 0..self.buffers.len() {
+            if !self.buffers[shard].is_empty() {
+                let batch = std::mem::take(&mut self.buffers[shard]);
+                // After `finish` the workers are gone; losing the send then is fine.
+                let _ = self.senders[shard].send(ShardMsg::Rows(batch));
+            }
+        }
+    }
+}
+
+/// The shard worker loop: drain batches, combine or apply them, answer reports, and
+/// hand the final sketch back through the thread's join handle.
+fn run_worker(
+    rx: Receiver<ShardMsg>,
+    mut sketch: UnbiasedSpaceSaving,
+    combiner_items: usize,
+) -> UnbiasedSpaceSaving {
+    let mut combiner: FxHashMap<u64, u64> = FxHashMap::default();
+    for msg in rx {
+        match msg {
+            ShardMsg::Rows(rows) => {
+                if combiner_items == 0 {
+                    sketch.offer_batch(&rows);
+                } else {
+                    for &item in &rows {
+                        *combiner.entry(item).or_insert(0) += 1;
+                    }
+                    if combiner.len() >= combiner_items {
+                        flush_combiner(&mut combiner, &mut sketch);
+                    }
+                }
+            }
+            ShardMsg::Report(reply) => {
+                flush_combiner(&mut combiner, &mut sketch);
+                let _ = reply.send(ShardReport {
+                    entries: sketch.entries(),
+                    rows: sketch.rows_processed(),
+                });
+            }
+            ShardMsg::Shutdown => break,
+        }
+    }
+    flush_combiner(&mut combiner, &mut sketch);
+    sketch
+}
+
+/// Applies the combiner's `(item, count)` aggregates as unbiased multi-increments.
+fn flush_combiner(combiner: &mut FxHashMap<u64, u64>, sketch: &mut UnbiasedSpaceSaving) {
+    for (item, count) in combiner.drain() {
+        sketch.offer_many(item, count);
+    }
+}
+
+/// Folds per-shard reports into one weighted sketch with the unbiased PPS merge,
+/// in shard order. `merge_seed` drives the PPS sampling, `out_seed` the result
+/// sketch's own RNG — the same split [`crate::distributed::DistributedSketcher`]
+/// has always used, which keeps the wrapper bit-for-bit compatible.
+pub(crate) fn fold_reports<I>(
+    capacity: usize,
+    merge_seed: u64,
+    out_seed: u64,
+    reports: I,
+) -> WeightedSpaceSaving
+where
+    I: IntoIterator<Item = ShardReport>,
+{
+    let mut rng = StdRng::seed_from_u64(merge_seed);
+    let mut acc_entries: Vec<(u64, f64)> = Vec::new();
+    let mut acc_rows: u64 = 0;
+    for report in reports {
+        acc_entries = merge_unbiased_entries(&acc_entries, &report.entries, capacity, &mut rng);
+        acc_rows += report.rows;
+    }
+    let mut out = WeightedSpaceSaving::with_seed(capacity, out_seed);
+    out.load_entries(acc_entries, acc_rows as f64);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_routed_ingest_conserves_mass() {
+        let engine = ShardedIngestEngine::new(EngineConfig::new(4, 64, 1).with_batch_rows(128));
+        let mut handle = engine.handle();
+        for i in 0..10_000u64 {
+            handle.offer(i % 500);
+        }
+        handle.flush();
+        let merged = engine.finish();
+        assert_eq!(merged.rows_processed(), 10_000);
+        let mass: f64 = merged.entries().iter().map(|(_, c)| c).sum();
+        assert!((mass - 10_000.0).abs() < 1e-6);
+        assert!(merged.retained_len() <= 64);
+    }
+
+    #[test]
+    fn snapshot_serves_queries_while_ingest_continues() {
+        let engine = ShardedIngestEngine::new(EngineConfig::new(2, 32, 2).with_batch_rows(64));
+        let mut handle = engine.handle();
+        for i in 0..2_000u64 {
+            handle.offer(i % 40);
+        }
+        handle.flush();
+        let early = engine.snapshot();
+        assert_eq!(early.rows_processed(), 2_000);
+        // The engine keeps accepting rows after a snapshot.
+        for i in 0..1_000u64 {
+            handle.offer(i % 40);
+        }
+        handle.flush();
+        let late = engine.snapshot();
+        assert_eq!(late.rows_processed(), 3_000);
+        let merged = engine.finish();
+        assert_eq!(merged.rows_processed(), 3_000);
+    }
+
+    #[test]
+    fn dropping_a_handle_flushes_buffered_rows() {
+        let engine = ShardedIngestEngine::new(EngineConfig::new(3, 16, 3).with_batch_rows(1024));
+        {
+            let mut handle = engine.handle();
+            for i in 0..100u64 {
+                handle.offer(i);
+            }
+            // Well under batch_rows: everything is still buffered here.
+        }
+        let merged = engine.finish();
+        assert_eq!(merged.rows_processed(), 100);
+    }
+
+    #[test]
+    fn concurrent_producers_all_arrive() {
+        let engine = ShardedIngestEngine::new(EngineConfig::new(4, 128, 4).with_batch_rows(256));
+        std::thread::scope(|scope| {
+            for producer in 0..4u64 {
+                let mut handle = engine.handle();
+                scope.spawn(move || {
+                    for i in 0..5_000u64 {
+                        handle.offer((producer * 31 + i) % 700);
+                    }
+                });
+            }
+        });
+        let merged = engine.finish();
+        assert_eq!(merged.rows_processed(), 20_000);
+    }
+
+    #[test]
+    fn combiner_and_exact_paths_agree_on_heavy_items() {
+        // Item 7 takes ~25% of the stream; both ingest modes must nail its count.
+        let rows: Vec<u64> = (0..40_000u64)
+            .map(|i| if i % 4 == 0 { 7 } else { 100 + i % 3000 })
+            .collect();
+        let truth = rows.iter().filter(|&&i| i == 7).count() as f64;
+        for combiner_items in [0usize, 1 << 12] {
+            let config = EngineConfig::new(4, 256, 5).with_combiner_items(combiner_items);
+            let engine = ShardedIngestEngine::new(config);
+            let mut handle = engine.handle();
+            handle.offer_batch(&rows);
+            handle.flush();
+            let merged = engine.finish();
+            let est = merged.estimate(7);
+            assert!(
+                (est - truth).abs() / truth < 0.1,
+                "combiner_items={combiner_items}: estimate {est} vs truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_shard_routing_reaches_the_named_shard() {
+        // Feed disjoint ranges to explicit shards with the combiner off; every row
+        // must be accounted for and heavy items stay heavy.
+        let engine = ShardedIngestEngine::new(
+            EngineConfig::new(2, 64, 6).with_combiner_items(0),
+        );
+        engine.ingest_to_shard(0, vec![1; 500]);
+        engine.ingest_to_shard(1, vec![2; 300]);
+        let merged = engine.finish();
+        assert_eq!(merged.rows_processed(), 800);
+        assert!(merged.estimate(1) > 0.0);
+        assert!(merged.estimate(2) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard")]
+    fn zero_shards_panics() {
+        let _ = EngineConfig::new(0, 10, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = EngineConfig::new(2, 0, 1);
+    }
+}

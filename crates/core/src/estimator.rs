@@ -194,7 +194,7 @@ impl SketchSnapshot {
             .copied()
             .filter(|(_, c)| *c > threshold)
             .collect();
-        result.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("counts are finite"));
+        result.sort_by(|a, b| b.1.total_cmp(&a.1));
         result
     }
 
@@ -202,7 +202,7 @@ impl SketchSnapshot {
     #[must_use]
     pub fn top_k(&self, k: usize) -> Vec<(u64, f64)> {
         let mut entries = self.entries.clone();
-        entries.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("counts are finite"));
+        entries.sort_by(|a, b| b.1.total_cmp(&a.1));
         entries.truncate(k);
         entries
     }
@@ -219,7 +219,7 @@ impl SketchSnapshot {
             .iter()
             .map(|&(i, c)| (i, c / self.rows as f64))
             .collect();
-        result.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("counts are finite"));
+        result.sort_by(|a, b| b.1.total_cmp(&a.1));
         result
     }
 

@@ -39,6 +39,10 @@
 //! assert_eq!(top.len(), 5);
 //! ```
 //!
+//! Hot ingest paths should prefer [`traits::StreamSketch::offer_batch`] (exactly
+//! equivalent, measurably faster), and concurrent multi-producer pipelines the
+//! [`engine`] module's [`ShardedIngestEngine`](engine::ShardedIngestEngine).
+//!
 //! ## Crate layout
 //!
 //! | module | contents |
@@ -47,7 +51,8 @@
 //! | [`stream_summary`] | the O(1)-update counter structure of Metwally et al. |
 //! | [`reduction`] | thresholding vs PPS-subsampling reduction operations (section 5.3) |
 //! | [`merge`] | biased Misra-Gries merge and the unbiased PPS merge (section 5.5) |
-//! | [`distributed`] | map-reduce style sharded sketching built on the unbiased merge |
+//! | [`engine`] | the concurrent sharded ingest engine: multi-producer batched ingestion into live, queryable worker shards folded with the unbiased merge |
+//! | [`distributed`] | map-reduce style sharded sketching, a deterministic convenience wrapper over the engine |
 //! | [`estimator`] | query-side snapshots: subset sums, frequent items, proportions |
 //! | [`variance`] | the equation-5 variance estimator and Normal confidence intervals |
 //! | [`hash`] | fast hashing of user-level keys to item identifiers |
@@ -57,6 +62,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod distributed;
+pub mod engine;
 pub mod estimator;
 pub mod hash;
 pub mod merge;
@@ -66,6 +72,7 @@ pub mod stream_summary;
 pub mod traits;
 pub mod variance;
 
+pub use engine::{EngineConfig, IngestHandle, ShardedIngestEngine};
 pub use estimator::{SketchSnapshot, SubsetEstimate};
 pub use space_saving::{
     DecayedSpaceSaving, DeterministicSpaceSaving, UnbiasedSpaceSaving, WeightedSpaceSaving,
@@ -77,6 +84,7 @@ pub use variance::{normal_confidence_interval, subset_variance_estimate, Confide
 /// Commonly used items, for glob import in examples and applications.
 pub mod prelude {
     pub use crate::distributed::DistributedSketcher;
+    pub use crate::engine::{EngineConfig, IngestHandle, ShardedIngestEngine};
     pub use crate::estimator::{SketchSnapshot, SubsetEstimate};
     pub use crate::hash::{combine, hash_bytes, hash_fields};
     pub use crate::merge::{merge_deterministic, merge_misra_gries, merge_unbiased};

@@ -85,6 +85,43 @@ impl DecayedSpaceSaving {
 
     /// Offers a row for `item` carrying `weight` metric units, arriving at `time`.
     pub fn offer_weighted_at(&mut self, item: u64, weight: f64, time: f64) {
+        let raw = self.raw_weight_at(time);
+        self.inner.offer_weighted(item, weight * raw);
+    }
+
+    /// Offers a batch of unit-weight rows all arriving at the same `time`, exactly
+    /// equivalent to calling [`offer_at`](Self::offer_at) once per item in order.
+    /// The forward-decay weight (an `exp` call) and the rescale check are computed
+    /// once for the whole batch instead of once per row, and runs of equal
+    /// consecutive items share one hash probe through the inner sketch's batched
+    /// ingest path.
+    pub fn offer_batch_at(&mut self, items: &[u64], time: f64) {
+        let raw = self.raw_weight_at(time);
+        if raw == 1.0 {
+            // Common fast path right after a rescale (and for `time == landmark`):
+            // unit rows feed the integer-style batch directly.
+            self.inner.offer_batch(items);
+        } else {
+            for &item in items {
+                self.inner.offer_weighted(item, raw);
+            }
+        }
+    }
+
+    /// Offers a batch of weighted rows all arriving at the same `time`, exactly
+    /// equivalent to the corresponding sequence of
+    /// [`offer_weighted_at`](Self::offer_weighted_at) calls.
+    pub fn offer_weighted_batch_at(&mut self, rows: &[(u64, f64)], time: f64) {
+        let raw = self.raw_weight_at(time);
+        for &(item, weight) in rows {
+            self.inner.offer_weighted(item, weight * raw);
+        }
+    }
+
+    /// Advances the clock to `time`, rescaling if the raw forward-decay weight would
+    /// leave floating-point range, and returns the raw ingestion weight for rows
+    /// arriving at `time`.
+    fn raw_weight_at(&mut self, time: f64) -> f64 {
         assert!(time.is_finite(), "time must be finite");
         assert!(
             time >= self.last_time,
@@ -92,16 +129,16 @@ impl DecayedSpaceSaving {
             self.last_time
         );
         self.last_time = time;
-        let mut raw = (self.lambda * (time - self.landmark)).exp();
+        let raw = (self.lambda * (time - self.landmark)).exp();
         if raw > RESCALE_ABOVE {
             // Move the landmark to `time`: every stored counter shrinks by the same
             // factor, so ordering and all decayed estimates are unchanged.
             let factor = (-self.lambda * (time - self.landmark)).exp();
             self.inner.scale_all(factor);
             self.landmark = time;
-            raw = 1.0;
+            return 1.0;
         }
-        self.inner.offer_weighted(item, weight * raw);
+        raw
     }
 
     /// Exponentially decayed count of `item` as of `query_time`:
@@ -132,7 +169,7 @@ impl DecayedSpaceSaving {
     #[must_use]
     pub fn top_k_decayed(&self, k: usize, query_time: f64) -> Vec<(u64, f64)> {
         let mut entries = self.decayed_entries(query_time);
-        entries.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("counts are finite"));
+        entries.sort_by(|a, b| b.1.total_cmp(&a.1));
         entries.truncate(k);
         entries
     }

@@ -96,6 +96,16 @@ impl StreamSketch for DeterministicSpaceSaving {
         self.offer_many(item, 1);
     }
 
+    /// Batched ingest: groups runs of equal consecutive items into one
+    /// [`offer_many`](Self::offer_many) call each, so a run of `k` rows costs one hash
+    /// probe and one bucket walk instead of `k`. Exactly equivalent to `k` unit offers
+    /// because the relabel decision is deterministic.
+    fn offer_batch(&mut self, items: &[u64]) {
+        for run in items.chunk_by(|a, b| a == b) {
+            self.offer_many(run[0], run.len() as u64);
+        }
+    }
+
     fn rows_processed(&self) -> u64 {
         self.rows
     }

@@ -154,6 +154,43 @@ impl StreamSketch for UnbiasedSpaceSaving {
         }
     }
 
+    /// Batched ingest, exactly equivalent to offering each row in order — including
+    /// the random relabel draws, so a seeded sketch reaches the identical state either
+    /// way. A run of `k` equal consecutive rows whose item is tracked (or fits a free
+    /// bin) costs one hash probe and one bucket walk instead of `k`; only while the
+    /// item is untracked at capacity is the randomized eviction replayed row by row
+    /// (each such row draws its own relabel probability from the current minimum, as
+    /// Algorithm 1 requires), and the rest of the run is absorbed with one
+    /// multi-increment as soon as the label is adopted.
+    fn offer_batch(&mut self, items: &[u64]) {
+        self.rows += items.len() as u64;
+        for run in items.chunk_by(|a, b| a == b) {
+            let item = run[0];
+            let mut rem = run.len() as u64;
+            if let Some(handle) = self.summary.counter_handle(item) {
+                self.summary.increment_handle(handle, rem);
+            } else if !self.summary.is_full() {
+                let handle = self.summary.insert(item, 1);
+                self.summary.increment_handle(handle, rem - 1);
+            } else {
+                loop {
+                    let min = self.summary.min_value().expect("full sketch is non-empty");
+                    let p = 1.0 / (min + 1) as f64;
+                    rem -= 1;
+                    if self.rng.gen_bool(p) {
+                        let (_, handle) = self.summary.replace_min_with_handle(item, 1);
+                        self.summary.increment_handle(handle, rem);
+                        break;
+                    }
+                    self.summary.increment_min(1);
+                    if rem == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
     fn rows_processed(&self) -> u64 {
         self.rows
     }

@@ -206,6 +206,31 @@ impl StreamSketch for WeightedSpaceSaving {
         self.offer_weighted(item, 1.0);
     }
 
+    /// Batched unit-weight ingest: a run of equal consecutive tracked items is applied
+    /// with a single hash probe. The heap updates themselves are applied row by row so
+    /// the sketch state (and thus every later random eviction) is identical to
+    /// sequential offers.
+    fn offer_batch(&mut self, items: &[u64]) {
+        let mut i = 0;
+        while i < items.len() {
+            let item = items[i];
+            match self.index.get(&item).copied() {
+                Some(slot) => {
+                    while i < items.len() && items[i] == item {
+                        self.rows += 1;
+                        self.total_weight += 1.0;
+                        self.increase_count(slot, 1.0);
+                        i += 1;
+                    }
+                }
+                None => {
+                    self.offer_weighted(item, 1.0);
+                    i += 1;
+                }
+            }
+        }
+    }
+
     fn rows_processed(&self) -> u64 {
         self.rows
     }
@@ -262,6 +287,37 @@ impl WeightedStreamSketch for WeightedSpaceSaving {
             self.index.insert(item, min_slot);
         }
         self.increase_count(min_slot, weight);
+    }
+
+    /// Batched weighted ingest: one hash probe per run of equal consecutive items,
+    /// with per-row heap updates so the state matches sequential
+    /// [`offer_weighted`](Self::offer_weighted) calls exactly.
+    fn offer_weighted_batch(&mut self, rows: &[(u64, f64)]) {
+        let mut i = 0;
+        while i < rows.len() {
+            let item = rows[i].0;
+            match self.index.get(&item).copied() {
+                Some(slot) => {
+                    while i < rows.len() && rows[i].0 == item {
+                        let weight = rows[i].1;
+                        assert!(
+                            weight.is_finite() && weight >= 0.0,
+                            "weights must be non-negative and finite"
+                        );
+                        self.rows += 1;
+                        if weight > 0.0 {
+                            self.total_weight += weight;
+                            self.increase_count(slot, weight);
+                        }
+                        i += 1;
+                    }
+                }
+                None => {
+                    self.offer_weighted(item, rows[i].1);
+                    i += 1;
+                }
+            }
+        }
     }
 }
 

@@ -35,6 +35,17 @@ struct Bucket {
     len: u32,
 }
 
+/// An opaque reference to a live counter, used by batched ingest paths to skip the
+/// per-row hash probe: look the item up once with [`StreamSummary::counter_handle`]
+/// (or keep the handle returned by [`StreamSummary::insert`]) and then apply the rest
+/// of a run of equal items through [`StreamSummary::increment_handle`].
+///
+/// A handle stays valid — and keeps referring to the same item — until the counter is
+/// relabelled by [`StreamSummary::replace_min`]. Callers must re-probe after any
+/// relabel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterHandle(u32);
+
 /// A fixed-capacity set of `(item, count)` counters with `O(1)` unit increments and
 /// `O(1)` access to a minimum-count counter.
 #[derive(Debug, Clone)]
@@ -162,13 +173,14 @@ impl StreamSummary {
             .map(|c| (c.item, self.buckets[c.bucket as usize].value))
     }
 
-    /// Inserts a brand-new item with the given initial `count`.
+    /// Inserts a brand-new item with the given initial `count`, returning a handle to
+    /// the new counter so an immediately following increment can skip the hash probe.
     ///
     /// # Panics
     ///
     /// Panics if the structure is full, if the item is already present, or if `count`
     /// is zero (Space Saving never stores zero counters).
-    pub fn insert(&mut self, item: u64, count: u64) {
+    pub fn insert(&mut self, item: u64, count: u64) -> CounterHandle {
         assert!(!self.is_full(), "stream summary is at capacity");
         assert!(count > 0, "counts must be positive");
         assert!(
@@ -185,6 +197,28 @@ impl StreamSummary {
         self.index.insert(item, c);
         let bucket = self.find_or_create_bucket(count);
         self.attach(c, bucket);
+        CounterHandle(c)
+    }
+
+    /// Looks up the counter currently labelled by `item`, if any. One hash probe;
+    /// combine with [`increment_handle`](Self::increment_handle) to apply a run of
+    /// updates to the same item with no further probing.
+    #[must_use]
+    pub fn counter_handle(&self, item: u64) -> Option<CounterHandle> {
+        self.index.get(&item).map(|&c| CounterHandle(c))
+    }
+
+    /// Increments the counter behind `handle` by `by` (a no-op when `by` is zero).
+    /// The handle must come from [`counter_handle`](Self::counter_handle),
+    /// [`insert`](Self::insert), or [`replace_min`](Self::replace_min) with no
+    /// intervening relabel. A single multi-increment walks the bucket chain once,
+    /// where `by` unit increments would walk it `by` times.
+    pub fn increment_handle(&mut self, handle: CounterHandle, by: u64) {
+        if by == 0 {
+            return;
+        }
+        debug_assert!((handle.0 as usize) < self.counters.len(), "stale handle");
+        self.increment_counter(handle.0, by);
     }
 
     /// Increments the counter labelled by `item` by `by`. Returns `true` if the item
@@ -225,6 +259,12 @@ impl StreamSummary {
     ///
     /// Panics if the structure is empty or if `new_item` already labels a counter.
     pub fn replace_min(&mut self, new_item: u64, by: u64) -> u64 {
+        self.replace_min_with_handle(new_item, by).0
+    }
+
+    /// Like [`replace_min`](Self::replace_min), additionally returning a handle to the
+    /// relabelled counter so batched callers can keep incrementing it without a probe.
+    pub fn replace_min_with_handle(&mut self, new_item: u64, by: u64) -> (u64, CounterHandle) {
         assert!(self.min_bucket != NIL, "stream summary is empty");
         assert!(
             !self.index.contains_key(&new_item),
@@ -238,7 +278,7 @@ impl StreamSummary {
         self.counters[c as usize].item = new_item;
         self.index.insert(new_item, c);
         self.increment_counter(c, by);
-        old
+        (old, CounterHandle(c))
     }
 
     /// Checks every structural invariant; used by tests and property tests. Returns an
@@ -577,6 +617,26 @@ mod tests {
         assert!(!s.contains(1));
         assert_eq!(s.count(99), Some(2));
         assert_eq!(s.len(), 2);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn handles_amortize_probes_across_a_run() {
+        let mut s = StreamSummary::new(4);
+        let h = s.insert(7, 1);
+        s.increment_handle(h, 5);
+        assert_eq!(s.count(7), Some(6));
+        assert_eq!(s.counter_handle(7), Some(h));
+        assert_eq!(s.counter_handle(8), None);
+        s.insert(8, 1);
+        s.insert(9, 1);
+        s.insert(10, 1);
+        let (old, relabelled) = s.replace_min_with_handle(42, 1);
+        assert_eq!(old, 1);
+        s.increment_handle(relabelled, 3);
+        assert_eq!(s.count(42), Some(5));
+        s.increment_handle(relabelled, 0); // no-op
+        assert_eq!(s.count(42), Some(5));
         s.validate().unwrap();
     }
 

@@ -10,6 +10,21 @@ pub trait StreamSketch {
     /// Offers one row — a single occurrence of `item` with unit weight.
     fn offer(&mut self, item: u64);
 
+    /// Offers a batch of rows, exactly equivalent to calling [`offer`](Self::offer)
+    /// once per element of `items` in order (same final entries, same row count, and —
+    /// for randomized sketches — the same random decisions under the same seed).
+    ///
+    /// The default implementation is the plain loop. Sketches override it where a
+    /// genuinely faster batched form exists: the hash probe and bucket walk can be
+    /// amortized over runs of equal items, and per-row bookkeeping hoisted out of the
+    /// loop. Prefer this entry point on hot ingest paths; the engine and the
+    /// evaluation harness feed sketches exclusively through it.
+    fn offer_batch(&mut self, items: &[u64]) {
+        for &item in items {
+            self.offer(item);
+        }
+    }
+
     /// Total number of rows offered so far (including rows whose item was discarded).
     fn rows_processed(&self) -> u64;
 
@@ -39,9 +54,11 @@ pub trait StreamSketch {
     }
 
     /// The `k` retained items with the largest estimated counts, descending.
+    /// Uses a total order on the estimates, so a pathological (NaN) estimate can
+    /// never panic query code.
     fn top_k(&self, k: usize) -> Vec<(u64, f64)> {
         let mut entries = self.entries();
-        entries.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("counts are finite"));
+        entries.sort_by(|a, b| b.1.total_cmp(&a.1));
         entries.truncate(k);
         entries
     }
@@ -52,6 +69,16 @@ pub trait StreamSketch {
 pub trait WeightedStreamSketch: StreamSketch {
     /// Offers one row carrying `weight` units of the metric for `item`.
     fn offer_weighted(&mut self, item: u64, weight: f64);
+
+    /// Offers a batch of weighted rows, exactly equivalent to calling
+    /// [`offer_weighted`](Self::offer_weighted) once per `(item, weight)` pair in
+    /// order. The default implementation is the plain loop; see
+    /// [`StreamSketch::offer_batch`] for when and why sketches override it.
+    fn offer_weighted_batch(&mut self, rows: &[(u64, f64)]) {
+        for &(item, weight) in rows {
+            self.offer_weighted(item, weight);
+        }
+    }
 }
 
 /// A sketch that can absorb the contents of another sketch of the same type, enabling
@@ -105,5 +132,54 @@ mod tests {
         assert_eq!(sketch.subset_sum(&mut |i| i != 3), 5.0);
         let top = sketch.top_k(2);
         assert_eq!(top, vec![(1, 3.0), (2, 2.0)]);
+    }
+
+    #[test]
+    fn default_offer_batch_matches_sequential_offers() {
+        let mut batched = Exact {
+            counts: Default::default(),
+            rows: 0,
+        };
+        let mut sequential = Exact {
+            counts: Default::default(),
+            rows: 0,
+        };
+        let rows = [3u64, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5];
+        batched.offer_batch(&rows);
+        for &item in &rows {
+            sequential.offer(item);
+        }
+        assert_eq!(batched.rows_processed(), sequential.rows_processed());
+        assert_eq!(batched.entries(), sequential.entries());
+    }
+
+    #[test]
+    fn top_k_tolerates_nan_estimates() {
+        /// A sketch whose entries contain a NaN estimate; `top_k` must not panic.
+        struct Poisoned;
+        impl StreamSketch for Poisoned {
+            fn offer(&mut self, _item: u64) {}
+            fn rows_processed(&self) -> u64 {
+                0
+            }
+            fn estimate(&self, _item: u64) -> f64 {
+                f64::NAN
+            }
+            fn entries(&self) -> Vec<(u64, f64)> {
+                vec![(1, 2.0), (2, f64::NAN), (3, 1.0)]
+            }
+            fn capacity(&self) -> usize {
+                3
+            }
+        }
+        let top = Poisoned.top_k(3);
+        assert_eq!(top.len(), 3);
+        // The finite estimates keep their relative order.
+        let finite: Vec<u64> = top
+            .iter()
+            .filter(|(_, c)| c.is_finite())
+            .map(|(i, _)| *i)
+            .collect();
+        assert_eq!(finite, vec![1, 3]);
     }
 }

@@ -219,3 +219,132 @@ proptest! {
         prop_assert!(merged.retained_len() <= capacity);
     }
 }
+
+/// Sorts entry lists so batched and sequential ingestion can be compared for exact
+/// equality regardless of enumeration order.
+fn sorted_entries<S: StreamSketch>(sketch: &S) -> Vec<(u64, f64)> {
+    let mut entries = sketch.entries();
+    entries.sort_by_key(|e| e.0);
+    entries
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `offer_batch` ≡ the equivalent sequence of `offer` calls for Unbiased Space
+    /// Saving: same seed, same entries, same rows, same estimates — including the
+    /// randomized relabel draws, and regardless of how the stream is cut into
+    /// batches. Streams are partially sorted so runs of equal items (the batched fast
+    /// path) actually occur.
+    #[test]
+    fn unbiased_offer_batch_matches_sequential(
+        mut stream in stream_strategy(400),
+        sort_prefix in 0usize..400,
+        cut in 1usize..97,
+        capacity in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        let prefix = sort_prefix.min(stream.len());
+        stream[..prefix].sort_unstable();
+        let mut batched = UnbiasedSpaceSaving::with_seed(capacity, seed);
+        let mut sequential = UnbiasedSpaceSaving::with_seed(capacity, seed);
+        for chunk in stream.chunks(cut) {
+            batched.offer_batch(chunk);
+        }
+        for &item in &stream {
+            sequential.offer(item);
+        }
+        prop_assert_eq!(batched.rows_processed(), sequential.rows_processed());
+        prop_assert_eq!(sorted_entries(&batched), sorted_entries(&sequential));
+        for item in 0u64..50 {
+            prop_assert_eq!(batched.estimate(item), sequential.estimate(item));
+        }
+    }
+
+    /// `offer_batch` ≡ sequential `offer` calls for Deterministic Space Saving.
+    #[test]
+    fn deterministic_offer_batch_matches_sequential(
+        mut stream in stream_strategy(400),
+        sort_prefix in 0usize..400,
+        cut in 1usize..97,
+        capacity in 1usize..20,
+    ) {
+        let prefix = sort_prefix.min(stream.len());
+        stream[..prefix].sort_unstable();
+        let mut batched = DeterministicSpaceSaving::new(capacity);
+        let mut sequential = DeterministicSpaceSaving::new(capacity);
+        for chunk in stream.chunks(cut) {
+            batched.offer_batch(chunk);
+        }
+        for &item in &stream {
+            sequential.offer(item);
+        }
+        prop_assert_eq!(batched.rows_processed(), sequential.rows_processed());
+        prop_assert_eq!(sorted_entries(&batched), sorted_entries(&sequential));
+    }
+
+    /// `offer_batch` / `offer_weighted_batch` ≡ the sequential calls for the weighted
+    /// sketch, under the same seed (ties in the internal min-heap are broken by state
+    /// the batched path must reproduce exactly).
+    #[test]
+    fn weighted_offer_batches_match_sequential(
+        rows in proptest::collection::vec((0u64..40, 0.0f64..4.0), 1..300),
+        cut in 1usize..61,
+        capacity in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let mut batched = WeightedSpaceSaving::with_seed(capacity, seed);
+        let mut sequential = WeightedSpaceSaving::with_seed(capacity, seed);
+        for chunk in rows.chunks(cut) {
+            batched.offer_weighted_batch(chunk);
+        }
+        for &(item, weight) in &rows {
+            sequential.offer_weighted(item, weight);
+        }
+        prop_assert_eq!(batched.rows_processed(), sequential.rows_processed());
+        prop_assert_eq!(sorted_entries(&batched), sorted_entries(&sequential));
+
+        // Unit-weight batch entry point, driven by the integer items alone.
+        let items: Vec<u64> = rows.iter().map(|&(item, _)| item).collect();
+        let mut unit_batched = WeightedSpaceSaving::with_seed(capacity, seed ^ 0xA5);
+        let mut unit_sequential = WeightedSpaceSaving::with_seed(capacity, seed ^ 0xA5);
+        for chunk in items.chunks(cut) {
+            unit_batched.offer_batch(chunk);
+        }
+        for &item in &items {
+            unit_sequential.offer(item);
+        }
+        prop_assert_eq!(sorted_entries(&unit_batched), sorted_entries(&unit_sequential));
+    }
+
+    /// `offer_batch_at` ≡ sequential `offer_at` calls for the decayed sketch: one
+    /// batch per (non-decreasing) timestamp, identical decayed estimates.
+    #[test]
+    fn decayed_offer_batch_at_matches_sequential(
+        batches in proptest::collection::vec((proptest::collection::vec(0u64..30, 1..40), 0.0f64..50.0), 1..12),
+        capacity in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let lambda = 0.05;
+        let mut batched = DecayedSpaceSaving::with_seed(capacity, lambda, seed);
+        let mut sequential = DecayedSpaceSaving::with_seed(capacity, lambda, seed);
+        let mut time = 0.0f64;
+        for (items, dt) in &batches {
+            time += dt;
+            batched.offer_batch_at(items, time);
+            for &item in items {
+                sequential.offer_at(item, time);
+            }
+        }
+        let query_time = time + 1.0;
+        let mut a = batched.decayed_entries(query_time);
+        let mut b = sequential.decayed_entries(query_time);
+        a.sort_by_key(|e| e.0);
+        b.sort_by_key(|e| e.0);
+        prop_assert_eq!(a.len(), b.len());
+        for ((ia, ca), (ib, cb)) in a.iter().zip(&b) {
+            prop_assert_eq!(ia, ib);
+            prop_assert!((ca - cb).abs() <= 1e-9 * ca.abs().max(1.0));
+        }
+    }
+}

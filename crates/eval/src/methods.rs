@@ -79,9 +79,7 @@ impl Method {
         match self {
             Method::UnbiasedSpaceSaving => {
                 let mut sketch = UnbiasedSpaceSaving::with_seed(bins, seed);
-                for &item in rows {
-                    sketch.offer(item);
-                }
+                sketch.offer_batch(rows);
                 let snap = sketch.snapshot();
                 subsets
                     .iter()
@@ -90,9 +88,7 @@ impl Method {
             }
             Method::DeterministicSpaceSaving => {
                 let mut sketch = DeterministicSpaceSaving::new(bins);
-                for &item in rows {
-                    sketch.offer(item);
-                }
+                sketch.offer_batch(rows);
                 subsets
                     .iter()
                     .map(|s| {
@@ -115,9 +111,7 @@ impl Method {
             }
             Method::BottomK => {
                 let mut sketch = BottomKSketch::new(bins, seed);
-                for &item in rows {
-                    sketch.offer(item);
-                }
+                sketch.offer_batch(rows);
                 let sample = sketch.into_sample();
                 subsets
                     .iter()
@@ -126,9 +120,7 @@ impl Method {
             }
             Method::AdaptiveSampleAndHold => {
                 let mut sketch = AdaptiveSampleAndHold::new(bins, seed);
-                for &item in rows {
-                    sketch.offer(item);
-                }
+                sketch.offer_batch(rows);
                 subsets
                     .iter()
                     .map(|s| {

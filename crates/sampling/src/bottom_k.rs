@@ -81,6 +81,17 @@ impl BottomKSketch {
         self.offer_weighted(item, 1);
     }
 
+    /// Offers a batch of rows, equivalent to offering each in order: runs of equal
+    /// consecutive items collapse into one [`offer_weighted`](Self::offer_weighted)
+    /// call, amortizing the rank hash and the retained-set probe. (Equivalence holds
+    /// because retention depends only on an item's fixed rank, never on when its
+    /// occurrences arrive.)
+    pub fn offer_batch(&mut self, items: &[u64]) {
+        for run in items.chunk_by(|a, b| a == b) {
+            self.offer_weighted(run[0], run.len() as u64);
+        }
+    }
+
     /// Offers `count` occurrences of `item` at once.
     pub fn offer_weighted(&mut self, item: u64, count: u64) {
         self.rows_processed += count;
@@ -159,6 +170,32 @@ pub(crate) fn splitmix64(mut x: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn offer_batch_matches_sequential_offers() {
+        let mut batched = BottomKSketch::new(8, 11);
+        let mut sequential = BottomKSketch::new(8, 11);
+        // A stream with runs (sorted head) and a shuffled tail.
+        let mut rows: Vec<u64> = (0..40u64).flat_map(|i| std::iter::repeat_n(i, 3)).collect();
+        rows.extend((0..60u64).map(|i| (i * 17) % 50));
+        batched.offer_batch(&rows);
+        for &item in &rows {
+            sequential.offer(item);
+        }
+        assert_eq!(batched.rows_processed(), sequential.rows_processed());
+        assert_eq!(batched.distinct_items(), sequential.distinct_items());
+        let sample = |sk: BottomKSketch| {
+            let mut items: Vec<(u64, f64)> = sk
+                .into_sample()
+                .items
+                .iter()
+                .map(|s| (s.item, s.weight))
+                .collect();
+            items.sort_by_key(|e| e.0);
+            items
+        };
+        assert_eq!(sample(batched), sample(sequential));
+    }
 
     #[test]
     fn retains_at_most_k_items() {

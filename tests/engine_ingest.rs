@@ -1,0 +1,159 @@
+//! Integration tests for the concurrent sharded ingest engine: rows stream in from
+//! several producer threads through hash-routed bounded queues, and the merged
+//! snapshot must behave exactly like a slow single-threaded sketch of the same stream
+//! — mass conserved, subset-sum estimates unbiased over seeds, and queries servable
+//! mid-stream. Complements `distributed_roundtrip.rs`, which exercises the
+//! deterministic map-reduce wrapper over the same engine.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use unbiased_space_saving::prelude::*;
+use unbiased_space_saving::workloads::true_subset_sum;
+
+const N_ITEMS: usize = 2_000;
+const CAPACITY: usize = 400;
+const SHARDS: usize = 4;
+const PRODUCERS: usize = 3;
+
+/// A reproducible skewed workload: per-item counts plus the shuffled row stream.
+fn workload(seed: u64) -> (Vec<u64>, Vec<u64>) {
+    let counts = FrequencyDistribution::Weibull {
+        scale: 12.0,
+        shape: 0.4,
+    }
+    .grid_counts(N_ITEMS);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (shuffled_stream(&counts, &mut rng), counts)
+}
+
+/// The query subset used throughout: every third item.
+fn query_subset() -> Vec<u64> {
+    (0..N_ITEMS as u64).filter(|i| i % 3 == 0).collect()
+}
+
+/// Runs the full concurrent pipeline once: `PRODUCERS` threads each push a slice of
+/// the stream through their own handle into a `SHARDS`-shard engine.
+fn engine_run(rows: &[u64], seed: u64) -> WeightedSpaceSaving {
+    let engine = ShardedIngestEngine::new(EngineConfig::new(SHARDS, CAPACITY, seed));
+    std::thread::scope(|scope| {
+        let chunk = rows.len().div_ceil(PRODUCERS);
+        for slice in rows.chunks(chunk) {
+            let mut handle = engine.handle();
+            scope.spawn(move || {
+                handle.offer_batch(slice);
+                // Handles flush on drop; make it explicit anyway.
+                handle.flush();
+            });
+        }
+    });
+    engine.finish()
+}
+
+#[test]
+fn concurrent_run_conserves_mass_and_respects_capacity() {
+    let (rows, _) = workload(31);
+    let merged = engine_run(&rows, 77);
+    assert_eq!(merged.rows_processed(), rows.len() as u64);
+    assert!(merged.retained_len() <= CAPACITY);
+    let mass: f64 = merged.entries().iter().map(|(_, c)| c).sum();
+    assert!(
+        (mass - rows.len() as f64).abs() < 1e-6 * rows.len() as f64,
+        "merged mass {mass} vs {} rows",
+        rows.len()
+    );
+}
+
+#[test]
+fn concurrent_run_matches_single_threaded_sketch_statistically() {
+    // The acceptance property of the engine: a multi-producer, multi-shard,
+    // combiner-enabled run estimates any after-the-fact subset sum without bias.
+    // Average the estimate over many independent seeds and compare both to the truth
+    // (within 10%) and to the equally-averaged single-threaded sketch.
+    let (rows, counts) = workload(32);
+    let subset = query_subset();
+    let truth = true_subset_sum(&counts, &subset) as f64;
+
+    let reps = 50;
+    let mut engine_sum = 0.0;
+    let mut single_sum = 0.0;
+    for seed in 0..reps {
+        let merged = engine_run(&rows, 9_000 + seed);
+        engine_sum += merged
+            .snapshot()
+            .subset_sum(|i| subset.binary_search(&i).is_ok());
+
+        let mut single = UnbiasedSpaceSaving::with_seed(CAPACITY, 5_000 + seed);
+        single.offer_batch(&rows);
+        single_sum += single
+            .snapshot()
+            .subset_sum(|i| subset.binary_search(&i).is_ok());
+    }
+    let engine_mean = engine_sum / reps as f64;
+    let single_mean = single_sum / reps as f64;
+
+    let engine_rel = (engine_mean - truth).abs() / truth;
+    assert!(
+        engine_rel < 0.1,
+        "engine mean {engine_mean} vs truth {truth} (rel {engine_rel})"
+    );
+    let gap = (engine_mean - single_mean).abs() / single_mean.max(1.0);
+    assert!(
+        gap < 0.1,
+        "engine mean {engine_mean} vs single-threaded mean {single_mean} (gap {gap})"
+    );
+}
+
+#[test]
+fn snapshot_is_servable_while_producers_are_running() {
+    let (rows, _) = workload(33);
+    let engine = ShardedIngestEngine::new(
+        EngineConfig::new(SHARDS, CAPACITY, 123).with_batch_rows(512),
+    );
+    let total = rows.len() as u64;
+    std::thread::scope(|scope| {
+        for slice in rows.chunks(rows.len().div_ceil(PRODUCERS)) {
+            let mut handle = engine.handle();
+            scope.spawn(move || {
+                handle.offer_batch(slice);
+            });
+        }
+        // Query mid-stream: whatever has reached the shards must be internally
+        // consistent (mass equals reported rows) and within the total.
+        let mid = engine.snapshot();
+        assert!(mid.rows_processed() <= total);
+        let mass: f64 = mid.entries().iter().map(|(_, c)| c).sum();
+        assert!(
+            (mass - mid.rows_processed() as f64).abs() < 1e-6 * total as f64,
+            "mid-stream mass {mass} vs {} rows",
+            mid.rows_processed()
+        );
+    });
+    let merged = engine.finish();
+    assert_eq!(merged.rows_processed(), total);
+}
+
+#[test]
+fn exact_batch_mode_matches_sharded_sequential_sketching() {
+    // With the combiner disabled and a single producer, each shard must be
+    // row-for-row identical to sequentially sketching the rows routed to it; the
+    // engine then only adds the (seeded) unbiased merge on top. Subset estimates of
+    // two such runs with the same seed agree exactly.
+    let (rows, _) = workload(34);
+    let config = EngineConfig::new(SHARDS, CAPACITY, 55).with_combiner_items(0);
+    let run = |rows: &[u64]| {
+        let engine = ShardedIngestEngine::new(config);
+        let mut handle = engine.handle();
+        handle.offer_batch(rows);
+        handle.flush();
+        engine.finish()
+    };
+    let a = run(&rows);
+    let b = run(&rows);
+    let mut ea = a.entries();
+    let mut eb = b.entries();
+    ea.sort_by_key(|e| e.0);
+    eb.sort_by_key(|e| e.0);
+    assert_eq!(ea, eb, "same seed and same rows must reproduce exactly");
+    assert_eq!(a.rows_processed(), rows.len() as u64);
+}
