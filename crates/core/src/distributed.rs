@@ -13,6 +13,7 @@
 //! directly.
 
 use crate::engine::{fold_reports, EngineConfig, ShardReport, ShardedIngestEngine};
+use crate::query::{QueryServer, QueryServerConfig};
 use crate::space_saving::{UnbiasedSpaceSaving, WeightedSpaceSaving};
 use crate::traits::StreamSketch;
 
@@ -70,6 +71,18 @@ impl DistributedSketcher {
             }
         });
         engine.finish()
+    }
+
+    /// Sketches the partitions and stands up a [`QueryServer`] over the merged
+    /// result, so map-reduce outputs are queried through the same serving layer —
+    /// typed queries, variance, confidence intervals, marginals — as live engines.
+    #[must_use]
+    pub fn serve(
+        &self,
+        partitions: &[Vec<u64>],
+        config: QueryServerConfig,
+    ) -> QueryServer<WeightedSpaceSaving> {
+        QueryServer::new(self.sketch_partitions(partitions), config)
     }
 
     /// Merges an iterator of mapper sketches (the reduce step), preserving
@@ -168,6 +181,20 @@ mod tests {
             (mean - truth).abs() / truth < 0.1,
             "mean {mean} vs truth {truth}"
         );
+    }
+
+    #[test]
+    fn serve_answers_queries_identical_to_the_merged_sketch() {
+        let sketcher = DistributedSketcher::new(50, 11);
+        let parts = partitions();
+        let direct = sketcher.sketch_partitions(&parts).snapshot();
+        let server = sketcher.serve(&parts, QueryServerConfig::new());
+        // Same seeds on both paths: the served snapshot is the same merge.
+        let (est, ci) = server.subset_estimate_where(|i| i == 1);
+        assert_eq!(est.sum, direct.subset_sum(|i| i == 1));
+        assert!(ci.contains(est.sum));
+        assert_eq!(server.top_k(5), direct.top_k(5));
+        assert_eq!(server.epoch(), 1);
     }
 
     #[test]

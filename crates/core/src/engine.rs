@@ -36,6 +36,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use rand::rngs::StdRng;
@@ -147,6 +148,11 @@ pub struct ShardedIngestEngine {
     senders: Vec<SyncSender<ShardMsg>>,
     workers: Vec<JoinHandle<UnbiasedSpaceSaving>>,
     snapshots: AtomicU64,
+    /// Rows enqueued to the shards so far, shared with every [`IngestHandle`]. A
+    /// cheap monotone progress hint (updated once per dispatched batch) used by the
+    /// query layer's staleness policy; it leads `rows_processed` by whatever is
+    /// still queued.
+    rows_enqueued: Arc<AtomicU64>,
 }
 
 impl ShardedIngestEngine {
@@ -172,7 +178,17 @@ impl ShardedIngestEngine {
             senders,
             workers,
             snapshots: AtomicU64::new(0),
+            rows_enqueued: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Number of rows handed to the shard queues so far (a cheap, monotone ingest
+    /// progress hint — it does not include rows still buffered inside
+    /// [`IngestHandle`]s, and leads [`StreamSketch::rows_processed`] of a snapshot by
+    /// whatever is queued but not yet applied).
+    #[must_use]
+    pub fn rows_enqueued(&self) -> u64 {
+        self.rows_enqueued.load(Ordering::Relaxed)
     }
 
     /// The engine's configuration.
@@ -197,6 +213,7 @@ impl ShardedIngestEngine {
                 .map(|_| Vec::with_capacity(self.config.batch_rows))
                 .collect(),
             batch_rows: self.config.batch_rows,
+            rows_enqueued: Arc::clone(&self.rows_enqueued),
         }
     }
 
@@ -213,6 +230,8 @@ impl ShardedIngestEngine {
         if rows.is_empty() {
             return;
         }
+        self.rows_enqueued
+            .fetch_add(rows.len() as u64, Ordering::Relaxed);
         self.senders[shard]
             .send(ShardMsg::Rows(rows))
             .expect("shard worker disconnected");
@@ -300,6 +319,7 @@ pub struct IngestHandle {
     senders: Vec<SyncSender<ShardMsg>>,
     buffers: Vec<Vec<u64>>,
     batch_rows: usize,
+    rows_enqueued: Arc<AtomicU64>,
 }
 
 impl IngestHandle {
@@ -343,6 +363,8 @@ impl IngestHandle {
             &mut self.buffers[shard],
             Vec::with_capacity(self.batch_rows),
         );
+        self.rows_enqueued
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
         self.senders[shard]
             .send(ShardMsg::Rows(batch))
             .expect("shard worker disconnected");
@@ -358,6 +380,7 @@ impl Clone for IngestHandle {
                 .map(|_| Vec::with_capacity(self.batch_rows))
                 .collect(),
             batch_rows: self.batch_rows,
+            rows_enqueued: Arc::clone(&self.rows_enqueued),
         }
     }
 }
@@ -368,6 +391,8 @@ impl Drop for IngestHandle {
         for shard in 0..self.buffers.len() {
             if !self.buffers[shard].is_empty() {
                 let batch = std::mem::take(&mut self.buffers[shard]);
+                self.rows_enqueued
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
                 // After `finish` the workers are gone; losing the send then is fine.
                 let _ = self.senders[shard].send(ShardMsg::Rows(batch));
             }

@@ -223,6 +223,85 @@ impl SketchSnapshot {
         result
     }
 
+    /// Estimated sum of counts over the listed items, with variance — the list form
+    /// of [`subset_estimate`](Self::subset_estimate) used by the typed
+    /// [`Query::SubsetSum`](crate::query::Query::SubsetSum). Sorted input is looked
+    /// up directly; unsorted input is sorted into a scratch copy first, so the
+    /// answer is correct either way.
+    #[must_use]
+    pub fn subset_estimate_items(&self, items: &[u64]) -> SubsetEstimate {
+        if items.is_sorted() {
+            self.subset_estimate(|item| items.binary_search(&item).is_ok())
+        } else {
+            let mut sorted = items.to_vec();
+            sorted.sort_unstable();
+            self.subset_estimate(|item| sorted.binary_search(&item).is_ok())
+        }
+    }
+
+    /// Group-by query: folds every retained entry through `key_of` and returns one
+    /// [`SubsetEstimate`] per distinct key, in first-seen entry order. Entries mapped
+    /// to `None` are skipped. This is the paper's "historical count" / marginal
+    /// workload (section 7, Figure 6): sketch at full key granularity, then roll up
+    /// to any coarser grouping after the fact — every group total is itself a subset
+    /// sum and stays unbiased, with the equation-5 variance per group.
+    pub fn marginals<K, F>(&self, mut key_of: F) -> Vec<(K, SubsetEstimate)>
+    where
+        K: Eq + std::hash::Hash + Clone,
+        F: FnMut(u64) -> Option<K>,
+    {
+        let mut order: Vec<(K, f64, usize)> = Vec::new();
+        let mut index: crate::hash::FxHashMap<K, usize> = crate::hash::FxHashMap::default();
+        for &(item, count) in &self.entries {
+            let Some(key) = key_of(item) else { continue };
+            match index.get(&key) {
+                Some(&i) => {
+                    order[i].1 += count;
+                    order[i].2 += 1;
+                }
+                None => {
+                    index.insert(key.clone(), order.len());
+                    order.push((key, count, 1));
+                }
+            }
+        }
+        order
+            .into_iter()
+            .map(|(key, sum, items)| {
+                (
+                    key,
+                    SubsetEstimate {
+                        sum,
+                        variance: subset_variance_estimate(self.min_count, items),
+                        items_in_sketch: items,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// The retained `(item, count)` at rank quantile `q` of the descending count
+    /// ranking: `q = 0` is the most frequent retained item, `q = 1` the least
+    /// frequent, `q = 0.5` the median retained count. Returns `None` on an empty
+    /// snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `[0, 1]`.
+    #[must_use]
+    pub fn rank_quantile(&self, q: f64) -> Option<(u64, f64)> {
+        assert!((0.0..=1.0).contains(&q), "rank quantile must be in [0, 1]");
+        if self.entries.is_empty() {
+            return None;
+        }
+        let mut entries = self.entries.clone();
+        let idx = ((q * (entries.len() - 1) as f64).round() as usize).min(entries.len() - 1);
+        // Selection, not a full sort: O(m) per query on the serving hot path.
+        let (_, &mut entry, _) =
+            entries.select_nth_unstable_by(idx, |a, b| b.1.total_cmp(&a.1));
+        Some(entry)
+    }
+
     /// Convenience: subset estimate plus its confidence interval in one call.
     pub fn subset_confidence_interval<F>(
         &self,
@@ -351,6 +430,61 @@ mod tests {
     #[should_panic(expected = "phi")]
     fn invalid_phi_panics() {
         let _ = snapshot().frequent_items(1.5);
+    }
+
+    #[test]
+    fn marginals_group_in_first_seen_order_with_per_group_variance() {
+        let snap = snapshot();
+        // Group items by parity: 1, 3 are odd; 2, 4 even. Entry order is 1,2,3,4 so
+        // the odd group is seen first.
+        let groups = snap.marginals(|item| Some(item % 2));
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, 1);
+        assert_eq!(groups[0].1.sum, 60.0);
+        assert_eq!(groups[0].1.items_in_sketch, 2);
+        assert_eq!(groups[0].1.variance, 200.0); // 10^2 * 2
+        assert_eq!(groups[1].0, 0);
+        assert_eq!(groups[1].1.sum, 40.0);
+        // Keys mapped to None are dropped entirely.
+        let only_odd = snap.marginals(|item| (item % 2 == 1).then_some(()));
+        assert_eq!(only_odd.len(), 1);
+        assert_eq!(only_odd[0].1.sum, 60.0);
+    }
+
+    #[test]
+    fn subset_estimate_items_matches_predicate_form() {
+        let snap = snapshot();
+        let est = snap.subset_estimate_items(&[1, 2]);
+        let reference = snap.subset_estimate(|i| i <= 2);
+        assert_eq!(est.sum, reference.sum);
+        assert_eq!(est.variance, reference.variance);
+    }
+
+    #[test]
+    fn subset_estimate_items_accepts_unsorted_input() {
+        let snap = snapshot();
+        let sorted = snap.subset_estimate_items(&[1, 2, 4]);
+        let unsorted = snap.subset_estimate_items(&[4, 1, 2]);
+        assert_eq!(unsorted.sum, sorted.sum);
+        assert_eq!(unsorted.variance, sorted.variance);
+        assert_eq!(unsorted.items_in_sketch, 3);
+    }
+
+    #[test]
+    fn rank_quantile_walks_the_descending_ranking() {
+        let snap = snapshot();
+        assert_eq!(snap.rank_quantile(0.0), Some((1, 50.0)));
+        assert_eq!(snap.rank_quantile(1.0).unwrap().1, 10.0);
+        // Median of 4 entries rounds to index 2 (count 10).
+        assert_eq!(snap.rank_quantile(0.5).unwrap().1, 10.0);
+        let empty = SketchSnapshot::new(vec![], 0.0, 0, 4);
+        assert_eq!(empty.rank_quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank quantile")]
+    fn rank_quantile_rejects_out_of_range() {
+        let _ = snapshot().rank_quantile(1.5);
     }
 
     #[test]

@@ -41,7 +41,10 @@
 //!
 //! Hot ingest paths should prefer [`traits::StreamSketch::offer_batch`] (exactly
 //! equivalent, measurably faster), and concurrent multi-producer pipelines the
-//! [`engine`] module's [`ShardedIngestEngine`](engine::ShardedIngestEngine).
+//! [`engine`] module's [`ShardedIngestEngine`](engine::ShardedIngestEngine). For
+//! serving queries *while* ingest continues, put a [`query::QueryServer`] in front:
+//! it caches an epoch-versioned snapshot and answers typed queries with variance
+//! and confidence intervals from any number of reader threads.
 //!
 //! ## Crate layout
 //!
@@ -52,8 +55,9 @@
 //! | [`reduction`] | thresholding vs PPS-subsampling reduction operations (section 5.3) |
 //! | [`merge`] | biased Misra-Gries merge and the unbiased PPS merge (section 5.5) |
 //! | [`engine`] | the concurrent sharded ingest engine: multi-producer batched ingestion into live, queryable worker shards folded with the unbiased merge |
+//! | [`query`] | the concurrent query-serving layer: epoch-versioned cached snapshots over a live engine or sketch, typed queries with variance and confidence intervals |
 //! | [`distributed`] | map-reduce style sharded sketching, a deterministic convenience wrapper over the engine |
-//! | [`estimator`] | query-side snapshots: subset sums, frequent items, proportions |
+//! | [`estimator`] | query-side snapshots: subset sums, frequent items, proportions, keyed marginals |
 //! | [`variance`] | the equation-5 variance estimator and Normal confidence intervals |
 //! | [`hash`] | fast hashing of user-level keys to item identifiers |
 //! | [`traits`] | the [`StreamSketch`](traits::StreamSketch) family of traits |
@@ -66,6 +70,7 @@ pub mod engine;
 pub mod estimator;
 pub mod hash;
 pub mod merge;
+pub mod query;
 pub mod reduction;
 pub mod space_saving;
 pub mod stream_summary;
@@ -74,6 +79,10 @@ pub mod variance;
 
 pub use engine::{EngineConfig, IngestHandle, ShardedIngestEngine};
 pub use estimator::{SketchSnapshot, SubsetEstimate};
+pub use query::{
+    Query, QueryAnswer, QueryResponse, QueryServer, QueryServerConfig, SnapshotSource,
+    VersionedSnapshot,
+};
 pub use space_saving::{
     DecayedSpaceSaving, DeterministicSpaceSaving, UnbiasedSpaceSaving, WeightedSpaceSaving,
 };
@@ -88,6 +97,10 @@ pub mod prelude {
     pub use crate::estimator::{SketchSnapshot, SubsetEstimate};
     pub use crate::hash::{combine, hash_bytes, hash_fields};
     pub use crate::merge::{merge_deterministic, merge_misra_gries, merge_unbiased};
+    pub use crate::query::{
+        Query, QueryAnswer, QueryResponse, QueryServer, QueryServerConfig, SnapshotSource,
+        VersionedSnapshot,
+    };
     pub use crate::space_saving::{
         DecayedSpaceSaving, DeterministicSpaceSaving, UnbiasedSpaceSaving, WeightedSpaceSaving,
     };

@@ -1,0 +1,738 @@
+//! Concurrent query serving: an epoch-versioned snapshot cache over a live sketch.
+//!
+//! The estimators in [`crate::estimator`] answer queries against a cold
+//! [`SketchSnapshot`]; the [`crate::engine`] ingests concurrently but, until this
+//! module, had no read path beyond folding a whole merged sketch per query. A
+//! [`QueryServer`] closes that gap: it wraps any [`SnapshotSource`] — a live
+//! [`ShardedIngestEngine`], a plain sketch, or an already-merged snapshot — and keeps
+//! one *epoch-versioned* [`SketchSnapshot`] cached behind an `Arc`/`RwLock`. Readers
+//! clone the `Arc` (one brief read-lock acquisition, no allocation, no contention
+//! with ingest) and then run arbitrarily many queries against an immutable, complete
+//! view; producers keep ingesting in parallel. The cache refreshes when asked
+//! ([`QueryServer::refresh`]) or automatically once the source reports
+//! [`QueryServerConfig::refresh_every_rows`] new rows.
+//!
+//! ## The typed query API and the paper's estimator sections
+//!
+//! Each [`Query`] variant is one of the paper's query families (Daniel Ting,
+//! *Data Sketches for Disaggregated Subset Sum and Frequent Item Estimation*,
+//! SIGMOD 2018):
+//!
+//! | variant | estimator | paper |
+//! |---------|-----------|-------|
+//! | [`Query::SubsetSum`] | unbiased disaggregated subset sum (Theorems 1–2), variance per equation 5, Normal CI per section 6.5 | §4, §6.4–6.5 |
+//! | [`Query::Proportion`] | the same subset sum scaled by the row count (consistent by Theorem 3); variance scales by `1/rows²` | §4.1, §6.4 |
+//! | [`Query::TopK`] | the `k` largest retained counters — frequent items with consistent count estimates | §4.1 (Theorem 3) |
+//! | [`Query::FrequentItems`] | classical `φ`-heavy-hitters over the retained counters | §4.1 |
+//! | [`Query::RankQuantile`] | the retained counter at rank quantile `q` — the count profile separating the "nearly exact" head from the PPS-sampled tail | §6 (N̂_min threshold) |
+//!
+//! Every numeric answer is a [`SubsetEstimate`] carrying the equation-5 variance and
+//! a [`ConfidenceInterval`]. The keyed group-by ([`QueryServer::marginals`], built on
+//! [`SketchSnapshot::marginals`]) serves the paper's Figure 6 workload — roll
+//! full-granularity sketch entries up to arbitrary marginals after the fact.
+//!
+//! ## Staleness and epochs
+//!
+//! Snapshots are immutable, so a reader's answers within one epoch are mutually
+//! consistent (mass conservation holds exactly: the entry total equals the snapshot's
+//! row count). Epochs increase strictly and monotonically; a response's
+//! [`QueryResponse::epoch`] names the complete snapshot that produced it. The cache
+//! trades freshness for read throughput — with `refresh_every_rows = r`, answers lag
+//! ingest by at most `r` rows plus whatever is buffered in producer-side handles.
+//!
+//! ```
+//! use uss_core::prelude::*;
+//!
+//! let engine = ShardedIngestEngine::new(EngineConfig::new(2, 256, 7));
+//! let mut handle = engine.handle();
+//! for row in 0u64..20_000 {
+//!     handle.offer(row % 500);
+//! }
+//! handle.flush();
+//!
+//! // Serve queries from a cached snapshot that refreshes every 10k ingested rows.
+//! let server = QueryServer::new(&engine, QueryServerConfig::new().refresh_every_rows(10_000));
+//! let response = server.execute(&Query::SubsetSum { items: (0..100).collect() });
+//! if let QueryAnswer::Estimate { estimate, ci } = response.answer {
+//!     assert!(estimate.sum > 0.0);
+//!     assert!(ci.upper >= ci.lower);
+//! }
+//! assert!(response.epoch >= 1);
+//! let merged = engine.finish();
+//! assert_eq!(merged.rows_processed(), 20_000);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::engine::ShardedIngestEngine;
+use crate::estimator::{SketchSnapshot, SubsetEstimate};
+use crate::space_saving::{UnbiasedSpaceSaving, WeightedSpaceSaving};
+use crate::variance::ConfidenceInterval;
+
+/// Anything the [`QueryServer`] can capture consistent snapshots from.
+///
+/// `capture` may be expensive (for the engine it drains the shard queues and runs
+/// the unbiased PPS merge); `rows_hint` must be cheap, monotone non-decreasing, and
+/// is only used to decide *when* to refresh — never as an answer.
+pub trait SnapshotSource {
+    /// Captures a complete, consistent point-in-time snapshot.
+    fn capture(&self) -> SketchSnapshot;
+
+    /// A cheap monotone ingest-progress hint, in rows. Sources that cannot be
+    /// mutated while served (an owned sketch, a cold snapshot) return their fixed
+    /// row count, which makes automatic refresh a no-op — correctly so.
+    fn rows_hint(&self) -> u64;
+}
+
+impl SnapshotSource for ShardedIngestEngine {
+    /// Folds the live shards with the unbiased PPS merge (section 5.5), so the
+    /// snapshot stays unbiased for every after-the-fact subset-sum query.
+    fn capture(&self) -> SketchSnapshot {
+        self.snapshot().snapshot()
+    }
+
+    fn rows_hint(&self) -> u64 {
+        self.rows_enqueued()
+    }
+}
+
+impl SnapshotSource for UnbiasedSpaceSaving {
+    fn capture(&self) -> SketchSnapshot {
+        self.snapshot()
+    }
+
+    fn rows_hint(&self) -> u64 {
+        use crate::traits::StreamSketch;
+        self.rows_processed()
+    }
+}
+
+impl SnapshotSource for WeightedSpaceSaving {
+    fn capture(&self) -> SketchSnapshot {
+        self.snapshot()
+    }
+
+    fn rows_hint(&self) -> u64 {
+        use crate::traits::StreamSketch;
+        self.rows_processed()
+    }
+}
+
+impl SnapshotSource for SketchSnapshot {
+    fn capture(&self) -> SketchSnapshot {
+        self.clone()
+    }
+
+    fn rows_hint(&self) -> u64 {
+        self.rows_processed()
+    }
+}
+
+impl<T: SnapshotSource + ?Sized> SnapshotSource for &T {
+    fn capture(&self) -> SketchSnapshot {
+        (**self).capture()
+    }
+
+    fn rows_hint(&self) -> u64 {
+        (**self).rows_hint()
+    }
+}
+
+impl<T: SnapshotSource + ?Sized> SnapshotSource for Arc<T> {
+    fn capture(&self) -> SketchSnapshot {
+        (**self).capture()
+    }
+
+    fn rows_hint(&self) -> u64 {
+        (**self).rows_hint()
+    }
+}
+
+/// Configuration for a [`QueryServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct QueryServerConfig {
+    /// Automatically refresh the cached snapshot once the source reports this many
+    /// rows beyond the last refresh. `0` (the default) disables automatic refresh:
+    /// the cache then only moves on explicit [`QueryServer::refresh`] calls.
+    pub refresh_every_rows: u64,
+    /// Confidence level used by [`Query`] answers, e.g. `0.95`.
+    pub confidence: f64,
+}
+
+impl Default for QueryServerConfig {
+    fn default() -> Self {
+        Self {
+            refresh_every_rows: 0,
+            confidence: 0.95,
+        }
+    }
+}
+
+impl QueryServerConfig {
+    /// The default configuration: manual refresh only, 95% confidence intervals.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the automatic-refresh threshold, in ingested rows (`0` = manual only).
+    #[must_use]
+    pub fn refresh_every_rows(mut self, rows: u64) -> Self {
+        self.refresh_every_rows = rows;
+        self
+    }
+
+    /// Sets the confidence level for interval answers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confidence` is not strictly between 0 and 1.
+    #[must_use]
+    pub fn confidence(mut self, confidence: f64) -> Self {
+        assert!(
+            confidence > 0.0 && confidence < 1.0,
+            "confidence must be in (0, 1)"
+        );
+        self.confidence = confidence;
+        self
+    }
+}
+
+/// A complete snapshot tagged with the epoch that produced it.
+///
+/// Dereferences to [`SketchSnapshot`], so every estimator query runs directly on a
+/// versioned snapshot.
+#[derive(Debug, Clone)]
+pub struct VersionedSnapshot {
+    epoch: u64,
+    as_of_rows: u64,
+    snapshot: SketchSnapshot,
+}
+
+impl VersionedSnapshot {
+    /// The strictly increasing epoch number (the first capture is epoch 1).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The source's [`SnapshotSource::rows_hint`] at capture time.
+    #[must_use]
+    pub fn as_of_rows(&self) -> u64 {
+        self.as_of_rows
+    }
+
+    /// The snapshot itself.
+    #[must_use]
+    pub fn snapshot(&self) -> &SketchSnapshot {
+        &self.snapshot
+    }
+}
+
+impl std::ops::Deref for VersionedSnapshot {
+    type Target = SketchSnapshot;
+
+    fn deref(&self) -> &SketchSnapshot {
+        &self.snapshot
+    }
+}
+
+/// A typed query against a [`QueryServer`]. See the [module docs](self) for the
+/// mapping from variants to the paper's estimator sections.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// Unbiased estimate of the total count over the listed items (**sorted
+    /// ascending**), with variance and confidence interval.
+    SubsetSum {
+        /// The queried item identifiers, sorted ascending.
+        items: Vec<u64>,
+    },
+    /// The listed items' share of all rows, as a [`SubsetEstimate`] in proportion
+    /// units (variance scaled by `1/rows²`).
+    Proportion {
+        /// The queried item identifiers, sorted ascending.
+        items: Vec<u64>,
+    },
+    /// The `k` most frequent retained items, descending.
+    TopK {
+        /// Number of items to return.
+        k: usize,
+    },
+    /// Items whose estimated count exceeds `phi · rows`, descending.
+    FrequentItems {
+        /// Frequency threshold in `(0, 1)`.
+        phi: f64,
+    },
+    /// The retained `(item, count)` at rank quantile `q` of the descending count
+    /// ranking (`0` = top item, `1` = minimum retained counter).
+    RankQuantile {
+        /// Rank quantile in `[0, 1]`.
+        q: f64,
+    },
+}
+
+/// The answer to a [`Query`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryAnswer {
+    /// A numeric estimate with variance and confidence interval
+    /// ([`Query::SubsetSum`] in row units, [`Query::Proportion`] in proportion
+    /// units).
+    Estimate {
+        /// The point estimate with its equation-5 variance.
+        estimate: SubsetEstimate,
+        /// Normal-approximation interval at the server's configured confidence.
+        ci: ConfidenceInterval,
+    },
+    /// A ranked item list ([`Query::TopK`], [`Query::FrequentItems`]).
+    Items(Vec<(u64, f64)>),
+    /// A single ranked entry ([`Query::RankQuantile`]); `None` on an empty sketch.
+    Rank(Option<(u64, f64)>),
+}
+
+/// A query answer tagged with the complete epoch that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResponse {
+    /// Epoch of the snapshot that answered.
+    pub epoch: u64,
+    /// Rows processed by that snapshot.
+    pub rows: u64,
+    /// The answer payload.
+    pub answer: QueryAnswer,
+}
+
+/// A concurrent query-serving layer over a live sketch. See the
+/// [module docs](self).
+///
+/// All methods take `&self`; the server is `Sync` whenever the source is, so any
+/// number of reader threads can share one server by reference while producer threads
+/// keep feeding the underlying source.
+#[derive(Debug)]
+pub struct QueryServer<S> {
+    source: S,
+    config: QueryServerConfig,
+    cached: RwLock<Arc<VersionedSnapshot>>,
+    /// `rows_hint` at the last (started) refresh; claimed by compare-exchange so
+    /// concurrent readers trigger one refresh, not a stampede.
+    refresh_claimed_at: AtomicU64,
+}
+
+impl<S: SnapshotSource> QueryServer<S> {
+    /// Captures the initial snapshot (epoch 1) and starts serving.
+    #[must_use]
+    pub fn new(source: S, config: QueryServerConfig) -> Self {
+        let as_of_rows = source.rows_hint();
+        let snapshot = source.capture();
+        Self {
+            cached: RwLock::new(Arc::new(VersionedSnapshot {
+                epoch: 1,
+                as_of_rows,
+                snapshot,
+            })),
+            refresh_claimed_at: AtomicU64::new(as_of_rows),
+            source,
+            config,
+        }
+    }
+
+    /// The server's configuration.
+    #[must_use]
+    pub fn config(&self) -> &QueryServerConfig {
+        &self.config
+    }
+
+    /// The wrapped source (e.g. to create [`crate::engine::IngestHandle`]s from a
+    /// served engine).
+    #[must_use]
+    pub fn source(&self) -> &S {
+        &self.source
+    }
+
+    /// Tears the server down and returns the source (e.g. to
+    /// [`ShardedIngestEngine::finish`] it).
+    #[must_use]
+    pub fn into_source(self) -> S {
+        self.source
+    }
+
+    /// The current epoch (strictly increasing, starting at 1).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.cached.read().epoch
+    }
+
+    /// Forces a fresh capture from the source and returns the epoch serving it.
+    /// Readers are only blocked for the `Arc` swap, not for the capture itself.
+    ///
+    /// Concurrent refreshes are safe: if another refresh captured a *fresher* view
+    /// while this one was capturing, the staler capture is discarded (the cache
+    /// never moves backwards in ingest time) and the already-published epoch is
+    /// returned.
+    pub fn refresh(&self) -> u64 {
+        let as_of_rows = self.source.rows_hint();
+        self.refresh_claimed_at.fetch_max(as_of_rows, Ordering::Relaxed);
+        let snapshot = self.source.capture();
+        let mut cached = self.cached.write();
+        if as_of_rows < cached.as_of_rows {
+            return cached.epoch;
+        }
+        let epoch = cached.epoch + 1;
+        *cached = Arc::new(VersionedSnapshot {
+            epoch,
+            as_of_rows,
+            snapshot,
+        });
+        epoch
+    }
+
+    /// The current cached snapshot, after applying the automatic staleness policy.
+    /// The returned `Arc` stays valid (and immutable) for as long as the caller
+    /// holds it, no matter how many refreshes happen meanwhile.
+    #[must_use]
+    pub fn current(&self) -> Arc<VersionedSnapshot> {
+        self.maybe_refresh();
+        Arc::clone(&self.cached.read())
+    }
+
+    /// Refreshes if the source has advanced `refresh_every_rows` past the last
+    /// refresh. At most one of any number of concurrent readers performs the
+    /// capture; the rest proceed with the still-cached epoch.
+    fn maybe_refresh(&self) {
+        let every = self.config.refresh_every_rows;
+        if every == 0 {
+            return;
+        }
+        let hint = self.source.rows_hint();
+        let claimed = self.refresh_claimed_at.load(Ordering::Relaxed);
+        if hint.saturating_sub(claimed) < every {
+            return;
+        }
+        if self
+            .refresh_claimed_at
+            .compare_exchange(claimed, hint, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.refresh();
+        }
+    }
+
+    /// Executes a typed [`Query`] against the current epoch.
+    #[must_use]
+    pub fn execute(&self, query: &Query) -> QueryResponse {
+        let snap = self.current();
+        let answer = match query {
+            Query::SubsetSum { items } => {
+                let estimate = snap.subset_estimate_items(items);
+                QueryAnswer::Estimate {
+                    ci: estimate.confidence_interval(self.config.confidence),
+                    estimate,
+                }
+            }
+            Query::Proportion { items } => {
+                let estimate = scale_to_proportion(
+                    snap.subset_estimate_items(items),
+                    snap.rows_processed(),
+                );
+                QueryAnswer::Estimate {
+                    ci: estimate.confidence_interval(self.config.confidence),
+                    estimate,
+                }
+            }
+            Query::TopK { k } => QueryAnswer::Items(snap.top_k(*k)),
+            Query::FrequentItems { phi } => QueryAnswer::Items(snap.frequent_items(*phi)),
+            Query::RankQuantile { q } => QueryAnswer::Rank(snap.rank_quantile(*q)),
+        };
+        QueryResponse {
+            epoch: snap.epoch(),
+            rows: snap.rows_processed(),
+            answer,
+        }
+    }
+
+    /// Subset-sum estimate with confidence interval for a sorted item list.
+    #[must_use]
+    pub fn subset_estimate(&self, items: &[u64]) -> (SubsetEstimate, ConfidenceInterval) {
+        let snap = self.current();
+        let estimate = snap.subset_estimate_items(items);
+        let ci = estimate.confidence_interval(self.config.confidence);
+        (estimate, ci)
+    }
+
+    /// Subset-sum estimate with confidence interval for an arbitrary predicate —
+    /// the fully disaggregated form: the subset may be decided per query.
+    pub fn subset_estimate_where<F>(&self, predicate: F) -> (SubsetEstimate, ConfidenceInterval)
+    where
+        F: FnMut(u64) -> bool,
+    {
+        let snap = self.current();
+        let estimate = snap.subset_estimate(predicate);
+        let ci = estimate.confidence_interval(self.config.confidence);
+        (estimate, ci)
+    }
+
+    /// The `k` most frequent retained items, descending.
+    #[must_use]
+    pub fn top_k(&self, k: usize) -> Vec<(u64, f64)> {
+        self.current().top_k(k)
+    }
+
+    /// Items whose estimated count exceeds `phi · rows`, descending.
+    #[must_use]
+    pub fn frequent_items(&self, phi: f64) -> Vec<(u64, f64)> {
+        self.current().frequent_items(phi)
+    }
+
+    /// Keyed group-by: one [`SubsetEstimate`] per distinct key produced by
+    /// `key_of`, in first-seen entry order — the marginal/roll-up query of the
+    /// paper's Figure 6. See [`SketchSnapshot::marginals`].
+    pub fn marginals<K, F>(&self, key_of: F) -> Vec<(K, SubsetEstimate)>
+    where
+        K: Eq + std::hash::Hash + Clone,
+        F: FnMut(u64) -> Option<K>,
+    {
+        self.current().marginals(key_of)
+    }
+}
+
+/// Rescales a row-unit subset estimate into proportion units (`sum / rows`,
+/// variance `/ rows²`). A zero-row snapshot yields a zero proportion with zero
+/// variance.
+fn scale_to_proportion(estimate: SubsetEstimate, rows: u64) -> SubsetEstimate {
+    if rows == 0 {
+        return SubsetEstimate {
+            sum: 0.0,
+            variance: 0.0,
+            items_in_sketch: estimate.items_in_sketch,
+        };
+    }
+    let scale = 1.0 / rows as f64;
+    SubsetEstimate {
+        sum: estimate.sum * scale,
+        variance: estimate.variance * scale * scale,
+        items_in_sketch: estimate.items_in_sketch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::traits::StreamSketch;
+
+    fn sketch_with(rows: &[u64]) -> UnbiasedSpaceSaving {
+        let mut sketch = UnbiasedSpaceSaving::with_seed(64, 9);
+        sketch.offer_batch(rows);
+        sketch
+    }
+
+    #[test]
+    fn server_over_owned_sketch_answers_like_the_snapshot() {
+        let rows: Vec<u64> = (0..5_000u64).map(|i| i % 100).collect();
+        let sketch = sketch_with(&rows);
+        let direct = sketch.snapshot();
+        let server = QueryServer::new(sketch, QueryServerConfig::new());
+
+        let items: Vec<u64> = (0..30).collect();
+        let (est, ci) = server.subset_estimate(&items);
+        let reference = direct.subset_estimate_items(&items);
+        assert_eq!(est.sum, reference.sum);
+        assert_eq!(est.variance, reference.variance);
+        assert!(ci.contains(est.sum));
+        assert_eq!(server.top_k(5), direct.top_k(5));
+        assert_eq!(server.frequent_items(0.005), direct.frequent_items(0.005));
+    }
+
+    #[test]
+    fn execute_covers_every_query_variant() {
+        let rows: Vec<u64> = (0..8_000u64).map(|i| i % 200).collect();
+        let server = QueryServer::new(sketch_with(&rows), QueryServerConfig::new());
+        let items: Vec<u64> = (0..50).collect();
+
+        let r = server.execute(&Query::SubsetSum { items: items.clone() });
+        assert_eq!(r.epoch, 1);
+        assert_eq!(r.rows, 8_000);
+        let QueryAnswer::Estimate { estimate, ci } = &r.answer else {
+            panic!("subset sum must answer with an estimate")
+        };
+        assert!(estimate.sum > 0.0);
+        assert!(ci.upper >= ci.lower);
+
+        let r = server.execute(&Query::Proportion { items });
+        let QueryAnswer::Estimate { estimate, .. } = &r.answer else {
+            panic!("proportion must answer with an estimate")
+        };
+        assert!((0.0..=1.0).contains(&estimate.sum));
+        assert!((estimate.sum - 0.25).abs() < 0.15);
+
+        let QueryAnswer::Items(top) = server.execute(&Query::TopK { k: 3 }).answer else {
+            panic!("top-k must answer with items")
+        };
+        assert_eq!(top.len(), 3);
+
+        let QueryAnswer::Items(heavy) =
+            server.execute(&Query::FrequentItems { phi: 0.004 }).answer
+        else {
+            panic!("frequent items must answer with items")
+        };
+        assert!(heavy.len() <= 200);
+
+        let QueryAnswer::Rank(rank) = server.execute(&Query::RankQuantile { q: 0.0 }).answer
+        else {
+            panic!("rank quantile must answer with a rank")
+        };
+        assert_eq!(rank, server.top_k(1).first().copied());
+    }
+
+    #[test]
+    fn refresh_bumps_the_epoch_and_old_snapshots_stay_valid() {
+        let rows: Vec<u64> = (0..1_000u64).collect();
+        let server = QueryServer::new(sketch_with(&rows), QueryServerConfig::new());
+        let before = server.current();
+        assert_eq!(before.epoch(), 1);
+        assert_eq!(server.refresh(), 2);
+        assert_eq!(server.refresh(), 3);
+        assert_eq!(server.epoch(), 3);
+        // The pre-refresh Arc is untouched.
+        assert_eq!(before.epoch(), 1);
+        assert_eq!(before.rows_processed(), 1_000);
+    }
+
+    #[test]
+    fn auto_refresh_follows_engine_ingest_progress() {
+        let engine = ShardedIngestEngine::new(
+            EngineConfig::new(2, 64, 3).with_batch_rows(64),
+        );
+        let server = QueryServer::new(
+            &engine,
+            QueryServerConfig::new().refresh_every_rows(1_000),
+        );
+        assert_eq!(server.current().epoch(), 1);
+        assert_eq!(server.current().rows_processed(), 0);
+
+        let mut handle = engine.handle();
+        for i in 0..5_000u64 {
+            handle.offer(i % 40);
+        }
+        handle.flush();
+        // The hint has advanced well past the threshold: the next read refreshes.
+        let snap = server.current();
+        assert!(snap.epoch() >= 2, "epoch {}", snap.epoch());
+        assert_eq!(snap.rows_processed(), 5_000);
+        // No further ingest => no further refresh.
+        let epoch = server.epoch();
+        let _ = server.current();
+        assert_eq!(server.epoch(), epoch);
+
+        drop(server);
+        let merged = engine.finish();
+        assert_eq!(merged.rows_processed(), 5_000);
+    }
+
+    #[test]
+    fn stale_concurrent_refresh_cannot_publish_over_a_fresher_snapshot() {
+        // Deterministically replay the losing side of a refresh race: a capture
+        // whose rows_hint was read *before* a fresher refresh published must be
+        // discarded — the cache never moves backwards in ingest time — while a
+        // same-hint refresh (e.g. explicit refresh with no new rows) still
+        // publishes.
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        struct ScriptedSource(AtomicU64);
+        impl SnapshotSource for ScriptedSource {
+            fn capture(&self) -> SketchSnapshot {
+                let rows = self.0.load(Ordering::Relaxed);
+                SketchSnapshot::new(vec![(1, rows as f64)], 0.0, rows, 4)
+            }
+            fn rows_hint(&self) -> u64 {
+                self.0.load(Ordering::Relaxed)
+            }
+        }
+
+        let source = Arc::new(ScriptedSource(AtomicU64::new(0)));
+        let server = QueryServer::new(Arc::clone(&source), QueryServerConfig::new());
+
+        source.0.store(100, Ordering::Relaxed);
+        assert_eq!(server.refresh(), 2);
+        assert_eq!(server.current().rows_processed(), 100);
+
+        // A racer that read its hint at 50 (before the 100-row refresh landed)
+        // tries to publish: it must be discarded, epoch and contents unchanged.
+        source.0.store(50, Ordering::Relaxed);
+        assert_eq!(server.refresh(), 2);
+        assert_eq!(server.current().rows_processed(), 100);
+        assert_eq!(server.epoch(), 2);
+
+        // Same-hint refreshes still publish (owned sketches rely on this).
+        source.0.store(100, Ordering::Relaxed);
+        assert_eq!(server.refresh(), 3);
+
+        // Fresher hints publish as usual.
+        source.0.store(150, Ordering::Relaxed);
+        assert_eq!(server.refresh(), 4);
+        assert_eq!(server.current().rows_processed(), 150);
+    }
+
+    #[test]
+    fn manual_only_server_never_auto_refreshes() {
+        let engine = ShardedIngestEngine::new(EngineConfig::new(2, 64, 4));
+        let server = QueryServer::new(&engine, QueryServerConfig::new());
+        let mut handle = engine.handle();
+        for i in 0..10_000u64 {
+            handle.offer(i % 10);
+        }
+        handle.flush();
+        assert_eq!(server.current().epoch(), 1);
+        assert_eq!(server.current().rows_processed(), 0);
+        assert_eq!(server.refresh(), 2);
+        assert_eq!(server.current().rows_processed(), 10_000);
+        drop(server);
+        let _ = engine.finish();
+    }
+
+    #[test]
+    fn proportion_scaling_handles_zero_rows() {
+        let scaled = scale_to_proportion(
+            SubsetEstimate {
+                sum: 5.0,
+                variance: 4.0,
+                items_in_sketch: 2,
+            },
+            0,
+        );
+        assert_eq!(scaled.sum, 0.0);
+        assert_eq!(scaled.variance, 0.0);
+        let scaled = scale_to_proportion(
+            SubsetEstimate {
+                sum: 5.0,
+                variance: 4.0,
+                items_in_sketch: 2,
+            },
+            10,
+        );
+        assert_eq!(scaled.sum, 0.5);
+        assert!((scaled.variance - 0.04).abs() < 1e-15);
+    }
+
+    #[test]
+    fn marginals_through_the_server_match_the_snapshot() {
+        let rows: Vec<u64> = (0..4_000u64).map(|i| i % 64).collect();
+        let sketch = sketch_with(&rows);
+        let direct = sketch.snapshot().marginals(|item| Some(item % 8));
+        let server = QueryServer::new(sketch, QueryServerConfig::new());
+        let served = server.marginals(|item| Some(item % 8));
+        assert_eq!(direct.len(), served.len());
+        for ((k1, e1), (k2, e2)) in direct.iter().zip(&served) {
+            assert_eq!(k1, k2);
+            assert_eq!(e1.sum, e2.sum);
+            assert_eq!(e1.variance, e2.variance);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn invalid_confidence_panics() {
+        let _ = QueryServerConfig::new().confidence(1.0);
+    }
+}

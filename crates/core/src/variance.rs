@@ -96,12 +96,23 @@ pub fn normal_confidence_interval(
 /// open interval), refined with one Halley step of the complementary error function
 /// series; accurate to roughly 1e-12 for the probabilities used in practice.
 ///
+/// The edge probabilities are handled like the mathematical limits rather than as
+/// errors: `normal_quantile(0.0)` is `-INFINITY` and `normal_quantile(1.0)` is
+/// `INFINITY`, so a caller sweeping confidence levels up to the degenerate ones gets
+/// the correct (infinitely wide) interval instead of a panic or a NaN.
+///
 /// # Panics
 ///
-/// Panics if `p` is not strictly between 0 and 1.
+/// Panics if `p` is outside `[0, 1]` (including NaN).
 #[must_use]
 pub fn normal_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "probability must be in (0, 1)");
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+    if p == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p == 1.0 {
+        return f64::INFINITY;
+    }
 
     // Coefficients for Acklam's approximation.
     const A: [f64; 6] = [
@@ -150,10 +161,18 @@ pub fn normal_quantile(p: f64) -> f64 {
             / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
     };
 
-    // One Halley refinement step using the Normal CDF evaluated via erfc.
+    // One Halley refinement step using the Normal CDF evaluated via erfc. In the
+    // extreme tails (|x| ≳ 37.6, i.e. subnormal p) the exp() overflows and the step
+    // degenerates to inf/NaN arithmetic; the unrefined Acklam value (relative error
+    // < 1.15e-9) is returned instead of propagating the NaN.
     let e = normal_cdf(x) - p;
     let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
-    x - u / (1.0 + x * u / 2.0)
+    let refined = x - u / (1.0 + x * u / 2.0);
+    if refined.is_finite() {
+        refined
+    } else {
+        x
+    }
 }
 
 /// Standard Normal cumulative distribution function, via a high-accuracy `erfc`
@@ -295,9 +314,91 @@ mod tests {
     }
 
     #[test]
+    fn quantile_edges_are_the_mathematical_limits() {
+        assert_eq!(normal_quantile(0.0), f64::NEG_INFINITY);
+        assert_eq!(normal_quantile(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn quantile_tail_accuracy_against_reference_z_values() {
+        // Reference values from standard Normal tables (scipy.stats.norm.ppf).
+        let cases = [
+            (1e-3, -3.090_232_306_167_813),
+            (1e-4, -3.719_016_485_455_709),
+            (1e-6, -4.753_424_308_822_899),
+        ];
+        for (p, expected) in cases {
+            let got = normal_quantile(p);
+            assert!(
+                (got - expected).abs() < 1e-8,
+                "quantile({p}) = {got}, expected {expected}"
+            );
+            // The upper tail mirrors the lower tail.
+            let upper = normal_quantile(1.0 - p);
+            assert!(
+                (upper + expected).abs() < 1e-7,
+                "quantile({}) = {upper}, expected {}",
+                1.0 - p,
+                -expected
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_deep_tail_round_trips_through_the_cdf() {
+        for &p in &[1e-7, 1e-8, 1e-10] {
+            let x = normal_quantile(p);
+            assert!(x.is_finite() && x < -5.0);
+            let back = normal_cdf(x);
+            assert!(
+                ((back - p) / p).abs() < 1e-6,
+                "p {p} -> x {x} -> {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_subnormal_probability_is_finite_not_nan() {
+        // The Halley refinement overflows out here; the raw Acklam value must be
+        // returned rather than a NaN.
+        let x = normal_quantile(5e-324);
+        assert!(x.is_finite() && x < -35.0, "got {x}");
+        let x = normal_quantile(1.0 - f64::EPSILON / 2.0);
+        assert!(x.is_finite() && x > 8.0, "got {x}");
+    }
+
+    #[test]
+    fn quantile_is_monotone_across_the_tail_switchovers() {
+        let ps = [
+            1e-12, 1e-9, 1e-6, 0.001, 0.02, 0.024, 0.0243, 0.025, 0.1, 0.5, 0.9, 0.975,
+            0.9757, 0.976, 0.98, 0.999, 1.0 - 1e-6, 1.0 - 1e-9,
+        ];
+        for w in ps.windows(2) {
+            assert!(
+                normal_quantile(w[0]) < normal_quantile(w[1]),
+                "quantile not increasing between {} and {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "probability")]
-    fn invalid_probability_panics() {
-        let _ = normal_quantile(0.0);
+    fn negative_probability_panics() {
+        let _ = normal_quantile(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn probability_above_one_panics() {
+        let _ = normal_quantile(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn nan_probability_panics() {
+        let _ = normal_quantile(f64::NAN);
     }
 
     #[test]

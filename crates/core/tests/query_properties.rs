@@ -1,0 +1,227 @@
+//! Property tests for the concurrent query-serving layer.
+//!
+//! Three families of invariants:
+//!
+//! * **Epoch discipline** — epochs start at 1 and increase by exactly one per
+//!   refresh, no matter how reads and refreshes interleave; old snapshot handles
+//!   stay immutable.
+//! * **Answer consistency** — every typed query answered through a [`QueryServer`]
+//!   equals the same query against a directly captured [`SketchSnapshot`]: the
+//!   serving layer adds caching and versioning, never different numbers.
+//! * **Concurrent soundness** — readers racing producers and refreshers only ever
+//!   observe *complete* epochs: per-snapshot mass conservation holds exactly and
+//!   epochs are monotone per reader.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use uss_core::prelude::*;
+use uss_core::traits::StreamSketch;
+
+fn stream_strategy(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    vec(0u64..200, 1..max_len)
+}
+
+fn sketch_of(stream: &[u64], capacity: usize, seed: u64) -> UnbiasedSpaceSaving {
+    let mut sketch = UnbiasedSpaceSaving::with_seed(capacity, seed);
+    sketch.offer_batch(stream);
+    sketch
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Epochs start at 1 and advance by exactly one per refresh, regardless of how
+    /// reads interleave; a snapshot handle taken earlier is never mutated.
+    #[test]
+    fn epochs_are_strictly_monotone_across_refreshes(
+        stream in stream_strategy(400),
+        capacity in 1usize..32,
+        seed in any::<u64>(),
+        refreshes in 1usize..8,
+    ) {
+        let server = QueryServer::new(sketch_of(&stream, capacity, seed), QueryServerConfig::new());
+        let first = server.current();
+        prop_assert_eq!(first.epoch(), 1);
+        let mut last = server.epoch();
+        for _ in 0..refreshes {
+            let epoch = server.refresh();
+            prop_assert_eq!(epoch, last + 1);
+            prop_assert_eq!(server.current().epoch(), epoch);
+            last = epoch;
+        }
+        // The old handle still shows epoch 1 and the original contents.
+        prop_assert_eq!(first.epoch(), 1);
+        prop_assert_eq!(first.rows_processed(), stream.len() as u64);
+    }
+
+    /// Served `TopK` / `FrequentItems` / subset estimates are identical to direct
+    /// `SketchSnapshot` queries.
+    #[test]
+    fn served_answers_match_direct_snapshot_queries(
+        stream in stream_strategy(500),
+        capacity in 1usize..40,
+        seed in any::<u64>(),
+        k in 0usize..12,
+        phi_mil in 1u64..500,
+    ) {
+        let sketch = sketch_of(&stream, capacity, seed);
+        let direct = sketch.snapshot();
+        let server = QueryServer::new(sketch, QueryServerConfig::new());
+
+        prop_assert_eq!(server.top_k(k), direct.top_k(k));
+        let phi = phi_mil as f64 / 1000.0;
+        prop_assert_eq!(server.frequent_items(phi), direct.frequent_items(phi));
+
+        let items: Vec<u64> = (0..200u64).filter(|i| i % 3 == 0).collect();
+        let (est, _) = server.subset_estimate(&items);
+        let reference = direct.subset_estimate_items(&items);
+        prop_assert_eq!(est.sum, reference.sum);
+        prop_assert_eq!(est.variance, reference.variance);
+        prop_assert_eq!(est.items_in_sketch, reference.items_in_sketch);
+
+        // The typed forms agree with the convenience forms.
+        match server.execute(&Query::TopK { k }).answer {
+            QueryAnswer::Items(top) => prop_assert_eq!(top, direct.top_k(k)),
+            other => prop_assert!(false, "unexpected answer {:?}", other),
+        }
+        match server.execute(&Query::SubsetSum { items }).answer {
+            QueryAnswer::Estimate { estimate, ci } => {
+                prop_assert_eq!(estimate.sum, reference.sum);
+                prop_assert!(ci.contains(estimate.sum));
+            }
+            other => prop_assert!(false, "unexpected answer {:?}", other),
+        }
+        match server.execute(&Query::RankQuantile { q: 0.0 }).answer {
+            QueryAnswer::Rank(rank) => prop_assert_eq!(rank, direct.rank_quantile(0.0)),
+            other => prop_assert!(false, "unexpected answer {:?}", other),
+        }
+    }
+
+    /// Marginal groups partition the retained mass: group sums add up to the
+    /// snapshot total, and each group equals the brute-force regrouping of entries.
+    #[test]
+    fn marginals_partition_the_retained_mass(
+        stream in stream_strategy(500),
+        capacity in 1usize..40,
+        seed in any::<u64>(),
+        modulus in 1u64..16,
+    ) {
+        let sketch = sketch_of(&stream, capacity, seed);
+        let direct = sketch.snapshot();
+        let server = QueryServer::new(sketch, QueryServerConfig::new());
+        let groups = server.marginals(|item| Some(item % modulus));
+
+        let group_total: f64 = groups.iter().map(|(_, est)| est.sum).sum();
+        prop_assert!((group_total - direct.total()).abs() < 1e-9 * direct.total().max(1.0));
+
+        for (key, est) in &groups {
+            let brute: f64 = direct
+                .entries()
+                .iter()
+                .filter(|(item, _)| item % modulus == *key)
+                .map(|(_, c)| c)
+                .sum();
+            prop_assert_eq!(est.sum, brute);
+            prop_assert!(est.variance >= 0.0);
+        }
+        // No duplicate keys.
+        let mut keys: Vec<u64> = groups.iter().map(|(k, _)| *k).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), groups.len());
+    }
+
+    /// The rank-quantile walk is monotone non-increasing in `q` and pinned to the
+    /// top item at `q = 0`.
+    #[test]
+    fn rank_quantile_is_monotone(
+        stream in stream_strategy(400),
+        capacity in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        let sketch = sketch_of(&stream, capacity, seed);
+        let server = QueryServer::new(sketch, QueryServerConfig::new());
+        let top = server.top_k(1);
+        let mut last = f64::INFINITY;
+        for step in 0..=10 {
+            let q = step as f64 / 10.0;
+            let (item, count) = server
+                .execute(&Query::RankQuantile { q })
+                .answer_rank()
+                .expect("non-empty sketch");
+            if step == 0 {
+                prop_assert_eq!((item, count), top[0]);
+            }
+            prop_assert!(count <= last);
+            last = count;
+        }
+    }
+}
+
+/// Small helper so property tests can unwrap rank answers tersely.
+trait RankAnswer {
+    fn answer_rank(self) -> Option<(u64, f64)>;
+}
+
+impl RankAnswer for QueryResponse {
+    fn answer_rank(self) -> Option<(u64, f64)> {
+        match self.answer {
+            QueryAnswer::Rank(rank) => rank,
+            _ => None,
+        }
+    }
+}
+
+/// Concurrent-reader soundness: 4 readers hammer a server (auto-refresh every 2 000
+/// rows) while 2 producers feed the engine. Every observed snapshot must be complete
+/// — mass conservation exact, epochs monotone per reader — and the final fold must
+/// account for every row.
+#[test]
+fn concurrent_readers_only_see_complete_epochs() {
+    let engine = ShardedIngestEngine::new(
+        EngineConfig::new(2, 128, 77).with_batch_rows(256),
+    );
+    let server = QueryServer::new(
+        &engine,
+        QueryServerConfig::new().refresh_every_rows(2_000),
+    );
+    let total_rows = 60_000u64;
+
+    std::thread::scope(|scope| {
+        for producer in 0..2u64 {
+            let mut handle = engine.handle();
+            scope.spawn(move || {
+                for i in 0..total_rows / 2 {
+                    handle.offer((producer * 17 + i) % 900);
+                }
+            });
+        }
+        for reader in 0..4 {
+            let server = &server;
+            scope.spawn(move || {
+                let mut last_epoch = 0u64;
+                for _ in 0..100 {
+                    let snap = server.current();
+                    assert!(
+                        snap.epoch() >= last_epoch,
+                        "reader {reader}: epoch went backwards"
+                    );
+                    last_epoch = snap.epoch();
+                    let mass: f64 = snap.entries().iter().map(|(_, c)| c).sum();
+                    assert!(
+                        (mass - snap.rows_processed() as f64).abs()
+                            <= 1e-6 * (snap.rows_processed() as f64).max(1.0),
+                        "reader {reader}: torn snapshot (mass {mass} vs {} rows)",
+                        snap.rows_processed()
+                    );
+                    assert!(snap.rows_processed() <= total_rows);
+                }
+            });
+        }
+    });
+
+    drop(server);
+    let merged = engine.finish();
+    assert_eq!(merged.rows_processed(), total_rows);
+}

@@ -20,7 +20,7 @@ use rand::SeedableRng;
 use crate::metrics::{BucketedSeries, EstimateAccumulator};
 use crate::report::{fmt_num, Table};
 use uss_core::hash::FxHashMap;
-use uss_core::{StreamSketch, UnbiasedSpaceSaving};
+use uss_core::{QueryServer, QueryServerConfig, StreamSketch, UnbiasedSpaceSaving};
 use uss_sampling::priority::priority_sample;
 use uss_sampling::WeightedItem;
 use uss_workloads::{AdClickConfig, AdClickGenerator, Impression, NUM_FEATURES};
@@ -211,6 +211,14 @@ pub fn run(config: &MarginalsConfig) -> MarginalsResult {
             .all(|(&f, &v)| features[f] == v)
     };
 
+    // The distinct feature combinations under query — one marginal roll-up each.
+    let mut combos: Vec<Vec<usize>> = Vec::new();
+    for q in &queries {
+        if !combos.contains(&q.features) {
+            combos.push(q.features.clone());
+        }
+    }
+
     let weighted_items: Vec<WeightedItem> = tuple_counts
         .iter()
         .map(|(&k, &c)| WeightedItem::new(k, c as f64))
@@ -218,18 +226,36 @@ pub fn run(config: &MarginalsConfig) -> MarginalsResult {
 
     for rep in 0..config.reps {
         let rep_seed = config.seed.wrapping_add(rep as u64).wrapping_mul(0x9E37);
-        // Unbiased Space Saving over the disaggregated tuple stream.
+        // Unbiased Space Saving over the disaggregated tuple stream, queried
+        // through the serving layer: one keyed marginal roll-up per feature
+        // combination (the group-by form of the paper's Figure 6 workload), then a
+        // table lookup per marginal query. Summation per key follows sketch entry
+        // order, so the estimates are bit-identical to predicate subset sums.
         let mut sketch = UnbiasedSpaceSaving::with_seed(config.bins, rep_seed);
         for &key in &rows {
             sketch.offer(key);
         }
-        let snapshot = sketch.snapshot();
+        let server = QueryServer::new(sketch, QueryServerConfig::new());
+        let marginal_tables: Vec<FxHashMap<Vec<u32>, f64>> = combos
+            .iter()
+            .map(|combo| {
+                server
+                    .marginals(|item| {
+                        tuple_features.get(&item).map(|features| {
+                            combo.iter().map(|&f| features[f]).collect::<Vec<u32>>()
+                        })
+                    })
+                    .into_iter()
+                    .map(|(key, est)| (key, est.sum))
+                    .collect()
+            })
+            .collect();
         for (q_idx, q) in queries.iter().enumerate() {
-            let est = snapshot.subset_sum(|item| {
-                tuple_features
-                    .get(&item)
-                    .is_some_and(|features| matches(features, q))
-            });
+            let combo_idx = combos.iter().position(|c| *c == q.features).unwrap();
+            let est = marginal_tables[combo_idx]
+                .get(&q.values)
+                .copied()
+                .unwrap_or(0.0);
             accumulators[0][q_idx].push(est);
         }
 

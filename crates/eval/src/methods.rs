@@ -12,7 +12,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use uss_baselines::AdaptiveSampleAndHold;
-use uss_core::{DeterministicSpaceSaving, StreamSketch, UnbiasedSpaceSaving};
+use uss_core::{
+    DeterministicSpaceSaving, QueryServer, QueryServerConfig, StreamSketch, UnbiasedSpaceSaving,
+};
 use uss_sampling::priority::priority_sample;
 use uss_sampling::{BottomKSketch, WeightedItem};
 
@@ -80,10 +82,12 @@ impl Method {
             Method::UnbiasedSpaceSaving => {
                 let mut sketch = UnbiasedSpaceSaving::with_seed(bins, seed);
                 sketch.offer_batch(rows);
-                let snap = sketch.snapshot();
+                // Query through the serving layer — the same read path production
+                // code uses — rather than against a hand-built snapshot.
+                let server = QueryServer::new(sketch, QueryServerConfig::new());
                 subsets
                     .iter()
-                    .map(|s| snap.subset_sum(|item| s.binary_search(&item).is_ok()))
+                    .map(|s| server.subset_estimate(s).0.sum)
                     .collect()
             }
             Method::DeterministicSpaceSaving => {

@@ -1,0 +1,138 @@
+//! Golden regression tests for the figure experiments.
+//!
+//! Each test runs a figure driver at its fixed-seed test scale, renders the result —
+//! both the human-readable CSV tables and a full-precision (`{:?}`-formatted, i.e.
+//! round-trip exact) dump of every numeric output — and asserts byte equality with a
+//! committed golden file. Estimator refactors therefore cannot silently shift the
+//! paper's reproduced results: any change in a single random draw, float operation
+//! order, or query routing shows up as a golden diff that must be reviewed and
+//! regenerated on purpose.
+//!
+//! To regenerate after an *intentional* change:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test -p uss-eval --test golden_figures
+//! git diff crates/eval/tests/golden/   # review the shift, then commit it
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use uss_eval::experiments::{fig2_inclusion, fig3_subset_error, fig6_marginals};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares `rendered` against the committed golden file, or rewrites the file when
+/// `GOLDEN_REGEN=1` is set.
+fn assert_golden(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var("GOLDEN_REGEN").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run GOLDEN_REGEN=1 cargo test -p uss-eval \
+             --test golden_figures to create it"
+        , path.display())
+    });
+    assert!(
+        expected == rendered,
+        "{name} drifted from its golden output.\n\
+         If the change is intentional, regenerate with:\n\
+         GOLDEN_REGEN=1 cargo test -p uss-eval --test golden_figures\n\
+         and review+commit the diff under crates/eval/tests/golden/.\n\
+         --- expected ---\n{expected}\n--- actual ---\n{rendered}"
+    );
+}
+
+#[test]
+fn fig2_inclusion_probabilities_are_bit_stable() {
+    let result = fig2_inclusion::run(&fig2_inclusion::InclusionConfig::tiny());
+    let table = result.to_table(20);
+    let mut out = String::new();
+    writeln!(out, "# {}", table.title()).unwrap();
+    out.push_str(&table.to_csv());
+    writeln!(out, "# raw (full precision)").unwrap();
+    writeln!(out, "mean_abs_deviation,{:?}", result.mean_abs_deviation).unwrap();
+    writeln!(out, "correlation,{:?}", result.correlation).unwrap();
+    writeln!(out, "reps,{}", result.reps).unwrap();
+    for row in &result.rows {
+        writeln!(
+            out,
+            "{},{},{:?},{:?}",
+            row.item, row.count, row.theoretical, row.observed
+        )
+        .unwrap();
+    }
+    assert_golden("fig2_inclusion.golden", &out);
+}
+
+#[test]
+fn fig3_subset_error_curves_are_bit_stable() {
+    let result = fig3_subset_error::run(&fig3_subset_error::SubsetErrorConfig::tiny());
+    let curve = result.curve_table("Figure 3");
+    let summary = result.summary_table("Figure 3");
+    let mut out = String::new();
+    writeln!(out, "# {}", curve.title()).unwrap();
+    out.push_str(&curve.to_csv());
+    writeln!(out, "# {}", summary.title()).unwrap();
+    out.push_str(&summary.to_csv());
+    writeln!(out, "# raw (full precision)").unwrap();
+    for r in &result.rows {
+        writeln!(
+            out,
+            "{},{},{:?},{:?},{:?},{}",
+            r.distribution,
+            r.method.name(),
+            r.bucket_lo,
+            r.bucket_hi,
+            r.mean_rrmse,
+            r.n_subsets
+        )
+        .unwrap();
+    }
+    for s in &result.summaries {
+        writeln!(
+            out,
+            "{},{},{:?},{:?}",
+            s.distribution,
+            s.method.name(),
+            s.mean_rrmse,
+            s.mean_abs_bias
+        )
+        .unwrap();
+    }
+    assert_golden("fig3_subset_error.golden", &out);
+}
+
+#[test]
+fn fig6_marginals_are_bit_stable() {
+    let result = fig6_marginals::run(&fig6_marginals::MarginalsConfig::tiny());
+    let table = result.to_table();
+    let summary = result.summary_table();
+    let mut out = String::new();
+    writeln!(out, "# {}", table.title()).unwrap();
+    out.push_str(&table.to_csv());
+    writeln!(out, "# {}", summary.title()).unwrap();
+    out.push_str(&summary.to_csv());
+    writeln!(out, "# raw (full precision)").unwrap();
+    writeln!(out, "distinct_tuples,{}", result.distinct_tuples).unwrap();
+    for r in &result.rows {
+        writeln!(
+            out,
+            "{},{},{:?},{:?},{:?},{}",
+            r.arity, r.method, r.bucket_lo, r.bucket_hi, r.mean_relative_mse, r.n_queries
+        )
+        .unwrap();
+    }
+    for (arity, method, mse) in &result.overall {
+        writeln!(out, "{arity},{method},{mse:?}").unwrap();
+    }
+    assert_golden("fig6_marginals.golden", &out);
+}

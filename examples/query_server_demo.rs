@@ -1,0 +1,103 @@
+//! The concurrent query-serving layer: readers query while producers ingest.
+//!
+//! `engine_demo` showed the write side — many producers feeding a
+//! [`ShardedIngestEngine`]. This example adds the read side: a [`QueryServer`] keeps
+//! an epoch-versioned snapshot cached over the live engine, refreshing every 100k
+//! ingested rows, while four reader threads issue typed queries — subset sums with
+//! confidence intervals, proportions, top-k, keyed marginals — the whole time. Every
+//! answer comes from a *complete* epoch (a consistent unbiased merge of the shards),
+//! never a torn view.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example query_server_demo
+//! ```
+
+use rand::SeedableRng;
+use unbiased_space_saving::prelude::*;
+
+fn main() {
+    // 1. The workload: 2M rows of Zipf-distributed events over 30k users, split
+    //    across two producer threads. Item 29_999 is the heaviest user.
+    let counts = FrequencyDistribution::Zipf {
+        exponent: 1.1,
+        max_count: 300_000,
+    }
+    .grid_counts(30_000);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let rows = shuffled_stream(&counts, &mut rng);
+    println!("{} rows over {} users", rows.len(), counts.len());
+
+    // 2. A live engine plus a query server with a 100k-row staleness budget.
+    let engine = ShardedIngestEngine::new(EngineConfig::new(4, 2_000, 42));
+    let server = QueryServer::new(
+        &engine,
+        QueryServerConfig::new().refresh_every_rows(100_000),
+    );
+
+    // 3. Producers and readers run simultaneously; the readers print what the
+    //    stream looks like *while it is still arriving*.
+    let segment: Vec<u64> = (20_000..30_000).collect();
+    std::thread::scope(|scope| {
+        for slice in rows.chunks(rows.len().div_ceil(2)) {
+            let mut handle = engine.handle();
+            scope.spawn(move || handle.offer_batch(slice));
+        }
+        for reader in 0..4 {
+            let server = &server;
+            let segment = &segment;
+            scope.spawn(move || {
+                for i in 0..3 {
+                    let response = server.execute(&Query::SubsetSum {
+                        items: segment.clone(),
+                    });
+                    if let QueryAnswer::Estimate { estimate, ci } = response.answer {
+                        println!(
+                            "reader {reader} @epoch {} ({} rows): segment ≈ {:>9.0}  95% CI [{:.0}, {:.0}]",
+                            response.epoch, response.rows, estimate.sum, ci.lower, ci.upper
+                        );
+                    }
+                    // Do some other work between polls.
+                    std::thread::sleep(std::time::Duration::from_millis(20 * (i + 1)));
+                }
+            });
+        }
+    });
+
+    // 4. Ingest finished: refresh once and answer from the complete stream.
+    server.refresh();
+    let truth: u64 = counts[20_000..30_000].iter().sum();
+    let (estimate, ci) = server.subset_estimate(&segment);
+    println!("\nsegment users 20k..30k (complete stream)");
+    println!("  true total : {truth}");
+    println!(
+        "  estimate   : {:.0}  ({:+.2}% error), 95% CI [{:.0}, {:.0}]",
+        estimate.sum,
+        100.0 * (estimate.sum - truth as f64) / truth as f64,
+        ci.lower,
+        ci.upper
+    );
+
+    // 5. Typed top-k and a keyed marginal (group users into 10 cohorts).
+    println!("\ntop-5 users");
+    for (item, count) in server.top_k(5) {
+        println!("  user {item:>6}: {count:>9.0} rows (true {})", counts[item as usize]);
+    }
+    let mut cohorts = server.marginals(|user| Some(user / 3_000));
+    cohorts.sort_by_key(|(cohort, _)| *cohort);
+    println!("\ncohort marginals (3k users each)");
+    for (cohort, est) in cohorts {
+        let ci = est.confidence_interval(0.95);
+        println!(
+            "  cohort {cohort}: {:>9.0}  ±{:>7.0}",
+            est.sum,
+            (ci.upper - ci.lower) / 2.0
+        );
+    }
+
+    // 6. Tear down: take the engine back and fold the final sketch.
+    drop(server);
+    let merged = engine.finish();
+    println!("\nengine finished: {} rows accounted for", merged.rows_processed());
+}
