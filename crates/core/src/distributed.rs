@@ -102,6 +102,67 @@ impl DistributedSketcher {
             }),
         )
     }
+
+    /// The reduce step over *files*: folds N persisted shard sketches into one
+    /// queryable weighted sketch with the unbiased PPS merge, in path order. This
+    /// is the multi-node story [`crate::persist`] opens: every node
+    /// [`checkpoint`](crate::engine::ShardedIngestEngine::checkpoint)s (or
+    /// [`persist::save_unbiased`](crate::persist::save_unbiased)s) its shard
+    /// locally, ships the small files, and any node folds them later — by
+    /// Theorem 2 the folded result is as unbiased as a live merge of the same
+    /// sketches. Accepts every sketch frame kind interchangeably — engine shard
+    /// files, full unbiased or weighted sketches, and cold snapshots (the fold
+    /// only needs entries and row counts); only a checkpoint manifest is
+    /// rejected.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError`](crate::persist::PersistError) if a file cannot be read,
+    /// fails checksum/format validation, or holds a checkpoint manifest instead
+    /// of a sketch.
+    pub fn merge_files<P, I>(&self, paths: I) -> Result<WeightedSpaceSaving, crate::persist::PersistError>
+    where
+        P: AsRef<std::path::Path>,
+        I: IntoIterator<Item = P>,
+    {
+        use crate::persist::{self, PersistError, SketchKind};
+        let mut reports = Vec::new();
+        for path in paths {
+            let path = path.as_ref();
+            let bytes = std::fs::read(path)?;
+            let (entries, rows) = match persist::peek_kind(&bytes)? {
+                SketchKind::Snapshot => {
+                    let snap = persist::decode_snapshot(&bytes)?;
+                    (snap.entries().to_vec(), snap.rows_processed())
+                }
+                SketchKind::Unbiased => {
+                    let sketch = persist::decode_unbiased(&bytes)?;
+                    (sketch.entries(), sketch.rows_processed())
+                }
+                SketchKind::Weighted => {
+                    let sketch = persist::decode_weighted(&bytes)?;
+                    (sketch.entries(), sketch.rows_processed())
+                }
+                SketchKind::EngineShard => {
+                    let sketch = persist::decode_shard(&bytes)?.2;
+                    (sketch.entries(), sketch.rows_processed())
+                }
+                SketchKind::Manifest => {
+                    return Err(PersistError::Corrupt(format!(
+                        "{} is a checkpoint manifest, not a sketch; pass the shard files",
+                        path.display()
+                    )))
+                }
+            };
+            reports.push(ShardReport { entries, rows });
+        }
+        Ok(fold_reports(
+            self.capacity,
+            self.seed ^ 0xD15C0,
+            self.seed ^ 0xFEED,
+            reports,
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -195,6 +256,67 @@ mod tests {
         assert!(ci.contains(est.sum));
         assert_eq!(server.top_k(5), direct.top_k(5));
         assert_eq!(server.epoch(), 1);
+    }
+
+    #[test]
+    fn merge_files_is_bit_identical_to_a_live_reduce() {
+        use crate::traits::StreamSketch as _;
+        // Sketch three partitions, persist each mapper sketch, and fold the files:
+        // same seeds on both paths, so the file fold must equal the live fold
+        // exactly, not just statistically.
+        let sketches: Vec<UnbiasedSpaceSaving> = (0..3u64)
+            .map(|p| {
+                let mut s = UnbiasedSpaceSaving::with_seed(24, 100 + p);
+                for i in 0..2_000u64 {
+                    s.offer(p * 1_000 + i % (60 + p * 7));
+                }
+                s
+            })
+            .collect();
+        let dir = std::env::temp_dir().join(format!("uss-merge-files-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let paths: Vec<_> = sketches
+            .iter()
+            .enumerate()
+            .map(|(i, sketch)| {
+                let path = dir.join(format!("mapper-{i}.uss"));
+                crate::persist::save_unbiased(&path, sketch).unwrap();
+                path
+            })
+            .collect();
+
+        let sketcher = DistributedSketcher::new(32, 5);
+        let live = sketcher.reduce(sketches);
+        let from_files = sketcher.merge_files(&paths).unwrap();
+        assert_eq!(from_files.entries(), live.entries());
+        assert_eq!(from_files.rows_processed(), live.rows_processed());
+
+        // A manifest (or any non-sketch frame) in the path list is an error.
+        let manifest_path = dir.join("manifest.uss");
+        let manifest = crate::persist::EngineManifest {
+            meta: crate::persist::EngineMeta {
+                shards: 1,
+                capacity: 32,
+                seed: 5,
+            },
+            snapshots: 0,
+            rows: 0,
+        };
+        crate::persist::write_file(&manifest_path, &crate::persist::encode_manifest(&manifest))
+            .unwrap();
+        assert!(sketcher.merge_files([&manifest_path]).is_err());
+
+        // Weighted and snapshot frames are accepted interchangeably: the fold
+        // only needs entries and row counts.
+        let weighted_path = dir.join("weighted.uss");
+        crate::persist::save_weighted(&weighted_path, &live).unwrap();
+        let snap_path = dir.join("snap.uss");
+        crate::persist::save_snapshot(&snap_path, &live.snapshot()).unwrap();
+        for path in [&weighted_path, &snap_path] {
+            let folded = sketcher.merge_files([path]).unwrap();
+            assert_eq!(folded.rows_processed(), live.rows_processed());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -56,6 +56,7 @@
 //! | [`merge`] | biased Misra-Gries merge and the unbiased PPS merge (section 5.5) |
 //! | [`engine`] | the concurrent sharded ingest engine: multi-producer batched ingestion into live, queryable worker shards folded with the unbiased merge |
 //! | [`query`] | the concurrent query-serving layer: epoch-versioned cached snapshots over a live engine or sketch, typed queries with variance and confidence intervals |
+//! | [`persist`] | durable snapshots: versioned checksummed binary codec, engine checkpoint files, cold-file serving |
 //! | [`distributed`] | map-reduce style sharded sketching, a deterministic convenience wrapper over the engine |
 //! | [`estimator`] | query-side snapshots: subset sums, frequent items, proportions, keyed marginals |
 //! | [`variance`] | the equation-5 variance estimator and Normal confidence intervals |
@@ -70,6 +71,7 @@ pub mod engine;
 pub mod estimator;
 pub mod hash;
 pub mod merge;
+pub mod persist;
 pub mod query;
 pub mod reduction;
 pub mod space_saving;
@@ -79,6 +81,7 @@ pub mod variance;
 
 pub use engine::{EngineConfig, IngestHandle, ShardedIngestEngine};
 pub use estimator::{SketchSnapshot, SubsetEstimate};
+pub use persist::{ColdSnapshot, PersistError, SketchKind};
 pub use query::{
     Query, QueryAnswer, QueryResponse, QueryServer, QueryServerConfig, SnapshotSource,
     VersionedSnapshot,
@@ -97,6 +100,7 @@ pub mod prelude {
     pub use crate::estimator::{SketchSnapshot, SubsetEstimate};
     pub use crate::hash::{combine, hash_bytes, hash_fields};
     pub use crate::merge::{merge_deterministic, merge_misra_gries, merge_unbiased};
+    pub use crate::persist::{ColdSnapshot, PersistError, SketchKind};
     pub use crate::query::{
         Query, QueryAnswer, QueryResponse, QueryServer, QueryServerConfig, SnapshotSource,
         VersionedSnapshot,

@@ -1,0 +1,989 @@
+//! Durable sketch snapshots: a versioned, checksummed binary codec plus file
+//! helpers, so sketches survive restarts, ship between nodes, and serve cold.
+//!
+//! Every sketch in this workspace is otherwise process-lifetime state; this module
+//! is the persistence layer underneath [`crate::engine::ShardedIngestEngine::checkpoint`] /
+//! [`restore`](crate::engine::ShardedIngestEngine::restore), the cold-serving
+//! [`ColdSnapshot`] source for [`crate::query::QueryServer`], and the shard-file
+//! merge path [`crate::distributed::DistributedSketcher::merge_files`]. Ting's
+//! sketches are the ideal unit of durability: the unbiased PPS merge (section 5.5)
+//! makes a shard file folded *later* statistically identical to a live merge, so a
+//! checkpoint is not an approximation of the stream — it *is* the sketch.
+//!
+//! # File format
+//!
+//! Everything is little-endian. A file is one *frame*:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"USSK"
+//! 4       2     format version  (currently 1)
+//! 6       1     sketch kind     (see below)
+//! 7       1     reserved        (0)
+//! 8       8     payload length  n
+//! 16      n     payload         (kind-specific, see below)
+//! 16+n    8     CRC-64/ECMA checksum over bytes [0, 16+n)
+//! ```
+//!
+//! | kind | payload |
+//! |------|---------|
+//! | 0 `Snapshot` | `capacity u64, rows u64, min_count f64, n u64, n × (item u64, count f64)` |
+//! | 1 `Unbiased` | `capacity u64, rows u64, rng [u8; 32], n u64, n × item u64, b u64, b × (value u64, len u32, len × slot u32)` |
+//! | 2 `Weighted` | `capacity u64, rows u64, total_weight f64, rng [u8; 32], n u64, n × item u64, n × count f64, n × heap u32` |
+//! | 3 `EngineShard` | `shard u64, shards u64, capacity u64, seed u64,` then an `Unbiased` payload |
+//! | 4 `Manifest` | `shards u64, capacity u64, seed u64, snapshots u64, rows u64` |
+//!
+//! The randomized sketches serialize their *full* state — the RNG (xoshiro256++
+//! words), the counter-structure layout (bucket chains for the integer sketch, the
+//! heap arrangement for the weighted one), not just the `(item, count)` pairs.
+//! That is what makes restore bit-compatible: entry iteration order and every
+//! min-label tie-break survive the round trip, so a restored sketch makes exactly
+//! the decisions an uninterrupted one would, and goldens stay byte-stable across a
+//! checkpoint boundary.
+//!
+//! Decoding never panics: wrong magic, unsupported version, wrong kind, truncated
+//! or bit-flipped bytes, and images violating a sketch invariant (mass
+//! conservation, heap order, bucket ordering) all come back as [`PersistError`].
+//!
+//! ```
+//! use uss_core::prelude::*;
+//! use uss_core::persist;
+//!
+//! let mut sketch = UnbiasedSpaceSaving::with_seed(64, 7);
+//! for row in 0u64..10_000 {
+//!     sketch.offer(row % 300);
+//! }
+//!
+//! let dir = std::env::temp_dir().join(format!("uss-doc-persist-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let path = dir.join("sketch.uss");
+//! persist::save_unbiased(&path, &sketch).unwrap();
+//!
+//! // A cold file serves queries bit-identically to the live sketch.
+//! let cold = persist::ColdSnapshot::open(&path).unwrap();
+//! let server = QueryServer::new(cold, QueryServerConfig::new());
+//! assert_eq!(server.top_k(5), sketch.snapshot().top_k(5));
+//! # std::fs::remove_file(&path).unwrap();
+//! ```
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::estimator::SketchSnapshot;
+use crate::query::SnapshotSource;
+use crate::space_saving::{UnbiasedSpaceSaving, WeightedSpaceSaving};
+use crate::stream_summary::SummaryDump;
+use crate::traits::StreamSketch;
+
+/// The four magic bytes opening every sketch file.
+pub const MAGIC: [u8; 4] = *b"USSK";
+
+/// The current format version written by [`encode`] and accepted by [`decode`].
+pub const FORMAT_VERSION: u16 = 1;
+
+const HEADER_LEN: usize = 16;
+const CHECKSUM_LEN: usize = 8;
+const RNG_STATE_LEN: usize = 32;
+
+/// What a frame holds; byte 6 of the header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SketchKind {
+    /// A cold [`SketchSnapshot`]: entries + `N̂_min` + rows. Enough to answer every
+    /// estimator query, but not to resume ingest.
+    Snapshot = 0,
+    /// A full [`UnbiasedSpaceSaving`] including RNG and counter-structure state;
+    /// resumable bit-compatibly.
+    Unbiased = 1,
+    /// A full [`WeightedSpaceSaving`] including RNG and heap state; resumable
+    /// bit-compatibly.
+    Weighted = 2,
+    /// One engine shard: the shard's position and engine configuration echo plus
+    /// its full unbiased sketch. Written by
+    /// [`crate::engine::ShardedIngestEngine::checkpoint`].
+    EngineShard = 3,
+    /// The engine checkpoint manifest tying the shard files together.
+    Manifest = 4,
+}
+
+impl SketchKind {
+    fn from_byte(byte: u8) -> Option<Self> {
+        match byte {
+            0 => Some(Self::Snapshot),
+            1 => Some(Self::Unbiased),
+            2 => Some(Self::Weighted),
+            3 => Some(Self::EngineShard),
+            4 => Some(Self::Manifest),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SketchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Self::Snapshot => "snapshot",
+            Self::Unbiased => "unbiased sketch",
+            Self::Weighted => "weighted sketch",
+            Self::EngineShard => "engine shard",
+            Self::Manifest => "engine manifest",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Everything that can go wrong while persisting or loading a sketch. Decoding is
+/// total: malformed input yields one of these, never a panic.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The input is shorter than a minimal frame or than its own declared length.
+    Truncated {
+        /// Bytes needed for the structure being read.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic,
+    /// The frame declares a format version this build does not read.
+    UnsupportedVersion(u16),
+    /// The frame holds a different kind of sketch than the caller asked for.
+    WrongKind {
+        /// The kind the caller expected.
+        expected: SketchKind,
+        /// The kind byte found in the header.
+        got: u8,
+    },
+    /// The CRC-64 over header + payload does not match the stored checksum.
+    ChecksumMismatch,
+    /// The payload parsed but violates a structural or statistical invariant.
+    Corrupt(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Truncated { needed, got } => {
+                write!(f, "truncated input: needed {needed} bytes, got {got}")
+            }
+            Self::BadMagic => f.write_str("not a sketch file (bad magic)"),
+            Self::UnsupportedVersion(v) => write!(
+                f,
+                "unsupported format version {v} (this build reads {FORMAT_VERSION})"
+            ),
+            Self::WrongKind { expected, got } => {
+                write!(f, "expected a {expected} frame, found kind byte {got}")
+            }
+            Self::ChecksumMismatch => f.write_str("checksum mismatch (corrupted frame)"),
+            Self::Corrupt(why) => write!(f, "corrupt payload: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+// ----- CRC-64 (ECMA-182 polynomial, unreflected) -----
+
+const CRC64_POLY: u64 = 0x42F0_E1EB_A9EA_3693;
+
+const fn crc64_table() -> [u64; 256] {
+    let mut table = [0u64; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = (i as u64) << 56;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & (1 << 63) != 0 {
+                (crc << 1) ^ CRC64_POLY
+            } else {
+                crc << 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC64_TABLE: [u64; 256] = crc64_table();
+
+/// CRC-64 (ECMA-182, unreflected, zero init) over `bytes` — the frame checksum.
+#[must_use]
+pub fn crc64(bytes: &[u8]) -> u64 {
+    let mut crc = 0u64;
+    for &b in bytes {
+        crc = CRC64_TABLE[(((crc >> 56) as u8) ^ b) as usize] ^ (crc << 8);
+    }
+    crc
+}
+
+// ----- little-endian payload writer / reader -----
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// Bounds-checked little-endian reader over a payload slice. Every read that would
+/// run past the end reports [`PersistError::Truncated`] instead of panicking, and
+/// element counts are validated against the bytes actually present *before* any
+/// allocation, so a corrupted length field cannot trigger an absurd reservation.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        if self.remaining() < n {
+            return Err(PersistError::Truncated {
+                needed: n,
+                got: self.remaining(),
+            });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a count of elements that each occupy at least `elem_bytes` more bytes,
+    /// rejecting counts the remaining payload cannot possibly hold.
+    fn count(&mut self, elem_bytes: usize) -> Result<usize, PersistError> {
+        let n = self.u64()?;
+        let n: usize = n
+            .try_into()
+            .map_err(|_| PersistError::Corrupt(format!("element count {n} overflows usize")))?;
+        if n.checked_mul(elem_bytes).is_none_or(|need| need > self.remaining()) {
+            return Err(PersistError::Corrupt(format!(
+                "element count {n} exceeds the bytes present"
+            )));
+        }
+        Ok(n)
+    }
+
+    fn finish(&self) -> Result<(), PersistError> {
+        if self.remaining() != 0 {
+            return Err(PersistError::Corrupt(format!(
+                "{} trailing bytes after payload",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ----- frame layer -----
+
+fn encode_frame(kind: SketchKind, payload: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + CHECKSUM_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.push(kind as u8);
+    out.push(0);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload);
+    let crc = crc64(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Shared header gate: checks minimal length, magic and version, and returns the
+/// kind byte. Every frame reader goes through here, so a future format change
+/// (e.g. accepting a version range) lives in exactly one place.
+fn check_header(bytes: &[u8]) -> Result<u8, PersistError> {
+    if bytes.len() < HEADER_LEN + CHECKSUM_LEN {
+        return Err(PersistError::Truncated {
+            needed: HEADER_LEN + CHECKSUM_LEN,
+            got: bytes.len(),
+        });
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    Ok(bytes[6])
+}
+
+/// Validates magic, version, kind, declared length and checksum; returns the
+/// payload slice.
+fn decode_frame(bytes: &[u8], expected: SketchKind) -> Result<&[u8], PersistError> {
+    let kind_byte = check_header(bytes)?;
+    if kind_byte != expected as u8 {
+        return Err(PersistError::WrongKind {
+            expected,
+            got: kind_byte,
+        });
+    }
+    let declared = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let body_len = bytes.len() - HEADER_LEN - CHECKSUM_LEN;
+    if declared != body_len as u64 {
+        return Err(PersistError::Truncated {
+            needed: HEADER_LEN
+                + CHECKSUM_LEN
+                + usize::try_from(declared).unwrap_or(usize::MAX),
+            got: bytes.len(),
+        });
+    }
+    let stored = u64::from_le_bytes(bytes[bytes.len() - CHECKSUM_LEN..].try_into().unwrap());
+    if crc64(&bytes[..bytes.len() - CHECKSUM_LEN]) != stored {
+        return Err(PersistError::ChecksumMismatch);
+    }
+    Ok(&bytes[HEADER_LEN..bytes.len() - CHECKSUM_LEN])
+}
+
+/// The kind byte of an encoded frame, after checking magic and version only. Used
+/// by loaders that accept several kinds (e.g. [`ColdSnapshot::open`]).
+pub fn peek_kind(bytes: &[u8]) -> Result<SketchKind, PersistError> {
+    let kind_byte = check_header(bytes)?;
+    SketchKind::from_byte(kind_byte).ok_or(PersistError::Corrupt(format!(
+        "unknown sketch kind byte {kind_byte}"
+    )))
+}
+
+// ----- kind payloads -----
+
+/// Encodes a cold [`SketchSnapshot`] frame.
+#[must_use]
+pub fn encode_snapshot(snapshot: &SketchSnapshot) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(snapshot.capacity() as u64);
+    w.u64(snapshot.rows_processed());
+    w.f64(snapshot.min_count());
+    w.u64(snapshot.entries().len() as u64);
+    for &(item, count) in snapshot.entries() {
+        w.u64(item);
+        w.f64(count);
+    }
+    encode_frame(SketchKind::Snapshot, w.buf)
+}
+
+fn read_snapshot_payload(payload: &[u8]) -> Result<SketchSnapshot, PersistError> {
+    let mut r = Reader::new(payload);
+    let capacity = r.u64()?;
+    let rows = r.u64()?;
+    let min_count = r.f64()?;
+    if !min_count.is_finite() || min_count < 0.0 {
+        return Err(PersistError::Corrupt(format!(
+            "min_count {min_count} must be finite and non-negative"
+        )));
+    }
+    let n = r.count(16)?;
+    let capacity: usize = capacity
+        .try_into()
+        .map_err(|_| PersistError::Corrupt(format!("capacity {capacity} overflows usize")))?;
+    if capacity == 0 {
+        return Err(PersistError::Corrupt("capacity must be positive".into()));
+    }
+    if n > capacity {
+        return Err(PersistError::Corrupt(format!(
+            "{n} entries exceed capacity {capacity}"
+        )));
+    }
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let item = r.u64()?;
+        let count = r.f64()?;
+        if !count.is_finite() || count < 0.0 {
+            return Err(PersistError::Corrupt(format!(
+                "count {count} must be finite and non-negative"
+            )));
+        }
+        entries.push((item, count));
+    }
+    r.finish()?;
+    Ok(SketchSnapshot::new(entries, min_count, rows, capacity))
+}
+
+/// Decodes a [`SketchSnapshot`] frame.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<SketchSnapshot, PersistError> {
+    read_snapshot_payload(decode_frame(bytes, SketchKind::Snapshot)?)
+}
+
+fn write_unbiased_payload(w: &mut Writer, sketch: &UnbiasedSpaceSaving) {
+    let (dump, rows, rng) = sketch.persist_dump();
+    w.u64(dump.capacity as u64);
+    w.u64(rows);
+    w.bytes(&rng);
+    w.u64(dump.counters.len() as u64);
+    for &item in &dump.counters {
+        w.u64(item);
+    }
+    w.u64(dump.buckets.len() as u64);
+    for (value, chain) in &dump.buckets {
+        w.u64(*value);
+        w.u32(chain.len() as u32);
+        for &slot in chain {
+            w.u32(slot);
+        }
+    }
+}
+
+fn read_unbiased_payload(r: &mut Reader<'_>) -> Result<UnbiasedSpaceSaving, PersistError> {
+    let capacity = r.u64()?;
+    let capacity: usize = capacity
+        .try_into()
+        .map_err(|_| PersistError::Corrupt(format!("capacity {capacity} overflows usize")))?;
+    let rows = r.u64()?;
+    let rng: [u8; RNG_STATE_LEN] = r.take(RNG_STATE_LEN)?.try_into().unwrap();
+    let n = r.count(8)?;
+    let mut counters = Vec::with_capacity(n);
+    for _ in 0..n {
+        counters.push(r.u64()?);
+    }
+    let b = r.count(12)?;
+    let mut buckets = Vec::with_capacity(b);
+    for _ in 0..b {
+        let value = r.u64()?;
+        let len = r.u32()? as usize;
+        if len.checked_mul(4).is_none_or(|need| need > r.remaining()) {
+            return Err(PersistError::Corrupt(format!(
+                "bucket chain length {len} exceeds the bytes present"
+            )));
+        }
+        let mut chain = Vec::with_capacity(len);
+        for _ in 0..len {
+            chain.push(r.u32()?);
+        }
+        buckets.push((value, chain));
+    }
+    UnbiasedSpaceSaving::from_persisted(
+        SummaryDump {
+            capacity,
+            counters,
+            buckets,
+        },
+        rows,
+        rng,
+    )
+    .map_err(PersistError::Corrupt)
+}
+
+/// Encodes a full [`UnbiasedSpaceSaving`] frame (RNG and structure included).
+#[must_use]
+pub fn encode_unbiased(sketch: &UnbiasedSpaceSaving) -> Vec<u8> {
+    let mut w = Writer::new();
+    write_unbiased_payload(&mut w, sketch);
+    encode_frame(SketchKind::Unbiased, w.buf)
+}
+
+/// Decodes an [`UnbiasedSpaceSaving`] frame; the result resumes bit-compatibly.
+pub fn decode_unbiased(bytes: &[u8]) -> Result<UnbiasedSpaceSaving, PersistError> {
+    let mut r = Reader::new(decode_frame(bytes, SketchKind::Unbiased)?);
+    let sketch = read_unbiased_payload(&mut r)?;
+    r.finish()?;
+    Ok(sketch)
+}
+
+/// Encodes a full [`WeightedSpaceSaving`] frame (RNG and heap state included).
+#[must_use]
+pub fn encode_weighted(sketch: &WeightedSpaceSaving) -> Vec<u8> {
+    let (capacity, items, counts, heap, rows, total_weight, rng) = sketch.persist_dump();
+    let mut w = Writer::new();
+    w.u64(capacity as u64);
+    w.u64(rows);
+    w.f64(total_weight);
+    w.bytes(&rng);
+    w.u64(items.len() as u64);
+    for &item in items {
+        w.u64(item);
+    }
+    for &count in counts {
+        w.f64(count);
+    }
+    for &slot in heap {
+        w.u32(slot);
+    }
+    encode_frame(SketchKind::Weighted, w.buf)
+}
+
+/// Decodes a [`WeightedSpaceSaving`] frame; the result resumes bit-compatibly.
+pub fn decode_weighted(bytes: &[u8]) -> Result<WeightedSpaceSaving, PersistError> {
+    let payload = decode_frame(bytes, SketchKind::Weighted)?;
+    let mut r = Reader::new(payload);
+    let capacity = r.u64()?;
+    let capacity: usize = capacity
+        .try_into()
+        .map_err(|_| PersistError::Corrupt(format!("capacity {capacity} overflows usize")))?;
+    let rows = r.u64()?;
+    let total_weight = r.f64()?;
+    let rng: [u8; RNG_STATE_LEN] = r.take(RNG_STATE_LEN)?.try_into().unwrap();
+    let n = r.count(20)?;
+    let mut items = Vec::with_capacity(n);
+    for _ in 0..n {
+        items.push(r.u64()?);
+    }
+    let mut counts = Vec::with_capacity(n);
+    for _ in 0..n {
+        counts.push(r.f64()?);
+    }
+    let mut heap = Vec::with_capacity(n);
+    for _ in 0..n {
+        heap.push(r.u32()?);
+    }
+    r.finish()?;
+    WeightedSpaceSaving::from_persisted(capacity, items, counts, heap, rows, total_weight, rng)
+        .map_err(PersistError::Corrupt)
+}
+
+// ----- engine checkpoint frames -----
+
+/// The engine identity echoed into every shard file and the manifest, so a
+/// restore can refuse mismatched directories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineMeta {
+    /// Number of shards the checkpointing engine ran.
+    pub shards: u64,
+    /// Bins per shard sketch.
+    pub capacity: u64,
+    /// The engine's base RNG seed.
+    pub seed: u64,
+}
+
+/// The manifest tying an engine checkpoint directory together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineManifest {
+    /// The engine identity (shards / capacity / seed).
+    pub meta: EngineMeta,
+    /// Snapshot-counter value at checkpoint time; restored so post-restore
+    /// [`crate::engine::ShardedIngestEngine::snapshot`] calls continue the same
+    /// merge-salt sequence an uninterrupted engine would use.
+    pub snapshots: u64,
+    /// Total rows across the shard sketches at checkpoint time.
+    pub rows: u64,
+}
+
+/// Encodes one engine shard frame.
+#[must_use]
+pub fn encode_shard(shard: u64, meta: EngineMeta, sketch: &UnbiasedSpaceSaving) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(shard);
+    w.u64(meta.shards);
+    w.u64(meta.capacity);
+    w.u64(meta.seed);
+    write_unbiased_payload(&mut w, sketch);
+    encode_frame(SketchKind::EngineShard, w.buf)
+}
+
+/// Decodes an engine shard frame into its position, engine identity and sketch.
+pub fn decode_shard(bytes: &[u8]) -> Result<(u64, EngineMeta, UnbiasedSpaceSaving), PersistError> {
+    let mut r = Reader::new(decode_frame(bytes, SketchKind::EngineShard)?);
+    let shard = r.u64()?;
+    let meta = EngineMeta {
+        shards: r.u64()?,
+        capacity: r.u64()?,
+        seed: r.u64()?,
+    };
+    if shard >= meta.shards {
+        return Err(PersistError::Corrupt(format!(
+            "shard index {shard} out of range for {} shards",
+            meta.shards
+        )));
+    }
+    let sketch = read_unbiased_payload(&mut r)?;
+    r.finish()?;
+    if sketch.capacity() as u64 != meta.capacity {
+        return Err(PersistError::Corrupt(format!(
+            "shard sketch capacity {} disagrees with engine capacity {}",
+            sketch.capacity(),
+            meta.capacity
+        )));
+    }
+    Ok((shard, meta, sketch))
+}
+
+/// Encodes an engine checkpoint manifest frame.
+#[must_use]
+pub fn encode_manifest(manifest: &EngineManifest) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(manifest.meta.shards);
+    w.u64(manifest.meta.capacity);
+    w.u64(manifest.meta.seed);
+    w.u64(manifest.snapshots);
+    w.u64(manifest.rows);
+    encode_frame(SketchKind::Manifest, w.buf)
+}
+
+/// Decodes an engine checkpoint manifest frame.
+pub fn decode_manifest(bytes: &[u8]) -> Result<EngineManifest, PersistError> {
+    let mut r = Reader::new(decode_frame(bytes, SketchKind::Manifest)?);
+    let meta = EngineMeta {
+        shards: r.u64()?,
+        capacity: r.u64()?,
+        seed: r.u64()?,
+    };
+    let snapshots = r.u64()?;
+    let rows = r.u64()?;
+    r.finish()?;
+    if meta.shards == 0 {
+        return Err(PersistError::Corrupt("manifest declares zero shards".into()));
+    }
+    if meta.capacity == 0 {
+        return Err(PersistError::Corrupt(
+            "manifest declares zero capacity".into(),
+        ));
+    }
+    Ok(EngineManifest {
+        meta,
+        snapshots,
+        rows,
+    })
+}
+
+// ----- file helpers -----
+
+/// Writes an encoded frame to `path` atomically and durably: the bytes land in a
+/// sibling temporary file, are fsynced, renamed into place, and the parent
+/// directory is fsynced too — so a crash (or power loss) mid-write can leave a
+/// stray `.tmp` but never a torn or empty sketch file behind the final name.
+pub fn write_file(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+    use std::io::Write as _;
+    let tmp = path.with_extension("uss.tmp");
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        // Data must be on disk before the rename becomes visible, or a crash can
+        // journal the rename ahead of the contents.
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    // Persist the directory entry itself (the rename) as well.
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::File::open(parent)?.sync_all()?;
+    }
+    Ok(())
+}
+
+/// Saves a cold [`SketchSnapshot`] to `path`.
+pub fn save_snapshot<P: AsRef<Path>>(path: P, snapshot: &SketchSnapshot) -> Result<(), PersistError> {
+    write_file(path.as_ref(), &encode_snapshot(snapshot))
+}
+
+/// Loads a [`SketchSnapshot`] from `path`.
+pub fn load_snapshot<P: AsRef<Path>>(path: P) -> Result<SketchSnapshot, PersistError> {
+    decode_snapshot(&std::fs::read(path)?)
+}
+
+/// Saves a full [`UnbiasedSpaceSaving`] to `path`.
+pub fn save_unbiased<P: AsRef<Path>>(
+    path: P,
+    sketch: &UnbiasedSpaceSaving,
+) -> Result<(), PersistError> {
+    write_file(path.as_ref(), &encode_unbiased(sketch))
+}
+
+/// Loads a full [`UnbiasedSpaceSaving`] from `path`.
+pub fn load_unbiased<P: AsRef<Path>>(path: P) -> Result<UnbiasedSpaceSaving, PersistError> {
+    decode_unbiased(&std::fs::read(path)?)
+}
+
+/// Saves a full [`WeightedSpaceSaving`] to `path`.
+pub fn save_weighted<P: AsRef<Path>>(
+    path: P,
+    sketch: &WeightedSpaceSaving,
+) -> Result<(), PersistError> {
+    write_file(path.as_ref(), &encode_weighted(sketch))
+}
+
+/// Loads a full [`WeightedSpaceSaving`] from `path`.
+pub fn load_weighted<P: AsRef<Path>>(path: P) -> Result<WeightedSpaceSaving, PersistError> {
+    decode_weighted(&std::fs::read(path)?)
+}
+
+/// A sketch file loaded for cold serving: a [`SnapshotSource`] over yesterday's
+/// (or another node's) data, so a [`crate::query::QueryServer`] serves a
+/// historical snapshot through exactly the same typed-query API as a live engine.
+///
+/// Accepts any single-sketch kind — a cold [`SketchKind::Snapshot`], a full
+/// [`SketchKind::Unbiased`] or [`SketchKind::Weighted`] sketch, or a single
+/// [`SketchKind::EngineShard`] file (served alone; use
+/// [`crate::distributed::DistributedSketcher::merge_files`] to fold a full shard
+/// set first). The file is read once at open time; serving never touches the
+/// filesystem again.
+#[derive(Debug, Clone)]
+pub struct ColdSnapshot {
+    path: PathBuf,
+    snapshot: SketchSnapshot,
+}
+
+impl ColdSnapshot {
+    /// Reads and decodes `path`.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, PersistError> {
+        let path = path.as_ref().to_path_buf();
+        let bytes = std::fs::read(&path)?;
+        let snapshot = match peek_kind(&bytes)? {
+            SketchKind::Snapshot => decode_snapshot(&bytes)?,
+            SketchKind::Unbiased => decode_unbiased(&bytes)?.snapshot(),
+            SketchKind::Weighted => decode_weighted(&bytes)?.snapshot(),
+            SketchKind::EngineShard => decode_shard(&bytes)?.2.snapshot(),
+            SketchKind::Manifest => {
+                return Err(PersistError::WrongKind {
+                    expected: SketchKind::Snapshot,
+                    got: SketchKind::Manifest as u8,
+                })
+            }
+        };
+        Ok(Self { path, snapshot })
+    }
+
+    /// The file this snapshot was loaded from.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The decoded snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> &SketchSnapshot {
+        &self.snapshot
+    }
+}
+
+impl SnapshotSource for ColdSnapshot {
+    fn capture(&self) -> SketchSnapshot {
+        self.snapshot.clone()
+    }
+
+    /// A cold file never grows, so automatic refresh is (correctly) a no-op.
+    fn rows_hint(&self) -> u64 {
+        self.snapshot.rows_processed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::StreamSketch;
+
+    fn sample_unbiased() -> UnbiasedSpaceSaving {
+        let mut sketch = UnbiasedSpaceSaving::with_seed(32, 11);
+        for i in 0..5_000u64 {
+            sketch.offer(i % 120);
+        }
+        sketch
+    }
+
+    #[test]
+    fn crc64_known_properties() {
+        assert_eq!(crc64(&[]), 0);
+        let a = crc64(b"hello sketch");
+        let mut flipped = b"hello sketch".to_vec();
+        flipped[3] ^= 0x10;
+        assert_ne!(a, crc64(&flipped));
+    }
+
+    #[test]
+    fn snapshot_frame_round_trips() {
+        let snap = sample_unbiased().snapshot();
+        let bytes = encode_snapshot(&snap);
+        assert_eq!(peek_kind(&bytes).unwrap(), SketchKind::Snapshot);
+        let back = decode_snapshot(&bytes).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn unbiased_frame_round_trips_bit_compatibly() {
+        let sketch = sample_unbiased();
+        let bytes = encode_unbiased(&sketch);
+        let mut restored = decode_unbiased(&bytes).unwrap();
+        assert_eq!(restored.snapshot(), sketch.snapshot());
+        // Continuing both sketches must produce identical states: structure *and*
+        // RNG survived the round trip.
+        let mut original = sketch;
+        for i in 0..5_000u64 {
+            original.offer(i.wrapping_mul(31) % 4_000);
+            restored.offer(i.wrapping_mul(31) % 4_000);
+        }
+        assert_eq!(original.entries(), restored.entries());
+        assert_eq!(original.snapshot(), restored.snapshot());
+    }
+
+    #[test]
+    fn weighted_frame_round_trips_bit_compatibly() {
+        use crate::traits::WeightedStreamSketch;
+        let mut sketch = WeightedSpaceSaving::with_seed(24, 3);
+        for i in 0..4_000u64 {
+            sketch.offer_weighted(i % 90, (i % 5 + 1) as f64 * 0.5);
+        }
+        let bytes = encode_weighted(&sketch);
+        let mut restored = decode_weighted(&bytes).unwrap();
+        assert_eq!(restored.snapshot(), sketch.snapshot());
+        assert_eq!(restored.total_weight(), sketch.total_weight());
+        for i in 0..4_000u64 {
+            sketch.offer_weighted(i % 333, 1.25);
+            restored.offer_weighted(i % 333, 1.25);
+        }
+        assert_eq!(sketch.entries(), restored.entries());
+        assert_eq!(sketch.min_count(), restored.min_count());
+    }
+
+    #[test]
+    fn shard_and_manifest_frames_round_trip() {
+        let meta = EngineMeta {
+            shards: 4,
+            capacity: 32,
+            seed: 9,
+        };
+        let sketch = {
+            let mut s = UnbiasedSpaceSaving::with_seed(32, 9);
+            for i in 0..1_000u64 {
+                s.offer(i % 50);
+            }
+            s
+        };
+        let bytes = encode_shard(2, meta, &sketch);
+        let (shard, back_meta, back) = decode_shard(&bytes).unwrap();
+        assert_eq!(shard, 2);
+        assert_eq!(back_meta, meta);
+        assert_eq!(back.snapshot(), sketch.snapshot());
+
+        let manifest = EngineManifest {
+            meta,
+            snapshots: 7,
+            rows: 1_000,
+        };
+        let bytes = encode_manifest(&manifest);
+        assert_eq!(decode_manifest(&bytes).unwrap(), manifest);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_frames() {
+        let sketch = sample_unbiased();
+        let good = encode_unbiased(&sketch);
+
+        assert!(matches!(
+            decode_unbiased(&[]),
+            Err(PersistError::Truncated { .. })
+        ));
+        assert!(matches!(
+            decode_unbiased(&good[..good.len() - 1]),
+            Err(PersistError::Truncated { .. })
+        ));
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(matches!(
+            decode_unbiased(&bad_magic),
+            Err(PersistError::BadMagic)
+        ));
+
+        let mut future = good.clone();
+        future[4] = 0xFF;
+        assert!(matches!(
+            decode_unbiased(&future),
+            Err(PersistError::UnsupportedVersion(_))
+        ));
+
+        assert!(matches!(
+            decode_weighted(&good),
+            Err(PersistError::WrongKind { .. })
+        ));
+
+        let mut flipped = good;
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x04;
+        assert!(decode_unbiased(&flipped).is_err());
+    }
+
+    #[test]
+    fn wrong_kind_reports_both_sides() {
+        let snap = sample_unbiased().snapshot();
+        let bytes = encode_snapshot(&snap);
+        match decode_unbiased(&bytes) {
+            Err(PersistError::WrongKind { expected, got }) => {
+                assert_eq!(expected, SketchKind::Unbiased);
+                assert_eq!(got, SketchKind::Snapshot as u8);
+            }
+            other => panic!("expected WrongKind, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cold_snapshot_serves_any_single_sketch_kind() {
+        let sketch = sample_unbiased();
+        let dir = std::env::temp_dir().join(format!("uss-persist-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let snap_path = dir.join("cold.uss");
+        save_snapshot(&snap_path, &sketch.snapshot()).unwrap();
+        let cold = ColdSnapshot::open(&snap_path).unwrap();
+        assert_eq!(cold.capture(), sketch.snapshot());
+        assert_eq!(cold.rows_hint(), 5_000);
+        assert_eq!(cold.path(), snap_path.as_path());
+
+        let full_path = dir.join("full.uss");
+        save_unbiased(&full_path, &sketch).unwrap();
+        let cold = ColdSnapshot::open(&full_path).unwrap();
+        assert_eq!(cold.capture(), sketch.snapshot());
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let text = PersistError::UnsupportedVersion(9).to_string();
+        assert!(text.contains('9'), "{text}");
+        let text = PersistError::Corrupt("heap order violated".into()).to_string();
+        assert!(text.contains("heap"), "{text}");
+    }
+}

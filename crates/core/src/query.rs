@@ -267,7 +267,9 @@ pub enum Query {
         phi: f64,
     },
     /// The retained `(item, count)` at rank quantile `q` of the descending count
-    /// ranking (`0` = top item, `1` = minimum retained counter).
+    /// ranking (`0` = top item, `1` = minimum retained counter). A `q` outside
+    /// `[0, 1]` — NaN included — answers [`QueryAnswer::Rank`]`(None)` rather than
+    /// panicking the read path.
     RankQuantile {
         /// Rank quantile in `[0, 1]`.
         q: f64,
@@ -288,7 +290,8 @@ pub enum QueryAnswer {
     },
     /// A ranked item list ([`Query::TopK`], [`Query::FrequentItems`]).
     Items(Vec<(u64, f64)>),
-    /// A single ranked entry ([`Query::RankQuantile`]); `None` on an empty sketch.
+    /// A single ranked entry ([`Query::RankQuantile`]); `None` on an empty sketch
+    /// or an invalid quantile.
     Rank(Option<(u64, f64)>),
 }
 
@@ -734,5 +737,62 @@ mod tests {
     #[should_panic(expected = "confidence")]
     fn invalid_confidence_panics() {
         let _ = QueryServerConfig::new().confidence(1.0);
+    }
+
+    #[test]
+    fn malformed_rank_quantile_cannot_panic_the_read_path() {
+        // Regression: a NaN or out-of-range q reaching the server used to assert!
+        // inside SketchSnapshot::rank_quantile and take the reader down.
+        let rows: Vec<u64> = (0..1_000u64).map(|i| i % 25).collect();
+        let server = QueryServer::new(sketch_with(&rows), QueryServerConfig::new());
+        for q in [f64::NAN, -0.5, 1.5, f64::INFINITY, f64::NEG_INFINITY] {
+            let response = server.execute(&Query::RankQuantile { q });
+            assert_eq!(response.answer, QueryAnswer::Rank(None), "q = {q}");
+        }
+        let QueryAnswer::Rank(Some(_)) = server.execute(&Query::RankQuantile { q: 0.5 }).answer
+        else {
+            panic!("valid quantiles must still answer");
+        };
+    }
+
+    #[test]
+    fn empty_snapshot_answers_every_variant_with_finite_zeros() {
+        // A server over a 0-row source must answer all five query variants with
+        // finite values — zero estimates, zero variance, degenerate [0, 0]
+        // intervals — never NaN and never a panic.
+        let server = QueryServer::new(
+            UnbiasedSpaceSaving::with_seed(16, 1),
+            QueryServerConfig::new(),
+        );
+        let items: Vec<u64> = vec![1, 2, 3];
+
+        for query in [
+            Query::SubsetSum { items: items.clone() },
+            Query::Proportion { items },
+        ] {
+            let response = server.execute(&query);
+            assert_eq!(response.rows, 0);
+            let QueryAnswer::Estimate { estimate, ci } = response.answer else {
+                panic!("{query:?} must answer with an estimate")
+            };
+            assert_eq!(estimate.sum, 0.0, "{query:?}");
+            assert_eq!(estimate.variance, 0.0, "{query:?}");
+            assert_eq!(estimate.std_dev(), 0.0, "{query:?}");
+            assert!(ci.lower.is_finite() && ci.upper.is_finite(), "{query:?}");
+            assert_eq!((ci.lower, ci.upper), (0.0, 0.0), "{query:?}");
+        }
+
+        assert_eq!(
+            server.execute(&Query::TopK { k: 5 }).answer,
+            QueryAnswer::Items(vec![])
+        );
+        assert_eq!(
+            server.execute(&Query::FrequentItems { phi: 0.01 }).answer,
+            QueryAnswer::Items(vec![])
+        );
+        assert_eq!(
+            server.execute(&Query::RankQuantile { q: 0.5 }).answer,
+            QueryAnswer::Rank(None)
+        );
     }
 }

@@ -105,6 +105,36 @@ impl UnbiasedSpaceSaving {
         w
     }
 
+    /// Full serializable state for `crate::persist`: the structural image of the
+    /// counter structure, the row count, and the RNG state. The structural image
+    /// (not just the entries) is what makes a restored sketch *bit-compatible*: it
+    /// fixes entry iteration order and every min-label tie-break, so the restored
+    /// sketch makes the same decisions an uninterrupted one would.
+    pub(crate) fn persist_dump(&self) -> (crate::stream_summary::SummaryDump, u64, [u8; 32]) {
+        (self.summary.dump(), self.rows, self.rng.state())
+    }
+
+    /// Rebuilds a sketch from [`persist_dump`](Self::persist_dump) parts, rejecting
+    /// images that violate the sketch invariants (mass conservation included).
+    pub(crate) fn from_persisted(
+        dump: crate::stream_summary::SummaryDump,
+        rows: u64,
+        rng_state: [u8; 32],
+    ) -> Result<Self, String> {
+        let summary = StreamSummary::restore(dump)?;
+        if summary.total_count() != rows {
+            return Err(format!(
+                "mass conservation violated: counters sum to {} but rows is {rows}",
+                summary.total_count()
+            ));
+        }
+        Ok(Self {
+            summary,
+            rows,
+            rng: StdRng::from_seed(rng_state),
+        })
+    }
+
     /// Offers `count` occurrences of `item` at once. Unlike the deterministic variant
     /// this is *not* exactly equivalent to `count` unit offers (the relabel
     /// probability is applied per batch using the weighted rule of section 5.3,

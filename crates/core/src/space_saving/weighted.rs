@@ -140,6 +140,84 @@ impl WeightedSpaceSaving {
         self.total_weight *= factor;
     }
 
+    /// Full serializable state for `crate::persist`: slot-ordered labels and counts,
+    /// the heap arrangement (tie-breaking among equal minimum counters follows the
+    /// heap root, so it must survive a round trip for bit-compatible behaviour),
+    /// the row/weight accounting, and the RNG state.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn persist_dump(&self) -> (usize, &[u64], &[f64], &[u32], u64, f64, [u8; 32]) {
+        (
+            self.capacity,
+            &self.items,
+            &self.counts,
+            &self.heap,
+            self.rows,
+            self.total_weight,
+            self.rng.state(),
+        )
+    }
+
+    /// Rebuilds a sketch from [`persist_dump`](Self::persist_dump) parts, rejecting
+    /// images that violate the structural invariants.
+    pub(crate) fn from_persisted(
+        capacity: usize,
+        items: Vec<u64>,
+        counts: Vec<f64>,
+        heap: Vec<u32>,
+        rows: u64,
+        total_weight: f64,
+        rng_state: [u8; 32],
+    ) -> Result<Self, String> {
+        if capacity == 0 {
+            return Err("capacity must be positive".into());
+        }
+        let n = items.len();
+        if n > capacity {
+            return Err(format!("{n} entries exceed capacity {capacity}"));
+        }
+        if counts.len() != n || heap.len() != n {
+            return Err("items, counts and heap lengths disagree".into());
+        }
+        if !total_weight.is_finite() || total_weight < 0.0 {
+            return Err("total weight must be finite and non-negative".into());
+        }
+        let mut index = FxHashMap::default();
+        for (slot, &item) in items.iter().enumerate() {
+            if index.insert(item, slot as u32).is_some() {
+                return Err(format!("duplicate item {item}"));
+            }
+        }
+        for &c in &counts {
+            if !c.is_finite() || c < 0.0 {
+                return Err("counts must be finite and non-negative".into());
+            }
+        }
+        let mut pos = vec![u32::MAX; n];
+        for (p, &slot) in heap.iter().enumerate() {
+            if slot as usize >= n || pos[slot as usize] != u32::MAX {
+                return Err("heap is not a permutation of the slots".into());
+            }
+            pos[slot as usize] = p as u32;
+        }
+        for (p, &slot) in heap.iter().enumerate().skip(1) {
+            let parent = heap[(p - 1) / 2];
+            if counts[slot as usize] < counts[parent as usize] {
+                return Err("heap order violated".into());
+            }
+        }
+        Ok(Self {
+            capacity,
+            items,
+            counts,
+            heap,
+            pos,
+            index,
+            rows,
+            total_weight,
+            rng: StdRng::from_seed(rng_state),
+        })
+    }
+
     // ----- heap helpers -----
 
     fn less(&self, a: u32, b: u32) -> bool {

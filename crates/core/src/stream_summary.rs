@@ -46,6 +46,18 @@ struct Bucket {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CounterHandle(u32);
 
+/// A structural image of a [`StreamSummary`] produced by `dump` and consumed by
+/// `restore`; the unit `crate::persist` encodes for the integer-counter sketches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SummaryDump {
+    /// Structure capacity.
+    pub(crate) capacity: usize,
+    /// Item labels in counter-slot order.
+    pub(crate) counters: Vec<u64>,
+    /// Per bucket, ascending by value: the value and the counter slots head→tail.
+    pub(crate) buckets: Vec<(u64, Vec<u32>)>,
+}
+
 /// A fixed-capacity set of `(item, count)` counters with `O(1)` unit increments and
 /// `O(1)` access to a minimum-count counter.
 #[derive(Debug, Clone)]
@@ -237,7 +249,9 @@ impl StreamSummary {
     }
 
     /// Increments (one of) the minimum counter(s) by `by` without changing its label.
-    /// Returns the count *before* the increment.
+    /// Returns the count *before* the increment. A zero `by` is a no-op (beyond
+    /// returning the minimum): zero-weight rows, which batched offer paths can
+    /// produce, must not disturb the bucket ordering invariants.
     ///
     /// # Panics
     ///
@@ -253,7 +267,8 @@ impl StreamSummary {
 
     /// Increments (one of) the minimum counter(s) by `by` and relabels it to
     /// `new_item`. Returns the count *before* the increment (the evicted label's
-    /// estimate, `N̂_min`).
+    /// estimate, `N̂_min`). A zero `by` still relabels but leaves every count — and
+    /// therefore the bucket ordering — untouched.
     ///
     /// # Panics
     ///
@@ -358,10 +373,118 @@ impl StreamSummary {
         Ok(())
     }
 
+    /// Serializable image of the structure for `crate::persist`: the counters in
+    /// slot order and, per bucket in ascending-value chain order, the counter slots
+    /// in head→tail order. Slot order fixes the [`entries`](Self::entries) iteration
+    /// order and the chain orders fix every min-label/tie-breaking decision, so a
+    /// [`restore`](Self::restore)d structure behaves bit-identically to the
+    /// original under any future operation sequence.
+    #[must_use]
+    pub(crate) fn dump(&self) -> SummaryDump {
+        let counters: Vec<u64> = self.counters.iter().map(|c| c.item).collect();
+        let mut buckets = Vec::new();
+        let mut b = self.min_bucket;
+        while b != NIL {
+            let bucket = &self.buckets[b as usize];
+            let mut chain = Vec::with_capacity(bucket.len as usize);
+            let mut c = bucket.head;
+            while c != NIL {
+                chain.push(c);
+                c = self.counters[c as usize].next;
+            }
+            buckets.push((bucket.value, chain));
+            b = bucket.next;
+        }
+        SummaryDump {
+            capacity: self.capacity,
+            counters,
+            buckets,
+        }
+    }
+
+    /// Rebuilds a structure from a [`dump`](Self::dump) image, re-checking every
+    /// invariant so corrupted or adversarial images are rejected with an error
+    /// instead of producing a structure that panics later.
+    pub(crate) fn restore(dump: SummaryDump) -> Result<Self, String> {
+        let SummaryDump {
+            capacity,
+            counters,
+            buckets,
+        } = dump;
+        if capacity == 0 {
+            return Err("capacity must be positive".into());
+        }
+        if counters.len() > capacity {
+            return Err(format!(
+                "{} counters exceed capacity {capacity}",
+                counters.len()
+            ));
+        }
+        let mut summary = Self::new(capacity);
+        for &item in &counters {
+            if summary.index.insert(item, summary.counters.len() as u32).is_some() {
+                return Err(format!("duplicate item {item}"));
+            }
+            summary.counters.push(Counter {
+                item,
+                bucket: NIL,
+                prev: NIL,
+                next: NIL,
+            });
+        }
+        let mut seen = 0usize;
+        let mut prev_value: Option<u64> = None;
+        let mut prev_bucket = NIL;
+        for (value, chain) in buckets {
+            if value == 0 {
+                return Err("bucket value must be positive".into());
+            }
+            if prev_value.is_some_and(|pv| value <= pv) {
+                return Err("bucket values must be strictly increasing".into());
+            }
+            if chain.is_empty() {
+                return Err("bucket chain must be non-empty".into());
+            }
+            let b = if prev_bucket == NIL {
+                summary.new_bucket_front(value)
+            } else {
+                summary.new_bucket_after(value, prev_bucket)
+            };
+            // `attach` pushes at the bucket head, so attaching in reverse chain
+            // order reproduces the recorded head→tail order exactly.
+            for &c in chain.iter().rev() {
+                if summary
+                    .counters
+                    .get(c as usize)
+                    .is_none_or(|counter| counter.bucket != NIL)
+                {
+                    return Err(format!("bucket chain references bad counter slot {c}"));
+                }
+                summary.attach(c, b);
+            }
+            seen += chain.len();
+            prev_value = Some(value);
+            prev_bucket = b;
+        }
+        if seen != summary.counters.len() {
+            return Err(format!(
+                "bucket chains cover {seen} of {} counters",
+                summary.counters.len()
+            ));
+        }
+        summary.validate()?;
+        Ok(summary)
+    }
+
     // ----- internal helpers -----
 
     fn increment_counter(&mut self, c: u32, by: u64) {
-        debug_assert!(by > 0);
+        // A zero increment must be a real no-op even in release builds: the walk
+        // below would otherwise allocate a second bucket with the *same* value
+        // (bucket values must be strictly increasing) and corrupt the ordering.
+        if by == 0 {
+            return;
+        }
         let old_bucket = self.counters[c as usize].bucket;
         let new_value = self.buckets[old_bucket as usize].value + by;
         self.detach(c);
@@ -638,6 +761,84 @@ mod tests {
         s.increment_handle(relabelled, 0); // no-op
         assert_eq!(s.count(42), Some(5));
         s.validate().unwrap();
+    }
+
+    #[test]
+    fn zero_increments_are_noops_everywhere() {
+        // Regression: increment_counter used to guard `by > 0` only with a
+        // debug_assert, so a zero increment in a release build walked the bucket
+        // chain and allocated a duplicate-valued bucket, breaking the
+        // strictly-increasing invariant. Zero must be a validated no-op on every
+        // public increment path.
+        let mut s = StreamSummary::new(4);
+        s.insert(1, 3);
+        s.insert(2, 3);
+        s.insert(3, 5);
+        let old = s.increment_min(0);
+        assert_eq!(old, 3);
+        s.validate().unwrap();
+        assert_eq!(s.count(1), Some(3));
+        assert_eq!(s.count(2), Some(3));
+
+        let old = s.replace_min(99, 0);
+        assert_eq!(old, 3);
+        s.validate().unwrap();
+        // Relabel happened, counts untouched.
+        assert_eq!(s.count(99), Some(3));
+        assert_eq!(s.len(), 3);
+
+        assert!(s.increment(99, 0));
+        let h = s.counter_handle(3).unwrap();
+        s.increment_handle(h, 0);
+        s.validate().unwrap();
+        assert_eq!(s.total_count(), 11);
+        assert_eq!(s.min_value(), Some(3));
+    }
+
+    #[test]
+    fn dump_restore_round_trips_structure_exactly() {
+        let mut s = StreamSummary::new(8);
+        s.insert(1, 1);
+        s.insert(2, 1);
+        s.insert(3, 4);
+        s.increment(1, 3);
+        s.replace_min(9, 1);
+        let dump = s.dump();
+        let restored = StreamSummary::restore(dump.clone()).unwrap();
+        restored.validate().unwrap();
+        assert_eq!(restored.dump(), dump);
+        let a: Vec<(u64, u64)> = s.entries().collect();
+        let b: Vec<(u64, u64)> = restored.entries().collect();
+        assert_eq!(a, b, "entries iteration order must survive the round trip");
+        assert_eq!(s.min_entry(), restored.min_entry());
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_dumps() {
+        let mut s = StreamSummary::new(4);
+        s.insert(1, 2);
+        s.insert(2, 5);
+        let good = s.dump();
+
+        let mut dup = good.clone();
+        dup.counters[1] = 1;
+        assert!(StreamSummary::restore(dup).is_err());
+
+        let mut unsorted = good.clone();
+        unsorted.buckets.swap(0, 1);
+        assert!(StreamSummary::restore(unsorted).is_err());
+
+        let mut dangling = good.clone();
+        dangling.buckets[0].1 = vec![7];
+        assert!(StreamSummary::restore(dangling).is_err());
+
+        let mut uncovered = good.clone();
+        uncovered.buckets.pop();
+        assert!(StreamSummary::restore(uncovered).is_err());
+
+        let mut overfull = good;
+        overfull.capacity = 1;
+        assert!(StreamSummary::restore(overfull).is_err());
     }
 
     #[test]
