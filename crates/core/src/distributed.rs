@@ -147,9 +147,24 @@ impl DistributedSketcher {
                     let sketch = persist::decode_shard(&bytes)?.2;
                     (sketch.entries(), sketch.rows_processed())
                 }
-                SketchKind::Manifest => {
+                SketchKind::Decayed => {
+                    // Decayed counts as of the sketch's last update; merging
+                    // mixes decayed units with raw ones, which is the caller's
+                    // call to make — the fold itself stays mass-preserving.
+                    let sketch = persist::decode_decayed(&bytes)?;
+                    let snap = sketch.snapshot_at(sketch.last_time());
+                    (snap.entries().to_vec(), snap.rows_processed())
+                }
+                SketchKind::TemporalShard => {
+                    // A bucket ring folds to its whole retained history first.
+                    let (shard, meta, store) = persist::decode_temporal_shard(&bytes)?;
+                    let seed = meta.seed.wrapping_add(shard);
+                    let folded = store.fold_range(0, u64::MAX, seed ^ 0xD15C0, seed ^ 0xFEED);
+                    (folded.entries(), folded.rows_processed())
+                }
+                kind @ (SketchKind::Manifest | SketchKind::TemporalManifest) => {
                     return Err(PersistError::Corrupt(format!(
-                        "{} is a checkpoint manifest, not a sketch; pass the shard files",
+                        "{} is a {kind}, not a sketch; pass the shard files",
                         path.display()
                     )))
                 }

@@ -45,11 +45,7 @@ use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use crate::hash::{splitmix64, FxHashMap};
-use crate::merge::merge_unbiased_entries;
 use crate::persist::{self, PersistError};
 use crate::space_saving::{UnbiasedSpaceSaving, WeightedSpaceSaving};
 use crate::traits::StreamSketch;
@@ -607,7 +603,8 @@ fn flush_combiner(combiner: &mut FxHashMap<u64, u64>, sketch: &mut UnbiasedSpace
 /// Folds per-shard reports into one weighted sketch with the unbiased PPS merge,
 /// in shard order. `merge_seed` drives the PPS sampling, `out_seed` the result
 /// sketch's own RNG — the same split [`crate::distributed::DistributedSketcher`]
-/// has always used, which keeps the wrapper bit-for-bit compatible.
+/// has always used, which keeps the wrapper bit-for-bit compatible. A thin
+/// adapter over [`crate::merge::fold_unbiased`], the public multi-way fold.
 pub(crate) fn fold_reports<I>(
     capacity: usize,
     merge_seed: u64,
@@ -617,16 +614,12 @@ pub(crate) fn fold_reports<I>(
 where
     I: IntoIterator<Item = ShardReport>,
 {
-    let mut rng = StdRng::seed_from_u64(merge_seed);
-    let mut acc_entries: Vec<(u64, f64)> = Vec::new();
-    let mut acc_rows: u64 = 0;
-    for report in reports {
-        acc_entries = merge_unbiased_entries(&acc_entries, &report.entries, capacity, &mut rng);
-        acc_rows += report.rows;
-    }
-    let mut out = WeightedSpaceSaving::with_seed(capacity, out_seed);
-    out.load_entries(acc_entries, acc_rows as f64);
-    out
+    crate::merge::fold_unbiased(
+        capacity,
+        merge_seed,
+        out_seed,
+        reports.into_iter().map(|r| (r.entries, r.rows)),
+    )
 }
 
 #[cfg(test)]

@@ -56,7 +56,8 @@
 //! | [`merge`] | biased Misra-Gries merge and the unbiased PPS merge (section 5.5) |
 //! | [`engine`] | the concurrent sharded ingest engine: multi-producer batched ingestion into live, queryable worker shards folded with the unbiased merge |
 //! | [`query`] | the concurrent query-serving layer: epoch-versioned cached snapshots over a live engine or sketch, typed queries with variance and confidence intervals |
-//! | [`persist`] | durable snapshots: versioned checksummed binary codec, engine checkpoint files, cold-file serving |
+//! | [`temporal`] | the time-partitioned subsystem: windowed ingest over a bucket ring, time-range queries, tiered retention with graceful aging |
+//! | [`persist`] | durable snapshots: versioned checksummed binary codec, engine checkpoint files, bucket-ring/temporal frames, cold-file serving |
 //! | [`distributed`] | map-reduce style sharded sketching, a deterministic convenience wrapper over the engine |
 //! | [`estimator`] | query-side snapshots: subset sums, frequent items, proportions, keyed marginals |
 //! | [`variance`] | the equation-5 variance estimator and Normal confidence intervals |
@@ -76,6 +77,7 @@ pub mod query;
 pub mod reduction;
 pub mod space_saving;
 pub mod stream_summary;
+pub mod temporal;
 pub mod traits;
 pub mod variance;
 
@@ -90,6 +92,10 @@ pub use space_saving::{
     DecayedSpaceSaving, DeterministicSpaceSaving, UnbiasedSpaceSaving, WeightedSpaceSaving,
 };
 pub use stream_summary::StreamSummary;
+pub use temporal::{
+    TemporalConfig, TemporalIngestEngine, TemporalIngestHandle, TemporalRangeSource, TimeRange,
+    WindowConfig, WindowedSketchStore,
+};
 pub use traits::{MergeableSketch, StreamSketch, WeightedStreamSketch};
 pub use variance::{normal_confidence_interval, subset_variance_estimate, ConfidenceInterval};
 
@@ -107,6 +113,10 @@ pub mod prelude {
     };
     pub use crate::space_saving::{
         DecayedSpaceSaving, DeterministicSpaceSaving, UnbiasedSpaceSaving, WeightedSpaceSaving,
+    };
+    pub use crate::temporal::{
+        TemporalConfig, TemporalIngestEngine, TemporalIngestHandle, TemporalRangeSource,
+        TimeRange, WindowConfig, WindowedSketchStore,
     };
     pub use crate::traits::{MergeableSketch, StreamSketch, WeightedStreamSketch};
     pub use crate::variance::{normal_confidence_interval, ConfidenceInterval};

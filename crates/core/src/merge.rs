@@ -47,6 +47,37 @@ pub fn merge_unbiased_entries<R: Rng + ?Sized>(
     pps_reduce(combined, capacity, rng)
 }
 
+/// Folds any number of `(entries, rows)` partitions into one weighted sketch with
+/// the unbiased PPS merge, in input order: the accumulator starts empty and each
+/// partition is merged in with [`merge_unbiased_entries`], all sampling driven by a
+/// single RNG seeded from `merge_seed`. `out_seed` seeds the result sketch's own
+/// RNG. Deterministic given the seeds and the partition order — this is the one
+/// fold primitive behind engine snapshots ([`crate::engine::ShardedIngestEngine`]),
+/// temporal range queries and tier compaction
+/// ([`crate::temporal::WindowedSketchStore`]), and the map-reduce wrapper
+/// ([`crate::distributed::DistributedSketcher`]).
+#[must_use]
+pub fn fold_unbiased<I>(
+    capacity: usize,
+    merge_seed: u64,
+    out_seed: u64,
+    parts: I,
+) -> WeightedSpaceSaving
+where
+    I: IntoIterator<Item = (Vec<(u64, f64)>, u64)>,
+{
+    let mut rng = rand::rngs::StdRng::seed_from_u64(merge_seed);
+    let mut acc_entries: Vec<(u64, f64)> = Vec::new();
+    let mut acc_rows: u64 = 0;
+    for (entries, rows) in parts {
+        acc_entries = merge_unbiased_entries(&acc_entries, &entries, capacity, &mut rng);
+        acc_rows += rows;
+    }
+    let mut out = WeightedSpaceSaving::with_seed(capacity, out_seed);
+    out.load_entries(acc_entries, acc_rows as f64);
+    out
+}
+
 /// Merges two Unbiased Space Saving sketches into a weighted sketch over the union of
 /// their streams, preserving unbiasedness of every per-item count.
 ///

@@ -32,6 +32,9 @@
 //! | 2 `Weighted` | `capacity u64, rows u64, total_weight f64, rng [u8; 32], n u64, n × item u64, n × count f64, n × heap u32` |
 //! | 3 `EngineShard` | `shard u64, shards u64, capacity u64, seed u64,` then an `Unbiased` payload |
 //! | 4 `Manifest` | `shards u64, capacity u64, seed u64, snapshots u64, rows u64` |
+//! | 5 `Decayed` | `lambda f64, landmark f64, last_time f64,` then a `Weighted` payload |
+//! | 6 `TemporalShard` | `shard u64,` temporal meta (7 × u64)`, late_rows u64, last_ts u64, f u64, f × (index u64, Unbiased payload), t u64, t × (k u64, k × tier bucket), terminal u8 [, tier bucket]` where a tier bucket is `start u64, end u64, rows u64, n u64, n × (item u64, count f64)` |
+//! | 7 `TemporalManifest` | temporal meta (7 × u64)`, snapshots u64, rows u64` |
 //!
 //! The randomized sketches serialize their *full* state — the RNG (xoshiro256++
 //! words), the counter-structure layout (bucket chains for the integer sketch, the
@@ -71,8 +74,9 @@ use std::path::{Path, PathBuf};
 
 use crate::estimator::SketchSnapshot;
 use crate::query::SnapshotSource;
-use crate::space_saving::{UnbiasedSpaceSaving, WeightedSpaceSaving};
+use crate::space_saving::{DecayedSpaceSaving, UnbiasedSpaceSaving, WeightedSpaceSaving};
 use crate::stream_summary::SummaryDump;
+use crate::temporal::{TemporalConfig, TierBucket, WindowConfig, WindowedSketchStore};
 use crate::traits::StreamSketch;
 
 /// The four magic bytes opening every sketch file.
@@ -84,6 +88,28 @@ pub const FORMAT_VERSION: u16 = 1;
 const HEADER_LEN: usize = 16;
 const CHECKSUM_LEN: usize = 8;
 const RNG_STATE_LEN: usize = 32;
+
+/// Upper bound on a decoded sketch capacity (bins). Real sketches use at most
+/// tens of thousands of bins; this bound exists so a crafted frame declaring an
+/// absurd capacity is rejected as [`PersistError::Corrupt`] *before* anything
+/// sizes an allocation from it — part of the never-panic totality guarantee.
+pub const MAX_DECODED_CAPACITY: u64 = 1 << 26;
+
+/// Validates a capacity field read from a frame: positive, bounded, and
+/// convertible to `usize`.
+fn checked_capacity(capacity: u64) -> Result<usize, PersistError> {
+    if capacity == 0 {
+        return Err(PersistError::Corrupt("capacity must be positive".into()));
+    }
+    if capacity > MAX_DECODED_CAPACITY {
+        return Err(PersistError::Corrupt(format!(
+            "capacity {capacity} exceeds the decodable maximum {MAX_DECODED_CAPACITY}"
+        )));
+    }
+    capacity
+        .try_into()
+        .map_err(|_| PersistError::Corrupt(format!("capacity {capacity} overflows usize")))
+}
 
 /// What a frame holds; byte 6 of the header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,6 +130,17 @@ pub enum SketchKind {
     EngineShard = 3,
     /// The engine checkpoint manifest tying the shard files together.
     Manifest = 4,
+    /// A full [`DecayedSpaceSaving`]: the forward-decay parameters (decay rate,
+    /// landmark, last-update time) plus the complete inner weighted sketch
+    /// (RNG and heap state); resumable bit-compatibly.
+    Decayed = 5,
+    /// One temporal shard's bucket ring: the fine buckets (each a full
+    /// resumable unbiased sketch), the compacted retention tiers and the
+    /// terminal bucket, plus the window-geometry echo. Written by
+    /// [`crate::temporal::TemporalIngestEngine::checkpoint`].
+    TemporalShard = 6,
+    /// The temporal checkpoint manifest tying the bucket-ring files together.
+    TemporalManifest = 7,
 }
 
 impl SketchKind {
@@ -114,6 +151,9 @@ impl SketchKind {
             2 => Some(Self::Weighted),
             3 => Some(Self::EngineShard),
             4 => Some(Self::Manifest),
+            5 => Some(Self::Decayed),
+            6 => Some(Self::TemporalShard),
+            7 => Some(Self::TemporalManifest),
             _ => None,
         }
     }
@@ -127,6 +167,9 @@ impl fmt::Display for SketchKind {
             Self::Weighted => "weighted sketch",
             Self::EngineShard => "engine shard",
             Self::Manifest => "engine manifest",
+            Self::Decayed => "decayed sketch",
+            Self::TemporalShard => "temporal bucket ring",
+            Self::TemporalManifest => "temporal manifest",
         };
         f.write_str(name)
     }
@@ -429,12 +472,7 @@ fn read_snapshot_payload(payload: &[u8]) -> Result<SketchSnapshot, PersistError>
         )));
     }
     let n = r.count(16)?;
-    let capacity: usize = capacity
-        .try_into()
-        .map_err(|_| PersistError::Corrupt(format!("capacity {capacity} overflows usize")))?;
-    if capacity == 0 {
-        return Err(PersistError::Corrupt("capacity must be positive".into()));
-    }
+    let capacity = checked_capacity(capacity)?;
     if n > capacity {
         return Err(PersistError::Corrupt(format!(
             "{n} entries exceed capacity {capacity}"
@@ -480,10 +518,7 @@ fn write_unbiased_payload(w: &mut Writer, sketch: &UnbiasedSpaceSaving) {
 }
 
 fn read_unbiased_payload(r: &mut Reader<'_>) -> Result<UnbiasedSpaceSaving, PersistError> {
-    let capacity = r.u64()?;
-    let capacity: usize = capacity
-        .try_into()
-        .map_err(|_| PersistError::Corrupt(format!("capacity {capacity} overflows usize")))?;
+    let capacity = checked_capacity(r.u64()?)?;
     let rows = r.u64()?;
     let rng: [u8; RNG_STATE_LEN] = r.take(RNG_STATE_LEN)?.try_into().unwrap();
     let n = r.count(8)?;
@@ -535,11 +570,8 @@ pub fn decode_unbiased(bytes: &[u8]) -> Result<UnbiasedSpaceSaving, PersistError
     Ok(sketch)
 }
 
-/// Encodes a full [`WeightedSpaceSaving`] frame (RNG and heap state included).
-#[must_use]
-pub fn encode_weighted(sketch: &WeightedSpaceSaving) -> Vec<u8> {
+fn write_weighted_payload(w: &mut Writer, sketch: &WeightedSpaceSaving) {
     let (capacity, items, counts, heap, rows, total_weight, rng) = sketch.persist_dump();
-    let mut w = Writer::new();
     w.u64(capacity as u64);
     w.u64(rows);
     w.f64(total_weight);
@@ -554,17 +586,10 @@ pub fn encode_weighted(sketch: &WeightedSpaceSaving) -> Vec<u8> {
     for &slot in heap {
         w.u32(slot);
     }
-    encode_frame(SketchKind::Weighted, w.buf)
 }
 
-/// Decodes a [`WeightedSpaceSaving`] frame; the result resumes bit-compatibly.
-pub fn decode_weighted(bytes: &[u8]) -> Result<WeightedSpaceSaving, PersistError> {
-    let payload = decode_frame(bytes, SketchKind::Weighted)?;
-    let mut r = Reader::new(payload);
-    let capacity = r.u64()?;
-    let capacity: usize = capacity
-        .try_into()
-        .map_err(|_| PersistError::Corrupt(format!("capacity {capacity} overflows usize")))?;
+fn read_weighted_payload(r: &mut Reader<'_>) -> Result<WeightedSpaceSaving, PersistError> {
+    let capacity = checked_capacity(r.u64()?)?;
     let rows = r.u64()?;
     let total_weight = r.f64()?;
     let rng: [u8; RNG_STATE_LEN] = r.take(RNG_STATE_LEN)?.try_into().unwrap();
@@ -581,8 +606,49 @@ pub fn decode_weighted(bytes: &[u8]) -> Result<WeightedSpaceSaving, PersistError
     for _ in 0..n {
         heap.push(r.u32()?);
     }
-    r.finish()?;
     WeightedSpaceSaving::from_persisted(capacity, items, counts, heap, rows, total_weight, rng)
+        .map_err(PersistError::Corrupt)
+}
+
+/// Encodes a full [`WeightedSpaceSaving`] frame (RNG and heap state included).
+#[must_use]
+pub fn encode_weighted(sketch: &WeightedSpaceSaving) -> Vec<u8> {
+    let mut w = Writer::new();
+    write_weighted_payload(&mut w, sketch);
+    encode_frame(SketchKind::Weighted, w.buf)
+}
+
+/// Decodes a [`WeightedSpaceSaving`] frame; the result resumes bit-compatibly.
+pub fn decode_weighted(bytes: &[u8]) -> Result<WeightedSpaceSaving, PersistError> {
+    let mut r = Reader::new(decode_frame(bytes, SketchKind::Weighted)?);
+    let sketch = read_weighted_payload(&mut r)?;
+    r.finish()?;
+    Ok(sketch)
+}
+
+/// Encodes a full [`DecayedSpaceSaving`] frame: the forward-decay parameters
+/// plus the complete inner weighted sketch (RNG and heap state included).
+#[must_use]
+pub fn encode_decayed(sketch: &DecayedSpaceSaving) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.f64(sketch.lambda());
+    w.f64(sketch.landmark());
+    w.f64(sketch.last_time());
+    write_weighted_payload(&mut w, sketch.inner());
+    encode_frame(SketchKind::Decayed, w.buf)
+}
+
+/// Decodes a [`DecayedSpaceSaving`] frame; the result resumes bit-compatibly
+/// (same decayed estimates, same rescale points, same random evictions under
+/// the same subsequent stream).
+pub fn decode_decayed(bytes: &[u8]) -> Result<DecayedSpaceSaving, PersistError> {
+    let mut r = Reader::new(decode_frame(bytes, SketchKind::Decayed)?);
+    let lambda = r.f64()?;
+    let landmark = r.f64()?;
+    let last_time = r.f64()?;
+    let inner = read_weighted_payload(&mut r)?;
+    r.finish()?;
+    DecayedSpaceSaving::from_persisted(inner, lambda, landmark, last_time)
         .map_err(PersistError::Corrupt)
 }
 
@@ -690,6 +756,266 @@ pub fn decode_manifest(bytes: &[u8]) -> Result<EngineManifest, PersistError> {
     })
 }
 
+// ----- temporal checkpoint frames -----
+
+/// The temporal-engine identity echoed into every bucket-ring file and the
+/// temporal manifest, so a restore can refuse mismatched directories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TemporalMeta {
+    /// Number of shards the checkpointing engine ran.
+    pub shards: u64,
+    /// Bins per bucket sketch.
+    pub capacity: u64,
+    /// The engine's base RNG seed.
+    pub seed: u64,
+    /// Time units per fine bucket.
+    pub bucket_width: u64,
+    /// Fine buckets retained per shard.
+    pub fine_buckets: u64,
+    /// Buckets per tier before a group compacts into the next tier.
+    pub tier_factor: u64,
+    /// Number of retention tiers.
+    pub tiers: u64,
+}
+
+impl TemporalMeta {
+    /// The meta a [`TemporalConfig`] produces (the identity half of the config;
+    /// queue depth and batch size are operational and not part of it).
+    #[must_use]
+    pub fn from_config(config: &TemporalConfig) -> Self {
+        Self {
+            shards: config.shards as u64,
+            capacity: config.window.capacity as u64,
+            seed: config.window.seed,
+            bucket_width: config.window.bucket_width,
+            fine_buckets: config.window.fine_buckets as u64,
+            tier_factor: config.window.tier_factor as u64,
+            tiers: config.window.tiers as u64,
+        }
+    }
+}
+
+/// The manifest tying a temporal checkpoint directory together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TemporalManifest {
+    /// The engine identity (shards / window geometry / seed).
+    pub meta: TemporalMeta,
+    /// Snapshot-counter value at checkpoint time; restored so post-restore
+    /// range snapshots continue the same merge-salt sequence.
+    pub snapshots: u64,
+    /// Total rows across the shard stores at checkpoint time.
+    pub rows: u64,
+}
+
+fn write_temporal_meta(w: &mut Writer, meta: TemporalMeta) {
+    w.u64(meta.shards);
+    w.u64(meta.capacity);
+    w.u64(meta.seed);
+    w.u64(meta.bucket_width);
+    w.u64(meta.fine_buckets);
+    w.u64(meta.tier_factor);
+    w.u64(meta.tiers);
+}
+
+fn read_temporal_meta(r: &mut Reader<'_>) -> Result<TemporalMeta, PersistError> {
+    let meta = TemporalMeta {
+        shards: r.u64()?,
+        capacity: r.u64()?,
+        seed: r.u64()?,
+        bucket_width: r.u64()?,
+        fine_buckets: r.u64()?,
+        tier_factor: r.u64()?,
+        tiers: r.u64()?,
+    };
+    if meta.shards == 0 || meta.bucket_width == 0 || meta.fine_buckets == 0 {
+        return Err(PersistError::Corrupt(
+            "temporal meta declares a zero shard count, bucket width or fine window".into(),
+        ));
+    }
+    // Bounded before anything (the range fold included) sizes an allocation
+    // from it.
+    let _ = checked_capacity(meta.capacity)?;
+    if meta.tier_factor < 2 {
+        return Err(PersistError::Corrupt(format!(
+            "temporal meta declares tier factor {} (must be at least 2)",
+            meta.tier_factor
+        )));
+    }
+    Ok(meta)
+}
+
+fn write_tier_bucket(w: &mut Writer, bucket: &TierBucket) {
+    w.u64(bucket.start());
+    w.u64(bucket.end());
+    w.u64(bucket.rows());
+    w.u64(bucket.entries().len() as u64);
+    for &(item, count) in bucket.entries() {
+        w.u64(item);
+        w.f64(count);
+    }
+}
+
+fn read_tier_bucket(r: &mut Reader<'_>) -> Result<TierBucket, PersistError> {
+    let start = r.u64()?;
+    let end = r.u64()?;
+    let rows = r.u64()?;
+    let n = r.count(16)?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let item = r.u64()?;
+        let count = r.f64()?;
+        entries.push((item, count));
+    }
+    // Span ordering, entry bounds and count validity are re-validated against
+    // the window geometry when the whole store image is assembled.
+    Ok(TierBucket {
+        start,
+        end,
+        entries,
+        rows,
+    })
+}
+
+/// Encodes one temporal bucket-ring frame: a shard's complete
+/// [`WindowedSketchStore`] — fine buckets as full resumable unbiased payloads,
+/// compacted tiers and the terminal bucket as entry lists.
+#[must_use]
+pub fn encode_temporal_shard(
+    shard: u64,
+    meta: TemporalMeta,
+    store: &WindowedSketchStore,
+) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(shard);
+    write_temporal_meta(&mut w, meta);
+    w.u64(store.late_rows());
+    w.u64(store.last_time());
+    let fine: Vec<_> = store.fine_sketches().collect();
+    w.u64(fine.len() as u64);
+    for (index, sketch) in fine {
+        w.u64(index);
+        write_unbiased_payload(&mut w, sketch);
+    }
+    w.u64(meta.tiers);
+    for t in 0..meta.tiers as usize {
+        let buckets = store.tier_buckets(t);
+        w.u64(buckets.len() as u64);
+        for bucket in buckets {
+            write_tier_bucket(&mut w, bucket);
+        }
+    }
+    match store.terminal_bucket() {
+        Some(bucket) => {
+            w.buf.push(1);
+            write_tier_bucket(&mut w, bucket);
+        }
+        None => w.buf.push(0),
+    }
+    encode_frame(SketchKind::TemporalShard, w.buf)
+}
+
+/// Decodes a temporal bucket-ring frame into its shard position, engine
+/// identity and store. The store resumes bit-compatibly (fine buckets keep
+/// their RNG and counter-structure state); corrupted images — overlapping
+/// spans, out-of-order buckets, capacity violations — are rejected as
+/// [`PersistError::Corrupt`], never a panic.
+pub fn decode_temporal_shard(
+    bytes: &[u8],
+) -> Result<(u64, TemporalMeta, WindowedSketchStore), PersistError> {
+    let mut r = Reader::new(decode_frame(bytes, SketchKind::TemporalShard)?);
+    let shard = r.u64()?;
+    let meta = read_temporal_meta(&mut r)?;
+    if shard >= meta.shards {
+        return Err(PersistError::Corrupt(format!(
+            "shard index {shard} out of range for {} shards",
+            meta.shards
+        )));
+    }
+    let late_rows = r.u64()?;
+    let last_ts = r.u64()?;
+    let f = r.count(8)?;
+    let mut fine = Vec::with_capacity(f);
+    for _ in 0..f {
+        let index = r.u64()?;
+        let sketch = read_unbiased_payload(&mut r)?;
+        fine.push((index, sketch));
+    }
+    let t = r.u64()?;
+    if t != meta.tiers {
+        return Err(PersistError::Corrupt(format!(
+            "{t} tiers in the frame but the meta declares {}",
+            meta.tiers
+        )));
+    }
+    let tiers_n: usize = t
+        .try_into()
+        .map_err(|_| PersistError::Corrupt(format!("tier count {t} overflows usize")))?;
+    // Each tier occupies at least its own 8-byte bucket count; reject counts the
+    // remaining payload cannot possibly hold before any allocation.
+    if tiers_n.checked_mul(8).is_none_or(|need| need > r.remaining()) {
+        return Err(PersistError::Corrupt(format!(
+            "tier count {tiers_n} exceeds the bytes present"
+        )));
+    }
+    let mut tiers = Vec::with_capacity(tiers_n);
+    for _ in 0..tiers_n {
+        let k = r.count(32)?;
+        let mut buckets = Vec::with_capacity(k);
+        for _ in 0..k {
+            buckets.push(read_tier_bucket(&mut r)?);
+        }
+        tiers.push(buckets);
+    }
+    let terminal = match r.take(1)?[0] {
+        0 => None,
+        1 => Some(read_tier_bucket(&mut r)?),
+        other => {
+            return Err(PersistError::Corrupt(format!(
+                "terminal-bucket flag must be 0 or 1, found {other}"
+            )))
+        }
+    };
+    r.finish()?;
+    let config = WindowConfig {
+        capacity: checked_capacity(meta.capacity)?,
+        // Wrapping: the sum is RNG material only, and a corrupt frame with a
+        // huge seed must decode to Corrupt, never panic on overflow checks.
+        seed: meta.seed.wrapping_add(shard),
+        bucket_width: meta.bucket_width,
+        fine_buckets: meta.fine_buckets as usize,
+        tier_factor: meta.tier_factor as usize,
+        tiers: tiers_n,
+    };
+    let store =
+        WindowedSketchStore::from_parts(config, fine, tiers, terminal, late_rows, last_ts)
+            .map_err(PersistError::Corrupt)?;
+    Ok((shard, meta, store))
+}
+
+/// Encodes a temporal checkpoint manifest frame.
+#[must_use]
+pub fn encode_temporal_manifest(manifest: &TemporalManifest) -> Vec<u8> {
+    let mut w = Writer::new();
+    write_temporal_meta(&mut w, manifest.meta);
+    w.u64(manifest.snapshots);
+    w.u64(manifest.rows);
+    encode_frame(SketchKind::TemporalManifest, w.buf)
+}
+
+/// Decodes a temporal checkpoint manifest frame.
+pub fn decode_temporal_manifest(bytes: &[u8]) -> Result<TemporalManifest, PersistError> {
+    let mut r = Reader::new(decode_frame(bytes, SketchKind::TemporalManifest)?);
+    let meta = read_temporal_meta(&mut r)?;
+    let snapshots = r.u64()?;
+    let rows = r.u64()?;
+    r.finish()?;
+    Ok(TemporalManifest {
+        meta,
+        snapshots,
+        rows,
+    })
+}
+
 // ----- file helpers -----
 
 /// Writes an encoded frame to `path` atomically and durably: the bytes land in a
@@ -755,11 +1081,13 @@ pub fn load_weighted<P: AsRef<Path>>(path: P) -> Result<WeightedSpaceSaving, Per
 /// historical snapshot through exactly the same typed-query API as a live engine.
 ///
 /// Accepts any single-sketch kind — a cold [`SketchKind::Snapshot`], a full
-/// [`SketchKind::Unbiased`] or [`SketchKind::Weighted`] sketch, or a single
+/// [`SketchKind::Unbiased`] / [`SketchKind::Weighted`] / [`SketchKind::Decayed`]
+/// sketch (decayed files serve their state as of the last update), a single
 /// [`SketchKind::EngineShard`] file (served alone; use
 /// [`crate::distributed::DistributedSketcher::merge_files`] to fold a full shard
-/// set first). The file is read once at open time; serving never touches the
-/// filesystem again.
+/// set first), or a single [`SketchKind::TemporalShard`] bucket ring (served as
+/// the fold of its whole retained history). The file is read once at open time;
+/// serving never touches the filesystem again.
 #[derive(Debug, Clone)]
 pub struct ColdSnapshot {
     path: PathBuf,
@@ -776,10 +1104,23 @@ impl ColdSnapshot {
             SketchKind::Unbiased => decode_unbiased(&bytes)?.snapshot(),
             SketchKind::Weighted => decode_weighted(&bytes)?.snapshot(),
             SketchKind::EngineShard => decode_shard(&bytes)?.2.snapshot(),
-            SketchKind::Manifest => {
+            SketchKind::Decayed => {
+                let sketch = decode_decayed(&bytes)?;
+                sketch.snapshot_at(sketch.last_time())
+            }
+            SketchKind::TemporalShard => {
+                // Serve the shard's whole retained history: fold every bucket
+                // with the unbiased PPS merge under span-derived seeds.
+                let (shard, meta, store) = decode_temporal_shard(&bytes)?;
+                let seed = meta.seed.wrapping_add(shard);
+                store
+                    .fold_range(0, u64::MAX, seed ^ 0xD15C0, seed ^ 0xFEED)
+                    .snapshot()
+            }
+            kind @ (SketchKind::Manifest | SketchKind::TemporalManifest) => {
                 return Err(PersistError::WrongKind {
                     expected: SketchKind::Snapshot,
-                    got: SketchKind::Manifest as u8,
+                    got: kind as u8,
                 })
             }
         };
@@ -977,6 +1318,122 @@ mod tests {
         assert_eq!(cold.capture(), sketch.snapshot());
 
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn decayed_frame_round_trips_and_serves_cold() {
+        let mut sketch = DecayedSpaceSaving::with_seed(16, 0.02, 4);
+        for i in 0..3_000u64 {
+            sketch.offer_at(i % 60, i as f64 * 0.1);
+        }
+        let bytes = encode_decayed(&sketch);
+        assert_eq!(peek_kind(&bytes).unwrap(), SketchKind::Decayed);
+        let decoded = decode_decayed(&bytes).unwrap();
+        assert_eq!(decoded.rows_processed(), 3_000);
+        assert_eq!(decoded.lambda().to_bits(), sketch.lambda().to_bits());
+        assert_eq!(decoded.last_time().to_bits(), sketch.last_time().to_bits());
+
+        let dir = std::env::temp_dir().join(format!("uss-decayed-cold-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("decayed.uss");
+        write_file(&path, &bytes).unwrap();
+        let cold = ColdSnapshot::open(&path).unwrap();
+        assert_eq!(cold.capture(), sketch.snapshot_at(sketch.last_time()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn temporal_manifest_round_trips_and_validates() {
+        let config = crate::temporal::TemporalConfig::new(3, 64, 5, 10, 8).with_retention(2, 4);
+        let meta = TemporalMeta::from_config(&config);
+        let manifest = TemporalManifest {
+            meta,
+            snapshots: 11,
+            rows: 12_345,
+        };
+        let bytes = encode_temporal_manifest(&manifest);
+        assert_eq!(peek_kind(&bytes).unwrap(), SketchKind::TemporalManifest);
+        assert_eq!(decode_temporal_manifest(&bytes).unwrap(), manifest);
+        // A manifest is not a servable sketch.
+        assert!(matches!(
+            {
+                let dir =
+                    std::env::temp_dir().join(format!("uss-tmanifest-{}", std::process::id()));
+                std::fs::create_dir_all(&dir).unwrap();
+                let path = dir.join("m.uss");
+                write_file(&path, &bytes).unwrap();
+                let result = ColdSnapshot::open(&path);
+                std::fs::remove_dir_all(&dir).unwrap();
+                result
+            },
+            Err(PersistError::WrongKind { .. })
+        ));
+        // Degenerate geometry is rejected.
+        let mut zero_width = manifest;
+        zero_width.meta.bucket_width = 0;
+        assert!(decode_temporal_manifest(&encode_temporal_manifest(&zero_width)).is_err());
+    }
+
+    #[test]
+    fn temporal_shard_frame_serves_cold_as_its_full_history() {
+        use crate::temporal::{TemporalConfig, WindowConfig, WindowedSketchStore};
+        let config = TemporalConfig::new(2, 24, 9, 2, 3).with_retention(1, 2);
+        let shard = 1u64;
+        let mut store = WindowedSketchStore::new(WindowConfig {
+            seed: config.window.seed + shard,
+            ..config.window
+        });
+        for ts in 0u64..40 {
+            store.offer_at(ts % 30, ts);
+        }
+        let meta = TemporalMeta::from_config(&config);
+        let bytes = encode_temporal_shard(shard, meta, &store);
+        let dir = std::env::temp_dir().join(format!("uss-tshard-cold-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("window-0001.uss");
+        write_file(&path, &bytes).unwrap();
+        let cold = ColdSnapshot::open(&path).unwrap();
+        let seed = meta.seed + shard;
+        let expected = store
+            .fold_range(0, u64::MAX, seed ^ 0xD15C0, seed ^ 0xFEED)
+            .snapshot();
+        assert_eq!(cold.capture(), expected);
+        assert_eq!(cold.rows_hint(), 40);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn absurd_declared_capacities_are_rejected_before_any_allocation() {
+        // Regression: a crafted frame with a valid CRC but a huge capacity used
+        // to pass decoding and then panic ('capacity overflow') when something
+        // downstream — StreamSummary::new, the temporal range fold — sized an
+        // allocation from it. The bound turns it into Corrupt at decode time.
+        let config = crate::temporal::TemporalConfig::new(2, 24, 9, 2, 3);
+        let store = crate::temporal::WindowedSketchStore::new(config.window);
+        let mut meta = TemporalMeta::from_config(&config);
+        meta.capacity = 1 << 61;
+        let bytes = encode_temporal_shard(0, meta, &store);
+        assert!(matches!(
+            decode_temporal_shard(&bytes),
+            Err(PersistError::Corrupt(_))
+        ));
+
+        // The single-sketch kinds are bounded the same way: rewrite the
+        // capacity field (offset 16 = first payload word) and re-seal the CRC.
+        let sketch = sample_unbiased();
+        for mut bytes in [encode_unbiased(&sketch), encode_snapshot(&sketch.snapshot())] {
+            bytes[16..24].copy_from_slice(&(1u64 << 61).to_le_bytes());
+            let crc_at = bytes.len() - 8;
+            let crc = crc64(&bytes[..crc_at]);
+            bytes[crc_at..].copy_from_slice(&crc.to_le_bytes());
+            assert!(matches!(
+                peek_kind(&bytes).and_then(|kind| match kind {
+                    SketchKind::Unbiased => decode_unbiased(&bytes).map(|_| ()),
+                    _ => decode_snapshot(&bytes).map(|_| ()),
+                }),
+                Err(PersistError::Corrupt(_))
+            ));
+        }
     }
 
     #[test]

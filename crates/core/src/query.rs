@@ -151,6 +151,20 @@ impl<T: SnapshotSource + ?Sized> SnapshotSource for Arc<T> {
     }
 }
 
+impl<T: SnapshotSource> SnapshotSource for parking_lot::RwLock<T> {
+    /// Serves a source that is still being *mutated* by producers — e.g. an
+    /// `Arc<RwLock<DecayedSpaceSaving>>` shared between an ingest thread (write
+    /// lock per batch) and a [`QueryServer`] (brief read lock per capture), the
+    /// smooth-decay alternative to the hard windows of [`crate::temporal`].
+    fn capture(&self) -> SketchSnapshot {
+        self.read().capture()
+    }
+
+    fn rows_hint(&self) -> u64 {
+        self.read().rows_hint()
+    }
+}
+
 /// Configuration for a [`QueryServer`].
 #[derive(Debug, Clone, Copy)]
 pub struct QueryServerConfig {

@@ -12,6 +12,8 @@
 //! range; rescaling multiplies every counter by the same factor and therefore changes
 //! no ordering and no estimate.
 
+use crate::estimator::SketchSnapshot;
+use crate::query::SnapshotSource;
 use crate::space_saving::WeightedSpaceSaving;
 use crate::traits::{StreamSketch, WeightedStreamSketch};
 
@@ -184,6 +186,89 @@ impl DecayedSpaceSaving {
     #[must_use]
     pub fn capacity(&self) -> usize {
         self.inner.capacity()
+    }
+
+    /// The latest arrival time seen (0 before any row).
+    #[must_use]
+    pub fn last_time(&self) -> f64 {
+        self.last_time
+    }
+
+    /// The current forward-decay landmark (advanced only by internal rescales;
+    /// estimates are invariant to it).
+    #[must_use]
+    pub fn landmark(&self) -> f64 {
+        self.landmark
+    }
+
+    /// An immutable snapshot of the decayed state as of `query_time`: every
+    /// entry is its exponentially decayed count, `N̂_min` is the decayed minimum
+    /// counter, and the row count is the raw number of rows offered. All the
+    /// estimator queries (subset sums with equation-5 variance, top-k,
+    /// marginals) then run on decayed counts — the smooth-decay counterpart of
+    /// a [`crate::temporal`] window snapshot.
+    ///
+    /// Note that decayed subset *sums* are in decayed-count units, while
+    /// proportion-style queries that divide by the raw row count mix units;
+    /// rank-based queries (top-k, frequent items relative to other items) are
+    /// the natural consumers.
+    #[must_use]
+    pub fn snapshot_at(&self, query_time: f64) -> SketchSnapshot {
+        let norm = (-self.lambda * (query_time - self.landmark)).exp();
+        SketchSnapshot::new(
+            self.decayed_entries(query_time),
+            self.inner.min_count() * norm,
+            self.inner.rows_processed(),
+            self.inner.capacity(),
+        )
+    }
+
+    /// The decayed sketch's inner weighted representation, for `crate::persist`.
+    pub(crate) fn inner(&self) -> &WeightedSpaceSaving {
+        &self.inner
+    }
+
+    /// Rebuilds a decayed sketch from persisted parts, rejecting parameter
+    /// images that violate the forward-decay invariants.
+    pub(crate) fn from_persisted(
+        inner: WeightedSpaceSaving,
+        lambda: f64,
+        landmark: f64,
+        last_time: f64,
+    ) -> Result<Self, String> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err("decay rate must be positive and finite".into());
+        }
+        if !landmark.is_finite() || !last_time.is_finite() {
+            return Err("landmark and last-update time must be finite".into());
+        }
+        if last_time < landmark {
+            return Err(format!(
+                "last-update time {last_time} precedes the landmark {landmark}"
+            ));
+        }
+        Ok(Self {
+            inner,
+            lambda,
+            landmark,
+            last_time,
+        })
+    }
+}
+
+impl SnapshotSource for DecayedSpaceSaving {
+    /// Captures the decayed state as of the latest arrival time
+    /// ([`snapshot_at`](Self::snapshot_at) at [`last_time`](Self::last_time)),
+    /// so a [`crate::query::QueryServer`] can serve the smooth-decay
+    /// alternative to a hard [`crate::temporal`] window. Wrap the sketch in a
+    /// `parking_lot::RwLock` (the query layer serves any `RwLock<S>`) to keep
+    /// ingesting while serving.
+    fn capture(&self) -> SketchSnapshot {
+        self.snapshot_at(self.last_time)
+    }
+
+    fn rows_hint(&self) -> u64 {
+        self.inner.rows_processed()
     }
 }
 

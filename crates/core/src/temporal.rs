@@ -1,0 +1,1573 @@
+//! Temporal sketching: windowed ingest, time-range queries, tiered retention.
+//!
+//! The rest of this crate answers queries over an *entire* stream; this module
+//! partitions the stream by time so the dominant monitoring shapes — "top-k over
+//! the last hour", "subset sum for yesterday vs. today" — become answerable from
+//! the same sketches. It is the hard-window counterpart to the smooth forward
+//! decay of [`crate::space_saving::DecayedSpaceSaving`] (the paper's section 5.3
+//! observation that the reduction step is a sampling operation and can be swapped
+//! for a time-aware one): a window query weights every in-range row 1 and every
+//! out-of-range row 0, where forward decay weights rows by `exp(-λ·age)`.
+//!
+//! Three layers:
+//!
+//! * [`WindowedSketchStore`] — a single-threaded ring of per-bucket
+//!   [`UnbiasedSpaceSaving`] sketches. Rows carry a `u64` timestamp; bucket
+//!   `ts / bucket_width` holds the rows of one time slice. The newest
+//!   `fine_buckets` buckets stay *fine* (full resumable sketches); older buckets
+//!   expire into coarser **tiers**: each tier holds up to `tier_factor - 1`
+//!   buckets and compacts groups of `tier_factor` into one bucket of the next
+//!   tier via the same unbiased PPS fold used everywhere else
+//!   ([`crate::merge::fold_unbiased`]), so every compacted count stays unbiased
+//!   (Theorem 2 applies to each merge). Buckets that age past the last tier
+//!   accumulate into a single *terminal* bucket. Total memory is therefore
+//!   bounded by `(fine_buckets + tiers · (tier_factor - 1) + 1) · capacity`
+//!   entries per shard, while the whole history stays queryable — accuracy
+//!   degrades gracefully with age: a range query is answered at the granularity
+//!   of the retained buckets, so resolution coarsens by `tier_factor` per tier.
+//! * [`TemporalIngestEngine`] — the concurrent engine, mirroring
+//!   [`crate::engine::ShardedIngestEngine`]: one [`WindowedSketchStore`] per
+//!   worker shard, timestamped rows routed by item hash through cloneable
+//!   batching [`TemporalIngestHandle`]s, window rotation and compaction running
+//!   inside the workers (no locks on the ingest path).
+//! * Time-range queries — [`TemporalIngestEngine::range_snapshot`] folds every
+//!   retained bucket overlapping a [`TimeRange`] across all shards with the
+//!   unbiased PPS merge, using the engine's salted snapshot-seed sequence, so a
+//!   range answer is exactly the kind of merged sketch a
+//!   [`crate::engine::ShardedIngestEngine::snapshot`] produces (equation-5
+//!   variance and all). [`TemporalIngestEngine::range_source`] wraps a range as
+//!   a [`SnapshotSource`], so the unchanged [`crate::query::QueryServer`] serves
+//!   all five [`crate::query::Query`] variants plus `marginals` over any range;
+//!   a small merged-range cache makes repeated queries at the same ingest
+//!   watermark cheap *and* mutually consistent. When every row lands in one
+//!   bucket, a whole-stream range answer is **bit-identical** to the
+//!   non-temporal engine's snapshot under the same seeds.
+//!
+//! Late rows (older than the fine window) are clamped into the oldest retained
+//! fine bucket — mass is never dropped, the time smear is bounded by the fine
+//! window, and [`WindowedSketchStore::late_rows`] counts the clamps.
+//! In-window out-of-order rows land in their true bucket exactly.
+//!
+//! The whole ring checkpoints and restores through [`crate::persist`] (one
+//! bucket-ring frame per shard plus a temporal manifest), bit-compatibly: fine
+//! buckets keep their RNG and counter-structure images, so a restored engine
+//! continues exactly as an uninterrupted one would.
+//!
+//! ```
+//! use uss_core::prelude::*;
+//! use uss_core::temporal::{TemporalConfig, TemporalIngestEngine, TimeRange};
+//!
+//! // 2 shards, 256 bins, 10-tick buckets, 6 fine buckets retained.
+//! let engine = TemporalIngestEngine::new(TemporalConfig::new(2, 256, 7, 10, 6));
+//! let mut handle = engine.handle();
+//! for ts in 0u64..100 {
+//!     for row in 0u64..200 {
+//!         handle.offer_at(row % 50, ts);
+//!     }
+//! }
+//! handle.flush();
+//!
+//! // Serve a sliding window through the unchanged QueryServer.
+//! let server = QueryServer::new(
+//!     engine.range_source(TimeRange::LastBuckets(3)),
+//!     QueryServerConfig::new(),
+//! );
+//! let top = server.top_k(5);
+//! assert_eq!(top.len(), 5);
+//!
+//! // A whole-history range still answers (coarser with age).
+//! let all = engine.range_snapshot(&TimeRange::All);
+//! assert_eq!(all.rows_processed(), 100 * 200);
+//! let _ = engine.finish();
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use crate::estimator::SketchSnapshot;
+use crate::hash::splitmix64;
+use crate::merge::fold_unbiased;
+use crate::persist::{self, PersistError};
+use crate::query::SnapshotSource;
+use crate::space_saving::{UnbiasedSpaceSaving, WeightedSpaceSaving};
+use crate::traits::StreamSketch;
+
+/// Per-shard window configuration: bucket geometry and retention tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowConfig {
+    /// Bins per bucket sketch (and per merged range answer).
+    pub capacity: usize,
+    /// Base RNG seed. Bucket 0 of a store seeded `s` sketches with seed `s`
+    /// exactly (which is what makes a one-bucket store bit-identical to a plain
+    /// sketch with that seed); later buckets derive their seeds from `s` and the
+    /// bucket index.
+    pub seed: u64,
+    /// Time units per fine bucket. Bucket `i` covers `[i·width, (i+1)·width)`.
+    pub bucket_width: u64,
+    /// Number of fine (full-sketch) buckets retained before expiry.
+    pub fine_buckets: usize,
+    /// Buckets per tier before a group compacts into the next tier.
+    pub tier_factor: usize,
+    /// Number of retention tiers between the fine ring and the terminal bucket.
+    /// `0` sends expired fine buckets straight to the terminal bucket.
+    pub tiers: usize,
+}
+
+impl WindowConfig {
+    /// A window configuration with the default retention (2 tiers, factor 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity`, `bucket_width` or `fine_buckets` is zero.
+    #[must_use]
+    pub fn new(capacity: usize, seed: u64, bucket_width: u64, fine_buckets: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(bucket_width > 0, "bucket_width must be positive");
+        assert!(fine_buckets > 0, "fine_buckets must be positive");
+        Self {
+            capacity,
+            seed,
+            bucket_width,
+            fine_buckets,
+            tier_factor: 4,
+            tiers: 2,
+        }
+    }
+
+    /// Overrides the retention geometry: `tiers` coarse tiers, each compacting
+    /// groups of `tier_factor` buckets into the next.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tier_factor < 2`.
+    #[must_use]
+    pub fn with_retention(mut self, tiers: usize, tier_factor: usize) -> Self {
+        assert!(tier_factor >= 2, "tier_factor must be at least 2");
+        self.tiers = tiers;
+        self.tier_factor = tier_factor;
+        self
+    }
+}
+
+/// The entries and row count of one retained bucket, as reported to a range
+/// fold. The temporal analogue of the engine's internal shard report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BucketReport {
+    /// The bucket's retained `(item, count)` pairs.
+    pub entries: Vec<(u64, f64)>,
+    /// Rows absorbed by the bucket.
+    pub rows: u64,
+}
+
+/// A compacted (coarse-tier or terminal) bucket: an entry list covering a span
+/// of fine-bucket indices. Compacted buckets are never ingested into again, so
+/// they carry no RNG or counter structure — just the unbiased merged entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierBucket {
+    pub(crate) start: u64,
+    pub(crate) end: u64,
+    pub(crate) entries: Vec<(u64, f64)>,
+    pub(crate) rows: u64,
+}
+
+impl TierBucket {
+    /// First fine-bucket index covered.
+    #[must_use]
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// One past the last fine-bucket index covered.
+    #[must_use]
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// The merged `(item, count)` entries.
+    #[must_use]
+    pub fn entries(&self) -> &[(u64, f64)] {
+        &self.entries
+    }
+
+    /// Rows covered by the bucket.
+    #[must_use]
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+}
+
+/// Compacts a group of bucket reports covering fine-bucket span `[start, end)`
+/// into one [`TierBucket`] with the unbiased PPS fold. The fold seeds derive
+/// deterministically from `base_seed` and the span, so compaction is exactly
+/// reproducible: compacting the same bucket contents over the same span always
+/// yields the same entries (the tier-compaction equivalence locked by tests).
+#[must_use]
+pub fn compact_fold(
+    capacity: usize,
+    base_seed: u64,
+    start: u64,
+    end: u64,
+    parts: Vec<BucketReport>,
+) -> TierBucket {
+    let salt = splitmix64(start ^ end.rotate_left(32));
+    let merged = fold_unbiased(
+        capacity,
+        base_seed ^ 0x00C0_FFEE ^ salt,
+        base_seed ^ 0xFACE ^ salt,
+        parts.into_iter().map(|b| (b.entries, b.rows)),
+    );
+    TierBucket {
+        start,
+        end,
+        rows: merged.rows_processed(),
+        entries: merged.entries(),
+    }
+}
+
+/// One fine (still-ingesting) bucket: its index and full resumable sketch.
+#[derive(Debug, Clone)]
+struct FineBucket {
+    index: u64,
+    sketch: UnbiasedSpaceSaving,
+}
+
+/// The RNG seed of the fine bucket at `index` in a store seeded `base_seed`.
+/// Bucket 0 uses `base_seed` itself so a one-bucket store is bit-identical to a
+/// plain sketch (and a one-bucket temporal engine to the non-temporal engine).
+fn bucket_seed(base_seed: u64, index: u64) -> u64 {
+    if index == 0 {
+        base_seed
+    } else {
+        base_seed ^ splitmix64(index)
+    }
+}
+
+/// A time-partitioned sketch store: a ring of fine per-bucket
+/// [`UnbiasedSpaceSaving`] sketches with tiered compaction of expired buckets.
+/// Single-threaded; the unit the [`TemporalIngestEngine`] runs one-per-shard.
+/// See the [module docs](self) for the retention geometry and query semantics.
+#[derive(Debug, Clone)]
+pub struct WindowedSketchStore {
+    config: WindowConfig,
+    /// Fine buckets, ascending by index (sparse: only buckets that saw rows).
+    fine: VecDeque<FineBucket>,
+    /// `tiers[t]` holds spans of `tier_factor^(t+1)` fine buckets (ascending);
+    /// higher `t` is coarser and older.
+    tiers: Vec<VecDeque<TierBucket>>,
+    /// Everything older than the last tier, merged into one bucket.
+    terminal: Option<TierBucket>,
+    rows: u64,
+    late_rows: u64,
+    last_ts: u64,
+}
+
+impl WindowedSketchStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new(config: WindowConfig) -> Self {
+        assert!(config.capacity > 0, "capacity must be positive");
+        assert!(config.bucket_width > 0, "bucket_width must be positive");
+        assert!(config.fine_buckets > 0, "fine_buckets must be positive");
+        assert!(config.tier_factor >= 2, "tier_factor must be at least 2");
+        Self {
+            tiers: (0..config.tiers).map(|_| VecDeque::new()).collect(),
+            config,
+            fine: VecDeque::new(),
+            terminal: None,
+            rows: 0,
+            late_rows: 0,
+            last_ts: 0,
+        }
+    }
+
+    /// The store's configuration.
+    #[must_use]
+    pub fn config(&self) -> &WindowConfig {
+        &self.config
+    }
+
+    /// Total rows offered (fine + compacted + terminal; mass is never dropped).
+    #[must_use]
+    pub fn rows_processed(&self) -> u64 {
+        self.rows
+    }
+
+    /// Rows that arrived older than the fine window and were clamped into the
+    /// oldest retained fine bucket.
+    #[must_use]
+    pub fn late_rows(&self) -> u64 {
+        self.late_rows
+    }
+
+    /// The largest timestamp offered so far (0 before any row).
+    #[must_use]
+    pub fn last_time(&self) -> u64 {
+        self.last_ts
+    }
+
+    /// The newest fine-bucket index, or `None` before any row.
+    #[must_use]
+    pub fn newest_bucket(&self) -> Option<u64> {
+        self.fine.back().map(|f| f.index)
+    }
+
+    /// The fine buckets currently retained, ascending: `(index, sketch)`.
+    pub fn fine_sketches(&self) -> impl Iterator<Item = (u64, &UnbiasedSpaceSaving)> {
+        self.fine.iter().map(|f| (f.index, &f.sketch))
+    }
+
+    /// The buckets of coarse tier `t` (0 = finest coarse tier), ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not below the configured tier count.
+    #[must_use]
+    pub fn tier_buckets(&self, t: usize) -> Vec<&TierBucket> {
+        self.tiers[t].iter().collect()
+    }
+
+    /// The terminal bucket holding everything older than the last tier.
+    #[must_use]
+    pub fn terminal_bucket(&self) -> Option<&TierBucket> {
+        self.terminal.as_ref()
+    }
+
+    /// Offers one row of `item` stamped `ts`.
+    pub fn offer_at(&mut self, item: u64, ts: u64) {
+        self.rows += 1;
+        let (sketch, late) = self.sketch_for_ts(ts);
+        sketch.offer(item);
+        if late {
+            self.late_rows += 1;
+        }
+    }
+
+    /// Offers a batch of unit rows all stamped `ts`, exactly equivalent to
+    /// calling [`offer_at`](Self::offer_at) per item in order (the bucket lookup
+    /// and rotation run once for the batch).
+    pub fn offer_batch_at(&mut self, items: &[u64], ts: u64) {
+        if items.is_empty() {
+            return;
+        }
+        self.rows += items.len() as u64;
+        let (sketch, late) = self.sketch_for_ts(ts);
+        sketch.offer_batch(items);
+        if late {
+            self.late_rows += items.len() as u64;
+        }
+    }
+
+    /// Resolves the fine bucket for `ts`, rotating the window (and compacting
+    /// expired buckets) as needed. Returns the sketch and whether the row was
+    /// clamped as late.
+    fn sketch_for_ts(&mut self, ts: u64) -> (&mut UnbiasedSpaceSaving, bool) {
+        self.last_ts = self.last_ts.max(ts);
+        // Clamp to the last *representable* bucket: spans are half-open
+        // `[index, index + 1)` and the all-history range ends (exclusively) at
+        // `u64::MAX`, so index `u64::MAX` itself could neither form a span nor
+        // be covered by any range — a `ts / width == u64::MAX` row (width 1,
+        // maximal timestamp) lands in the final representable bucket instead
+        // of overflowing span arithmetic or silently escaping every query.
+        let b = (ts / self.config.bucket_width).min(u64::MAX - 1);
+        let Some(back) = self.fine.back() else {
+            self.fine.push_back(self.make_bucket(b));
+            return (&mut self.fine.back_mut().expect("just pushed").sketch, false);
+        };
+        let newest = back.index;
+        if b == newest {
+            return (
+                &mut self.fine.back_mut().expect("non-empty").sketch,
+                false,
+            );
+        }
+        if b > newest {
+            // Advance the window: expire everything that falls out of it.
+            let min_live = b.saturating_sub(self.config.fine_buckets as u64 - 1);
+            while self.fine.front().is_some_and(|f| f.index < min_live) {
+                let expired = self.fine.pop_front().expect("front checked");
+                self.expire(expired);
+            }
+            self.fine.push_back(self.make_bucket(b));
+            return (&mut self.fine.back_mut().expect("just pushed").sketch, false);
+        }
+        // Out of order. In-window rows land in their true bucket exactly; rows
+        // older than the window clamp into the oldest retained fine bucket.
+        let min_live = newest.saturating_sub(self.config.fine_buckets as u64 - 1);
+        if b < min_live {
+            return (
+                &mut self.fine.front_mut().expect("non-empty").sketch,
+                true,
+            );
+        }
+        match self.fine.binary_search_by_key(&b, |f| f.index) {
+            Ok(i) => (&mut self.fine[i].sketch, false),
+            Err(i) => {
+                self.fine.insert(i, self.make_bucket(b));
+                (&mut self.fine[i].sketch, false)
+            }
+        }
+    }
+
+    fn make_bucket(&self, index: u64) -> FineBucket {
+        FineBucket {
+            index,
+            sketch: UnbiasedSpaceSaving::with_seed(
+                self.config.capacity,
+                bucket_seed(self.config.seed, index),
+            ),
+        }
+    }
+
+    /// Moves an expired fine bucket into the retention tiers.
+    fn expire(&mut self, bucket: FineBucket) {
+        let report = TierBucket {
+            start: bucket.index,
+            end: bucket.index + 1,
+            rows: bucket.sketch.rows_processed(),
+            entries: bucket.sketch.entries(),
+        };
+        self.push_tier(0, report);
+    }
+
+    /// Pushes a bucket onto tier `t`, compacting a full group into tier `t + 1`
+    /// (and ultimately into the terminal bucket).
+    fn push_tier(&mut self, t: usize, bucket: TierBucket) {
+        if t >= self.config.tiers {
+            self.terminal = Some(match self.terminal.take() {
+                None => bucket,
+                Some(term) => self.compact_group(vec![term, bucket]),
+            });
+            return;
+        }
+        self.tiers[t].push_back(bucket);
+        if self.tiers[t].len() >= self.config.tier_factor {
+            let group: Vec<TierBucket> = self.tiers[t].drain(..).collect();
+            let merged = self.compact_group(group);
+            self.push_tier(t + 1, merged);
+        }
+    }
+
+    /// Folds a time-ascending group of buckets into one via [`compact_fold`].
+    fn compact_group(&self, group: Vec<TierBucket>) -> TierBucket {
+        let start = group.first().map_or(0, |b| b.start);
+        let end = group.last().map_or(0, |b| b.end);
+        compact_fold(
+            self.config.capacity,
+            self.config.seed,
+            start,
+            end,
+            group
+                .into_iter()
+                .map(|b| BucketReport {
+                    entries: b.entries,
+                    rows: b.rows,
+                })
+                .collect(),
+        )
+    }
+
+    /// Every retained bucket overlapping the fine-bucket index range
+    /// `[start, end)`, oldest first (terminal, then tiers coarsest-first, then
+    /// fine buckets). A compacted bucket is included whenever its span overlaps
+    /// the range at all — the documented resolution degradation with age.
+    #[must_use]
+    pub fn range_reports(&self, start: u64, end: u64) -> Vec<BucketReport> {
+        let mut out = Vec::new();
+        if start >= end {
+            return out;
+        }
+        let overlaps = |s: u64, e: u64| s < end && e > start;
+        if let Some(term) = &self.terminal {
+            if overlaps(term.start, term.end) {
+                out.push(BucketReport {
+                    entries: term.entries.clone(),
+                    rows: term.rows,
+                });
+            }
+        }
+        for tier in self.tiers.iter().rev() {
+            for b in tier {
+                if overlaps(b.start, b.end) {
+                    out.push(BucketReport {
+                        entries: b.entries.clone(),
+                        rows: b.rows,
+                    });
+                }
+            }
+        }
+        for f in &self.fine {
+            if overlaps(f.index, f.index + 1) {
+                out.push(BucketReport {
+                    entries: f.sketch.entries(),
+                    rows: f.sketch.rows_processed(),
+                });
+            }
+        }
+        out
+    }
+
+    /// Folds every retained bucket in `[start, end)` (fine-bucket indices) into
+    /// one queryable weighted sketch with the unbiased PPS merge under the given
+    /// seeds. The single-store form of the engine's range snapshot.
+    #[must_use]
+    pub fn fold_range(
+        &self,
+        start: u64,
+        end: u64,
+        merge_seed: u64,
+        out_seed: u64,
+    ) -> WeightedSpaceSaving {
+        fold_unbiased(
+            self.config.capacity,
+            merge_seed,
+            out_seed,
+            self.range_reports(start, end)
+                .into_iter()
+                .map(|r| (r.entries, r.rows)),
+        )
+    }
+
+    /// Rebuilds a store from persisted parts, rejecting images that violate the
+    /// structural invariants (ascending spans, tier ordering, capacity bounds).
+    pub(crate) fn from_parts(
+        config: WindowConfig,
+        fine: Vec<(u64, UnbiasedSpaceSaving)>,
+        tiers: Vec<Vec<TierBucket>>,
+        terminal: Option<TierBucket>,
+        late_rows: u64,
+        last_ts: u64,
+    ) -> Result<Self, String> {
+        if config.capacity == 0 || config.bucket_width == 0 || config.fine_buckets == 0 {
+            return Err("window geometry must be positive".into());
+        }
+        if config.tier_factor < 2 {
+            return Err("tier_factor must be at least 2".into());
+        }
+        if tiers.len() != config.tiers {
+            return Err(format!(
+                "{} tiers in the image but the configuration has {}",
+                tiers.len(),
+                config.tiers
+            ));
+        }
+        // Occupancy bounds: a live store never exceeds them (the ring expires
+        // past `fine_buckets`, a tier compacts on reaching `tier_factor`), so
+        // an image that does is corrupt — and would otherwise resurrect as a
+        // store violating the documented bounded-memory geometry.
+        if fine.len() > config.fine_buckets {
+            return Err(format!(
+                "{} fine buckets exceed the {}-bucket window",
+                fine.len(),
+                config.fine_buckets
+            ));
+        }
+        for (t, tier) in tiers.iter().enumerate() {
+            if tier.len() >= config.tier_factor {
+                return Err(format!(
+                    "tier {t} holds {} buckets, at or over the compaction factor {}",
+                    tier.len(),
+                    config.tier_factor
+                ));
+            }
+        }
+        let mut rows = 0u64;
+        // Coarse spans must ascend oldest-to-newest: terminal, then tiers
+        // coarsest-first, then the fine ring.
+        let mut last_end = 0u64;
+        let mut check_bucket = |b: &TierBucket, what: &str| -> Result<(), String> {
+            if b.start >= b.end {
+                return Err(format!("{what} bucket has an empty span"));
+            }
+            if b.start < last_end {
+                return Err(format!("{what} bucket overlaps an older span"));
+            }
+            if b.entries.len() > config.capacity {
+                return Err(format!(
+                    "{what} bucket holds {} entries over capacity {}",
+                    b.entries.len(),
+                    config.capacity
+                ));
+            }
+            for &(_, c) in &b.entries {
+                if !c.is_finite() || c < 0.0 {
+                    return Err(format!("{what} bucket count {c} must be finite and non-negative"));
+                }
+            }
+            last_end = b.end;
+            Ok(())
+        };
+        if let Some(term) = &terminal {
+            check_bucket(term, "terminal")?;
+            rows += term.rows;
+        }
+        for tier in tiers.iter().rev() {
+            for b in tier {
+                check_bucket(b, "tier")?;
+                rows += b.rows;
+            }
+        }
+        let mut prev_fine: Option<u64> = None;
+        for (index, sketch) in &fine {
+            if *index == u64::MAX {
+                return Err("fine bucket index is not representable".into());
+            }
+            if *index < last_end {
+                return Err("fine bucket predates a compacted span".into());
+            }
+            if prev_fine.is_some_and(|p| *index <= p) {
+                return Err("fine bucket indices must ascend".into());
+            }
+            if sketch.capacity() != config.capacity {
+                return Err(format!(
+                    "fine bucket capacity {} disagrees with window capacity {}",
+                    sketch.capacity(),
+                    config.capacity
+                ));
+            }
+            prev_fine = Some(*index);
+            rows += sketch.rows_processed();
+        }
+        Ok(Self {
+            config,
+            fine: fine
+                .into_iter()
+                .map(|(index, sketch)| FineBucket { index, sketch })
+                .collect(),
+            tiers: tiers.into_iter().map(VecDeque::from).collect(),
+            terminal,
+            rows,
+            late_rows,
+            last_ts,
+        })
+    }
+}
+
+/// Configuration for a [`TemporalIngestEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct TemporalConfig {
+    /// The per-shard window geometry. Shard `i`'s store is seeded
+    /// `window.seed + i`, exactly as the non-temporal engine seeds its shards.
+    pub window: WindowConfig,
+    /// Number of worker shards (one OS thread and one store each).
+    pub shards: usize,
+    /// Bound of each shard's queue, in batches.
+    pub queue_depth: usize,
+    /// Rows buffered per shard inside a [`TemporalIngestHandle`] before a batch
+    /// is sent.
+    pub batch_rows: usize,
+}
+
+impl TemporalConfig {
+    /// A configuration with the engine defaults (queue depth 4, 4096-row
+    /// batches) and the default retention (2 tiers, factor 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards`, `capacity`, `bucket_width` or `fine_buckets` is zero.
+    #[must_use]
+    pub fn new(
+        shards: usize,
+        capacity: usize,
+        seed: u64,
+        bucket_width: u64,
+        fine_buckets: usize,
+    ) -> Self {
+        assert!(shards > 0, "engine needs at least one shard");
+        Self {
+            window: WindowConfig::new(capacity, seed, bucket_width, fine_buckets),
+            shards,
+            queue_depth: 4,
+            batch_rows: 4096,
+        }
+    }
+
+    /// Overrides the retention geometry (see [`WindowConfig::with_retention`]).
+    #[must_use]
+    pub fn with_retention(mut self, tiers: usize, tier_factor: usize) -> Self {
+        self.window = self.window.with_retention(tiers, tier_factor);
+        self
+    }
+
+    /// Overrides the producer-side batch size, in rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_rows` is zero.
+    #[must_use]
+    pub fn with_batch_rows(mut self, batch_rows: usize) -> Self {
+        assert!(batch_rows > 0, "batch_rows must be positive");
+        self.batch_rows = batch_rows;
+        self
+    }
+
+    /// Overrides the per-shard queue bound, in batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_depth` is zero.
+    #[must_use]
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        assert!(queue_depth > 0, "queue_depth must be positive");
+        self.queue_depth = queue_depth;
+        self
+    }
+}
+
+/// A time range for queries against a [`TemporalIngestEngine`]. Ranges resolve
+/// to fine-bucket index ranges; see the [module docs](self) for the resolution
+/// semantics over compacted tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeRange {
+    /// Everything the engine has ever ingested.
+    All,
+    /// The newest `n` fine buckets, relative to the largest timestamp enqueued
+    /// so far (the sliding-window query).
+    LastBuckets(u64),
+    /// Rows with timestamps in `[start, end)`, rounded outward to bucket
+    /// boundaries.
+    Between {
+        /// Inclusive start timestamp.
+        start: u64,
+        /// Exclusive end timestamp.
+        end: u64,
+    },
+}
+
+enum TemporalMsg {
+    /// A batch of `(item, timestamp)` rows for this shard.
+    Rows(Vec<(u64, u64)>),
+    /// Report every retained bucket overlapping `[start, end)`, plus the
+    /// store's total applied row count (the cache-soundness watermark).
+    Range {
+        start: u64,
+        end: u64,
+        reply: Sender<(Vec<BucketReport>, u64)>,
+    },
+    /// Reply with a full clone of the shard's store for a durable checkpoint.
+    Checkpoint(Sender<WindowedSketchStore>),
+    /// Stop after the queue drained this far.
+    Shutdown,
+}
+
+/// How many distinct folded ranges the engine keeps cached. Small by design: a
+/// dashboard polls a handful of ranges, and every cache entry is a full
+/// snapshot.
+const RANGE_CACHE_SLOTS: usize = 8;
+
+#[derive(Debug)]
+struct CacheSlot {
+    start: u64,
+    end: u64,
+    rows: u64,
+    snapshot: Arc<SketchSnapshot>,
+}
+
+/// A live, concurrently-fed, time-partitioned sharded sketch. The temporal
+/// counterpart of [`crate::engine::ShardedIngestEngine`]; see the
+/// [module docs](self).
+#[derive(Debug)]
+pub struct TemporalIngestEngine {
+    config: TemporalConfig,
+    senders: Vec<SyncSender<TemporalMsg>>,
+    workers: Vec<JoinHandle<WindowedSketchStore>>,
+    snapshots: AtomicU64,
+    rows_enqueued: Arc<AtomicU64>,
+    /// Largest timestamp enqueued so far (drives [`TimeRange::LastBuckets`]).
+    max_time: Arc<AtomicU64>,
+    /// The merged-range cache: repeated range queries at the same ingest
+    /// watermark return the identical snapshot without re-folding.
+    range_cache: Mutex<VecDeque<CacheSlot>>,
+}
+
+impl TemporalIngestEngine {
+    /// Spawns the worker shards and returns the running engine.
+    #[must_use]
+    pub fn new(config: TemporalConfig) -> Self {
+        assert!(config.shards > 0, "engine needs at least one shard");
+        let stores = (0..config.shards)
+            .map(|shard| {
+                WindowedSketchStore::new(WindowConfig {
+                    // Wrapping, so any base seed is valid — and so the decode
+                    // path (which must never panic) derives the same per-shard
+                    // seed a live engine uses.
+                    seed: config.window.seed.wrapping_add(shard as u64),
+                    ..config.window
+                })
+            })
+            .collect();
+        Self::spawn(config, stores, 0, 0, 0)
+    }
+
+    /// Spawns one worker per store; shared by [`new`](Self::new) (fresh stores)
+    /// and [`restore`](Self::restore) (checkpointed stores).
+    fn spawn(
+        config: TemporalConfig,
+        stores: Vec<WindowedSketchStore>,
+        snapshots: u64,
+        rows_enqueued: u64,
+        max_time: u64,
+    ) -> Self {
+        let mut senders = Vec::with_capacity(stores.len());
+        let mut workers = Vec::with_capacity(stores.len());
+        for store in stores {
+            let (tx, rx) = sync_channel(config.queue_depth);
+            workers.push(std::thread::spawn(move || run_worker(rx, store)));
+            senders.push(tx);
+        }
+        Self {
+            config,
+            senders,
+            workers,
+            snapshots: AtomicU64::new(snapshots),
+            rows_enqueued: Arc::new(AtomicU64::new(rows_enqueued)),
+            max_time: Arc::new(AtomicU64::new(max_time)),
+            range_cache: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &TemporalConfig {
+        &self.config
+    }
+
+    /// Number of worker shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Rows handed to the shard queues so far (the cheap monotone progress
+    /// hint, exactly as on the non-temporal engine).
+    #[must_use]
+    pub fn rows_enqueued(&self) -> u64 {
+        self.rows_enqueued.load(Ordering::Relaxed)
+    }
+
+    /// The largest timestamp enqueued so far (0 before any row).
+    #[must_use]
+    pub fn max_time(&self) -> u64 {
+        self.max_time.load(Ordering::Relaxed)
+    }
+
+    /// The fine-bucket index the newest enqueued row falls in.
+    #[must_use]
+    pub fn current_bucket(&self) -> u64 {
+        self.max_time() / self.config.window.bucket_width
+    }
+
+    /// Creates a producer handle. Handles are independent and cheap; create one
+    /// per producer thread.
+    #[must_use]
+    pub fn handle(&self) -> TemporalIngestHandle {
+        TemporalIngestHandle {
+            senders: self.senders.clone(),
+            buffers: (0..self.senders.len())
+                .map(|_| Vec::with_capacity(self.config.batch_rows))
+                .collect(),
+            batch_rows: self.config.batch_rows,
+            rows_enqueued: Arc::clone(&self.rows_enqueued),
+            max_time: Arc::clone(&self.max_time),
+        }
+    }
+
+    /// Resolves a [`TimeRange`] to a fine-bucket index range `[start, end)`.
+    #[must_use]
+    pub fn resolve_range(&self, range: &TimeRange) -> (u64, u64) {
+        let width = self.config.window.bucket_width;
+        match *range {
+            TimeRange::All => (0, u64::MAX),
+            TimeRange::LastBuckets(n) => {
+                if self.rows_enqueued() == 0 {
+                    return (0, 0);
+                }
+                let end = (self.max_time() / width).saturating_add(1);
+                (end.saturating_sub(n), end)
+            }
+            TimeRange::Between { start, end } => {
+                if end <= start {
+                    return (0, 0);
+                }
+                (start / width, end.div_ceil(width))
+            }
+        }
+    }
+
+    /// Collects every shard's bucket reports for `[start, end)` (fine-bucket
+    /// indices), in shard order, each shard's buckets oldest first, together
+    /// with the total rows the shards had *applied* when they reported. The
+    /// report request travels the shard FIFO queues, so all previously
+    /// enqueued batches are applied first.
+    fn collect_reports(&self, start: u64, end: u64) -> (Vec<BucketReport>, u64) {
+        let receivers: Vec<_> = self
+            .senders
+            .iter()
+            .map(|sender| {
+                let (tx, rx) = std::sync::mpsc::channel();
+                sender
+                    .send(TemporalMsg::Range {
+                        start,
+                        end,
+                        reply: tx,
+                    })
+                    .expect("temporal shard worker disconnected");
+                rx
+            })
+            .collect();
+        let mut reports = Vec::new();
+        let mut applied = 0u64;
+        for rx in receivers {
+            let (shard_reports, shard_rows) =
+                rx.recv().expect("temporal shard worker dropped its report");
+            reports.extend(shard_reports);
+            applied += shard_rows;
+        }
+        (reports, applied)
+    }
+
+    /// Folds the collected reports with the engine's salted snapshot seeds.
+    fn fold_collected(&self, reports: Vec<BucketReport>) -> WeightedSpaceSaving {
+        let n = self.snapshots.fetch_add(1, Ordering::Relaxed);
+        let salt = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let seed = self.config.window.seed;
+        fold_unbiased(
+            self.config.window.capacity,
+            seed ^ 0xD15C0 ^ salt,
+            seed ^ 0xFEED ^ salt,
+            reports.into_iter().map(|r| (r.entries, r.rows)),
+        )
+    }
+
+    /// Folds every retained bucket overlapping `range` across all shards into
+    /// one queryable [`WeightedSpaceSaving`], without stopping ingest — the
+    /// time-range analogue of [`crate::engine::ShardedIngestEngine::snapshot`],
+    /// using the same salted merge-seed sequence (each call is an independent
+    /// draw of the merge's sampling step). Bypasses the range cache.
+    #[must_use]
+    pub fn range_snapshot(&self, range: &TimeRange) -> WeightedSpaceSaving {
+        let (start, end) = self.resolve_range(range);
+        self.fold_collected(self.collect_reports(start, end).0)
+    }
+
+    /// The cached form of [`range_snapshot`](Self::range_snapshot): repeated
+    /// captures of the same range at the same ingest watermark
+    /// ([`rows_enqueued`](Self::rows_enqueued)) return the identical snapshot
+    /// without re-folding; any ingest progress invalidates naturally because
+    /// the watermark is part of the key.
+    #[must_use]
+    pub fn range_capture(&self, range: &TimeRange) -> Arc<SketchSnapshot> {
+        let (start, end) = self.resolve_range(range);
+        let rows = self.rows_enqueued();
+        {
+            let cache = self.range_cache.lock();
+            if let Some(slot) = cache
+                .iter()
+                .find(|s| s.start == start && s.end == end && s.rows == rows)
+            {
+                return Arc::clone(&slot.snapshot);
+            }
+        }
+        // Fold outside the lock: captures are expensive, the cache is not.
+        let (reports, applied) = self.collect_reports(start, end);
+        let snapshot = Arc::new(self.fold_collected(reports).snapshot());
+        // Cache soundness: `rows_enqueued` is bumped *before* a batch is sent,
+        // so a producer preempted between the two can leave a fold that misses
+        // rows the watermark already counts. Only cache when the shards had
+        // applied at least the watermark's rows — a fold that raced such a
+        // batch then reports `applied < rows` and is served once, uncached,
+        // instead of becoming a stale answer pinned to that watermark.
+        if applied >= rows {
+            let mut cache = self.range_cache.lock();
+            if !cache
+                .iter()
+                .any(|s| s.start == start && s.end == end && s.rows == rows)
+            {
+                cache.push_back(CacheSlot {
+                    start,
+                    end,
+                    rows,
+                    snapshot: Arc::clone(&snapshot),
+                });
+                while cache.len() > RANGE_CACHE_SLOTS {
+                    cache.pop_front();
+                }
+            }
+        }
+        snapshot
+    }
+
+    /// Wraps a time range as a [`SnapshotSource`], so the unchanged
+    /// [`crate::query::QueryServer`] serves every typed query (and `marginals`)
+    /// over the range. Captures go through the merged-range cache.
+    #[must_use]
+    pub fn range_source(&self, range: TimeRange) -> TemporalRangeSource<'_> {
+        TemporalRangeSource {
+            engine: self,
+            range,
+        }
+    }
+
+    /// Writes a durable checkpoint of the whole engine into `dir`: one
+    /// bucket-ring file per shard (fine buckets with full RNG + structure
+    /// images, compacted tiers, the terminal bucket) plus a temporal manifest.
+    /// Quiesces each shard through its FIFO queue exactly as the non-temporal
+    /// engine's checkpoint does; ingest continues afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem failure is returned as [`PersistError::Io`].
+    pub fn checkpoint<P: AsRef<std::path::Path>>(&self, dir: P) -> Result<(), PersistError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(PersistError::Io)?;
+        let receivers: Vec<_> = self
+            .senders
+            .iter()
+            .map(|sender| {
+                let (tx, rx) = std::sync::mpsc::channel();
+                sender
+                    .send(TemporalMsg::Checkpoint(tx))
+                    .expect("temporal shard worker disconnected");
+                rx
+            })
+            .collect();
+        let stores: Vec<WindowedSketchStore> = receivers
+            .into_iter()
+            .map(|rx| rx.recv().expect("temporal shard worker dropped its checkpoint"))
+            .collect();
+        let meta = persist::TemporalMeta::from_config(&self.config);
+        let mut rows = 0u64;
+        for (shard, store) in stores.iter().enumerate() {
+            rows += store.rows_processed();
+            persist::write_file(
+                &dir.join(Self::shard_file_name(shard)),
+                &persist::encode_temporal_shard(shard as u64, meta, store),
+            )?;
+        }
+        let manifest = persist::TemporalManifest {
+            meta,
+            snapshots: self.snapshots.load(Ordering::Relaxed),
+            rows,
+        };
+        persist::write_file(
+            &dir.join(Self::MANIFEST_FILE),
+            &persist::encode_temporal_manifest(&manifest),
+        )
+    }
+
+    /// Resumes an engine from a [`checkpoint`](Self::checkpoint) directory. The
+    /// identity in `config` (shards, capacity, seed, window geometry) must
+    /// match the manifest; queue depth and batch size are operational knobs and
+    /// may differ. The restored engine continues bit-compatibly: fine buckets
+    /// resume with their exact RNG and counter-structure state, and the salted
+    /// snapshot-seed sequence continues where the checkpoint left off.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] on filesystem failures, [`PersistError::Corrupt`]
+    /// (or the more specific decode errors) on damaged files or a `config`
+    /// that disagrees with the manifest.
+    pub fn restore<P: AsRef<std::path::Path>>(
+        dir: P,
+        config: TemporalConfig,
+    ) -> Result<Self, PersistError> {
+        let dir = dir.as_ref();
+        let manifest =
+            persist::decode_temporal_manifest(&std::fs::read(dir.join(Self::MANIFEST_FILE))?)?;
+        let expected = persist::TemporalMeta::from_config(&config);
+        if manifest.meta != expected {
+            return Err(PersistError::Corrupt(format!(
+                "config {expected:?} does not match the checkpoint {:?}",
+                manifest.meta
+            )));
+        }
+        let mut stores = Vec::with_capacity(config.shards);
+        let mut rows = 0u64;
+        let mut max_time = 0u64;
+        for shard in 0..config.shards {
+            let bytes = std::fs::read(dir.join(Self::shard_file_name(shard)))?;
+            let (index, file_meta, store) = persist::decode_temporal_shard(&bytes)?;
+            if index != shard as u64 {
+                return Err(PersistError::Corrupt(format!(
+                    "file {} holds shard {index}",
+                    Self::shard_file_name(shard)
+                )));
+            }
+            if file_meta != manifest.meta {
+                return Err(PersistError::Corrupt(format!(
+                    "shard {shard} was written by a different engine than the manifest"
+                )));
+            }
+            rows += store.rows_processed();
+            max_time = max_time.max(store.last_time());
+            stores.push(store);
+        }
+        if rows != manifest.rows {
+            return Err(PersistError::Corrupt(format!(
+                "shard files hold {rows} rows but the manifest records {}",
+                manifest.rows
+            )));
+        }
+        Ok(Self::spawn(config, stores, manifest.snapshots, rows, max_time))
+    }
+
+    /// The manifest file name inside a checkpoint directory.
+    pub const MANIFEST_FILE: &'static str = "temporal-manifest.uss";
+
+    /// The bucket-ring file name for shard `i` inside a checkpoint directory.
+    #[must_use]
+    pub fn shard_file_name(shard: usize) -> String {
+        format!("window-{shard:04}.uss")
+    }
+
+    /// Stops every worker after it drains its queue, joins them, and folds the
+    /// whole history with the unbiased PPS merge under the same unsalted seeds
+    /// the non-temporal engine's `finish` uses. Stop producers first, exactly
+    /// as with [`crate::engine::ShardedIngestEngine::finish`].
+    #[must_use]
+    pub fn finish(self) -> WeightedSpaceSaving {
+        let seed = self.config.window.seed;
+        let capacity = self.config.window.capacity;
+        let stores = self.finish_stores();
+        fold_unbiased(
+            capacity,
+            seed ^ 0xD15C0,
+            seed ^ 0xFEED,
+            stores
+                .iter()
+                .flat_map(|s| s.range_reports(0, u64::MAX))
+                .map(|r| (r.entries, r.rows)),
+        )
+    }
+
+    /// Stops and joins the workers, returning each shard's final store (for
+    /// callers that want the per-bucket structure rather than a merged fold).
+    #[must_use]
+    pub fn finish_stores(mut self) -> Vec<WindowedSketchStore> {
+        for sender in &self.senders {
+            // A worker is only gone if it panicked; join below surfaces that.
+            let _ = sender.send(TemporalMsg::Shutdown);
+        }
+        self.senders.clear();
+        self.workers
+            .drain(..)
+            .map(|worker| worker.join().expect("temporal ingest worker panicked"))
+            .collect()
+    }
+}
+
+impl SnapshotSource for TemporalIngestEngine {
+    /// Captures the whole history ([`TimeRange::All`]) through the range cache.
+    fn capture(&self) -> SketchSnapshot {
+        (*self.range_capture(&TimeRange::All)).clone()
+    }
+
+    fn rows_hint(&self) -> u64 {
+        self.rows_enqueued()
+    }
+}
+
+/// A [`SnapshotSource`] view of one [`TimeRange`] of a
+/// [`TemporalIngestEngine`], served through the merged-range cache. Put a
+/// [`crate::query::QueryServer`] in front to answer typed queries over the
+/// range.
+#[derive(Debug, Clone, Copy)]
+pub struct TemporalRangeSource<'a> {
+    engine: &'a TemporalIngestEngine,
+    range: TimeRange,
+}
+
+impl TemporalRangeSource<'_> {
+    /// The range this source serves.
+    #[must_use]
+    pub fn range(&self) -> TimeRange {
+        self.range
+    }
+}
+
+impl SnapshotSource for TemporalRangeSource<'_> {
+    fn capture(&self) -> SketchSnapshot {
+        (*self.engine.range_capture(&self.range)).clone()
+    }
+
+    fn rows_hint(&self) -> u64 {
+        self.engine.rows_enqueued()
+    }
+}
+
+/// A producer-side handle for timestamped rows: routes by item hash (every
+/// occurrence of an item lands on the same shard, keeping frequent-item counts
+/// sharp) and ships `(item, timestamp)` pairs in batches. Unflushed rows are
+/// sent on drop (best-effort) or by [`flush`](Self::flush).
+#[derive(Debug)]
+pub struct TemporalIngestHandle {
+    senders: Vec<SyncSender<TemporalMsg>>,
+    buffers: Vec<Vec<(u64, u64)>>,
+    batch_rows: usize,
+    rows_enqueued: Arc<AtomicU64>,
+    max_time: Arc<AtomicU64>,
+}
+
+impl TemporalIngestHandle {
+    /// Offers one row of `item` stamped `ts`. Blocks only when the destination
+    /// shard's queue is full.
+    #[inline]
+    pub fn offer_at(&mut self, item: u64, ts: u64) {
+        let shard = self.route(item);
+        self.buffers[shard].push((item, ts));
+        if self.buffers[shard].len() >= self.batch_rows {
+            self.dispatch(shard);
+        }
+    }
+
+    /// Offers a batch of `(item, timestamp)` rows.
+    pub fn offer_batch_at(&mut self, rows: &[(u64, u64)]) {
+        for &(item, ts) in rows {
+            self.offer_at(item, ts);
+        }
+    }
+
+    /// Sends every buffered row to its shard, emptying the handle's buffers.
+    pub fn flush(&mut self) {
+        for shard in 0..self.buffers.len() {
+            if !self.buffers[shard].is_empty() {
+                self.dispatch(shard);
+            }
+        }
+    }
+
+    #[inline]
+    fn route(&self, item: u64) -> usize {
+        if self.senders.len() == 1 {
+            return 0;
+        }
+        // The same multiply-shift routing as the non-temporal IngestHandle.
+        ((u128::from(splitmix64(item)) * self.senders.len() as u128) >> 64) as usize
+    }
+
+    fn dispatch(&mut self, shard: usize) {
+        let batch = std::mem::replace(
+            &mut self.buffers[shard],
+            Vec::with_capacity(self.batch_rows),
+        );
+        self.rows_enqueued
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        let newest = batch.iter().map(|&(_, ts)| ts).max().unwrap_or(0);
+        self.max_time.fetch_max(newest, Ordering::Relaxed);
+        self.senders[shard]
+            .send(TemporalMsg::Rows(batch))
+            .expect("temporal shard worker disconnected");
+    }
+}
+
+impl Clone for TemporalIngestHandle {
+    /// Clones the routing state; the new handle starts with empty buffers.
+    fn clone(&self) -> Self {
+        Self {
+            senders: self.senders.clone(),
+            buffers: (0..self.senders.len())
+                .map(|_| Vec::with_capacity(self.batch_rows))
+                .collect(),
+            batch_rows: self.batch_rows,
+            rows_enqueued: Arc::clone(&self.rows_enqueued),
+            max_time: Arc::clone(&self.max_time),
+        }
+    }
+}
+
+impl Drop for TemporalIngestHandle {
+    /// Best-effort flush so producer threads cannot silently drop buffered rows.
+    fn drop(&mut self) {
+        for shard in 0..self.buffers.len() {
+            if !self.buffers[shard].is_empty() {
+                let batch = std::mem::take(&mut self.buffers[shard]);
+                self.rows_enqueued
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                let newest = batch.iter().map(|&(_, ts)| ts).max().unwrap_or(0);
+                self.max_time.fetch_max(newest, Ordering::Relaxed);
+                // After `finish` the workers are gone; losing the send then is fine.
+                let _ = self.senders[shard].send(TemporalMsg::Rows(batch));
+            }
+        }
+    }
+}
+
+/// The temporal shard worker loop: apply timestamped batches (rotating and
+/// compacting as time advances), answer range reports and checkpoint requests,
+/// and hand the final store back through the join handle.
+fn run_worker(rx: Receiver<TemporalMsg>, mut store: WindowedSketchStore) -> WindowedSketchStore {
+    // Scratch buffer for runs of equal timestamps, reused across batches.
+    let mut run_items: Vec<u64> = Vec::new();
+    for msg in rx {
+        match msg {
+            TemporalMsg::Rows(rows) => {
+                // Real batches are dominated by runs of equal timestamps;
+                // applying each run through `offer_batch_at` (exactly
+                // equivalent to per-row offers) pays the bucket resolution
+                // once per run instead of once per row.
+                let mut i = 0;
+                while i < rows.len() {
+                    let ts = rows[i].1;
+                    let mut j = i + 1;
+                    while j < rows.len() && rows[j].1 == ts {
+                        j += 1;
+                    }
+                    if j - i == 1 {
+                        store.offer_at(rows[i].0, ts);
+                    } else {
+                        run_items.clear();
+                        run_items.extend(rows[i..j].iter().map(|&(item, _)| item));
+                        store.offer_batch_at(&run_items, ts);
+                    }
+                    i = j;
+                }
+            }
+            TemporalMsg::Range { start, end, reply } => {
+                let _ = reply.send((store.range_reports(start, end), store.rows_processed()));
+            }
+            TemporalMsg::Checkpoint(reply) => {
+                let _ = reply.send(store.clone());
+            }
+            TemporalMsg::Shutdown => break,
+        }
+    }
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(width: u64, fine: usize, tiers: usize, factor: usize) -> WindowedSketchStore {
+        WindowedSketchStore::new(
+            WindowConfig::new(32, 9, width, fine).with_retention(tiers, factor),
+        )
+    }
+
+    #[test]
+    fn rows_land_in_their_time_bucket() {
+        let mut s = store(10, 4, 2, 4);
+        s.offer_at(1, 0);
+        s.offer_at(2, 9);
+        s.offer_at(3, 10);
+        s.offer_at(4, 25);
+        let indices: Vec<u64> = s.fine_sketches().map(|(i, _)| i).collect();
+        assert_eq!(indices, vec![0, 1, 2]);
+        let rows: Vec<u64> = s.fine_sketches().map(|(_, sk)| sk.rows_processed()).collect();
+        assert_eq!(rows, vec![2, 1, 1]);
+        assert_eq!(s.rows_processed(), 4);
+        assert_eq!(s.last_time(), 25);
+    }
+
+    #[test]
+    fn rotation_expires_into_tiers_and_conserves_mass() {
+        let mut s = store(1, 2, 1, 2);
+        for ts in 0u64..10 {
+            for _ in 0..5 {
+                s.offer_at(ts % 3, ts);
+            }
+        }
+        // 10 buckets, 2 fine retained; the rest compacted below.
+        assert_eq!(s.fine_sketches().count(), 2);
+        let retained: u64 = s.fine_sketches().map(|(_, sk)| sk.rows_processed()).sum::<u64>()
+            + s.tier_buckets(0).iter().map(|b| b.rows).sum::<u64>()
+            + s.terminal_bucket().map_or(0, |b| b.rows);
+        assert_eq!(retained, 50);
+        assert_eq!(s.rows_processed(), 50);
+        // The full-range fold conserves the mass exactly.
+        let folded = s.fold_range(0, u64::MAX, 1, 2);
+        let mass: f64 = folded.entries().iter().map(|(_, c)| c).sum();
+        assert!((mass - 50.0).abs() < 1e-6, "mass {mass}");
+        assert_eq!(folded.rows_processed(), 50);
+    }
+
+    #[test]
+    fn out_of_order_in_window_rows_land_exactly_and_late_rows_clamp() {
+        let mut s = store(10, 3, 1, 2);
+        s.offer_at(1, 50); // bucket 5
+        s.offer_at(2, 35); // bucket 3: in-window, lands exactly (created late)
+        let indices: Vec<u64> = s.fine_sketches().map(|(i, _)| i).collect();
+        assert_eq!(indices, vec![3, 5]);
+        assert_eq!(s.late_rows(), 0);
+        s.offer_at(3, 5); // bucket 0: older than the window -> clamped into 3
+        assert_eq!(s.late_rows(), 1);
+        let (oldest, sk) = s.fine_sketches().next().unwrap();
+        assert_eq!(oldest, 3);
+        assert_eq!(sk.rows_processed(), 2);
+        assert_eq!(s.rows_processed(), 3);
+    }
+
+    #[test]
+    fn offer_batch_at_matches_sequential_offers() {
+        let mut a = store(10, 4, 2, 4);
+        let mut b = store(10, 4, 2, 4);
+        let items: Vec<u64> = (0..500u64).map(|i| i % 17).collect();
+        a.offer_batch_at(&items, 42);
+        for &item in &items {
+            b.offer_at(item, 42);
+        }
+        let ea: Vec<_> = a.fine_sketches().map(|(i, sk)| (i, sk.entries())).collect();
+        let eb: Vec<_> = b.fine_sketches().map(|(i, sk)| (i, sk.entries())).collect();
+        assert_eq!(ea, eb);
+        assert_eq!(a.rows_processed(), b.rows_processed());
+    }
+
+    #[test]
+    fn one_bucket_store_is_bit_identical_to_a_plain_sketch() {
+        // Everything in bucket 0 => the bucket sketch is seeded with the base
+        // seed itself, so it tracks a plain sketch bit for bit.
+        let mut s = store(1_000_000, 4, 2, 4);
+        let mut plain = UnbiasedSpaceSaving::with_seed(32, 9);
+        for i in 0..5_000u64 {
+            s.offer_at(i % 300, i % 100);
+            plain.offer(i % 300);
+        }
+        let (_, sk) = s.fine_sketches().next().unwrap();
+        assert_eq!(sk.entries(), plain.entries());
+    }
+
+    #[test]
+    fn terminal_bucket_absorbs_ancient_history() {
+        let mut s = store(1, 1, 1, 2);
+        for ts in 0u64..20 {
+            s.offer_at(ts, ts);
+        }
+        assert!(s.terminal_bucket().is_some());
+        let term = s.terminal_bucket().unwrap();
+        assert_eq!(term.start(), 0);
+        assert!(term.end() > 0);
+        assert_eq!(s.rows_processed(), 20);
+    }
+
+    #[test]
+    fn range_reports_come_back_oldest_first_and_respect_overlap() {
+        let mut s = store(1, 2, 1, 2);
+        for ts in 0u64..8 {
+            s.offer_at(ts, ts);
+        }
+        // Only the newest fine buckets.
+        let fine_only = s.range_reports(6, 8);
+        assert_eq!(fine_only.len(), 2);
+        // Empty and inverted ranges are empty.
+        assert!(s.range_reports(3, 3).is_empty());
+        assert!(s.range_reports(5, 2).is_empty());
+        // A full range covers every retained row.
+        let all = s.range_reports(0, u64::MAX);
+        let rows: u64 = all.iter().map(|r| r.rows).sum();
+        assert_eq!(rows, 8);
+    }
+
+    #[test]
+    fn engine_range_query_answers_a_sliding_window() {
+        let engine = TemporalIngestEngine::new(
+            TemporalConfig::new(2, 64, 3, 10, 4).with_batch_rows(64),
+        );
+        let mut handle = engine.handle();
+        // Buckets 0..10; item 7 appears only in the last 2 buckets.
+        for ts in 0u64..100 {
+            for i in 0..20u64 {
+                let item = if ts >= 80 && i < 10 { 7 } else { 100 + i };
+                handle.offer_at(item, ts);
+            }
+        }
+        handle.flush();
+        let recent = engine.range_snapshot(&TimeRange::LastBuckets(2));
+        assert_eq!(recent.rows_processed(), 2 * 10 * 20);
+        let est = recent.estimate(7);
+        assert!((est - 200.0).abs() < 60.0, "estimate {est}");
+        // The whole stream still answers.
+        let all = engine.range_snapshot(&TimeRange::All);
+        assert_eq!(all.rows_processed(), 2_000);
+        let _ = engine.finish();
+    }
+
+    #[test]
+    fn between_ranges_round_to_bucket_boundaries() {
+        let engine = TemporalIngestEngine::new(TemporalConfig::new(1, 32, 5, 10, 8));
+        let mut handle = engine.handle();
+        for ts in 0u64..50 {
+            handle.offer_at(ts % 6, ts);
+        }
+        handle.flush();
+        assert_eq!(engine.resolve_range(&TimeRange::Between { start: 0, end: 50 }), (0, 5));
+        assert_eq!(engine.resolve_range(&TimeRange::Between { start: 12, end: 38 }), (1, 4));
+        assert_eq!(engine.resolve_range(&TimeRange::Between { start: 7, end: 7 }), (0, 0));
+        let middle = engine.range_snapshot(&TimeRange::Between { start: 12, end: 38 });
+        assert_eq!(middle.rows_processed(), 30); // buckets 1, 2, 3
+        let _ = engine.finish();
+    }
+
+    #[test]
+    fn range_capture_is_cached_at_a_fixed_watermark() {
+        let engine = TemporalIngestEngine::new(TemporalConfig::new(2, 32, 4, 10, 4));
+        let mut handle = engine.handle();
+        for ts in 0u64..40 {
+            handle.offer_at(ts % 9, ts);
+        }
+        handle.flush();
+        let a = engine.range_capture(&TimeRange::All);
+        let b = engine.range_capture(&TimeRange::All);
+        // Identical Arc: the second capture hit the cache, no new fold (and no
+        // new salt) happened.
+        assert!(Arc::ptr_eq(&a, &b));
+        // New ingest moves the watermark and invalidates.
+        handle.offer_at(1, 41);
+        handle.flush();
+        let c = engine.range_capture(&TimeRange::All);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(c.rows_processed(), 41);
+        let _ = engine.finish();
+    }
+
+    #[test]
+    fn finish_matches_rows_and_conserves_mass() {
+        let engine = TemporalIngestEngine::new(
+            TemporalConfig::new(3, 64, 8, 5, 3).with_batch_rows(128),
+        );
+        std::thread::scope(|scope| {
+            for producer in 0..3u64 {
+                let mut handle = engine.handle();
+                scope.spawn(move || {
+                    for i in 0..2_000u64 {
+                        handle.offer_at(producer * 1_000 + i % 150, i / 40);
+                    }
+                });
+            }
+        });
+        let merged = engine.finish();
+        assert_eq!(merged.rows_processed(), 6_000);
+        let mass: f64 = merged.entries().iter().map(|(_, c)| c).sum();
+        assert!((mass - 6_000.0).abs() < 1e-6, "mass {mass}");
+    }
+
+    #[test]
+    fn maximal_timestamp_lands_in_the_last_representable_bucket() {
+        // Regression: ts / width == u64::MAX used to overflow span arithmetic
+        // (index + 1) in debug builds and silently escape every range query in
+        // release — the row clamps into bucket u64::MAX - 1 instead.
+        let mut s = store(1, 4, 1, 2);
+        s.offer_at(42, u64::MAX);
+        s.offer_at(43, u64::MAX - 1);
+        assert_eq!(s.newest_bucket(), Some(u64::MAX - 1));
+        let all = s.range_reports(0, u64::MAX);
+        assert_eq!(all.iter().map(|r| r.rows).sum::<u64>(), 2);
+        let folded = s.fold_range(0, u64::MAX, 1, 2);
+        assert_eq!(folded.rows_processed(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket_width")]
+    fn zero_bucket_width_panics() {
+        let _ = WindowConfig::new(8, 1, 0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "tier_factor")]
+    fn tier_factor_below_two_panics() {
+        let _ = WindowConfig::new(8, 1, 10, 4).with_retention(2, 1);
+    }
+}

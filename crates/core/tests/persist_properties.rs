@@ -7,6 +7,7 @@ use proptest::prelude::*;
 
 use uss_core::persist::{self, PersistError};
 use uss_core::prelude::*;
+use uss_core::temporal::{TemporalConfig, WindowConfig, WindowedSketchStore};
 
 fn stream_strategy(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
     vec(0u64..200, 1..max_len)
@@ -110,6 +111,143 @@ proptest! {
         ));
     }
 
+    /// Decayed frames round-trip to a sketch that keeps *behaving* identically:
+    /// continuing both with the same later-arriving suffix yields bit-equal
+    /// decayed entries (decay parameters, landmark, RNG and heap state all
+    /// survived).
+    #[test]
+    fn decayed_round_trip_preserves_behaviour(
+        stream in vec((0u64..80, 0u32..50), 1..300),
+        suffix in vec((0u64..80, 0u32..50), 0..120),
+        capacity in 1usize..16,
+        seed in any::<u64>(),
+        lambda_m in 1u32..200,
+    ) {
+        let lambda = f64::from(lambda_m) * 1e-3;
+        let mut sketch = DecayedSpaceSaving::with_seed(capacity, lambda, seed);
+        let mut t = 0.0f64;
+        for &(item, dt) in &stream {
+            t += f64::from(dt) * 0.25;
+            sketch.offer_at(item, t);
+        }
+        let mut decoded = persist::decode_decayed(&persist::encode_decayed(&sketch)).unwrap();
+        prop_assert_eq!(decoded.rows_processed(), sketch.rows_processed());
+        prop_assert_eq!(decoded.last_time().to_bits(), sketch.last_time().to_bits());
+        for &(item, dt) in &suffix {
+            t += f64::from(dt) * 0.25;
+            sketch.offer_at(item, t);
+            decoded.offer_at(item, t);
+        }
+        let a = sketch.decayed_entries(t + 1.0);
+        let b = decoded.decayed_entries(t + 1.0);
+        prop_assert_eq!(a.len(), b.len());
+        for ((i1, c1), (i2, c2)) in a.iter().zip(&b) {
+            prop_assert_eq!(i1, i2);
+            prop_assert_eq!(c1.to_bits(), c2.to_bits());
+        }
+    }
+
+    /// Temporal bucket-ring frames round-trip to a store that keeps behaving
+    /// identically: fine buckets (RNG + structure), compacted tiers and the
+    /// terminal bucket all survive, so continuing both stores with the same
+    /// suffix yields bit-equal rings.
+    #[test]
+    fn temporal_shard_round_trip_preserves_behaviour(
+        stream in vec((0u64..120, 0u64..40), 1..400),
+        suffix in vec((0u64..120, 30u64..60), 0..150),
+        capacity in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let config = TemporalConfig::new(1, capacity, seed, 4, 3).with_retention(2, 2);
+        let mut store = WindowedSketchStore::new(WindowConfig {
+            seed, // shard 0 of the engine-level config
+            ..config.window
+        });
+        for &(item, ts) in &stream {
+            store.offer_at(item, ts);
+        }
+        let meta = persist::TemporalMeta::from_config(&config);
+        let bytes = persist::encode_temporal_shard(0, meta, &store);
+        prop_assert_eq!(persist::peek_kind(&bytes).unwrap(), persist::SketchKind::TemporalShard);
+        let (shard, back_meta, mut decoded) = persist::decode_temporal_shard(&bytes).unwrap();
+        prop_assert_eq!(shard, 0);
+        prop_assert_eq!(back_meta, meta);
+        prop_assert_eq!(decoded.rows_processed(), store.rows_processed());
+        for &(item, ts) in &suffix {
+            store.offer_at(item, ts);
+            decoded.offer_at(item, ts);
+        }
+        let fa: Vec<_> = store.fine_sketches().map(|(i, sk)| (i, sk.entries())).collect();
+        let fb: Vec<_> = decoded.fine_sketches().map(|(i, sk)| (i, sk.entries())).collect();
+        prop_assert_eq!(fa, fb);
+        for t in 0..2 {
+            prop_assert_eq!(store.tier_buckets(t), decoded.tier_buckets(t));
+        }
+        prop_assert_eq!(store.terminal_bucket(), decoded.terminal_bucket());
+        prop_assert_eq!(store.late_rows(), decoded.late_rows());
+        prop_assert_eq!(store.last_time(), decoded.last_time());
+    }
+
+    /// Truncating a valid decayed or temporal frame at any point yields an
+    /// error, never a panic — the totality guarantee extends to the new kinds.
+    #[test]
+    fn new_kind_truncation_always_errors(
+        stream in vec((0u64..60, 0u64..30), 1..200),
+        capacity in 1usize..12,
+        seed in any::<u64>(),
+        cut in 0.0f64..1.0,
+    ) {
+        let mut decayed = DecayedSpaceSaving::with_seed(capacity, 0.05, seed);
+        let config = TemporalConfig::new(1, capacity, seed, 4, 3).with_retention(1, 2);
+        let mut store = WindowedSketchStore::new(config.window);
+        let mut t = 0.0f64;
+        for &(item, ts) in &stream {
+            t += ts as f64 * 0.1;
+            decayed.offer_at(item, t);
+            store.offer_at(item, ts);
+        }
+        let meta = persist::TemporalMeta::from_config(&config);
+        for bytes in [
+            persist::encode_decayed(&decayed),
+            persist::encode_temporal_shard(0, meta, &store),
+        ] {
+            let len = ((bytes.len() - 1) as f64 * cut) as usize;
+            prop_assert!(persist::decode_decayed(&bytes[..len]).is_err());
+            prop_assert!(persist::decode_temporal_shard(&bytes[..len]).is_err());
+        }
+    }
+
+    /// Flipping any single bit of a valid decayed or temporal frame yields an
+    /// error (header gates catch structural damage, CRC-64 everything else).
+    #[test]
+    fn new_kind_single_bit_flips_always_error(
+        stream in vec((0u64..60, 0u64..30), 1..200),
+        capacity in 1usize..12,
+        seed in any::<u64>(),
+        byte_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut decayed = DecayedSpaceSaving::with_seed(capacity, 0.05, seed);
+        let config = TemporalConfig::new(1, capacity, seed, 4, 3).with_retention(1, 2);
+        let mut store = WindowedSketchStore::new(config.window);
+        let mut t = 0.0f64;
+        for &(item, ts) in &stream {
+            t += ts as f64 * 0.1;
+            decayed.offer_at(item, t);
+            store.offer_at(item, ts);
+        }
+        let meta = persist::TemporalMeta::from_config(&config);
+        for mut bytes in [
+            persist::encode_decayed(&decayed),
+            persist::encode_temporal_shard(0, meta, &store),
+        ] {
+            let idx = ((bytes.len() - 1) as f64 * byte_frac) as usize;
+            bytes[idx] ^= 1 << bit;
+            prop_assert!(persist::decode_decayed(&bytes).is_err());
+            prop_assert!(persist::decode_temporal_shard(&bytes).is_err());
+        }
+    }
+
     /// Decoding arbitrary garbage bytes is total: always an `Err`, never a panic.
     #[test]
     fn arbitrary_bytes_never_panic(bytes in vec(any::<u8>(), 0..600)) {
@@ -118,13 +256,16 @@ proptest! {
         let _ = persist::decode_weighted(&bytes);
         let _ = persist::decode_shard(&bytes);
         let _ = persist::decode_manifest(&bytes);
+        let _ = persist::decode_decayed(&bytes);
+        let _ = persist::decode_temporal_shard(&bytes);
+        let _ = persist::decode_temporal_manifest(&bytes);
         let _ = persist::peek_kind(&bytes);
     }
 
     /// Garbage prefixed with a valid header shell still never panics, exercising
     /// the payload readers rather than the frame gate.
     #[test]
-    fn framed_garbage_never_panics(payload in vec(any::<u8>(), 0..400), kind in 0u8..5) {
+    fn framed_garbage_never_panics(payload in vec(any::<u8>(), 0..400), kind in 0u8..8) {
         // Hand-build a frame with a correct magic/version/len/CRC around a random
         // payload, so decoding reaches the kind-specific parsing and validation.
         let mut bytes = Vec::new();
@@ -141,5 +282,8 @@ proptest! {
         let _ = persist::decode_weighted(&bytes);
         let _ = persist::decode_shard(&bytes);
         let _ = persist::decode_manifest(&bytes);
+        let _ = persist::decode_decayed(&bytes);
+        let _ = persist::decode_temporal_shard(&bytes);
+        let _ = persist::decode_temporal_manifest(&bytes);
     }
 }

@@ -1,0 +1,460 @@
+//! Temporal-subsystem correctness: mass conservation across bucket boundaries,
+//! unbiasedness of range merges (z-tests over ≥50 seeds), tier-compaction
+//! equivalence, out-of-order / late-timestamp handling, bit-identity of a
+//! whole-stream temporal range with the non-temporal engine, and exact
+//! checkpoint→restore→continue of the bucket ring — plus the decayed sketch
+//! serving through the unchanged query layer.
+
+use std::sync::Arc;
+
+use uss_core::engine::{EngineConfig, ShardedIngestEngine};
+use uss_core::query::{Query, QueryAnswer, QueryServer, QueryServerConfig, SnapshotSource};
+use uss_core::temporal::{
+    compact_fold, BucketReport, TemporalConfig, TemporalIngestEngine, TimeRange, WindowConfig,
+    WindowedSketchStore,
+};
+use uss_core::traits::StreamSketch;
+use uss_core::DecayedSpaceSaving;
+
+/// A deterministic skewed stream: `(item, bucket)` rows spanning `buckets` time
+/// buckets of `rows_per_bucket` rows each, with item 7 given `extra` additional
+/// rows in every bucket of `[hot_from, hot_to)`.
+fn hot_item_stream(
+    buckets: u64,
+    rows_per_bucket: u64,
+    hot_from: u64,
+    hot_to: u64,
+    extra: u64,
+) -> Vec<(u64, u64)> {
+    let mut rows = Vec::new();
+    for b in 0..buckets {
+        for i in 0..rows_per_bucket {
+            rows.push((100 + (i * 13 + b * 31) % 150, b));
+        }
+        if (hot_from..hot_to).contains(&b) {
+            for _ in 0..extra {
+                rows.push((7, b));
+            }
+        }
+    }
+    rows
+}
+
+#[test]
+fn mass_is_conserved_across_bucket_boundaries_and_compaction() {
+    // Rows cross many bucket boundaries and several compaction events; no row
+    // may ever be lost or double-counted, in any retained structure.
+    let mut store = WindowedSketchStore::new(
+        WindowConfig::new(24, 11, 1, 3).with_retention(2, 2),
+    );
+    let mut offered = 0u64;
+    for (item, b) in hot_item_stream(40, 50, 10, 20, 5) {
+        store.offer_at(item, b);
+        offered += 1;
+    }
+    assert_eq!(store.rows_processed(), offered);
+    // Structure-level accounting: fine + tiers + terminal add up exactly.
+    let mut accounted: u64 = store
+        .fine_sketches()
+        .map(|(_, sk)| sk.rows_processed())
+        .sum();
+    for t in 0..2 {
+        accounted += store.tier_buckets(t).iter().map(|b| b.rows()).sum::<u64>();
+    }
+    accounted += store.terminal_bucket().map_or(0, |b| b.rows());
+    assert_eq!(accounted, offered);
+    // The folded full range conserves the mass to float precision, and every
+    // compacted entry list conserves its own span's mass exactly (the unbiased
+    // merge is mass-preserving by construction).
+    let folded = store.fold_range(0, u64::MAX, 1, 2);
+    let mass: f64 = folded.entries().iter().map(|(_, c)| c).sum();
+    assert!((mass - offered as f64).abs() < 1e-6, "mass {mass} vs {offered}");
+    for t in 0..2 {
+        for bucket in store.tier_buckets(t) {
+            let m: f64 = bucket.entries().iter().map(|(_, c)| c).sum();
+            assert!(
+                (m - bucket.rows() as f64).abs() < 1e-6,
+                "tier {t} span [{}, {}): mass {m} vs rows {}",
+                bucket.start(),
+                bucket.end(),
+                bucket.rows()
+            );
+        }
+    }
+}
+
+#[test]
+fn range_merge_estimates_are_unbiased_over_many_seeds() {
+    // Item 7 receives exactly 30 extra rows in each of buckets 2, 3, 4. The
+    // range fold over [2, 5) must estimate its count without bias even though
+    // every bucket sketch is lossy (capacity 16 over 150 distinct items) and
+    // the fold subsamples again. z-test over 60 sketch seeds (deterministic:
+    // the stream is fixed, only the sketch/merge RNG varies with the seed).
+    let rows = hot_item_stream(10, 300, 2, 5, 30);
+    let truth = 3.0 * 30.0;
+    let seeds = 60;
+    let mut estimates = Vec::with_capacity(seeds);
+    for seed in 0..seeds as u64 {
+        let mut store = WindowedSketchStore::new(
+            WindowConfig::new(16, seed, 1, 10).with_retention(2, 4),
+        );
+        for &(item, b) in &rows {
+            store.offer_at(item, b);
+        }
+        let folded = store.fold_range(2, 5, seed ^ 0xAAAA, seed ^ 0xBBBB);
+        assert_eq!(folded.rows_processed(), 3 * 300 + 3 * 30);
+        estimates.push(folded.estimate(7));
+    }
+    let n = estimates.len() as f64;
+    let mean = estimates.iter().sum::<f64>() / n;
+    let var = estimates.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    let z = (mean - truth) / (var / n).sqrt().max(1e-9);
+    assert!(
+        z.abs() < 4.0,
+        "range-merge bias detected: mean {mean} vs truth {truth} (z = {z:.2})"
+    );
+}
+
+#[test]
+fn compacted_tier_bucket_equals_direct_merge_of_its_fine_buckets() {
+    // Store A retains every fine bucket (window larger than the stream); store
+    // B compacts aggressively. Same seed => identical fine sketches while they
+    // live, so every compacted bucket in B must equal `compact_fold` applied
+    // directly to A's still-retained fine buckets over the same span — the
+    // compaction loses nothing beyond the documented unbiased merge.
+    let rows = hot_item_stream(12, 120, 0, 12, 10);
+    let seed = 77;
+    let mut a = WindowedSketchStore::new(
+        WindowConfig::new(20, seed, 1, 64).with_retention(2, 2),
+    );
+    let mut b = WindowedSketchStore::new(
+        WindowConfig::new(20, seed, 1, 2).with_retention(2, 2),
+    );
+    for &(item, bk) in &rows {
+        a.offer_at(item, bk);
+        b.offer_at(item, bk);
+    }
+    assert_eq!(a.fine_sketches().count(), 12, "A must retain every bucket");
+    type FineImage = (u64, Vec<(u64, f64)>, u64);
+    let fine_a: Vec<FineImage> = a
+        .fine_sketches()
+        .map(|(i, sk)| (i, sk.entries(), sk.rows_processed()))
+        .collect();
+    let report_for = |index: u64| -> BucketReport {
+        let (_, entries, rows) = fine_a
+            .iter()
+            .find(|(i, _, _)| *i == index)
+            .expect("fine bucket retained in A");
+        BucketReport {
+            entries: entries.clone(),
+            rows: *rows,
+        }
+    };
+    // Tier 0 holds raw expired buckets: identical to A's fine entries.
+    for bucket in b.tier_buckets(0) {
+        assert_eq!(bucket.end(), bucket.start() + 1);
+        let expected = report_for(bucket.start());
+        assert_eq!(bucket.entries(), &expected.entries[..]);
+        assert_eq!(bucket.rows(), expected.rows);
+    }
+    // Tier 1 holds span-2 compactions: exactly the deterministic fold of the
+    // two fine buckets they were built from.
+    let tier1 = b.tier_buckets(1);
+    assert!(!tier1.is_empty(), "the stream must have forced a tier-1 compaction");
+    for bucket in tier1 {
+        let span: Vec<BucketReport> =
+            (bucket.start()..bucket.end()).map(report_for).collect();
+        let expected = compact_fold(20, seed, bucket.start(), bucket.end(), span);
+        assert_eq!(bucket, &expected, "span [{}, {})", bucket.start(), bucket.end());
+    }
+}
+
+#[test]
+fn engine_places_out_of_order_rows_exactly_and_clamps_late_ones() {
+    // Producers emit timestamps shuffled inside the live window: every row must
+    // land in its true bucket (exact per-bucket row counts), and rows older
+    // than the window clamp into the oldest retained bucket instead of
+    // vanishing.
+    // Fine window of 4 buckets: buckets 0 and 1 expire into tier 0 (span-1
+    // buckets, so single-bucket range queries stay exact) and a timestamp from
+    // bucket 0 arriving at the end is genuinely late.
+    let config = TemporalConfig::new(2, 64, 5, 10, 4).with_batch_rows(32);
+    let engine = TemporalIngestEngine::new(config);
+    let mut handle = engine.handle();
+    // 6 buckets × 100 rows, timestamps emitted in a scrambled in-window order.
+    let mut rows: Vec<(u64, u64)> = Vec::new();
+    for b in 0..6u64 {
+        for i in 0..100u64 {
+            rows.push((i % 40, b * 10 + (i * 7) % 10));
+        }
+    }
+    // Deterministic shuffle with a reordering horizon under the fine window,
+    // so nothing here is late.
+    rows.chunks_mut(250).for_each(<[(u64, u64)]>::reverse);
+    handle.offer_batch_at(&rows);
+    handle.flush();
+    for b in 0..6u64 {
+        let one = engine.range_snapshot(&TimeRange::Between {
+            start: b * 10,
+            end: (b + 1) * 10,
+        });
+        assert_eq!(one.rows_processed(), 100, "bucket {b}");
+    }
+    // A row far older than the window is clamped, not dropped.
+    handle.offer_at(999, 0);
+    handle.flush();
+    let all = engine.range_snapshot(&TimeRange::All);
+    assert_eq!(all.rows_processed(), 601);
+    let stores = engine.finish_stores();
+    let late: u64 = stores.iter().map(WindowedSketchStore::late_rows).sum();
+    assert_eq!(late, 1);
+}
+
+/// Feeds the same unit-weight stream to a non-temporal engine (combiner off)
+/// and a temporal engine whose bucket width swallows every timestamp, using
+/// identical batch geometry.
+fn twin_engines(rows: &[u64]) -> (ShardedIngestEngine, TemporalIngestEngine) {
+    let plain = ShardedIngestEngine::new(
+        EngineConfig::new(3, 48, 42)
+            .with_combiner_items(0)
+            .with_batch_rows(128),
+    );
+    let temporal = TemporalIngestEngine::new(
+        TemporalConfig::new(3, 48, 42, u64::MAX, 4).with_batch_rows(128),
+    );
+    let mut ph = plain.handle();
+    let mut th = temporal.handle();
+    for &item in rows {
+        ph.offer(item);
+        th.offer_at(item, item % 1_000);
+    }
+    ph.flush();
+    th.flush();
+    (plain, temporal)
+}
+
+#[test]
+fn whole_stream_range_is_bit_identical_to_the_non_temporal_engine() {
+    // The acceptance criterion: with every row in one bucket, the bucket
+    // sketches are seeded exactly like the plain engine's shard sketches, and a
+    // whole-stream range fold uses the same salted merge-seed sequence — so the
+    // answers are bit-identical, not merely statistically equal.
+    let rows: Vec<u64> = (0..30_000u64)
+        .map(|i| if i % 5 == 0 { i % 40 } else { 500 + i % 2_000 })
+        .collect();
+    let (plain, temporal) = twin_engines(&rows);
+
+    // Direct snapshot vs whole-range snapshot: both consume merge salt 0.
+    let p = plain.snapshot();
+    let t = temporal.range_snapshot(&TimeRange::All);
+    assert_eq!(p.rows_processed(), t.rows_processed());
+    assert_eq!(p.entries(), t.entries());
+
+    // Served comparison: each server's construction capture consumes salt 1 on
+    // its own engine, so the epochs line up too. All five variants and the
+    // marginal group-by must agree bit for bit.
+    let ps = QueryServer::new(&plain, QueryServerConfig::new());
+    let ts = QueryServer::new(
+        temporal.range_source(TimeRange::All),
+        QueryServerConfig::new(),
+    );
+    let items: Vec<u64> = (0..40).collect();
+    for query in [
+        Query::SubsetSum { items: items.clone() },
+        Query::Proportion { items },
+        Query::TopK { k: 10 },
+        Query::FrequentItems { phi: 0.001 },
+        Query::RankQuantile { q: 0.5 },
+    ] {
+        let a = ps.execute(&query);
+        let b = ts.execute(&query);
+        assert_eq!(a.rows, b.rows, "{query:?}");
+        assert_eq!(a.answer, b.answer, "{query:?}");
+    }
+    let ma = ps.marginals(|item| Some(item % 8));
+    let mb = ts.marginals(|item| Some(item % 8));
+    assert_eq!(ma.len(), mb.len());
+    for ((k1, e1), (k2, e2)) in ma.iter().zip(&mb) {
+        assert_eq!(k1, k2);
+        assert_eq!(e1.sum.to_bits(), e2.sum.to_bits());
+        assert_eq!(e1.variance.to_bits(), e2.variance.to_bits());
+    }
+    drop(ts);
+    let _ = temporal.finish();
+    let _ = plain.finish();
+}
+
+#[test]
+fn sliding_window_server_answers_every_variant_with_correct_rows() {
+    let engine = TemporalIngestEngine::new(
+        TemporalConfig::new(2, 128, 9, 10, 6).with_batch_rows(64),
+    );
+    let mut handle = engine.handle();
+    for ts in 0u64..120 {
+        for i in 0..50u64 {
+            handle.offer_at(i % 30, ts);
+        }
+    }
+    handle.flush();
+    let server = QueryServer::new(
+        engine.range_source(TimeRange::LastBuckets(3)),
+        QueryServerConfig::new(),
+    );
+    // Buckets 9, 10, 11 (30 ticks × 50 rows).
+    let expected_rows: u64 = 3 * 10 * 50;
+    let items: Vec<u64> = (0..10).collect();
+    let r = server.execute(&Query::SubsetSum { items: items.clone() });
+    assert_eq!(r.rows, expected_rows);
+    let QueryAnswer::Estimate { estimate, ci } = r.answer else {
+        panic!("subset sum must answer with an estimate")
+    };
+    assert!(estimate.sum > 0.0 && ci.upper >= ci.lower);
+    let r = server.execute(&Query::Proportion { items });
+    let QueryAnswer::Estimate { estimate, .. } = r.answer else {
+        panic!("proportion must answer with an estimate")
+    };
+    assert!((estimate.sum - 1.0 / 3.0).abs() < 0.15, "proportion {}", estimate.sum);
+    let QueryAnswer::Items(top) = server.execute(&Query::TopK { k: 5 }).answer else {
+        panic!("top-k must answer with items")
+    };
+    assert_eq!(top.len(), 5);
+    let QueryAnswer::Items(heavy) =
+        server.execute(&Query::FrequentItems { phi: 0.02 }).answer
+    else {
+        panic!("frequent items must answer with items")
+    };
+    assert!(!heavy.is_empty());
+    let QueryAnswer::Rank(rank) = server.execute(&Query::RankQuantile { q: 0.0 }).answer
+    else {
+        panic!("rank quantile must answer with a rank")
+    };
+    assert!(rank.is_some());
+    let groups = server.marginals(|item| Some(item % 3));
+    assert_eq!(groups.len(), 3);
+    let group_mass: f64 = groups.iter().map(|(_, e)| e.sum).sum();
+    assert!((group_mass - expected_rows as f64).abs() < 1e-6);
+    drop(server);
+    let _ = engine.finish();
+}
+
+#[test]
+fn checkpoint_restore_continue_matches_an_uninterrupted_run_exactly() {
+    let dir = std::env::temp_dir().join(format!("uss-temporal-ckpt-{}", std::process::id()));
+    let config = TemporalConfig::new(2, 32, 21, 5, 4)
+        .with_retention(2, 2)
+        .with_batch_rows(64);
+    let first: Vec<(u64, u64)> = (0..4_000u64).map(|i| (i % 90, i / 50)).collect();
+    let second: Vec<(u64, u64)> = (0..4_000u64).map(|i| ((i * 3) % 90, 80 + i / 50)).collect();
+
+    let uninterrupted = TemporalIngestEngine::new(config);
+    let mut handle = uninterrupted.handle();
+    handle.offer_batch_at(&first);
+    handle.flush();
+    let _ = uninterrupted.range_snapshot(&TimeRange::All); // advance the salt counter
+    uninterrupted.checkpoint(&dir).unwrap();
+    handle.offer_batch_at(&second);
+    handle.flush();
+    drop(handle);
+
+    let restored = TemporalIngestEngine::restore(&dir, config).unwrap();
+    assert_eq!(restored.rows_enqueued(), 4_000);
+    assert_eq!(restored.max_time(), 79);
+    let mut handle = restored.handle();
+    handle.offer_batch_at(&second);
+    handle.flush();
+    drop(handle);
+
+    // The post-checkpoint salted range snapshots continue the same sequence.
+    let a = uninterrupted.range_snapshot(&TimeRange::LastBuckets(4));
+    let b = restored.range_snapshot(&TimeRange::LastBuckets(4));
+    assert_eq!(a.entries(), b.entries());
+    assert_eq!(a.rows_processed(), b.rows_processed());
+
+    // And the full per-shard ring state is identical: fine sketches (bit-level
+    // entries), every tier bucket, terminal bucket, and the counters.
+    let sa = uninterrupted.finish_stores();
+    let sb = restored.finish_stores();
+    assert_eq!(sa.len(), sb.len());
+    for (x, y) in sa.iter().zip(&sb) {
+        assert_eq!(x.rows_processed(), y.rows_processed());
+        assert_eq!(x.late_rows(), y.late_rows());
+        assert_eq!(x.last_time(), y.last_time());
+        let fx: Vec<_> = x.fine_sketches().map(|(i, sk)| (i, sk.entries())).collect();
+        let fy: Vec<_> = y.fine_sketches().map(|(i, sk)| (i, sk.entries())).collect();
+        assert_eq!(fx, fy);
+        for t in 0..2 {
+            assert_eq!(x.tier_buckets(t), y.tier_buckets(t), "tier {t}");
+        }
+        assert_eq!(x.terminal_bucket(), y.terminal_bucket());
+    }
+
+    // A mismatched identity is refused.
+    assert!(TemporalIngestEngine::restore(&dir, TemporalConfig::new(2, 32, 22, 5, 4)).is_err());
+    assert!(TemporalIngestEngine::restore(
+        &dir,
+        TemporalConfig::new(2, 32, 21, 5, 4).with_retention(1, 2)
+    )
+    .is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn decayed_sketch_serves_through_the_query_layer() {
+    // The smooth-decay alternative to hard windows: a DecayedSpaceSaving behind
+    // the unchanged QueryServer, shared with a producer through an RwLock.
+    let shared = Arc::new(parking_lot::RwLock::new(DecayedSpaceSaving::with_seed(
+        64, 0.01, 3,
+    )));
+    {
+        let mut sketch = shared.write();
+        for t in 0..200u64 {
+            for i in 0..20u64 {
+                sketch.offer_at(i % 10, t as f64);
+            }
+        }
+    }
+    let server = QueryServer::new(
+        Arc::clone(&shared),
+        QueryServerConfig::new().refresh_every_rows(1),
+    );
+    // The served snapshot is the decayed state at the last update time.
+    let direct = shared.read().snapshot_at(shared.read().last_time());
+    assert_eq!(server.top_k(5), direct.top_k(5));
+    let QueryAnswer::Estimate { estimate, ci } = server
+        .execute(&Query::SubsetSum { items: (0..5).collect() })
+        .answer
+    else {
+        panic!("subset sum must answer with an estimate")
+    };
+    assert!(estimate.sum > 0.0 && ci.upper >= ci.lower);
+    // Recency: a new heavy item offered much later dominates the decayed top-k
+    // after a refresh, even though older items have more raw occurrences.
+    {
+        let mut sketch = shared.write();
+        for _ in 0..300 {
+            sketch.offer_at(777, 900.0);
+        }
+    }
+    assert_eq!(server.top_k(1)[0].0, 777);
+    let rank = server.execute(&Query::RankQuantile { q: 0.0 }).answer;
+    assert_eq!(rank, QueryAnswer::Rank(Some(server.top_k(1)[0])));
+}
+
+#[test]
+fn decayed_capture_normalises_min_count_consistently() {
+    let mut sketch = DecayedSpaceSaving::with_seed(4, 0.1, 5);
+    for i in 0..200u64 {
+        sketch.offer_at(i % 20, i as f64 * 0.5);
+    }
+    let snap = sketch.capture();
+    // min_count must be in the same (decayed) units as the entries: no entry
+    // may fall below it minus float noise.
+    let min_entry = snap
+        .entries()
+        .iter()
+        .map(|(_, c)| *c)
+        .fold(f64::INFINITY, f64::min);
+    assert!(snap.min_count() <= min_entry + 1e-9);
+    assert!(snap.min_count() > 0.0);
+    assert_eq!(snap.rows_processed(), 200);
+}
