@@ -7,10 +7,15 @@
 //!    in one bucket vs. timestamps sweeping across many buckets (window
 //!    rotation + tier compaction on the ingest path);
 //! 2. `range_query_bN` — uncached range-fold queries/s as the range spans 1, 4,
-//!    16 and 64 fine buckets (each query folds more retained buckets);
-//! 3. `range_query_cached` — repeated captures of one range at a fixed ingest
+//!    16 and 64 fine buckets, served through the dyadic pre-merge ladder
+//!    (O(log n) node folds per shard instead of O(n) leaf folds, so qps stays
+//!    roughly flat across span widths);
+//! 3. `range_query_b64_leaf` — the same 64-bucket range through the leaf-by-leaf
+//!    reference fold (`range_snapshot_leaf`), the pre-ladder baseline the
+//!    ladder speedup is measured against;
+//! 4. `range_query_cached` — repeated captures of one range at a fixed ingest
 //!    watermark (the merged-range cache hit path);
-//! 4. `compaction` — `compact_fold`s/s over a `tier_factor`-bucket group, the
+//! 5. `compaction` — `compact_fold`s/s over a `tier_factor`-bucket group, the
 //!    unit of work the retention tiers perform as buckets age.
 //!
 //! Results go to `BENCH_window.json` (override with `--out`) and a
@@ -157,8 +162,10 @@ fn main() {
     );
     {
         let mut handle = engine.handle();
+        // Fill exactly 256 equally sized buckets, so the 1-bucket range below
+        // measures a genuinely full bucket rather than a near-empty tail.
         let rows_per_bucket = (opts.rows / 256).max(1);
-        for i in 0..opts.rows {
+        for i in 0..rows_per_bucket * 256 {
             handle.offer_at(skewed_item(i), (i / rows_per_bucket) * 100);
         }
         handle.flush();
@@ -182,6 +189,24 @@ fn main() {
             elapsed_sec: elapsed,
         });
     }
+    // The pre-ladder baseline: the same widest range folded leaf by leaf.
+    // Far slower by design, so it runs fewer queries and reps.
+    let leaf_range = TimeRange::Between {
+        start: cur.saturating_sub(63) * 100,
+        end: (cur + 1) * 100,
+    };
+    let leaf_queries = (queries / 10).max(2);
+    let (ops, elapsed) = best_elapsed(opts.reps.clamp(1, 5), f64::from(leaf_queries), || {
+        for _ in 0..leaf_queries {
+            std::hint::black_box(engine.range_snapshot_leaf(std::hint::black_box(&leaf_range)));
+        }
+    });
+    results.push(Measurement {
+        name: "range_query_b64_leaf".to_string(),
+        description: "uncached 64-bucket leaf-by-leaf reference folds (queries/s)".to_string(),
+        ops_per_sec: ops,
+        elapsed_sec: elapsed,
+    });
     let (ops, elapsed) = best_elapsed(opts.reps, f64::from(queries), || {
         for _ in 0..queries {
             std::hint::black_box(engine.range_capture(std::hint::black_box(

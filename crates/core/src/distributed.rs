@@ -155,7 +155,7 @@ impl DistributedSketcher {
                     let snap = sketch.snapshot_at(sketch.last_time());
                     (snap.entries().to_vec(), snap.rows_processed())
                 }
-                SketchKind::TemporalShard => {
+                SketchKind::TemporalShard | SketchKind::TemporalLadderShard => {
                     // A bucket ring folds to its whole retained history first.
                     let (shard, meta, store) = persist::decode_temporal_shard(&bytes)?;
                     let seed = meta.seed.wrapping_add(shard);

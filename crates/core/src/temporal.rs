@@ -48,6 +48,48 @@
 //! window, and [`WindowedSketchStore::late_rows`] counts the clamps.
 //! In-window out-of-order rows land in their true bucket exactly.
 //!
+//! # The dyadic range-merge ladder
+//!
+//! A naive range fold touches every overlapping bucket, so wide ranges cost
+//! O(window) unbiased merges *per query*. Each store therefore maintains a
+//! **dyadic ladder** over the sealed part of its fine window — a segment-tree
+//! of pre-merged nodes, one per aligned power-of-two span: level `ℓ ≥ 1` holds
+//! at most `(fine_buckets − 1) / 2^ℓ` nodes, each covering fine-bucket span
+//! `[s, s + 2^ℓ)` with `s` a multiple of `2^ℓ`, built by one unbiased PPS fold
+//! of its two children (level-1 nodes fold two fine leaves). Only *sealed*
+//! buckets — strictly older than the newest — are covered, so the
+//! still-ingesting bucket never invalidates anything. Nodes are built
+//! incrementally: the shard worker builds one node per idle slot between
+//! batches (rotation only retires expired nodes, keeping the ingest path
+//! cheap), and a range query repairs any node it needs on demand. A node's
+//! contents are a *deterministic* function of the current leaf contents — node
+//! folds are seeded from the base seed and the span alone — so when an
+//! out-of-order or late-clamped row mutates a sealed bucket, the ≤ 1 covering
+//! node per level is dropped and rebuilt lazily.
+//!
+//! Query decomposition is the classical dyadic one: any fine-bucket range
+//! `[start, end)` splits into O(log fine_buckets) maximal aligned nodes plus
+//! boundary leaves, and the shard additionally pre-merges the selected reports
+//! (nodes + leaves + overlapping tier/terminal buckets) into a **single**
+//! span report under span-derived seeds, memoized at the shard's applied-row
+//! watermark. The engine then folds one report per shard with
+//! [`crate::merge::fold_unbiased_multiway`] under its salted snapshot-seed
+//! sequence — so a wide-range query costs O(shards) merge work instead of
+//! O(shards · window), flat in the span width.
+//!
+//! Statistically nothing changes: every ladder node is produced by the same
+//! Theorem-2 PPS reduction as a tier compaction, so `E[node count] = `true
+//! in-span count for every item, and a fold of unbiased nodes is unbiased by
+//! linearity — with *fewer* sampling stages than the leaf-by-leaf fold (a
+//! depth-log tree instead of a length-n chain), so per-item variance can only
+//! shrink. Equation-5 variance/CI machinery on a ladder-served snapshot stays
+//! honest; `temporal_properties.rs` locks this with a z-test over seeds
+//! against leaf folds. Ladder memory is bounded by `fine_buckets · capacity`
+//! extra entries per shard (the levels form a geometric series). Ranges that
+//! resolve to a single bucket per shard keep the exact legacy fold, so
+//! single-bucket answers (and the one-bucket bit-identity guarantee) are
+//! byte-for-byte unchanged.
+//!
 //! The whole ring checkpoints and restores through [`crate::persist`] (one
 //! bucket-ring frame per shard plus a temporal manifest), bit-compatibly: fine
 //! buckets keep their RNG and counter-structure images, so a restored engine
@@ -81,9 +123,9 @@
 //! let _ = engine.finish();
 //! ```
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -91,7 +133,7 @@ use parking_lot::Mutex;
 
 use crate::estimator::SketchSnapshot;
 use crate::hash::splitmix64;
-use crate::merge::fold_unbiased;
+use crate::merge::{fold_unbiased, fold_unbiased_multiway};
 use crate::persist::{self, PersistError};
 use crate::query::SnapshotSource;
 use crate::space_saving::{UnbiasedSpaceSaving, WeightedSpaceSaving};
@@ -236,6 +278,65 @@ struct FineBucket {
     sketch: UnbiasedSpaceSaving,
 }
 
+/// Seed salts for dyadic-ladder node folds and per-shard span pre-merges.
+/// Distinct from the tier-compaction constants in [`compact_fold`] so no two
+/// fold sites ever share an RNG stream over the same span.
+const LADDER_MERGE_SALT: u64 = 0xD1AD_1C00;
+const LADDER_OUT_SALT: u64 = 0xD1AD_1C01;
+const SPAN_MERGE_SALT: u64 = 0xD1AD_1C02;
+const SPAN_OUT_SALT: u64 = 0xD1AD_1C03;
+
+/// How many pre-merged span reports a store memoizes (keyed by the span and
+/// the applied-row watermark, so any ingest invalidates naturally). Matches
+/// the engine's merged-range cache: a dashboard polls a handful of ranges.
+const SPAN_MEMO_SLOTS: usize = 8;
+
+/// The deepest ladder level for a window of `fine_buckets`: nodes only cover
+/// *sealed* buckets (everything except the newest), so the largest node span
+/// is the largest power of two that fits in `fine_buckets - 1`. Zero means no
+/// ladder (windows of one or two buckets gain nothing from pre-merging).
+fn ladder_max_level(fine_buckets: usize) -> u32 {
+    let sealed = fine_buckets.saturating_sub(1);
+    if sealed < 2 {
+        0
+    } else {
+        sealed.ilog2()
+    }
+}
+
+/// The dyadic pre-merge index over a store's sealed fine buckets. See the
+/// [module docs](self) for the maintenance and decomposition rules.
+#[derive(Debug, Clone)]
+struct DyadicLadder {
+    /// `levels[ℓ-1]`: the level-`ℓ` nodes, keyed by their aligned start index.
+    /// Every node is a [`TierBucket`] covering `[start, start + 2^ℓ)`.
+    levels: Vec<BTreeMap<u64, TierBucket>>,
+    /// Per level, the idle builder's frontier: aligned spans ending at or
+    /// before it have been offered to [`WindowedSketchStore::ensure_node`].
+    /// Query-time repair may build beyond it; invalidation may remove nodes
+    /// behind it (they are rebuilt on demand).
+    built: Vec<u64>,
+}
+
+impl DyadicLadder {
+    fn new(max_level: u32) -> Self {
+        Self {
+            levels: vec![BTreeMap::new(); max_level as usize],
+            built: vec![0; max_level as usize],
+        }
+    }
+}
+
+/// One memoized pre-merged span report (see [`SPAN_MEMO_SLOTS`]).
+#[derive(Debug, Clone)]
+struct SpanMemo {
+    start: u64,
+    end: u64,
+    /// The store's applied-row count when the report was folded.
+    at_rows: u64,
+    report: BucketReport,
+}
+
 /// The RNG seed of the fine bucket at `index` in a store seeded `base_seed`.
 /// Bucket 0 uses `base_seed` itself so a one-bucket store is bit-identical to a
 /// plain sketch (and a one-bucket temporal engine to the non-temporal engine).
@@ -261,6 +362,10 @@ pub struct WindowedSketchStore {
     tiers: Vec<VecDeque<TierBucket>>,
     /// Everything older than the last tier, merged into one bucket.
     terminal: Option<TierBucket>,
+    /// The dyadic pre-merge index over the sealed fine buckets.
+    ladder: DyadicLadder,
+    /// Memoized pre-merged span reports (never persisted; rebuilt on demand).
+    span_memo: VecDeque<SpanMemo>,
     rows: u64,
     late_rows: u64,
     last_ts: u64,
@@ -276,6 +381,8 @@ impl WindowedSketchStore {
         assert!(config.tier_factor >= 2, "tier_factor must be at least 2");
         Self {
             tiers: (0..config.tiers).map(|_| VecDeque::new()).collect(),
+            ladder: DyadicLadder::new(ladder_max_level(config.fine_buckets)),
+            span_memo: VecDeque::new(),
             config,
             fine: VecDeque::new(),
             terminal: None,
@@ -392,18 +499,27 @@ impl WindowedSketchStore {
                 let expired = self.fine.pop_front().expect("front checked");
                 self.expire(expired);
             }
+            // Rotation does only cheap ladder work: retire the nodes that fell
+            // out of retention. New nodes over the freshly sealed buckets are
+            // built in worker idle slots or repaired on demand at query time.
+            self.ladder_retire(min_live);
             self.fine.push_back(self.make_bucket(b));
             return (&mut self.fine.back_mut().expect("just pushed").sketch, false);
         }
         // Out of order. In-window rows land in their true bucket exactly; rows
         // older than the window clamp into the oldest retained fine bucket.
+        // Either way a *sealed* bucket mutates, so the covering ladder nodes
+        // are dropped (and rebuilt lazily from the new contents).
         let min_live = newest.saturating_sub(self.config.fine_buckets as u64 - 1);
         if b < min_live {
+            let front = self.fine.front().expect("non-empty").index;
+            self.ladder_invalidate(front);
             return (
                 &mut self.fine.front_mut().expect("non-empty").sketch,
                 true,
             );
         }
+        self.ladder_invalidate(b);
         match self.fine.binary_search_by_key(&b, |f| f.index) {
             Ok(i) => (&mut self.fine[i].sketch, false),
             Err(i) => {
@@ -532,6 +648,367 @@ impl WindowedSketchStore {
         )
     }
 
+    /// The fine-bucket index below which nothing is retained as fine, given
+    /// the newest index (the window's live floor).
+    fn min_live(&self, newest: u64) -> u64 {
+        newest.saturating_sub(self.config.fine_buckets as u64 - 1)
+    }
+
+    /// The report of the fine bucket at `index`, if one is retained.
+    fn leaf_report(&self, index: u64) -> Option<BucketReport> {
+        self.fine
+            .binary_search_by_key(&index, |f| f.index)
+            .ok()
+            .map(|i| BucketReport {
+                entries: self.fine[i].sketch.entries(),
+                rows: self.fine[i].sketch.rows_processed(),
+            })
+    }
+
+    /// Folds parts into a ladder node over `[start, end)`. Seeded from the
+    /// base seed and the span alone, so a node's contents are a deterministic
+    /// function of the leaves it covers — rebuildable at any time, on any
+    /// restore, to the same bytes.
+    fn ladder_node_fold(&self, start: u64, end: u64, parts: Vec<BucketReport>) -> TierBucket {
+        let salt = splitmix64(start ^ end.rotate_left(32));
+        let merged = fold_unbiased(
+            self.config.capacity,
+            self.config.seed ^ LADDER_MERGE_SALT ^ salt,
+            self.config.seed ^ LADDER_OUT_SALT ^ salt,
+            parts.into_iter().map(|b| (b.entries, b.rows)),
+        );
+        TierBucket {
+            start,
+            end,
+            rows: merged.rows_processed(),
+            entries: merged.entries(),
+        }
+    }
+
+    /// Ensures the level-`level` node at aligned `start` exists, building it
+    /// (and any missing children, recursively) from the current leaf contents.
+    /// Returns `false` when no such node is buildable (out of alignment, out
+    /// of the sealed retained window, or no buckets at all).
+    fn ensure_node(&mut self, level: u32, start: u64) -> bool {
+        let Some(idx) = (level as usize).checked_sub(1) else {
+            return false;
+        };
+        if idx >= self.ladder.levels.len() {
+            return false;
+        }
+        if self.ladder.levels[idx].contains_key(&start) {
+            return true;
+        }
+        let len = 1u64 << level;
+        let Some(newest) = self.newest_bucket() else {
+            return false;
+        };
+        let Some(end) = start.checked_add(len) else {
+            return false;
+        };
+        if !start.is_multiple_of(len) || start < self.min_live(newest) || end > newest {
+            return false;
+        }
+        let mut parts: Vec<BucketReport> = Vec::with_capacity(2);
+        if level == 1 {
+            for b in [start, start + 1] {
+                if let Some(r) = self.leaf_report(b) {
+                    parts.push(r);
+                }
+            }
+        } else {
+            let half = len / 2;
+            for s in [start, start + half] {
+                if !self.ensure_node(level - 1, s) {
+                    return false;
+                }
+                let child = &self.ladder.levels[idx - 1][&s];
+                // Empty children (spans with no retained leaves) contribute
+                // nothing and are skipped, so a node's fold sequence depends
+                // only on which covered leaves exist and what they hold.
+                if child.rows > 0 || !child.entries.is_empty() {
+                    parts.push(BucketReport {
+                        entries: child.entries.clone(),
+                        rows: child.rows,
+                    });
+                }
+            }
+        }
+        let node = self.ladder_node_fold(start, end, parts);
+        self.ladder.levels[idx].insert(start, node);
+        true
+    }
+
+    /// Drops every ladder node whose span covers `bucket` (at most one per
+    /// level) — called when a sealed bucket's contents change, so existing
+    /// nodes always equal the canonical fold of the *current* leaves.
+    fn ladder_invalidate(&mut self, bucket: u64) {
+        for (idx, level) in self.ladder.levels.iter_mut().enumerate() {
+            let len = 1u64 << (idx + 1);
+            level.remove(&(bucket - bucket % len));
+        }
+    }
+
+    /// Retires ladder nodes that fell out of retention (span reaching below
+    /// `min_live`) and advances the idle-build frontier past them.
+    fn ladder_retire(&mut self, min_live: u64) {
+        for idx in 0..self.ladder.levels.len() {
+            let len = 1u64 << (idx + 1);
+            // split_off keeps keys >= min_live; anything starting below the
+            // floor covers at least one expired bucket.
+            let keep = self.ladder.levels[idx].split_off(&min_live);
+            self.ladder.levels[idx] = keep;
+            let frontier = min_live.checked_next_multiple_of(len).unwrap_or(u64::MAX);
+            self.ladder.built[idx] = self.ladder.built[idx].max(frontier);
+        }
+    }
+
+    /// Builds (at most) one missing ladder node over the sealed window,
+    /// bottom level first so parents always find their children. Returns
+    /// whether there was anything left to do — the shard worker calls this in
+    /// idle slots between batches until the ladder is complete.
+    pub(crate) fn ladder_idle_step(&mut self) -> bool {
+        let Some(newest) = self.newest_bucket() else {
+            return false;
+        };
+        let min_live = self.min_live(newest);
+        for idx in 0..self.ladder.levels.len() {
+            let len = 1u64 << (idx + 1);
+            let floor = min_live.checked_next_multiple_of(len).unwrap_or(u64::MAX);
+            let from = self.ladder.built[idx].max(floor);
+            let Some(end) = from.checked_add(len) else {
+                continue;
+            };
+            if end <= newest {
+                self.ladder.built[idx] = end;
+                let _ = self.ensure_node((idx + 1) as u32, from);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of ladder nodes currently held, across all levels.
+    #[must_use]
+    pub fn ladder_node_count(&self) -> usize {
+        self.ladder.levels.iter().map(BTreeMap::len).sum()
+    }
+
+    /// The ladder nodes per level (level 1 first), for persistence.
+    pub(crate) fn ladder_levels(&self) -> &[BTreeMap<u64, TierBucket>] {
+        &self.ladder.levels
+    }
+
+    /// Attaches decoded ladder nodes to a freshly rebuilt store, revalidating
+    /// every structural invariant a live ladder maintains: aligned power-of-two
+    /// spans inside the sealed retained window, capacity-bounded finite
+    /// entries, no duplicates, and rows/mass agreeing exactly with the covered
+    /// fine leaves. An image violating any of these is corrupt.
+    pub(crate) fn attach_ladder(&mut self, nodes: Vec<(u32, TierBucket)>) -> Result<(), String> {
+        if nodes.is_empty() {
+            return Ok(());
+        }
+        let max_level = ladder_max_level(self.config.fine_buckets);
+        let Some(newest) = self.newest_bucket() else {
+            return Err("ladder nodes without any fine bucket".into());
+        };
+        let min_live = self.min_live(newest);
+        for (level, node) in nodes {
+            if level == 0 || level > max_level {
+                return Err(format!("ladder level {level} is outside 1..={max_level}"));
+            }
+            let len = 1u64 << level;
+            if node.start % len != 0 {
+                return Err("ladder node start is not aligned to its level".into());
+            }
+            if node.start.checked_add(len) != Some(node.end) {
+                return Err("ladder node span disagrees with its level".into());
+            }
+            if node.start < min_live || node.end > newest {
+                return Err("ladder node is outside the sealed retained window".into());
+            }
+            if node.entries.len() > self.config.capacity {
+                return Err(format!(
+                    "ladder node holds {} entries over capacity {}",
+                    node.entries.len(),
+                    self.config.capacity
+                ));
+            }
+            let mut node_mass = 0.0f64;
+            for &(_, c) in &node.entries {
+                if !c.is_finite() || c < 0.0 {
+                    return Err(format!(
+                        "ladder node count {c} must be finite and non-negative"
+                    ));
+                }
+                node_mass += c;
+            }
+            // A node is a mass-conserving fold of the leaves it covers.
+            let covered = self
+                .fine
+                .iter()
+                .filter(|f| f.index >= node.start && f.index < node.end);
+            let mut leaf_rows = 0u64;
+            let mut leaf_mass = 0.0f64;
+            for f in covered {
+                leaf_rows += f.sketch.rows_processed();
+                leaf_mass += f.sketch.entries().iter().map(|&(_, c)| c).sum::<f64>();
+            }
+            if node.rows != leaf_rows {
+                return Err(format!(
+                    "ladder node claims {} rows but its leaves hold {leaf_rows}",
+                    node.rows
+                ));
+            }
+            if (node_mass - leaf_mass).abs() > 1e-6 * leaf_mass.max(1.0) {
+                return Err(format!(
+                    "ladder node mass {node_mass} disagrees with its leaves' {leaf_mass}"
+                ));
+            }
+            let idx = (level - 1) as usize;
+            if self.ladder.levels[idx].insert(node.start, node).is_some() {
+                return Err("duplicate ladder node".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Every retained bucket overlapping `[start, end)` with the fine window
+    /// served through the dyadic ladder: overlapping terminal/tier buckets as
+    /// in [`range_reports`](Self::range_reports), then the fine span covered
+    /// by O(log n) maximal pre-merged nodes plus boundary leaves, oldest
+    /// first. Missing nodes are (re)built on demand (hence `&mut`). The flag
+    /// is `true` when no ladder node was used — the report list is then
+    /// exactly what [`range_reports`](Self::range_reports) returns.
+    pub fn range_reports_dyadic(&mut self, start: u64, end: u64) -> (Vec<BucketReport>, bool) {
+        let mut out = Vec::new();
+        let mut used_ladder = false;
+        if start >= end {
+            return (out, true);
+        }
+        let overlaps = |s: u64, e: u64| s < end && e > start;
+        if let Some(term) = &self.terminal {
+            if overlaps(term.start, term.end) {
+                out.push(BucketReport {
+                    entries: term.entries.clone(),
+                    rows: term.rows,
+                });
+            }
+        }
+        for tier in self.tiers.iter().rev() {
+            for b in tier {
+                if overlaps(b.start, b.end) {
+                    out.push(BucketReport {
+                        entries: b.entries.clone(),
+                        rows: b.rows,
+                    });
+                }
+            }
+        }
+        let Some(newest) = self.newest_bucket() else {
+            return (out, true);
+        };
+        let min_live = self.min_live(newest);
+        let max_level = ladder_max_level(self.config.fine_buckets);
+        let lo = start.max(min_live);
+        let hi = end.min(newest.saturating_add(1));
+        let mut x = lo;
+        while x < hi {
+            // The largest aligned node starting at x that stays inside the
+            // range and the sealed region (nodes never cover `newest`).
+            let node_limit = hi.min(newest);
+            let mut level = 0u32;
+            if x < node_limit && max_level > 0 {
+                let align = x.trailing_zeros(); // 64 for x == 0; capped below
+                let span_room = (node_limit - x).ilog2();
+                level = align.min(span_room).min(max_level);
+            }
+            if level >= 1 && self.ensure_node(level, x) {
+                let node = &self.ladder.levels[(level - 1) as usize][&x];
+                if node.rows > 0 || !node.entries.is_empty() {
+                    out.push(BucketReport {
+                        entries: node.entries.clone(),
+                        rows: node.rows,
+                    });
+                    used_ladder = true;
+                }
+                x += 1u64 << level;
+            } else {
+                if let Some(r) = self.leaf_report(x) {
+                    out.push(r);
+                }
+                x += 1;
+            }
+        }
+        (out, !used_ladder)
+    }
+
+    /// The shard-side indexed range answer: at most **one** report. Ranges
+    /// touching a single retained bucket return it raw (flag `true` —
+    /// byte-identical to the leaf path); anything wider is pre-merged through
+    /// the dyadic decomposition into a single span report under deterministic
+    /// span-derived seeds, memoized at the applied-row watermark.
+    pub fn indexed_range_reports(&mut self, start: u64, end: u64) -> (Vec<BucketReport>, bool) {
+        if start >= end {
+            return (Vec::new(), true);
+        }
+        let at_rows = self.rows;
+        if let Some(memo) = self
+            .span_memo
+            .iter()
+            .find(|m| m.start == start && m.end == end && m.at_rows == at_rows)
+        {
+            return (vec![memo.report.clone()], false);
+        }
+        let (reports, raw) = self.range_reports_dyadic(start, end);
+        if reports.len() <= 1 {
+            return (reports, raw);
+        }
+        let salt = splitmix64(start ^ end.rotate_left(32));
+        let merged = fold_unbiased_multiway(
+            self.config.capacity,
+            self.config.seed ^ SPAN_MERGE_SALT ^ salt,
+            self.config.seed ^ SPAN_OUT_SALT ^ salt,
+            reports.into_iter().map(|r| (r.entries, r.rows)),
+        );
+        let report = BucketReport {
+            entries: merged.entries(),
+            rows: merged.rows_processed(),
+        };
+        self.span_memo.push_back(SpanMemo {
+            start,
+            end,
+            at_rows,
+            report: report.clone(),
+        });
+        while self.span_memo.len() > SPAN_MEMO_SLOTS {
+            self.span_memo.pop_front();
+        }
+        (vec![report], false)
+    }
+
+    /// Folds `[start, end)` through the dyadic index into one queryable
+    /// weighted sketch — the indexed counterpart of
+    /// [`fold_range`](Self::fold_range), matching the engine's fold choice:
+    /// a raw single-bucket answer uses the exact sequential fold, anything
+    /// pre-merged uses the one-reduction multiway fold.
+    #[must_use]
+    pub fn fold_range_indexed(
+        &mut self,
+        start: u64,
+        end: u64,
+        merge_seed: u64,
+        out_seed: u64,
+    ) -> WeightedSpaceSaving {
+        let (reports, raw) = self.indexed_range_reports(start, end);
+        let parts = reports.into_iter().map(|r| (r.entries, r.rows));
+        if raw {
+            fold_unbiased(self.config.capacity, merge_seed, out_seed, parts)
+        } else {
+            fold_unbiased_multiway(self.config.capacity, merge_seed, out_seed, parts)
+        }
+    }
+
     /// Rebuilds a store from persisted parts, rejecting images that violate the
     /// structural invariants (ascending spans, tier ordering, capacity bounds).
     pub(crate) fn from_parts(
@@ -633,6 +1110,8 @@ impl WindowedSketchStore {
             rows += sketch.rows_processed();
         }
         Ok(Self {
+            ladder: DyadicLadder::new(ladder_max_level(config.fine_buckets)),
+            span_memo: VecDeque::new(),
             config,
             fine: fine
                 .into_iter()
@@ -741,12 +1220,16 @@ pub enum TimeRange {
 enum TemporalMsg {
     /// A batch of `(item, timestamp)` rows for this shard.
     Rows(Vec<(u64, u64)>),
-    /// Report every retained bucket overlapping `[start, end)`, plus the
-    /// store's total applied row count (the cache-soundness watermark).
+    /// Report the retained buckets overlapping `[start, end)` — through the
+    /// dyadic index (at most one pre-merged report), or every leaf when
+    /// `leaf` is set — plus whether the reply is raw (byte-identical to the
+    /// leaf path) and the store's total applied row count (the
+    /// cache-soundness watermark).
     Range {
         start: u64,
         end: u64,
-        reply: Sender<(Vec<BucketReport>, u64)>,
+        leaf: bool,
+        reply: Sender<(Vec<BucketReport>, bool, u64)>,
     },
     /// Reply with a full clone of the shard's store for a durable checkpoint.
     Checkpoint(Sender<WindowedSketchStore>),
@@ -764,6 +1247,10 @@ struct CacheSlot {
     start: u64,
     end: u64,
     rows: u64,
+    /// The engine incarnation that folded this slot. `rows_enqueued` restarts
+    /// relative to bucket contents across a checkpoint/restore, so a slot is
+    /// only valid within the incarnation whose watermark keyed it.
+    generation: u64,
     snapshot: Arc<SketchSnapshot>,
 }
 
@@ -779,6 +1266,11 @@ pub struct TemporalIngestEngine {
     rows_enqueued: Arc<AtomicU64>,
     /// Largest timestamp enqueued so far (drives [`TimeRange::LastBuckets`]).
     max_time: Arc<AtomicU64>,
+    /// This incarnation's cache epoch (the snapshot counter at spawn): a fresh
+    /// engine starts at 0, a restored one at the manifest's counter. Tags
+    /// every [`CacheSlot`] so a slot keyed by another incarnation's
+    /// `rows_enqueued` watermark can never be served as a stale hit.
+    generation: u64,
     /// The merged-range cache: repeated range queries at the same ingest
     /// watermark return the identical snapshot without re-folding.
     range_cache: Mutex<VecDeque<CacheSlot>>,
@@ -826,6 +1318,10 @@ impl TemporalIngestEngine {
             snapshots: AtomicU64::new(snapshots),
             rows_enqueued: Arc::new(AtomicU64::new(rows_enqueued)),
             max_time: Arc::new(AtomicU64::new(max_time)),
+            generation: snapshots,
+            // Every spawn (fresh or restored) starts with a cleared cache;
+            // the generation tag above guards even hypothetical slot reuse
+            // across incarnations.
             range_cache: Mutex::new(VecDeque::new()),
         }
     }
@@ -900,10 +1396,13 @@ impl TemporalIngestEngine {
 
     /// Collects every shard's bucket reports for `[start, end)` (fine-bucket
     /// indices), in shard order, each shard's buckets oldest first, together
-    /// with the total rows the shards had *applied* when they reported. The
+    /// with whether *every* reply was raw (byte-identical to the leaf path)
+    /// and the total rows the shards had *applied* when they reported. The
     /// report request travels the shard FIFO queues, so all previously
-    /// enqueued batches are applied first.
-    fn collect_reports(&self, start: u64, end: u64) -> (Vec<BucketReport>, u64) {
+    /// enqueued batches are applied first. With `leaf` set the shards bypass
+    /// the dyadic index and report every overlapping bucket (the reference
+    /// path for equivalence tests and benchmarks).
+    fn collect_reports(&self, start: u64, end: u64, leaf: bool) -> (Vec<BucketReport>, bool, u64) {
         let receivers: Vec<_> = self
             .senders
             .iter()
@@ -913,6 +1412,7 @@ impl TemporalIngestEngine {
                     .send(TemporalMsg::Range {
                         start,
                         end,
+                        leaf,
                         reply: tx,
                     })
                     .expect("temporal shard worker disconnected");
@@ -920,26 +1420,49 @@ impl TemporalIngestEngine {
             })
             .collect();
         let mut reports = Vec::new();
+        let mut all_raw = true;
         let mut applied = 0u64;
         for rx in receivers {
-            let (shard_reports, shard_rows) =
+            let (shard_reports, raw, shard_rows) =
                 rx.recv().expect("temporal shard worker dropped its report");
             reports.extend(shard_reports);
+            all_raw &= raw;
             applied += shard_rows;
         }
-        (reports, applied)
+        (reports, all_raw, applied)
     }
 
     /// Folds the collected reports with the engine's salted snapshot seeds.
-    fn fold_collected(&self, reports: Vec<BucketReport>) -> WeightedSpaceSaving {
+    /// Raw (leaf-path) report sets use the exact sequential fold — preserving
+    /// every byte of the pre-ladder behaviour for single-bucket spans — while
+    /// pre-merged sets use the one-reduction multiway fold.
+    fn fold_collected(&self, reports: Vec<BucketReport>, raw: bool) -> WeightedSpaceSaving {
         let n = self.snapshots.fetch_add(1, Ordering::Relaxed);
         let salt = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let seed = self.config.window.seed;
+        let capacity = self.config.window.capacity;
+        let merge_seed = seed ^ 0xD15C0 ^ salt;
+        let out_seed = seed ^ 0xFEED ^ salt;
+        let parts = reports.into_iter().map(|r| (r.entries, r.rows));
+        if raw {
+            fold_unbiased(capacity, merge_seed, out_seed, parts)
+        } else {
+            fold_unbiased_multiway(capacity, merge_seed, out_seed, parts)
+        }
+    }
+
+    /// The deterministic well-formed answer for a range that resolves to no
+    /// buckets at all (`end <= start`, or nothing enqueued yet): an empty
+    /// weighted sketch under the engine's *unsalted* seeds. No shard
+    /// round-trip happens and no snapshot salt is consumed, so degenerate
+    /// polls never perturb the seed sequence of real queries.
+    fn empty_range_snapshot(&self) -> WeightedSpaceSaving {
+        let seed = self.config.window.seed;
         fold_unbiased(
             self.config.window.capacity,
-            seed ^ 0xD15C0 ^ salt,
-            seed ^ 0xFEED ^ salt,
-            reports.into_iter().map(|r| (r.entries, r.rows)),
+            seed ^ 0xD15C0,
+            seed ^ 0xFEED,
+            std::iter::empty(),
         )
     }
 
@@ -947,11 +1470,33 @@ impl TemporalIngestEngine {
     /// one queryable [`WeightedSpaceSaving`], without stopping ingest — the
     /// time-range analogue of [`crate::engine::ShardedIngestEngine::snapshot`],
     /// using the same salted merge-seed sequence (each call is an independent
-    /// draw of the merge's sampling step). Bypasses the range cache.
+    /// draw of the merge's sampling step). Served through the dyadic ladder,
+    /// so the cost is O(log window) node merges per shard (amortized O(1)
+    /// once built) regardless of the span width. Bypasses the range cache.
+    /// Degenerate ranges answer a well-formed empty snapshot.
     #[must_use]
     pub fn range_snapshot(&self, range: &TimeRange) -> WeightedSpaceSaving {
         let (start, end) = self.resolve_range(range);
-        self.fold_collected(self.collect_reports(start, end).0)
+        if start >= end {
+            return self.empty_range_snapshot();
+        }
+        let (reports, all_raw, _) = self.collect_reports(start, end, false);
+        self.fold_collected(reports, all_raw)
+    }
+
+    /// [`range_snapshot`](Self::range_snapshot) through the leaf-by-leaf fold,
+    /// bypassing the dyadic ladder entirely: every overlapping retained bucket
+    /// is folded sequentially, exactly as before the ladder existed. The
+    /// reference implementation that equivalence tests and benchmarks compare
+    /// ladder answers against.
+    #[must_use]
+    pub fn range_snapshot_leaf(&self, range: &TimeRange) -> WeightedSpaceSaving {
+        let (start, end) = self.resolve_range(range);
+        if start >= end {
+            return self.empty_range_snapshot();
+        }
+        let (reports, _, _) = self.collect_reports(start, end, true);
+        self.fold_collected(reports, true)
     }
 
     /// The cached form of [`range_snapshot`](Self::range_snapshot): repeated
@@ -962,19 +1507,24 @@ impl TemporalIngestEngine {
     #[must_use]
     pub fn range_capture(&self, range: &TimeRange) -> Arc<SketchSnapshot> {
         let (start, end) = self.resolve_range(range);
+        if start >= end {
+            // Degenerate ranges answer the deterministic empty snapshot
+            // directly — nothing worth caching, no salt consumed.
+            return Arc::new(self.empty_range_snapshot().snapshot());
+        }
         let rows = self.rows_enqueued();
+        let generation = self.generation;
         {
             let cache = self.range_cache.lock();
-            if let Some(slot) = cache
-                .iter()
-                .find(|s| s.start == start && s.end == end && s.rows == rows)
-            {
+            if let Some(slot) = cache.iter().find(|s| {
+                s.start == start && s.end == end && s.rows == rows && s.generation == generation
+            }) {
                 return Arc::clone(&slot.snapshot);
             }
         }
         // Fold outside the lock: captures are expensive, the cache is not.
-        let (reports, applied) = self.collect_reports(start, end);
-        let snapshot = Arc::new(self.fold_collected(reports).snapshot());
+        let (reports, all_raw, applied) = self.collect_reports(start, end, false);
+        let snapshot = Arc::new(self.fold_collected(reports, all_raw).snapshot());
         // Cache soundness: `rows_enqueued` is bumped *before* a batch is sent,
         // so a producer preempted between the two can leave a fold that misses
         // rows the watermark already counts. Only cache when the shards had
@@ -991,6 +1541,7 @@ impl TemporalIngestEngine {
                     start,
                     end,
                     rows,
+                    generation,
                     snapshot: Arc::clone(&snapshot),
                 });
                 while cache.len() > RANGE_CACHE_SLOTS {
@@ -1014,7 +1565,8 @@ impl TemporalIngestEngine {
 
     /// Writes a durable checkpoint of the whole engine into `dir`: one
     /// bucket-ring file per shard (fine buckets with full RNG + structure
-    /// images, compacted tiers, the terminal bucket) plus a temporal manifest.
+    /// images, compacted tiers, the terminal bucket, and the dyadic-ladder
+    /// nodes built so far) plus a temporal manifest.
     /// Quiesces each shard through its FIFO queue exactly as the non-temporal
     /// engine's checkpoint does; ingest continues afterwards.
     ///
@@ -1045,7 +1597,7 @@ impl TemporalIngestEngine {
             rows += store.rows_processed();
             persist::write_file(
                 &dir.join(Self::shard_file_name(shard)),
-                &persist::encode_temporal_shard(shard as u64, meta, store),
+                &persist::encode_temporal_shard_indexed(shard as u64, meta, store),
             )?;
         }
         let manifest = persist::TemporalManifest {
@@ -1298,11 +1850,27 @@ impl Drop for TemporalIngestHandle {
 
 /// The temporal shard worker loop: apply timestamped batches (rotating and
 /// compacting as time advances), answer range reports and checkpoint requests,
-/// and hand the final store back through the join handle.
+/// and hand the final store back through the join handle. Idle slots — the
+/// queue momentarily empty — go to building one dyadic-ladder node at a time,
+/// so the pre-merge index fills in without ever delaying a waiting batch by
+/// more than one node fold.
 fn run_worker(rx: Receiver<TemporalMsg>, mut store: WindowedSketchStore) -> WindowedSketchStore {
     // Scratch buffer for runs of equal timestamps, reused across batches.
     let mut run_items: Vec<u64> = Vec::new();
-    for msg in rx {
+    loop {
+        let msg = match rx.try_recv() {
+            Ok(msg) => msg,
+            Err(TryRecvError::Empty) => {
+                if store.ladder_idle_step() {
+                    continue;
+                }
+                match rx.recv() {
+                    Ok(msg) => msg,
+                    Err(_) => break,
+                }
+            }
+            Err(TryRecvError::Disconnected) => break,
+        };
         match msg {
             TemporalMsg::Rows(rows) => {
                 // Real batches are dominated by runs of equal timestamps;
@@ -1326,8 +1894,18 @@ fn run_worker(rx: Receiver<TemporalMsg>, mut store: WindowedSketchStore) -> Wind
                     i = j;
                 }
             }
-            TemporalMsg::Range { start, end, reply } => {
-                let _ = reply.send((store.range_reports(start, end), store.rows_processed()));
+            TemporalMsg::Range {
+                start,
+                end,
+                leaf,
+                reply,
+            } => {
+                let (reports, raw) = if leaf {
+                    (store.range_reports(start, end), true)
+                } else {
+                    store.indexed_range_reports(start, end)
+                };
+                let _ = reply.send((reports, raw, store.rows_processed()));
             }
             TemporalMsg::Checkpoint(reply) => {
                 let _ = reply.send(store.clone());
@@ -1557,6 +2135,279 @@ mod tests {
         assert_eq!(all.iter().map(|r| r.rows).sum::<u64>(), 2);
         let folded = s.fold_range(0, u64::MAX, 1, 2);
         assert_eq!(folded.rows_processed(), 2);
+    }
+
+    /// Runs the worker's idle builder to quiescence and returns how many nodes
+    /// it built, so tests can exercise the same code path the shard threads do.
+    fn build_ladder(s: &mut WindowedSketchStore) -> usize {
+        let mut steps = 0;
+        while s.ladder_idle_step() {
+            steps += 1;
+            assert!(steps < 10_000, "idle builder failed to reach quiescence");
+        }
+        s.ladder_node_count()
+    }
+
+    /// Total rows held by the fine buckets covering `[start, end)`.
+    fn leaf_rows(s: &WindowedSketchStore, start: u64, end: u64) -> u64 {
+        s.fine_sketches()
+            .filter(|&(i, _)| i >= start && i < end)
+            .map(|(_, sk)| sk.rows_processed())
+            .sum()
+    }
+
+    #[test]
+    fn idle_steps_build_every_sealed_aligned_node_exactly_once() {
+        // 8 fine buckets, all retained (window wider than the stream): newest
+        // is 7, so sealed buckets are 0..7. Level 1 can host [0,2), [2,4) and
+        // [4,6) ([6,8) would cover the open bucket); level 2 only [0,4);
+        // level 3 nothing. Every node's rows must equal its leaves' exactly.
+        let mut s = store(1, 8, 1, 2);
+        for ts in 0u64..8 {
+            for _ in 0..(ts + 1) * 3 {
+                s.offer_at(ts % 5, ts);
+            }
+        }
+        assert_eq!(ladder_max_level(8), 2);
+        assert_eq!(build_ladder(&mut s), 4);
+        for (idx, level) in s.ladder_levels().iter().enumerate() {
+            let len = 1u64 << (idx + 1);
+            for (&start, node) in level {
+                assert_eq!(start % len, 0, "level {} start {start}", idx + 1);
+                assert_eq!(node.end, start + len);
+                assert_eq!(node.rows, leaf_rows(&s, node.start, node.end));
+                let mass: f64 = node.entries.iter().map(|&(_, c)| c).sum();
+                assert!((mass - node.rows as f64).abs() < 1e-6);
+            }
+        }
+        // A second pass is a no-op: everything buildable is already built.
+        assert!(!s.ladder_idle_step());
+    }
+
+    #[test]
+    fn dyadic_reports_conserve_rows_and_match_the_leaf_path_when_raw() {
+        let mut s = store(1, 16, 2, 4);
+        for ts in 0u64..16 {
+            for i in 0..20u64 {
+                s.offer_at(i % 9, ts);
+            }
+        }
+        build_ladder(&mut s);
+        // A wide range goes through pre-merged nodes (flag false) and
+        // conserves the covered rows exactly.
+        let (wide, raw) = s.range_reports_dyadic(0, 16);
+        assert!(!raw, "a 16-bucket span must use the ladder");
+        assert_eq!(wide.iter().map(|r| r.rows).sum::<u64>(), 16 * 20);
+        // A single-bucket range is answered raw, byte-identical to the
+        // pre-ladder leaf path.
+        let (one, raw) = s.range_reports_dyadic(15, 16);
+        assert!(raw);
+        assert_eq!(one, s.range_reports(15, 16));
+        // Degenerate ranges are empty and raw.
+        let (none, raw) = s.range_reports_dyadic(5, 5);
+        assert!(none.is_empty() && raw);
+    }
+
+    #[test]
+    fn out_of_order_rows_invalidate_exactly_the_covering_nodes() {
+        let mut s = store(1, 8, 1, 2);
+        for ts in 0u64..8 {
+            s.offer_at(ts, ts);
+        }
+        assert_eq!(build_ladder(&mut s), 4);
+        // A late in-window row lands in sealed bucket 1: the covering nodes
+        // ([0,2) at level 1, [0,4) at level 2) are dropped, the others stay.
+        s.offer_at(99, 1);
+        assert_eq!(s.ladder_node_count(), 2);
+        // Rebuilt nodes reflect the mutated leaf — the dyadic answer stays
+        // exactly mass-conserving.
+        let (reports, _) = s.range_reports_dyadic(0, 8);
+        assert_eq!(reports.iter().map(|r| r.rows).sum::<u64>(), 9);
+        assert_eq!(s.ladder_node_count(), 4);
+    }
+
+    #[test]
+    fn rotation_retires_expired_nodes_without_touching_live_ones() {
+        let mut s = store(1, 8, 1, 2);
+        for ts in 0u64..8 {
+            s.offer_at(ts, ts);
+        }
+        assert_eq!(build_ladder(&mut s), 4);
+        // Advancing to bucket 9 drops buckets 0 and 1 out of the window
+        // (min_live 2): node [0,2) and the level-2 [0,4) start below the floor
+        // and retire; [2,4) and [4,6) survive.
+        s.offer_at(1, 9);
+        assert_eq!(s.ladder_node_count(), 2);
+        for (idx, level) in s.ladder_levels().iter().enumerate() {
+            for (&start, node) in level {
+                assert!(start >= 2, "level {} node {start} escaped retirement", idx + 1);
+                assert_eq!(node.rows, leaf_rows(&s, node.start, node.end));
+            }
+        }
+        // The idle builder resumes past the retired spans and re-covers the
+        // newly sealed buckets.
+        build_ladder(&mut s);
+        let (reports, _) = s.range_reports_dyadic(0, u64::MAX);
+        let total: u64 = reports.iter().map(|r| r.rows).sum();
+        assert_eq!(total, 9);
+    }
+
+    #[test]
+    fn indexed_reports_premerge_wide_spans_into_one_memoized_report() {
+        let mut s = store(1, 16, 2, 4);
+        for ts in 0u64..16 {
+            for i in 0..15u64 {
+                s.offer_at(i, ts);
+            }
+        }
+        let (first, raw) = s.indexed_range_reports(0, 16);
+        assert!(!raw);
+        assert_eq!(first.len(), 1, "wide spans answer with one span report");
+        assert_eq!(first[0].rows, 16 * 15);
+        // Same span at the same watermark: the memo returns the identical
+        // report without re-merging.
+        let (again, raw) = s.indexed_range_reports(0, 16);
+        assert!(!raw);
+        assert_eq!(again, first);
+        // Ingest moves the watermark; the memo self-invalidates.
+        s.offer_at(7, 15);
+        let (fresh, _) = s.indexed_range_reports(0, 16);
+        assert_eq!(fresh[0].rows, 16 * 15 + 1);
+    }
+
+    #[test]
+    fn single_bucket_indexed_fold_is_bit_identical_to_the_leaf_fold() {
+        // The no-regression guarantee: a span touching one retained bucket
+        // takes the raw path, so the indexed fold is the exact sequential fold
+        // — same bytes, not merely the same distribution.
+        let mut s = store(1, 8, 1, 2);
+        for ts in 0u64..8 {
+            for i in 0..50u64 {
+                s.offer_at(i % 40, ts);
+            }
+        }
+        build_ladder(&mut s);
+        for b in 0..8u64 {
+            let indexed = s.fold_range_indexed(b, b + 1, 11, 13);
+            let leaf = s.fold_range(b, b + 1, 11, 13);
+            assert_eq!(indexed.entries(), leaf.entries(), "bucket {b}");
+            assert_eq!(indexed.rows_processed(), leaf.rows_processed());
+        }
+    }
+
+    #[test]
+    fn dyadic_walk_survives_the_maximal_bucket_index() {
+        // Regression companion to the maximal-timestamp clamp: the dyadic
+        // walk's span arithmetic (x + 2^level, next_multiple_of) must not
+        // overflow when the newest bucket is u64::MAX - 1.
+        let mut s = store(1, 4, 1, 2);
+        s.offer_at(42, u64::MAX);
+        s.offer_at(43, u64::MAX - 1);
+        build_ladder(&mut s);
+        let (reports, _) = s.range_reports_dyadic(0, u64::MAX);
+        assert_eq!(reports.iter().map(|r| r.rows).sum::<u64>(), 2);
+        let folded = s.fold_range_indexed(0, u64::MAX, 1, 2);
+        assert_eq!(folded.rows_processed(), 2);
+    }
+
+    #[test]
+    fn attach_ladder_rejects_images_that_disagree_with_the_leaves() {
+        let mut s = store(1, 8, 1, 2);
+        for ts in 0u64..8 {
+            s.offer_at(ts, ts);
+        }
+        // A canonical node image attaches cleanly.
+        let good = s.ladder_node_fold(
+            0,
+            2,
+            [0u64, 1].iter().filter_map(|&b| s.leaf_report(b)).collect(),
+        );
+        assert!(s.attach_ladder(vec![(1, good.clone())]).is_ok());
+        // Duplicates, misalignment, bad levels, rows disagreeing with the
+        // leaves, and spans over the open bucket are all corrupt.
+        assert!(s.attach_ladder(vec![(1, good.clone())]).is_err(), "duplicate");
+        let mut s2 = store(1, 8, 1, 2);
+        for ts in 0u64..8 {
+            s2.offer_at(ts, ts);
+        }
+        let mut wrong_rows = good.clone();
+        wrong_rows.rows += 1;
+        assert!(s2.attach_ladder(vec![(1, wrong_rows)]).is_err(), "rows");
+        let mut misaligned = good.clone();
+        misaligned.start = 1;
+        misaligned.end = 3;
+        assert!(s2.attach_ladder(vec![(1, misaligned)]).is_err(), "alignment");
+        assert!(s2.attach_ladder(vec![(0, good.clone())]).is_err(), "level 0");
+        assert!(s2.attach_ladder(vec![(9, good.clone())]).is_err(), "level 9");
+        let open = TierBucket {
+            start: 6,
+            end: 8,
+            rows: leaf_rows(&s2, 6, 8),
+            entries: Vec::new(),
+        };
+        assert!(s2.attach_ladder(vec![(1, open)]).is_err(), "covers the open bucket");
+    }
+
+    #[test]
+    fn late_batch_accounting_matches_per_row_offers_exactly() {
+        // Satellite check: a clamped batch must account late rows per item,
+        // identically to offering each row alone — counters and sketch bytes.
+        let mut a = store(10, 3, 1, 2);
+        let mut b = store(10, 3, 1, 2);
+        a.offer_at(1, 50);
+        b.offer_at(1, 50);
+        let late_items: Vec<u64> = (0..40u64).collect();
+        a.offer_batch_at(&late_items, 5); // bucket 0: older than the window
+        for &item in &late_items {
+            b.offer_at(item, 5);
+        }
+        assert_eq!(a.late_rows(), 40);
+        assert_eq!(a.late_rows(), b.late_rows());
+        assert_eq!(a.rows_processed(), b.rows_processed());
+        let ea: Vec<_> = a.fine_sketches().map(|(i, sk)| (i, sk.entries())).collect();
+        let eb: Vec<_> = b.fine_sketches().map(|(i, sk)| (i, sk.entries())).collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn degenerate_ranges_answer_a_well_formed_empty_snapshot() {
+        // Satellite regression: `Between { start: 7, end: 7 }` resolves to
+        // (0, 0) — the engine must answer a deterministic empty sketch, not
+        // fold whatever overlaps (0, 0) or consume a snapshot salt.
+        let engine = TemporalIngestEngine::new(TemporalConfig::new(2, 32, 5, 10, 8));
+        let mut handle = engine.handle();
+        for ts in 0u64..50 {
+            handle.offer_at(ts % 6, ts);
+        }
+        handle.flush();
+        for range in [
+            TimeRange::Between { start: 7, end: 7 },
+            TimeRange::Between { start: 9, end: 3 },
+            TimeRange::LastBuckets(0),
+        ] {
+            let snap = engine.range_snapshot(&range);
+            assert_eq!(snap.rows_processed(), 0, "{range:?}");
+            assert!(snap.entries().is_empty(), "{range:?}");
+            assert_eq!(snap.total_weight(), 0.0, "{range:?}");
+            let leaf = engine.range_snapshot_leaf(&range);
+            assert_eq!(leaf.entries(), snap.entries(), "{range:?}");
+            let captured = engine.range_capture(&range);
+            assert_eq!(captured.rows_processed(), 0, "{range:?}");
+            assert!(captured.entries().is_empty(), "{range:?}");
+        }
+        // None of those consumed a salt: the next real snapshot still matches
+        // a twin engine that never saw a degenerate poll.
+        let twin = TemporalIngestEngine::new(TemporalConfig::new(2, 32, 5, 10, 8));
+        let mut th = twin.handle();
+        for ts in 0u64..50 {
+            th.offer_at(ts % 6, ts);
+        }
+        th.flush();
+        let a = engine.range_snapshot(&TimeRange::All);
+        let b = twin.range_snapshot(&TimeRange::All);
+        assert_eq!(a.entries(), b.entries());
+        let _ = engine.finish();
+        let _ = twin.finish();
     }
 
     #[test]

@@ -188,6 +188,48 @@ proptest! {
         prop_assert_eq!(store.last_time(), decoded.last_time());
     }
 
+    /// Ladder-bearing temporal frames (kind 8) round-trip to a store with the
+    /// identical dyadic ladder and keep behaving identically — and the codec
+    /// is canonical: re-encoding the decoded store yields the same bytes.
+    #[test]
+    fn temporal_ladder_shard_round_trip_is_byte_canonical(
+        stream in vec((0u64..120, 0u64..64), 1..400),
+        suffix in vec((0u64..120, 40u64..80), 0..150),
+        capacity in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let config = TemporalConfig::new(1, capacity, seed, 4, 8).with_retention(2, 2);
+        let mut store = WindowedSketchStore::new(WindowConfig {
+            seed,
+            ..config.window
+        });
+        for &(item, ts) in &stream {
+            store.offer_at(item, ts);
+        }
+        // Build the ladder the way a queried shard would.
+        let _ = store.indexed_range_reports(0, u64::MAX);
+        let meta = persist::TemporalMeta::from_config(&config);
+        let bytes = persist::encode_temporal_shard_indexed(0, meta, &store);
+        prop_assert_eq!(
+            persist::peek_kind(&bytes).unwrap(),
+            persist::SketchKind::TemporalLadderShard
+        );
+        let (shard, back_meta, mut decoded) = persist::decode_temporal_shard(&bytes).unwrap();
+        prop_assert_eq!(shard, 0);
+        prop_assert_eq!(back_meta, meta);
+        prop_assert_eq!(decoded.ladder_node_count(), store.ladder_node_count());
+        prop_assert_eq!(persist::encode_temporal_shard_indexed(0, meta, &decoded), bytes);
+        for &(item, ts) in &suffix {
+            store.offer_at(item, ts);
+            decoded.offer_at(item, ts);
+        }
+        let fa: Vec<_> = store.fine_sketches().map(|(i, sk)| (i, sk.entries())).collect();
+        let fb: Vec<_> = decoded.fine_sketches().map(|(i, sk)| (i, sk.entries())).collect();
+        prop_assert_eq!(fa, fb);
+        prop_assert_eq!(store.late_rows(), decoded.late_rows());
+        prop_assert_eq!(store.last_time(), decoded.last_time());
+    }
+
     /// Truncating a valid decayed or temporal frame at any point yields an
     /// error, never a panic — the totality guarantee extends to the new kinds.
     #[test]
@@ -206,10 +248,12 @@ proptest! {
             decayed.offer_at(item, t);
             store.offer_at(item, ts);
         }
+        let _ = store.indexed_range_reports(0, u64::MAX);
         let meta = persist::TemporalMeta::from_config(&config);
         for bytes in [
             persist::encode_decayed(&decayed),
             persist::encode_temporal_shard(0, meta, &store),
+            persist::encode_temporal_shard_indexed(0, meta, &store),
         ] {
             let len = ((bytes.len() - 1) as f64 * cut) as usize;
             prop_assert!(persist::decode_decayed(&bytes[..len]).is_err());
@@ -236,10 +280,12 @@ proptest! {
             decayed.offer_at(item, t);
             store.offer_at(item, ts);
         }
+        let _ = store.indexed_range_reports(0, u64::MAX);
         let meta = persist::TemporalMeta::from_config(&config);
         for mut bytes in [
             persist::encode_decayed(&decayed),
             persist::encode_temporal_shard(0, meta, &store),
+            persist::encode_temporal_shard_indexed(0, meta, &store),
         ] {
             let idx = ((bytes.len() - 1) as f64 * byte_frac) as usize;
             bytes[idx] ^= 1 << bit;
@@ -265,7 +311,7 @@ proptest! {
     /// Garbage prefixed with a valid header shell still never panics, exercising
     /// the payload readers rather than the frame gate.
     #[test]
-    fn framed_garbage_never_panics(payload in vec(any::<u8>(), 0..400), kind in 0u8..8) {
+    fn framed_garbage_never_panics(payload in vec(any::<u8>(), 0..400), kind in 0u8..9) {
         // Hand-build a frame with a correct magic/version/len/CRC around a random
         // payload, so decoding reaches the kind-specific parsing and validation.
         let mut bytes = Vec::new();

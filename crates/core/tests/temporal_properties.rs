@@ -398,6 +398,285 @@ fn checkpoint_restore_continue_matches_an_uninterrupted_run_exactly() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// A cheap deterministic mixer for "random" interleavings without an RNG dep.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn ladder_answers_conserve_mass_for_random_interleavings() {
+    // Random rotation/out-of-order/query interleavings: every resolvable range
+    // answered through the ladder reports exactly the rows the leaf path
+    // reports, and its total mass equals those rows to float precision. The
+    // ladder may re-sample *which* items carry the mass — never how much.
+    for seed in 0..8u64 {
+        let mut store = WindowedSketchStore::new(
+            WindowConfig::new(24, seed, 1, 16).with_retention(2, 3),
+        );
+        let mut clock = 0u64;
+        for step in 0..3_000u64 {
+            let r = mix(seed ^ (step << 8));
+            match r % 10 {
+                // Mostly in-order rows; the clock drifts forward.
+                0..=6 => {
+                    clock += u64::from(r.is_multiple_of(7));
+                    store.offer_at(r >> 32, clock);
+                }
+                // Out-of-order rows, some inside the window, some late.
+                7 | 8 => store.offer_at(r >> 32, clock.saturating_sub(r % 40)),
+                // A range query through the ladder at a random span.
+                _ => {
+                    let width = 1 + r % 16;
+                    let start = clock.saturating_sub(width);
+                    let (reports, _) = store.indexed_range_reports(start, start + width);
+                    let leaf_rows: u64 = store
+                        .range_reports(start, start + width)
+                        .iter()
+                        .map(|b| b.rows)
+                        .sum();
+                    let rows: u64 = reports.iter().map(|b| b.rows).sum();
+                    assert_eq!(rows, leaf_rows, "seed {seed} step {step}");
+                    let mass: f64 = reports
+                        .iter()
+                        .flat_map(|b| &b.entries)
+                        .map(|&(_, c)| c)
+                        .sum();
+                    assert!(
+                        (mass - rows as f64).abs() < 1e-6 * (rows as f64).max(1.0),
+                        "seed {seed} step {step}: mass {mass} vs rows {rows}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ladder_estimates_are_statistically_indistinguishable_from_leaf_folds() {
+    // Item 7 receives exactly 30 extra rows in each of buckets 2, 3, 4. Over
+    // 60 sketch seeds, the ladder fold of [2, 5) must (a) stay unbiased
+    // against the truth and (b) be indistinguishable from the leaf fold: the
+    // paired per-seed differences must not drift from zero. Both are z-tests
+    // at |z| < 4 — the deterministic stream means only sketch/merge RNG varies.
+    let rows = hot_item_stream(10, 300, 2, 5, 30);
+    let truth = 3.0 * 30.0;
+    let seeds = 60;
+    let mut ladder_estimates = Vec::with_capacity(seeds);
+    let mut diffs = Vec::with_capacity(seeds);
+    for seed in 0..seeds as u64 {
+        // A window wide enough to keep buckets 2..5 fine and sealed, so the
+        // range decomposes into the level-1 node [2, 4) plus leaf 4.
+        let mut store = WindowedSketchStore::new(
+            WindowConfig::new(16, seed, 1, 12).with_retention(2, 4),
+        );
+        for &(item, b) in &rows {
+            store.offer_at(item, b);
+        }
+        let ladder = store.fold_range_indexed(2, 5, seed ^ 0xAAAA, seed ^ 0xBBBB);
+        let leaf = store.fold_range(2, 5, seed ^ 0xAAAA, seed ^ 0xBBBB);
+        assert_eq!(ladder.rows_processed(), 3 * 300 + 3 * 30);
+        assert_eq!(ladder.rows_processed(), leaf.rows_processed());
+        ladder_estimates.push(ladder.estimate(7));
+        diffs.push(ladder.estimate(7) - leaf.estimate(7));
+    }
+    let z_of = |xs: &[f64], target: f64| {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        (mean - target) / (var / n).sqrt().max(1e-9)
+    };
+    let z_truth = z_of(&ladder_estimates, truth);
+    assert!(
+        z_truth.abs() < 4.0,
+        "ladder fold is biased: z = {z_truth:.2} against truth {truth}"
+    );
+    let z_leaf = z_of(&diffs, 0.0);
+    assert!(
+        z_leaf.abs() < 4.0,
+        "ladder and leaf folds drift apart: z = {z_leaf:.2}"
+    );
+}
+
+#[test]
+fn straddling_batches_account_late_rows_per_item() {
+    // One enqueued batch straddles the window boundary: rows at the leading
+    // edge advance the window and retroactively make the batch's oldest rows
+    // late. Accounting must be per item — identical, row for row and byte for
+    // byte, to offering the same rows one at a time.
+    let config = TemporalConfig::new(2, 32, 13, 10, 4).with_batch_rows(4096);
+    let batched = TemporalIngestEngine::new(config);
+    let single = TemporalIngestEngine::new(config);
+    let mut rows: Vec<(u64, u64)> = Vec::new();
+    for ts in 0u64..80 {
+        for i in 0..10u64 {
+            rows.push((i * 31 + ts, ts));
+        }
+    }
+    // The straddle: rows behind the (now advanced) window mixed with live
+    // ones, inside one batch.
+    for k in 0..50u64 {
+        rows.push((k, k % 100));
+    }
+    let mut bh = batched.handle();
+    bh.offer_batch_at(&rows);
+    bh.flush();
+    drop(bh);
+    let mut sh = single.handle();
+    for &(item, ts) in &rows {
+        sh.offer_at(item, ts);
+        sh.flush();
+    }
+    drop(sh);
+    let sa = batched.finish_stores();
+    let sb = single.finish_stores();
+    let late: u64 = sa.iter().map(WindowedSketchStore::late_rows).sum();
+    assert!(late > 0, "the stream must actually straddle the window");
+    for (x, y) in sa.iter().zip(&sb) {
+        assert_eq!(x.rows_processed(), y.rows_processed());
+        assert_eq!(x.late_rows(), y.late_rows());
+        let fx: Vec<_> = x.fine_sketches().map(|(i, sk)| (i, sk.entries())).collect();
+        let fy: Vec<_> = y.fine_sketches().map(|(i, sk)| (i, sk.entries())).collect();
+        assert_eq!(fx, fy);
+    }
+}
+
+#[test]
+fn degenerate_ranges_serve_every_query_variant_with_finite_zeros() {
+    // The range path's empty-snapshot contract: a served range that resolves
+    // to no buckets (end <= start, or entirely before history) must answer
+    // all five query variants with finite zeros — never NaN, never a panic —
+    // exactly like a server over a 0-row source.
+    let engine = TemporalIngestEngine::new(TemporalConfig::new(2, 32, 3, 10, 6));
+    let mut handle = engine.handle();
+    for ts in 60u64..120 {
+        handle.offer_at(ts % 9, ts);
+    }
+    handle.flush();
+    for range in [
+        TimeRange::Between { start: 7, end: 7 },
+        TimeRange::Between { start: 9, end: 3 },
+        TimeRange::LastBuckets(0),
+        // Pre-history: resolvable, but no retained bucket overlaps it.
+        TimeRange::Between { start: 0, end: 30 },
+    ] {
+        let server = QueryServer::new(engine.range_source(range), QueryServerConfig::new());
+        let items: Vec<u64> = vec![1, 2, 3];
+        for query in [
+            Query::SubsetSum { items: items.clone() },
+            Query::Proportion { items: items.clone() },
+        ] {
+            let response = server.execute(&query);
+            assert_eq!(response.rows, 0, "{range:?} {query:?}");
+            let QueryAnswer::Estimate { estimate, ci } = response.answer else {
+                panic!("{range:?} {query:?} must answer with an estimate")
+            };
+            assert_eq!(estimate.sum, 0.0, "{range:?} {query:?}");
+            assert_eq!(estimate.variance, 0.0, "{range:?} {query:?}");
+            assert!(ci.lower.is_finite() && ci.upper.is_finite(), "{range:?} {query:?}");
+            assert_eq!((ci.lower, ci.upper), (0.0, 0.0), "{range:?} {query:?}");
+        }
+        assert_eq!(
+            server.execute(&Query::TopK { k: 5 }).answer,
+            QueryAnswer::Items(vec![]),
+            "{range:?}"
+        );
+        assert_eq!(
+            server.execute(&Query::FrequentItems { phi: 0.01 }).answer,
+            QueryAnswer::Items(vec![]),
+            "{range:?}"
+        );
+        assert_eq!(
+            server.execute(&Query::RankQuantile { q: 0.5 }).answer,
+            QueryAnswer::Rank(None),
+            "{range:?}"
+        );
+        assert!(server.marginals(|item| Some(item % 4)).is_empty(), "{range:?}");
+    }
+    let _ = engine.finish();
+}
+
+#[test]
+fn ladder_bearing_checkpoint_restore_continues_bit_compatibly() {
+    // A checkpoint taken mid-stream carries the dyadic-ladder nodes built so
+    // far (frame kind 8). The restored engine must continue bit-compatibly
+    // with the uninterrupted one across *wide* ranges — the answers that
+    // actually travel through the ladder and its span-derived seeds — and the
+    // range cache must never serve a pre-restore snapshot (its slots are
+    // generation-tagged; a fresh incarnation starts empty).
+    let dir = std::env::temp_dir().join(format!("uss-ladder-ckpt-{}", std::process::id()));
+    let config = TemporalConfig::new(2, 32, 21, 5, 16)
+        .with_retention(2, 2)
+        .with_batch_rows(64);
+    let first: Vec<(u64, u64)> = (0..6_000u64).map(|i| (i % 90, i / 50)).collect();
+    let second: Vec<(u64, u64)> = (0..6_000u64).map(|i| ((i * 3) % 90, 120 + i / 50)).collect();
+
+    let uninterrupted = TemporalIngestEngine::new(config);
+    let mut handle = uninterrupted.handle();
+    handle.offer_batch_at(&first);
+    handle.flush();
+    // A wide pre-checkpoint query builds ladder nodes in every shard (and
+    // advances the salt counter), so the checkpoint is genuinely
+    // ladder-bearing. Cached too: the restored engine must not reuse it.
+    let wide = TimeRange::LastBuckets(12);
+    let pre = uninterrupted.range_capture(&wide);
+    assert!(pre.rows_processed() > 0);
+    uninterrupted.checkpoint(&dir).unwrap();
+    handle.offer_batch_at(&second);
+    handle.flush();
+    drop(handle);
+
+    // The shard files really are the new ladder frame kind.
+    for shard in 0..config.shards {
+        let bytes = std::fs::read(dir.join(TemporalIngestEngine::shard_file_name(shard))).unwrap();
+        assert_eq!(
+            uss_core::persist::peek_kind(&bytes).unwrap(),
+            uss_core::persist::SketchKind::TemporalLadderShard,
+            "shard {shard}"
+        );
+    }
+
+    let restored = TemporalIngestEngine::restore(&dir, config).unwrap();
+    // The cache regression: this capture carries the *same* (range, rows)
+    // key the pre-checkpoint capture was cached under, but the restored
+    // incarnation must fold fresh — its own salt draw, not the old bytes.
+    let cb = restored.range_capture(&wide);
+    assert_eq!(cb.rows_processed(), pre.rows_processed());
+    assert_ne!(cb.entries(), pre.entries(), "restored capture replayed a stale slot");
+    // The fresh-generation cache works on its own terms.
+    assert!(Arc::ptr_eq(&cb, &restored.range_capture(&wide)));
+    // Keep the salt counters in step for the bit-compat comparison below.
+    let _ = uninterrupted.range_snapshot(&wide);
+
+    let mut handle = restored.handle();
+    handle.offer_batch_at(&second);
+    handle.flush();
+    drop(handle);
+
+    // Wide (ladder-served) and narrow (raw) post-checkpoint answers continue
+    // the same salted sequence bit for bit.
+    for range in [
+        TimeRange::LastBuckets(12),
+        TimeRange::LastBuckets(16),
+        TimeRange::LastBuckets(1),
+        TimeRange::All,
+    ] {
+        let a = uninterrupted.range_snapshot(&range);
+        let b = restored.range_snapshot(&range);
+        assert_eq!(a.entries(), b.entries(), "{range:?}");
+        assert_eq!(a.rows_processed(), b.rows_processed(), "{range:?}");
+    }
+    // The capture path agrees at the new watermark too.
+    let ca = uninterrupted.range_capture(&wide);
+    let cc = restored.range_capture(&wide);
+    assert_eq!(ca.entries(), cc.entries());
+    std::fs::remove_dir_all(&dir).unwrap();
+    let _ = uninterrupted.finish();
+    let _ = restored.finish();
+}
+
 #[test]
 fn decayed_sketch_serves_through_the_query_layer() {
     // The smooth-decay alternative to hard windows: a DecayedSpaceSaving behind

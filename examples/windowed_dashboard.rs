@@ -8,7 +8,9 @@
 //! the current phase's hot keys, while a whole-history query still answers —
 //! coarser with age — from the same engine. This is the workload shape the
 //! whole-stream sketches cannot express: "top-k over the last hour" next to
-//! "total since launch".
+//! "total since launch". Both widths are cheap: each shard serves ranges
+//! through its dyadic pre-merge ladder, so a wide sweep costs O(log window)
+//! node folds rather than one fold per bucket.
 //!
 //! Run with:
 //!
