@@ -26,12 +26,16 @@ use uss_core::engine::{EngineConfig, ShardedIngestEngine};
 use uss_core::{StreamSketch, UnbiasedSpaceSaving};
 use uss_workloads::{shuffled_stream, FrequencyDistribution};
 
-/// One measured configuration.
+/// One measured configuration. `rows_per_sec`/`elapsed_sec` are the best rep (the
+/// standard noise-stripped figure); the min/max pair spans all reps so a trajectory
+/// file also records how noisy the machine was.
 struct Measurement {
     name: &'static str,
     description: String,
     rows_per_sec: f64,
     elapsed_sec: f64,
+    min_rows_per_sec: f64,
+    max_rows_per_sec: f64,
 }
 
 struct Options {
@@ -111,18 +115,46 @@ fn build_stream(opts: &Options) -> Vec<u64> {
     shuffled_stream(&counts, &mut rng)
 }
 
-/// Runs `f` `reps` times and returns the best (smallest) elapsed seconds — the
-/// standard way to strip scheduler noise from a throughput figure.
-fn best_elapsed<F: FnMut() -> u64>(reps: usize, rows: usize, mut f: F) -> (f64, f64) {
-    let mut best = f64::INFINITY;
+/// Per-rep timing spread: best (smallest) and worst (largest) elapsed seconds.
+struct RepSpread {
+    best: f64,
+    worst: f64,
+}
+
+/// Runs `f` `reps` times and returns the elapsed-time spread. The best rep is the
+/// standard noise-stripped throughput figure; the worst bounds the noise band.
+fn measure_reps<F: FnMut() -> u64>(reps: usize, rows: usize, mut f: F) -> RepSpread {
+    let mut spread = RepSpread {
+        best: f64::INFINITY,
+        worst: 0.0,
+    };
     for _ in 0..reps {
         let start = Instant::now();
         let processed = f();
         let elapsed = start.elapsed().as_secs_f64();
         assert_eq!(processed, rows as u64, "a run dropped rows");
-        best = best.min(elapsed);
+        spread.best = spread.best.min(elapsed);
+        spread.worst = spread.worst.max(elapsed);
     }
-    (rows as f64 / best, best)
+    spread
+}
+
+/// Builds a [`Measurement`] from a spread: throughput from the best rep, the
+/// min/max band across all reps.
+fn measurement(
+    name: &'static str,
+    description: String,
+    rows: usize,
+    spread: &RepSpread,
+) -> Measurement {
+    Measurement {
+        name,
+        description,
+        rows_per_sec: rows as f64 / spread.best,
+        elapsed_sec: spread.best,
+        min_rows_per_sec: rows as f64 / spread.worst,
+        max_rows_per_sec: rows as f64 / spread.best,
+    }
 }
 
 fn run_engine(rows: &[u64], config: EngineConfig) -> u64 {
@@ -143,62 +175,62 @@ fn main() {
 
     let mut results: Vec<Measurement> = Vec::new();
 
-    let (rps, elapsed) = best_elapsed(opts.reps, n, || {
+    let spread = measure_reps(opts.reps, n, || {
         let mut sketch = UnbiasedSpaceSaving::with_seed(opts.bins, opts.seed);
         for &item in &rows {
             sketch.offer(item);
         }
         sketch.rows_processed()
     });
-    results.push(Measurement {
-        name: "single_thread_unbatched",
-        description: "one offer() call per row".into(),
-        rows_per_sec: rps,
-        elapsed_sec: elapsed,
-    });
+    results.push(measurement(
+        "single_thread_unbatched",
+        "one offer() call per row".into(),
+        n,
+        &spread,
+    ));
 
-    let (rps, elapsed) = best_elapsed(opts.reps, n, || {
+    let spread = measure_reps(opts.reps, n, || {
         let mut sketch = UnbiasedSpaceSaving::with_seed(opts.bins, opts.seed);
         for chunk in rows.chunks(4096) {
             sketch.offer_batch(chunk);
         }
         sketch.rows_processed()
     });
-    results.push(Measurement {
-        name: "single_thread_batched",
-        description: "offer_batch() over 4096-row chunks (row-exact)".into(),
-        rows_per_sec: rps,
-        elapsed_sec: elapsed,
-    });
+    results.push(measurement(
+        "single_thread_batched",
+        "offer_batch() over 4096-row chunks (row-exact)".into(),
+        n,
+        &spread,
+    ));
 
-    let (rps, elapsed) = best_elapsed(opts.reps, n, || {
+    let spread = measure_reps(opts.reps, n, || {
         run_engine(
             &rows,
             EngineConfig::new(opts.shards, opts.bins, opts.seed).with_combiner_items(0),
         )
     });
-    results.push(Measurement {
-        name: "engine_exact",
-        description: format!(
+    results.push(measurement(
+        "engine_exact",
+        format!(
             "{}-shard engine, combiner off (row-exact per shard)",
             opts.shards
         ),
-        rows_per_sec: rps,
-        elapsed_sec: elapsed,
-    });
+        n,
+        &spread,
+    ));
 
-    let (rps, elapsed) = best_elapsed(opts.reps, n, || {
+    let spread = measure_reps(opts.reps, n, || {
         run_engine(&rows, EngineConfig::new(opts.shards, opts.bins, opts.seed))
     });
-    results.push(Measurement {
-        name: "engine_combined",
-        description: format!(
+    results.push(measurement(
+        "engine_combined",
+        format!(
             "{}-shard engine with map-side combining (unbiased multi-increments)",
             opts.shards
         ),
-        rows_per_sec: rps,
-        elapsed_sec: elapsed,
-    });
+        n,
+        &spread,
+    ));
 
     let baseline = results[0].rows_per_sec;
     println!(
@@ -233,6 +265,10 @@ fn render_json(opts: &Options, rows: usize, results: &[Measurement]) -> String {
     out.push_str(&format!("  \"distinct_items\": {},\n", opts.items));
     out.push_str(&format!("  \"bins\": {},\n", opts.bins));
     out.push_str(&format!("  \"shards\": {},\n", opts.shards));
+    out.push_str(&format!(
+        "  \"cores\": {},\n",
+        std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get)
+    ));
     out.push_str(&format!("  \"reps\": {},\n", opts.reps));
     out.push_str(&format!("  \"seed\": {},\n", opts.seed));
     out.push_str("  \"configs\": [\n");
@@ -241,6 +277,14 @@ fn render_json(opts: &Options, rows: usize, results: &[Measurement]) -> String {
         out.push_str(&format!("      \"name\": \"{}\",\n", m.name));
         out.push_str(&format!("      \"description\": \"{}\",\n", m.description));
         out.push_str(&format!("      \"rows_per_sec\": {:.0},\n", m.rows_per_sec));
+        out.push_str(&format!(
+            "      \"min_rows_per_sec\": {:.0},\n",
+            m.min_rows_per_sec
+        ));
+        out.push_str(&format!(
+            "      \"max_rows_per_sec\": {:.0},\n",
+            m.max_rows_per_sec
+        ));
         out.push_str(&format!("      \"elapsed_sec\": {:.6},\n", m.elapsed_sec));
         out.push_str(&format!(
             "      \"speedup_vs_unbatched\": {:.3}\n",

@@ -39,6 +39,8 @@ struct Measurement {
     description: String,
     ops_per_sec: f64,
     elapsed_sec: f64,
+    min_ops_per_sec: f64,
+    max_ops_per_sec: f64,
 }
 
 struct Options {
@@ -104,16 +106,33 @@ impl Options {
     }
 }
 
-/// Runs `f` `reps` times and returns (ops/s over the best rep, best elapsed),
-/// where one rep performs `ops_per_rep` operations.
-fn best_elapsed<F: FnMut()>(reps: usize, ops_per_rep: f64, mut f: F) -> (f64, f64) {
+/// Throughput over the best rep plus the min/max band across all reps, where one
+/// rep performs a fixed number of operations.
+struct Spread {
+    ops_per_sec: f64,
+    elapsed_sec: f64,
+    min_ops_per_sec: f64,
+    max_ops_per_sec: f64,
+}
+
+/// Runs `f` `reps` times. The best rep gives the headline ops/s (noise-stripped);
+/// the worst rep bounds the noise band recorded alongside it.
+fn best_elapsed<F: FnMut()>(reps: usize, ops_per_rep: f64, mut f: F) -> Spread {
     let mut best = f64::INFINITY;
+    let mut worst = 0.0f64;
     for _ in 0..reps {
         let start = Instant::now();
         f();
-        best = best.min(start.elapsed().as_secs_f64());
+        let elapsed = start.elapsed().as_secs_f64();
+        best = best.min(elapsed);
+        worst = worst.max(elapsed);
     }
-    (ops_per_rep / best, best)
+    Spread {
+        ops_per_sec: ops_per_rep / best,
+        elapsed_sec: best,
+        min_ops_per_sec: ops_per_rep / worst,
+        max_ops_per_sec: ops_per_rep / best,
+    }
 }
 
 fn skewed_item(i: u64) -> u64 {
@@ -132,7 +151,7 @@ fn main() {
     // --- ingest: single bucket (no rotation) vs rotating window ---
     for (name, buckets) in [("ingest_single_bucket", 1u64), ("ingest_rotating", 256u64)] {
         let rows_per_bucket = (opts.rows / buckets).max(1);
-        let (ops, elapsed) = best_elapsed(opts.reps.clamp(1, 5), opts.rows as f64, || {
+        let spread = best_elapsed(opts.reps.clamp(1, 5), opts.rows as f64, || {
             let engine = TemporalIngestEngine::new(
                 TemporalConfig::new(opts.shards, opts.bins, opts.seed, 100, 8)
                     .with_retention(2, 4),
@@ -151,8 +170,10 @@ fn main() {
                 "{} rows over {buckets} bucket(s), {}-shard engine (rows/s)",
                 opts.rows, opts.shards
             ),
-            ops_per_sec: ops,
-            elapsed_sec: elapsed,
+            ops_per_sec: spread.ops_per_sec,
+            elapsed_sec: spread.elapsed_sec,
+            min_ops_per_sec: spread.min_ops_per_sec,
+            max_ops_per_sec: spread.max_ops_per_sec,
         });
     }
 
@@ -177,7 +198,7 @@ fn main() {
             start: cur.saturating_sub(span - 1) * 100,
             end: (cur + 1) * 100,
         };
-        let (ops, elapsed) = best_elapsed(opts.reps, f64::from(queries), || {
+        let spread = best_elapsed(opts.reps, f64::from(queries), || {
             for _ in 0..queries {
                 std::hint::black_box(engine.range_snapshot(std::hint::black_box(&range)));
             }
@@ -185,8 +206,10 @@ fn main() {
         results.push(Measurement {
             name: format!("range_query_b{span}"),
             description: format!("uncached {span}-bucket range folds (queries/s)"),
-            ops_per_sec: ops,
-            elapsed_sec: elapsed,
+            ops_per_sec: spread.ops_per_sec,
+            elapsed_sec: spread.elapsed_sec,
+            min_ops_per_sec: spread.min_ops_per_sec,
+            max_ops_per_sec: spread.max_ops_per_sec,
         });
     }
     // The pre-ladder baseline: the same widest range folded leaf by leaf.
@@ -196,7 +219,7 @@ fn main() {
         end: (cur + 1) * 100,
     };
     let leaf_queries = (queries / 10).max(2);
-    let (ops, elapsed) = best_elapsed(opts.reps.clamp(1, 5), f64::from(leaf_queries), || {
+    let spread = best_elapsed(opts.reps.clamp(1, 5), f64::from(leaf_queries), || {
         for _ in 0..leaf_queries {
             std::hint::black_box(engine.range_snapshot_leaf(std::hint::black_box(&leaf_range)));
         }
@@ -204,10 +227,12 @@ fn main() {
     results.push(Measurement {
         name: "range_query_b64_leaf".to_string(),
         description: "uncached 64-bucket leaf-by-leaf reference folds (queries/s)".to_string(),
-        ops_per_sec: ops,
-        elapsed_sec: elapsed,
+        ops_per_sec: spread.ops_per_sec,
+        elapsed_sec: spread.elapsed_sec,
+        min_ops_per_sec: spread.min_ops_per_sec,
+        max_ops_per_sec: spread.max_ops_per_sec,
     });
-    let (ops, elapsed) = best_elapsed(opts.reps, f64::from(queries), || {
+    let spread = best_elapsed(opts.reps, f64::from(queries), || {
         for _ in 0..queries {
             std::hint::black_box(engine.range_capture(std::hint::black_box(
                 &TimeRange::LastBuckets(16),
@@ -217,8 +242,10 @@ fn main() {
     results.push(Measurement {
         name: "range_query_cached".to_string(),
         description: "repeated 16-bucket captures at a fixed watermark (hits/s)".to_string(),
-        ops_per_sec: ops,
-        elapsed_sec: elapsed,
+        ops_per_sec: spread.ops_per_sec,
+        elapsed_sec: spread.elapsed_sec,
+        min_ops_per_sec: spread.min_ops_per_sec,
+        max_ops_per_sec: spread.max_ops_per_sec,
     });
     drop(engine.finish());
 
@@ -243,7 +270,7 @@ fn main() {
         })
         .collect();
     let compactions: u32 = if opts.quick { 20 } else { 200 };
-    let (ops, elapsed) = best_elapsed(opts.reps, f64::from(compactions), || {
+    let spread = best_elapsed(opts.reps, f64::from(compactions), || {
         for i in 0..u64::from(compactions) {
             std::hint::black_box(compact_fold(
                 opts.bins,
@@ -260,8 +287,10 @@ fn main() {
             "{factor}-bucket ({}-bin) unbiased compactions (folds/s)",
             opts.bins
         ),
-        ops_per_sec: ops,
-        elapsed_sec: elapsed,
+        ops_per_sec: spread.ops_per_sec,
+        elapsed_sec: spread.elapsed_sec,
+        min_ops_per_sec: spread.min_ops_per_sec,
+        max_ops_per_sec: spread.max_ops_per_sec,
     });
 
     println!("{:<22} {:>14} {:>12}", "operation", "ops/s", "elapsed_s");
@@ -279,6 +308,11 @@ fn main() {
     let _ = writeln!(json, "  \"rows\": {},", opts.rows);
     let _ = writeln!(json, "  \"bins\": {},", opts.bins);
     let _ = writeln!(json, "  \"shards\": {},", opts.shards);
+    let _ = writeln!(
+        json,
+        "  \"cores\": {},",
+        std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get)
+    );
     let _ = writeln!(json, "  \"reps\": {},", opts.reps);
     let _ = writeln!(json, "  \"seed\": {},", opts.seed);
     let _ = writeln!(json, "  \"operations\": [");
@@ -287,6 +321,8 @@ fn main() {
         let _ = writeln!(json, "      \"name\": \"{}\",", m.name);
         let _ = writeln!(json, "      \"description\": \"{}\",", m.description);
         let _ = writeln!(json, "      \"ops_per_sec\": {:.0},", m.ops_per_sec);
+        let _ = writeln!(json, "      \"min_ops_per_sec\": {:.0},", m.min_ops_per_sec);
+        let _ = writeln!(json, "      \"max_ops_per_sec\": {:.0},", m.max_ops_per_sec);
         let _ = writeln!(json, "      \"elapsed_sec\": {:.6}", m.elapsed_sec);
         let _ = writeln!(json, "    }}{}", if i + 1 < results.len() { "," } else { "" });
     }

@@ -11,16 +11,36 @@
 //! [`UnbiasedSpaceSaving`] sketch. Producers obtain cheap cloneable
 //! [`IngestHandle`]s, which route rows to shards *by item hash* (so every occurrence
 //! of an item lands on the same shard and frequent-item counts stay sharp) and move
-//! them over bounded queues in coarse batches. Each worker optionally runs a
+//! them over lock-free channels in coarse blocks. Each worker optionally runs a
 //! *map-side combiner*: incoming batches are pre-aggregated into `(item, count)`
 //! pairs and applied with [`UnbiasedSpaceSaving::offer_many`] multi-increments — the
 //! weighted update of section 5.3, which preserves unbiasedness for any grouping —
 //! so on skewed traffic the sketch sees orders of magnitude fewer updates than rows.
 //!
+//! # Transport: SPSC block rings
+//!
+//! The producer→shard hop is a [`crate::spsc`] *block channel* per (handle, shard)
+//! pair: a lock-free single-producer/single-consumer ring of cache-line-aligned
+//! [`crate::spsc::RowBlock`]s, with a reverse ring recycling spent blocks back to
+//! the producer so steady-state ingest allocates nothing and never takes a lock —
+//! threads park only on genuine empty/full transitions. Because each channel has
+//! exactly one producer, rows from any single handle reach their shard in offer
+//! order (which is what makes the combiner-off path row-for-row deterministic);
+//! rows from different handles interleave arbitrarily, exactly as they did when
+//! handles shared one queue.
+//!
+//! Handles register their rings with the worker over a small control channel that
+//! also carries snapshot/checkpoint/shutdown requests and the explicit-shard batches
+//! of [`ShardedIngestEngine::ingest_to_shard`]. Control requests quiesce a shard by
+//! *cut*: the worker records how many blocks each ring holds at the moment the
+//! request is seen and drains exactly that many, so everything enqueued before the
+//! request is applied without letting a fast concurrent producer postpone the reply
+//! indefinitely.
+//!
 //! [`ShardedIngestEngine::snapshot`] serves queries while ingest continues: it asks
-//! every shard (through the same FIFO queues, so all previously enqueued batches are
-//! drained first) for its current entries and folds them with the unbiased PPS merge.
-//! [`ShardedIngestEngine::finish`] closes the queues, joins the workers, and folds
+//! every shard (a quiesce cut, so all previously enqueued blocks are drained first)
+//! for its current entries and folds them with the unbiased PPS merge.
+//! [`ShardedIngestEngine::finish`] closes the channels, joins the workers, and folds
 //! their final sketches the same way.
 //!
 //! [`ShardedIngestEngine::checkpoint`] persists the whole engine — one
@@ -41,14 +61,46 @@
 //! convenience wrapper over this engine.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crate::hash::{splitmix64, FxHashMap};
 use crate::persist::{self, PersistError};
 use crate::space_saving::{UnbiasedSpaceSaving, WeightedSpaceSaving};
+use crate::spsc::{block_channel, BlockReceiver, BlockSender, RowBlock, Waker, BLOCK_CAP};
 use crate::traits::StreamSketch;
+
+/// Why an [`EngineConfig`] cannot drive an engine. Construction through
+/// [`EngineConfig::new`] and the `with_*` builders rejects these values eagerly,
+/// but the fields are public, so the engines re-validate with
+/// [`EngineConfig::validate`] before spawning anything and surface this typed
+/// error instead of panicking deep inside worker spawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineConfigError {
+    /// `shards == 0`: there would be no worker to route any row to.
+    ZeroShards,
+    /// `capacity == 0`: shard sketches cannot hold zero counters.
+    ZeroCapacity,
+    /// `queue_depth == 0`: every send would block forever on a zero-slot queue.
+    ZeroQueueDepth,
+    /// `batch_rows == 0`: a handle would never accumulate a sendable batch.
+    ZeroBatchRows,
+}
+
+impl std::fmt::Display for EngineConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ZeroShards => write!(f, "engine needs at least one shard"),
+            Self::ZeroCapacity => write!(f, "capacity must be positive"),
+            Self::ZeroQueueDepth => write!(f, "queue_depth must be positive"),
+            Self::ZeroBatchRows => write!(f, "batch_rows must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for EngineConfigError {}
 
 /// Configuration for a [`ShardedIngestEngine`].
 #[derive(Debug, Clone, Copy)]
@@ -124,6 +176,37 @@ impl EngineConfig {
         self.queue_depth = queue_depth;
         self
     }
+
+    /// Checks the configuration for values no engine can run with. The fields are
+    /// public, so a config built by hand (rather than through [`new`](Self::new)
+    /// and the builders) may carry zeros; the engines call this before spawning
+    /// workers and return the error instead of panicking mid-spawn.
+    ///
+    /// # Errors
+    ///
+    /// The first [`EngineConfigError`] found, checking shards, capacity, queue
+    /// depth, then batch size.
+    pub fn validate(&self) -> Result<(), EngineConfigError> {
+        if self.shards == 0 {
+            return Err(EngineConfigError::ZeroShards);
+        }
+        if self.capacity == 0 {
+            return Err(EngineConfigError::ZeroCapacity);
+        }
+        if self.queue_depth == 0 {
+            return Err(EngineConfigError::ZeroQueueDepth);
+        }
+        if self.batch_rows == 0 {
+            return Err(EngineConfigError::ZeroBatchRows);
+        }
+        Ok(())
+    }
+
+    /// The per-(handle, shard) ring bound, in blocks: the block-channel equivalent
+    /// of "`queue_depth` batches of `batch_rows` rows" of producer backpressure.
+    pub(crate) fn ring_blocks(&self) -> usize {
+        (self.queue_depth * self.batch_rows).div_ceil(BLOCK_CAP).max(2)
+    }
 }
 
 /// What a worker reports when asked for a snapshot: its live entries and row count.
@@ -133,17 +216,83 @@ pub(crate) struct ShardReport {
     pub(crate) rows: u64,
 }
 
-enum ShardMsg {
-    /// A batch of unit-weight rows for this shard.
+/// Control-plane messages to a shard worker. Data rides the SPSC block rings; this
+/// (unbounded, rarely used) channel carries everything else. Every control request
+/// that observes sketch state first drains a *cut* of the data rings — see the
+/// [module docs](self).
+pub(crate) enum ControlMsg {
+    /// A new producer ring to poll: sent when an [`IngestHandle`] is created or
+    /// cloned. The worker retires the ring once the handle drops it and the
+    /// remaining blocks are drained.
+    Register(BlockReceiver<u64>),
+    /// A batch of unit-weight rows for this shard, bypassing the rings. The
+    /// partition-oriented path of [`ShardedIngestEngine::ingest_to_shard`], kept on
+    /// the control channel so explicit-shard feeds stay strictly FIFO with the
+    /// quiesce requests around them.
     Rows(Vec<u64>),
-    /// Flush the combiner and report the shard's current state.
+    /// Drain a cut, flush the combiner, and report the shard's current state.
     Report(Sender<ShardReport>),
-    /// Flush the combiner and reply with a full clone of the shard's sketch
-    /// (entries, RNG and counter-structure state) for a durable checkpoint.
+    /// Drain a cut, flush the combiner, and reply with a full clone of the shard's
+    /// sketch (entries, RNG and counter-structure state) for a durable checkpoint.
     Checkpoint(Sender<UnbiasedSpaceSaving>),
-    /// Stop after the queue drained this far, even if producer handles (and thus
-    /// clones of the shard's sender) are still alive.
+    /// Drain a cut, then stop — even if producer handles (and thus rings feeding
+    /// this shard) are still alive.
     Shutdown,
+}
+
+/// The engine's per-shard endpoint: the control sender plus the worker's parking
+/// slot, which must be woken after every control send so a parked worker sees the
+/// message. Generic over the control-message type so the temporal engine reuses
+/// it with its own message set.
+pub(crate) struct ShardLink<M = ControlMsg> {
+    control: Sender<M>,
+    waker: Arc<Waker>,
+}
+
+impl<M> ShardLink<M> {
+    pub(crate) fn new(control: Sender<M>, waker: Arc<Waker>) -> Self {
+        Self { control, waker }
+    }
+
+    /// The worker's parking slot, for wiring new block channels to it.
+    pub(crate) fn waker(&self) -> &Arc<Waker> {
+        &self.waker
+    }
+
+    /// Sends a control message and wakes the worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker is gone (it only exits by panicking or after
+    /// `Shutdown`, so a failed send means the engine is being misused after
+    /// `finish` — mirroring the old "shard worker disconnected" behavior).
+    pub(crate) fn send(&self, msg: M) {
+        self.control.send(msg).expect("shard worker disconnected");
+        self.waker.wake();
+    }
+
+    /// Like [`send`](Self::send), but quietly drops the message when the worker is
+    /// gone (used from `Drop` paths that must not panic).
+    pub(crate) fn send_lossy(&self, msg: M) {
+        if self.control.send(msg).is_ok() {
+            self.waker.wake();
+        }
+    }
+}
+
+impl<M> Clone for ShardLink<M> {
+    fn clone(&self) -> Self {
+        Self {
+            control: self.control.clone(),
+            waker: Arc::clone(&self.waker),
+        }
+    }
+}
+
+impl<M> std::fmt::Debug for ShardLink<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardLink").finish_non_exhaustive()
+    }
 }
 
 /// A live, concurrently-fed, queryable sharded sketch. See the [module docs](self)
@@ -151,7 +300,7 @@ enum ShardMsg {
 #[derive(Debug)]
 pub struct ShardedIngestEngine {
     config: EngineConfig,
-    senders: Vec<SyncSender<ShardMsg>>,
+    links: Vec<ShardLink>,
     workers: Vec<JoinHandle<UnbiasedSpaceSaving>>,
     snapshots: AtomicU64,
     /// Rows enqueued to the shards so far, shared with every [`IngestHandle`]. A
@@ -163,39 +312,59 @@ pub struct ShardedIngestEngine {
 
 impl ShardedIngestEngine {
     /// Spawns the worker shards and returns the running engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration (see [`EngineConfig::validate`]); use
+    /// [`try_new`](Self::try_new) to get the typed error instead.
     #[must_use]
     pub fn new(config: EngineConfig) -> Self {
-        assert!(config.shards > 0, "engine needs at least one shard");
-        assert!(config.capacity > 0, "capacity must be positive");
+        match Self::try_new(config) {
+            Ok(engine) => engine,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Validates the configuration and spawns the worker shards.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineConfigError`] when `config` carries a zero where a positive value is
+    /// required — caught here, before any worker thread exists.
+    pub fn try_new(config: EngineConfig) -> Result<Self, EngineConfigError> {
+        config.validate()?;
         let sketches = (0..config.shards)
             .map(|shard| {
                 UnbiasedSpaceSaving::with_seed(config.capacity, config.seed + shard as u64)
             })
             .collect();
-        Self::spawn(config, sketches, 0, 0)
+        Ok(Self::spawn(config, sketches, 0, 0))
     }
 
     /// Spawns one worker per sketch; shared by [`new`](Self::new) (fresh sketches)
-    /// and [`restore`](Self::restore) (checkpointed sketches).
+    /// and [`restore`](Self::restore) (checkpointed sketches). The caller has
+    /// already validated `config`.
     fn spawn(
         config: EngineConfig,
         sketches: Vec<UnbiasedSpaceSaving>,
         snapshots: u64,
         rows_enqueued: u64,
     ) -> Self {
-        let mut senders = Vec::with_capacity(sketches.len());
+        let mut links = Vec::with_capacity(sketches.len());
         let mut workers = Vec::with_capacity(sketches.len());
         for sketch in sketches {
-            let (tx, rx) = sync_channel(config.queue_depth);
+            let (tx, rx) = std::sync::mpsc::channel();
+            let waker = Arc::new(Waker::new());
             let combiner_items = config.combiner_items;
+            let worker_waker = Arc::clone(&waker);
             workers.push(std::thread::spawn(move || {
-                run_worker(rx, sketch, combiner_items)
+                run_worker(&rx, &worker_waker, sketch, combiner_items)
             }));
-            senders.push(tx);
+            links.push(ShardLink { control: tx, waker });
         }
         Self {
             config,
-            senders,
+            links,
             workers,
             snapshots: AtomicU64::new(snapshots),
             rows_enqueued: Arc::new(AtomicU64::new(rows_enqueued)),
@@ -220,28 +389,23 @@ impl ShardedIngestEngine {
     /// Number of worker shards.
     #[must_use]
     pub fn shards(&self) -> usize {
-        self.senders.len()
+        self.links.len()
     }
 
-    /// Creates a producer handle. Handles are independent (each has its own batch
-    /// buffers) and cheap; create one per producer thread.
+    /// Creates a producer handle. Handles are independent — each owns one SPSC
+    /// block ring per shard, registered with the workers here — and cheap; create
+    /// one per producer thread.
     #[must_use]
     pub fn handle(&self) -> IngestHandle {
-        IngestHandle {
-            senders: self.senders.clone(),
-            buffers: (0..self.senders.len())
-                .map(|_| Vec::with_capacity(self.config.batch_rows))
-                .collect(),
-            batch_rows: self.config.batch_rows,
-            rows_enqueued: Arc::clone(&self.rows_enqueued),
-        }
+        IngestHandle::connect(&self.links, self.config.ring_blocks(), &self.rows_enqueued)
     }
 
     /// Sends a batch of rows directly to an explicit shard, bypassing hash routing.
     /// This is the partition-oriented entry point used by
     /// [`crate::distributed::DistributedSketcher`], where "shard" means "partition of
-    /// the input" rather than "slice of the item space". Blocks while the shard's
-    /// queue is full.
+    /// the input" rather than "slice of the item space". Rides the control channel,
+    /// so explicit-shard batches apply in send order, FIFO with snapshot and
+    /// checkpoint requests.
     ///
     /// # Panics
     ///
@@ -252,14 +416,13 @@ impl ShardedIngestEngine {
         }
         self.rows_enqueued
             .fetch_add(rows.len() as u64, Ordering::Relaxed);
-        self.senders[shard]
-            .send(ShardMsg::Rows(rows))
-            .expect("shard worker disconnected");
+        self.links[shard].send(ControlMsg::Rows(rows));
     }
 
     /// Folds the live shards into one queryable [`WeightedSpaceSaving`] without
-    /// stopping ingest: every shard drains the batches already queued to it (the
-    /// report request travels the same FIFO queue), flushes its combiner, and reports
+    /// stopping ingest: every shard drains the blocks already queued to it (a cut
+    /// of each producer ring at the moment the request is seen, so a fast producer
+    /// cannot postpone the reply), flushes its combiner, and reports
     /// its entries, which are then merged with the unbiased PPS merge. Rows still
     /// buffered inside [`IngestHandle`]s are *not* included — call
     /// [`IngestHandle::flush`] first if they must be.
@@ -271,15 +434,13 @@ impl ShardedIngestEngine {
         let n = self.snapshots.fetch_add(1, Ordering::Relaxed);
         let salt = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         // Request every shard's report before awaiting any, so the per-shard
-        // combiner flushes run concurrently on the workers.
+        // cut drains and combiner flushes run concurrently on the workers.
         let receivers: Vec<_> = self
-            .senders
+            .links
             .iter()
-            .map(|sender| {
+            .map(|link| {
                 let (tx, rx) = std::sync::mpsc::channel();
-                sender
-                    .send(ShardMsg::Report(tx))
-                    .expect("shard worker disconnected");
+                link.send(ControlMsg::Report(tx));
                 rx
             })
             .collect();
@@ -301,8 +462,8 @@ impl ShardedIngestEngine {
     /// RNG, counter-structure layout — plus a `manifest.uss` tying them together.
     /// [`restore`](Self::restore) resumes from such a directory bit-compatibly.
     ///
-    /// Like [`snapshot`](Self::snapshot), the checkpoint request travels each
-    /// shard's FIFO queue, so it quiesces the shard: every batch enqueued before
+    /// Like [`snapshot`](Self::snapshot), the checkpoint request quiesces the
+    /// shard by draining a cut of its rings: every block enqueued before
     /// the call is applied (and the map-side combiner flushed) before the shard's
     /// state is captured, while ingest continues unhindered afterwards. Rows still
     /// buffered inside [`IngestHandle`]s are *not* included — flush first if they
@@ -320,16 +481,14 @@ impl ShardedIngestEngine {
     pub fn checkpoint<P: AsRef<std::path::Path>>(&self, dir: P) -> Result<(), PersistError> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir).map_err(PersistError::Io)?;
-        // Request every shard's clone before awaiting any, so queue drains and
+        // Request every shard's clone before awaiting any, so ring drains and
         // combiner flushes run concurrently across the workers.
         let receivers: Vec<_> = self
-            .senders
+            .links
             .iter()
-            .map(|sender| {
+            .map(|link| {
                 let (tx, rx) = std::sync::mpsc::channel();
-                sender
-                    .send(ShardMsg::Checkpoint(tx))
-                    .expect("shard worker disconnected");
+                link.send(ControlMsg::Checkpoint(tx));
                 rx
             })
             .collect();
@@ -440,11 +599,11 @@ impl ShardedIngestEngine {
     /// a handle when `finish` runs are likewise lost — flush first.
     #[must_use]
     pub fn finish(mut self) -> WeightedSpaceSaving {
-        for sender in &self.senders {
+        for link in &self.links {
             // A worker is only gone if it panicked; join below surfaces that.
-            let _ = sender.send(ShardMsg::Shutdown);
+            link.send_lossy(ControlMsg::Shutdown);
         }
-        self.senders.clear();
+        self.links.clear();
         let reports: Vec<ShardReport> = self
             .workers
             .drain(..)
@@ -466,22 +625,50 @@ impl ShardedIngestEngine {
 }
 
 /// A producer-side handle: routes rows to shards by item hash and ships them in
-/// batches. Unflushed rows are sent on drop (best-effort) or by [`flush`](Self::flush).
+/// recycled [`RowBlock`]s over per-shard SPSC rings. Rows still in the handle's
+/// partial blocks are sent on drop (best-effort) or by [`flush`](Self::flush).
 #[derive(Debug)]
 pub struct IngestHandle {
-    senders: Vec<SyncSender<ShardMsg>>,
-    buffers: Vec<Vec<u64>>,
-    batch_rows: usize,
+    /// Engine endpoints, kept for ring registration on [`Clone`].
+    links: Vec<ShardLink>,
+    /// One block sender per shard; this handle is the ring's single producer.
+    senders: Vec<BlockSender<u64>>,
+    /// The partially filled block per shard, swapped out when full.
+    // Boxed: the ring transports blocks as `Box<RowBlock>` so a send moves one
+    // pointer, never the 2 KiB payload.
+    #[allow(clippy::vec_box)]
+    blocks: Vec<Box<RowBlock<u64>>>,
+    ring_blocks: usize,
     rows_enqueued: Arc<AtomicU64>,
 }
 
 impl IngestHandle {
-    /// Offers one row. Blocks only when the destination shard's queue is full.
+    /// Builds a handle wired to `links`: one block channel per shard, each
+    /// registered with its worker before any row can be sent over it.
+    fn connect(links: &[ShardLink], ring_blocks: usize, rows_enqueued: &Arc<AtomicU64>) -> Self {
+        let mut senders = Vec::with_capacity(links.len());
+        let mut blocks = Vec::with_capacity(links.len());
+        for link in links {
+            let (tx, rx) = block_channel(ring_blocks, Arc::clone(&link.waker));
+            link.send(ControlMsg::Register(rx));
+            blocks.push(RowBlock::boxed());
+            senders.push(tx);
+        }
+        Self {
+            links: links.to_vec(),
+            senders,
+            blocks,
+            ring_blocks,
+            rows_enqueued: Arc::clone(rows_enqueued),
+        }
+    }
+
+    /// Offers one row. Lock-free; parks only when the destination shard's ring is
+    /// full (the engine's backpressure).
     #[inline]
     pub fn offer(&mut self, item: u64) {
         let shard = self.route(item);
-        self.buffers[shard].push(item);
-        if self.buffers[shard].len() >= self.batch_rows {
+        if self.blocks[shard].push(item) {
             self.dispatch(shard);
         }
     }
@@ -493,10 +680,10 @@ impl IngestHandle {
         }
     }
 
-    /// Sends every buffered row to its shard, emptying the handle's buffers.
+    /// Ships every partially filled block to its shard, emptying the handle.
     pub fn flush(&mut self) {
-        for shard in 0..self.buffers.len() {
-            if !self.buffers[shard].is_empty() {
+        for shard in 0..self.blocks.len() {
+            if !self.blocks[shard].is_empty() {
                 self.dispatch(shard);
             }
         }
@@ -511,93 +698,221 @@ impl IngestHandle {
         ((u128::from(splitmix64(item)) * self.senders.len() as u128) >> 64) as usize
     }
 
+    /// Sends the current block (recycling a spent one in its place), parking while
+    /// the ring is full.
     fn dispatch(&mut self, shard: usize) {
-        let batch = std::mem::replace(
-            &mut self.buffers[shard],
-            Vec::with_capacity(self.batch_rows),
-        );
+        let block = std::mem::replace(&mut self.blocks[shard], self.senders[shard].acquire());
         self.rows_enqueued
-            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            .fetch_add(block.len() as u64, Ordering::Relaxed);
         self.senders[shard]
-            .send(ShardMsg::Rows(batch))
+            .send(block)
             .expect("shard worker disconnected");
     }
 }
 
 impl Clone for IngestHandle {
-    /// Clones the routing state; the new handle starts with empty buffers.
+    /// Clones the routing state with fresh rings of its own: the new handle
+    /// registers one new block channel per shard and starts with empty blocks.
     fn clone(&self) -> Self {
-        Self {
-            senders: self.senders.clone(),
-            buffers: (0..self.senders.len())
-                .map(|_| Vec::with_capacity(self.batch_rows))
-                .collect(),
-            batch_rows: self.batch_rows,
-            rows_enqueued: Arc::clone(&self.rows_enqueued),
-        }
+        Self::connect(&self.links, self.ring_blocks, &self.rows_enqueued)
     }
 }
 
 impl Drop for IngestHandle {
     /// Best-effort flush so producer threads cannot silently drop buffered rows.
+    /// Dropping the senders afterwards closes the rings, which is what lets each
+    /// worker retire them once drained.
     fn drop(&mut self) {
-        for shard in 0..self.buffers.len() {
-            if !self.buffers[shard].is_empty() {
-                let batch = std::mem::take(&mut self.buffers[shard]);
+        for shard in 0..self.blocks.len() {
+            if !self.blocks[shard].is_empty() {
+                let block = std::mem::replace(&mut self.blocks[shard], RowBlock::boxed());
                 self.rows_enqueued
-                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    .fetch_add(block.len() as u64, Ordering::Relaxed);
                 // After `finish` the workers are gone; losing the send then is fine.
-                let _ = self.senders[shard].send(ShardMsg::Rows(batch));
+                let _ = self.senders[shard].send(block);
             }
         }
     }
 }
 
-/// The shard worker loop: drain batches, combine or apply them, answer reports, and
-/// hand the final sketch back through the thread's join handle.
+/// Per-ring budget of blocks drained per scan pass, bounding how long a pass can
+/// run before the worker re-checks the control channel.
+const DRAIN_BUDGET: usize = 64;
+
+/// A shard worker's mutable state: its sketch, optional map-side combiner, and the
+/// producer rings it currently polls.
+struct ShardWorker {
+    sketch: UnbiasedSpaceSaving,
+    combiner: FxHashMap<u64, u64>,
+    combiner_items: usize,
+    rings: Vec<BlockReceiver<u64>>,
+}
+
+impl ShardWorker {
+    /// Applies one block of rows through the combiner (or directly, when the
+    /// combiner is disabled).
+    fn apply(&mut self, rows: &[u64]) {
+        if self.combiner_items == 0 {
+            self.sketch.offer_batch(rows);
+        } else {
+            for &item in rows {
+                *self.combiner.entry(item).or_insert(0) += 1;
+            }
+            if self.combiner.len() >= self.combiner_items {
+                self.flush_combiner();
+            }
+        }
+    }
+
+    /// Applies the combiner's `(item, count)` aggregates as unbiased
+    /// multi-increments.
+    fn flush_combiner(&mut self) {
+        for (item, count) in self.combiner.drain() {
+            self.sketch.offer_many(item, count);
+        }
+    }
+
+    /// One bounded scan over all rings. Returns `true` if any block was applied.
+    /// Rings whose producer is gone and which are fully drained are retired.
+    fn scan_rings(&mut self) -> bool {
+        let mut progressed = false;
+        for i in 0..self.rings.len() {
+            for _ in 0..DRAIN_BUDGET {
+                match self.rings[i].recv() {
+                    Some(block) => {
+                        progressed = true;
+                        self.apply(block.as_slice());
+                        self.rings[i].recycle(block);
+                    }
+                    None => break,
+                }
+            }
+        }
+        self.rings.retain(|ring| !ring.is_finished());
+        progressed
+    }
+
+    /// Drains a *cut* of every ring: exactly the blocks that were queued at the
+    /// moment this is called. Blocks pushed concurrently with the drain are left
+    /// for the normal scan, so a fast producer cannot stall a quiesce.
+    fn drain_cut(&mut self) {
+        for i in 0..self.rings.len() {
+            let cut = self.rings[i].queued();
+            for _ in 0..cut {
+                // Every counted block is already published; recv cannot fail here.
+                let block = self.rings[i].recv().expect("queued block vanished");
+                self.apply(block.as_slice());
+                self.rings[i].recycle(block);
+            }
+        }
+        self.rings.retain(|ring| !ring.is_finished());
+    }
+}
+
+/// The shard worker loop: poll producer rings and the control channel, combine or
+/// apply row blocks, answer quiesce requests, park when idle, and hand the final
+/// sketch back through the thread's join handle.
 fn run_worker(
-    rx: Receiver<ShardMsg>,
-    mut sketch: UnbiasedSpaceSaving,
+    control: &Receiver<ControlMsg>,
+    waker: &Waker,
+    sketch: UnbiasedSpaceSaving,
     combiner_items: usize,
 ) -> UnbiasedSpaceSaving {
-    let mut combiner: FxHashMap<u64, u64> = FxHashMap::default();
-    for msg in rx {
-        match msg {
-            ShardMsg::Rows(rows) => {
-                if combiner_items == 0 {
-                    sketch.offer_batch(&rows);
-                } else {
-                    for &item in &rows {
-                        *combiner.entry(item).or_insert(0) += 1;
+    let mut w = ShardWorker {
+        sketch,
+        combiner: FxHashMap::default(),
+        combiner_items,
+        rings: Vec::new(),
+    };
+    let mut engine_alive = true;
+    loop {
+        let mut progressed = false;
+        // Control first: registrations, explicit-shard rows, quiesce requests.
+        loop {
+            match control.try_recv() {
+                Ok(msg) => {
+                    progressed = true;
+                    if handle_control(&mut w, msg) == Flow::Stop {
+                        w.flush_combiner();
+                        return w.sketch;
                     }
-                    if combiner.len() >= combiner_items {
-                        flush_combiner(&mut combiner, &mut sketch);
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    // Engine and every handle are gone: no new rings, no requests.
+                    engine_alive = false;
+                    break;
+                }
+            }
+        }
+        progressed |= w.scan_rings();
+        if !engine_alive && w.rings.is_empty() {
+            // Nothing can ever arrive again (the engine was dropped without
+            // `finish`); exit so the thread does not leak.
+            w.flush_combiner();
+            return w.sketch;
+        }
+        if !progressed {
+            waker.prepare();
+            // Re-check under the raised flag: a producer push or control send
+            // between the empty scan and `prepare` would otherwise be missed.
+            let pending = w.rings.iter().any(|ring| !ring.is_empty())
+                || w.rings.iter().any(BlockReceiver::is_finished);
+            match control.try_recv() {
+                Ok(msg) => {
+                    waker.cancel();
+                    if handle_control(&mut w, msg) == Flow::Stop {
+                        w.flush_combiner();
+                        return w.sketch;
+                    }
+                }
+                Err(TryRecvError::Disconnected) => {
+                    waker.cancel();
+                    engine_alive = false;
+                }
+                Err(TryRecvError::Empty) => {
+                    if pending {
+                        waker.cancel();
+                    } else {
+                        waker.park();
                     }
                 }
             }
-            ShardMsg::Report(reply) => {
-                flush_combiner(&mut combiner, &mut sketch);
-                let _ = reply.send(ShardReport {
-                    entries: sketch.entries(),
-                    rows: sketch.rows_processed(),
-                });
-            }
-            ShardMsg::Checkpoint(reply) => {
-                flush_combiner(&mut combiner, &mut sketch);
-                let _ = reply.send(sketch.clone());
-            }
-            ShardMsg::Shutdown => break,
         }
     }
-    flush_combiner(&mut combiner, &mut sketch);
-    sketch
 }
 
-/// Applies the combiner's `(item, count)` aggregates as unbiased multi-increments.
-fn flush_combiner(combiner: &mut FxHashMap<u64, u64>, sketch: &mut UnbiasedSpaceSaving) {
-    for (item, count) in combiner.drain() {
-        sketch.offer_many(item, count);
+/// Whether the worker keeps running after a control message.
+#[derive(PartialEq, Eq)]
+enum Flow {
+    Continue,
+    Stop,
+}
+
+/// Handles one control message; quiesce requests drain a ring cut first.
+fn handle_control(w: &mut ShardWorker, msg: ControlMsg) -> Flow {
+    match msg {
+        ControlMsg::Register(ring) => w.rings.push(ring),
+        ControlMsg::Rows(rows) => w.apply(&rows),
+        ControlMsg::Report(reply) => {
+            w.drain_cut();
+            w.flush_combiner();
+            let _ = reply.send(ShardReport {
+                entries: w.sketch.entries(),
+                rows: w.sketch.rows_processed(),
+            });
+        }
+        ControlMsg::Checkpoint(reply) => {
+            w.drain_cut();
+            w.flush_combiner();
+            let _ = reply.send(w.sketch.clone());
+        }
+        ControlMsg::Shutdown => {
+            w.drain_cut();
+            return Flow::Stop;
+        }
     }
+    Flow::Continue
 }
 
 /// Folds per-shard reports into one weighted sketch with the unbiased PPS merge,
@@ -798,5 +1113,44 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_panics() {
         let _ = EngineConfig::new(2, 0, 1);
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors_for_degenerate_configs() {
+        // The builder panics on zeros, but the fields are public — a hand-built
+        // config must be rejected with a typed error before any thread spawns.
+        let good = EngineConfig::new(2, 8, 1);
+        for (mutate, expected) in [
+            (
+                (|c: &mut EngineConfig| c.shards = 0) as fn(&mut EngineConfig),
+                EngineConfigError::ZeroShards,
+            ),
+            (|c| c.capacity = 0, EngineConfigError::ZeroCapacity),
+            (|c| c.queue_depth = 0, EngineConfigError::ZeroQueueDepth),
+            (|c| c.batch_rows = 0, EngineConfigError::ZeroBatchRows),
+        ] {
+            let mut bad = good;
+            mutate(&mut bad);
+            assert_eq!(bad.validate().unwrap_err(), expected);
+            assert_eq!(ShardedIngestEngine::try_new(bad).unwrap_err(), expected);
+        }
+        let engine = ShardedIngestEngine::try_new(good).expect("valid config spawns");
+        let merged = engine.finish();
+        assert_eq!(merged.rows_processed(), 0);
+    }
+
+    #[test]
+    fn dropping_engine_without_finish_lets_workers_exit() {
+        // No Shutdown is ever sent; workers must notice the disconnected control
+        // channel plus closed rings and return instead of leaking parked threads.
+        let engine = ShardedIngestEngine::new(EngineConfig::new(2, 16, 8));
+        let mut handle = engine.handle();
+        for i in 0..500u64 {
+            handle.offer(i % 60);
+        }
+        drop(handle);
+        drop(engine);
+        // Nothing to assert directly (the threads are detached); this test's value
+        // is failing under a future regression that makes Drop hang or panic.
     }
 }

@@ -54,7 +54,8 @@
 //! | [`stream_summary`] | the O(1)-update counter structure of Metwally et al. |
 //! | [`reduction`] | thresholding vs PPS-subsampling reduction operations (section 5.3) |
 //! | [`merge`] | biased Misra-Gries merge and the unbiased PPS merge (section 5.5) |
-//! | [`engine`] | the concurrent sharded ingest engine: multi-producer batched ingestion into live, queryable worker shards folded with the unbiased merge |
+//! | [`engine`] | the concurrent sharded ingest engine: multi-producer block ingestion into live, queryable worker shards folded with the unbiased merge |
+//! | [`spsc`] | lock-free single-producer/single-consumer block rings — the engines' ingest transport |
 //! | [`query`] | the concurrent query-serving layer: epoch-versioned cached snapshots over a live engine or sketch, typed queries with variance and confidence intervals |
 //! | [`temporal`] | the time-partitioned subsystem: windowed ingest over a bucket ring, time-range queries, tiered retention with graceful aging |
 //! | [`persist`] | durable snapshots: versioned checksummed binary codec, engine checkpoint files, bucket-ring/temporal frames, cold-file serving |
@@ -76,12 +77,13 @@ pub mod persist;
 pub mod query;
 pub mod reduction;
 pub mod space_saving;
+pub mod spsc;
 pub mod stream_summary;
 pub mod temporal;
 pub mod traits;
 pub mod variance;
 
-pub use engine::{EngineConfig, IngestHandle, ShardedIngestEngine};
+pub use engine::{EngineConfig, EngineConfigError, IngestHandle, ShardedIngestEngine};
 pub use estimator::{SketchSnapshot, SubsetEstimate};
 pub use persist::{ColdSnapshot, PersistError, SketchKind};
 pub use query::{

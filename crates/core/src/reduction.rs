@@ -36,8 +36,10 @@ pub fn threshold_reduce(entries: &mut Vec<(u64, f64)>, target: usize) -> f64 {
         return f64::INFINITY;
     }
     let mut counts: Vec<f64> = entries.iter().map(|(_, c)| *c).collect();
-    // The (target+1)-th largest count is the threshold.
-    counts.sort_by(|a, b| b.partial_cmp(a).expect("counts are finite"));
+    // The (target+1)-th largest count is the threshold. `total_cmp` matches
+    // `partial_cmp` on the finite counts and sorts without a branchy unwrap; only the
+    // sorted *values* are consumed, so an unstable sort yields the same threshold.
+    counts.sort_unstable_by(|a, b| b.total_cmp(a));
     let threshold = counts[target];
     entries.retain_mut(|(_, c)| {
         *c -= threshold;

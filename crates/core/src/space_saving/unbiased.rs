@@ -61,6 +61,18 @@ impl UnbiasedSpaceSaving {
         }
     }
 
+    /// Resets the sketch to the exact state of a fresh
+    /// [`with_seed`](Self::with_seed) sketch of the same capacity while keeping
+    /// the counter-structure allocations. The temporal store recycles retired
+    /// bucket sketches through this on every window rotation; bit-compatibility
+    /// with a freshly allocated sketch is what keeps the recycled path
+    /// unobservable.
+    pub(crate) fn reset_with_seed(&mut self, seed: u64) {
+        self.summary.clear();
+        self.rows = 0;
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+
     /// The smallest count currently stored (`N̂_min`), or 0 if the sketch is not full.
     /// This is the threshold separating "nearly exact" frequent-item counts from the
     /// PPS-sampled tail, and the quantity entering the variance estimator.

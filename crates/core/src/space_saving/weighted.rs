@@ -106,6 +106,16 @@ impl WeightedSpaceSaving {
         self.heap.clear();
         self.pos.clear();
         self.index.clear();
+        let entries = entries.into_iter();
+        // Reserve up front so a capacity-sized load (the merge path) does not rehash
+        // the index several times while growing. The index is only ever probed by
+        // item, never iterated, so its internal layout cannot affect observable state.
+        let hint = entries.size_hint().0.min(self.capacity);
+        self.items.reserve(hint);
+        self.counts.reserve(hint);
+        self.heap.reserve(hint);
+        self.pos.reserve(hint);
+        self.index.reserve(hint);
         for (item, count) in entries {
             assert!(count.is_finite() && count >= 0.0, "counts must be non-negative");
             assert!(

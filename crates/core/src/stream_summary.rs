@@ -10,10 +10,28 @@
 //! `+1` updates; larger increments walk forward bucket by bucket, which only happens
 //! during merges.
 //!
-//! The structure is implemented with index-based linked lists over two `Vec`s (no
-//! pointer chasing through separate allocations, no `unsafe`).
-
-use crate::hash::FxHashMap;
+//! # Slab layout
+//!
+//! The structure is a *slab*: two flat `Vec`s of fixed-size records — counters and
+//! buckets — linked by `u32` indices (no pointer chasing through separate
+//! allocations, no `unsafe`). Counter slots are allocated once, never move, and are
+//! iterated contiguously by [`StreamSummary::entries`]; bucket records are recycled
+//! through a free list. The item → counter index is a flat open-addressing hash
+//! table (linear probing, backward-shift deletion) held in two parallel slices
+//! sized to twice the capacity, so a probe touches one or two cache lines instead
+//! of walking a general-purpose hash map.
+//!
+//! Two invariants make the layout cheap without changing observable behaviour:
+//!
+//! * **Slot stability** — a counter keeps its slab slot for the lifetime of the
+//!   structure (relabelling rewrites the `item` field in place), so
+//!   [`CounterHandle`]s are stable and `dump` records slot indices directly.
+//! * **Observable structure is chain order, not slab order** — `dump`/`restore`
+//!   and every tie-breaking decision depend only on bucket *values* and counter
+//!   *chain order* (head→tail), never on which slab slot a bucket record occupies.
+//!   This is what lets the unit-increment fast path below relabel a singleton
+//!   bucket's value in place (no detach/attach, no allocation) while producing a
+//!   structure bit-identical to the one the generic walk would have produced.
 
 /// Sentinel index meaning "no element".
 const NIL: u32 = u32::MAX;
@@ -59,7 +77,8 @@ pub(crate) struct SummaryDump {
 }
 
 /// A fixed-capacity set of `(item, count)` counters with `O(1)` unit increments and
-/// `O(1)` access to a minimum-count counter.
+/// `O(1)` access to a minimum-count counter. See the [module docs](self) for the
+/// slab layout.
 #[derive(Debug, Clone)]
 pub struct StreamSummary {
     capacity: usize,
@@ -68,7 +87,13 @@ pub struct StreamSummary {
     free_buckets: Vec<u32>,
     /// Bucket holding the smallest count (`NIL` when the structure is empty).
     min_bucket: u32,
-    index: FxHashMap<u64, u32>,
+    /// Open-addressing item index: `idx_keys[i]` is meaningful iff
+    /// `idx_slots[i] != NIL`, in which case `idx_slots[i]` is the counter slot
+    /// labelled by `idx_keys[i]`. Linear probing; the table holds at least twice
+    /// `capacity` entries so the load factor never exceeds one half.
+    idx_keys: Box<[u64]>,
+    idx_slots: Box<[u32]>,
+    idx_mask: usize,
 }
 
 impl StreamSummary {
@@ -76,18 +101,39 @@ impl StreamSummary {
     ///
     /// # Panics
     ///
-    /// Panics if `capacity` is zero.
+    /// Panics if `capacity` is zero or exceeds `u32::MAX / 4` counters (slots are
+    /// `u32` indices and the probe table is sized to twice the capacity).
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
+        assert!(
+            capacity <= (u32::MAX / 4) as usize,
+            "capacity exceeds the u32 slot index space"
+        );
+        let table = (capacity * 2).next_power_of_two().max(8);
         Self {
             capacity,
             counters: Vec::with_capacity(capacity),
             buckets: Vec::with_capacity(16),
             free_buckets: Vec::new(),
             min_bucket: NIL,
-            index: FxHashMap::default(),
+            idx_keys: vec![0u64; table].into_boxed_slice(),
+            idx_slots: vec![NIL; table].into_boxed_slice(),
+            idx_mask: table - 1,
         }
+    }
+
+    /// Empties the structure in place, keeping every allocation (slab vectors and
+    /// probe table) for reuse. Equivalent to `*self = Self::new(self.capacity())`
+    /// but without touching the allocator — the rotation path of
+    /// [`crate::temporal::WindowedSketchStore`] recycles retired bucket sketches
+    /// through this.
+    pub(crate) fn clear(&mut self) {
+        self.counters.clear();
+        self.buckets.clear();
+        self.free_buckets.clear();
+        self.min_bucket = NIL;
+        self.idx_slots.fill(NIL);
     }
 
     /// Maximum number of counters.
@@ -117,15 +163,14 @@ impl StreamSummary {
     /// Returns the count associated with `item`, if it currently labels a counter.
     #[must_use]
     pub fn count(&self, item: u64) -> Option<u64> {
-        self.index
-            .get(&item)
-            .map(|&c| self.buckets[self.counters[c as usize].bucket as usize].value)
+        self.index_get(item)
+            .map(|c| self.buckets[self.counters[c as usize].bucket as usize].value)
     }
 
     /// Whether `item` currently labels a counter.
     #[must_use]
     pub fn contains(&self, item: u64) -> bool {
-        self.index.contains_key(&item)
+        self.index_get(item).is_some()
     }
 
     /// The smallest count currently stored, or `None` if empty.
@@ -196,7 +241,7 @@ impl StreamSummary {
         assert!(!self.is_full(), "stream summary is at capacity");
         assert!(count > 0, "counts must be positive");
         assert!(
-            !self.index.contains_key(&item),
+            !self.contains(item),
             "item is already present; use increment"
         );
         let c = self.counters.len() as u32;
@@ -206,7 +251,7 @@ impl StreamSummary {
             prev: NIL,
             next: NIL,
         });
-        self.index.insert(item, c);
+        self.index_insert(item, c);
         let bucket = self.find_or_create_bucket(count);
         self.attach(c, bucket);
         CounterHandle(c)
@@ -217,7 +262,7 @@ impl StreamSummary {
     /// updates to the same item with no further probing.
     #[must_use]
     pub fn counter_handle(&self, item: u64) -> Option<CounterHandle> {
-        self.index.get(&item).map(|&c| CounterHandle(c))
+        self.index_get(item).map(CounterHandle)
     }
 
     /// Increments the counter behind `handle` by `by` (a no-op when `by` is zero).
@@ -237,10 +282,10 @@ impl StreamSummary {
     /// was present (and thus incremented), `false` otherwise.
     pub fn increment(&mut self, item: u64, by: u64) -> bool {
         if by == 0 {
-            return self.index.contains_key(&item);
+            return self.contains(item);
         }
-        match self.index.get(&item) {
-            Some(&c) => {
+        match self.index_get(item) {
+            Some(c) => {
                 self.increment_counter(c, by);
                 true
             }
@@ -282,16 +327,16 @@ impl StreamSummary {
     pub fn replace_min_with_handle(&mut self, new_item: u64, by: u64) -> (u64, CounterHandle) {
         assert!(self.min_bucket != NIL, "stream summary is empty");
         assert!(
-            !self.index.contains_key(&new_item),
+            !self.contains(new_item),
             "new item already labels a counter; use increment"
         );
         let bucket = &self.buckets[self.min_bucket as usize];
         let old = bucket.value;
         let c = bucket.head;
         let old_item = self.counters[c as usize].item;
-        self.index.remove(&old_item);
+        self.index_remove(old_item);
         self.counters[c as usize].item = new_item;
-        self.index.insert(new_item, c);
+        self.index_insert(new_item, c);
         self.increment_counter(c, by);
         (old, CounterHandle(c))
     }
@@ -299,17 +344,31 @@ impl StreamSummary {
     /// Checks every structural invariant; used by tests and property tests. Returns an
     /// error string describing the first violation found.
     pub fn validate(&self) -> Result<(), String> {
-        // Index consistency.
-        if self.index.len() != self.counters.len() {
+        // Index consistency: every occupied probe-table entry points at a counter
+        // labelled by its key, every counter is findable, and the entry counts agree.
+        let occupied = self.idx_slots.iter().filter(|&&s| s != NIL).count();
+        if occupied != self.counters.len() {
             return Err(format!(
-                "index has {} entries but there are {} counters",
-                self.index.len(),
+                "index has {occupied} entries but there are {} counters",
                 self.counters.len()
             ));
         }
-        for (item, &c) in &self.index {
-            if self.counters.get(c as usize).map(|x| x.item) != Some(*item) {
+        for i in 0..self.idx_slots.len() {
+            let c = self.idx_slots[i];
+            if c == NIL {
+                continue;
+            }
+            let item = self.idx_keys[i];
+            if self.counters.get(c as usize).map(|x| x.item) != Some(item) {
                 return Err(format!("index entry for item {item} points at wrong counter"));
+            }
+        }
+        for (c, counter) in self.counters.iter().enumerate() {
+            if self.index_get(counter.item) != Some(c as u32) {
+                return Err(format!(
+                    "counter {c} (item {}) is not reachable through the index probe",
+                    counter.item
+                ));
             }
         }
         if self.counters.len() > self.capacity {
@@ -422,9 +481,11 @@ impl StreamSummary {
         }
         let mut summary = Self::new(capacity);
         for &item in &counters {
-            if summary.index.insert(item, summary.counters.len() as u32).is_some() {
+            if summary.contains(item) {
                 return Err(format!("duplicate item {item}"));
             }
+            let c = summary.counters.len() as u32;
+            summary.index_insert(item, c);
             summary.counters.push(Counter {
                 item,
                 bucket: NIL,
@@ -478,6 +539,76 @@ impl StreamSummary {
 
     // ----- internal helpers -----
 
+    /// Probe-table position for `item` (Fibonacci hashing of the raw identifier;
+    /// items routed through [`crate::hash`] are already avalanched, and sequential
+    /// raw identifiers spread well under the golden-ratio multiply).
+    #[inline(always)]
+    fn index_home(&self, item: u64) -> usize {
+        ((item.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) & self.idx_mask
+    }
+
+    /// Looks up `item` in the probe table. The table is never more than half full,
+    /// so the linear probe always terminates at an empty entry.
+    #[inline(always)]
+    fn index_get(&self, item: u64) -> Option<u32> {
+        let mut i = self.index_home(item);
+        loop {
+            let c = self.idx_slots[i];
+            if c == NIL {
+                return None;
+            }
+            if self.idx_keys[i] == item {
+                return Some(c);
+            }
+            i = (i + 1) & self.idx_mask;
+        }
+    }
+
+    /// Inserts `item -> c` into the probe table; the caller guarantees the item is
+    /// absent and the structure (hence the half-full table) has room.
+    #[inline]
+    fn index_insert(&mut self, item: u64, c: u32) {
+        let mut i = self.index_home(item);
+        while self.idx_slots[i] != NIL {
+            debug_assert_ne!(self.idx_keys[i], item, "index_insert of a present item");
+            i = (i + 1) & self.idx_mask;
+        }
+        self.idx_keys[i] = item;
+        self.idx_slots[i] = c;
+    }
+
+    /// Removes `item` from the probe table by backward-shift deletion, preserving
+    /// the linear-probe reachability invariant without tombstones. The caller
+    /// guarantees the item is present.
+    fn index_remove(&mut self, item: u64) {
+        let mut i = self.index_home(item);
+        while self.idx_keys[i] != item || self.idx_slots[i] == NIL {
+            debug_assert_ne!(self.idx_slots[i], NIL, "index_remove of an absent item");
+            i = (i + 1) & self.idx_mask;
+        }
+        loop {
+            let mut j = i;
+            loop {
+                j = (j + 1) & self.idx_mask;
+                if self.idx_slots[j] == NIL {
+                    self.idx_slots[i] = NIL;
+                    return;
+                }
+                // The entry at j may fill the hole at i iff its home position is
+                // cyclically outside (i, j] — otherwise moving it would break the
+                // probe chain that reaches it.
+                let k = self.index_home(self.idx_keys[j]);
+                let in_gap = if i <= j { k > i && k <= j } else { k > i || k <= j };
+                if !in_gap {
+                    break;
+                }
+            }
+            self.idx_keys[i] = self.idx_keys[j];
+            self.idx_slots[i] = self.idx_slots[j];
+            i = j;
+        }
+    }
+
     fn increment_counter(&mut self, c: u32, by: u64) {
         // A zero increment must be a real no-op even in release builds: the walk
         // below would otherwise allocate a second bucket with the *same* value
@@ -487,6 +618,19 @@ impl StreamSummary {
         }
         let old_bucket = self.counters[c as usize].bucket;
         let new_value = self.buckets[old_bucket as usize].value + by;
+        // Fast path: `c` is alone in its bucket and the next bucket (if any) still
+        // has a larger value, so the bucket can simply be relabelled in place. The
+        // resulting structure is bit-identical to what the generic path builds
+        // (it would allocate a new bucket at the same chain position, move `c`
+        // into it, and free the old one — bucket slab indices are unobservable),
+        // but costs two loads and one store instead of a detach/alloc/attach/free.
+        let next0 = self.buckets[old_bucket as usize].next;
+        if self.buckets[old_bucket as usize].len == 1
+            && (next0 == NIL || self.buckets[next0 as usize].value > new_value)
+        {
+            self.buckets[old_bucket as usize].value = new_value;
+            return;
+        }
         self.detach(c);
         // Walk forward from the old bucket to find where the new value belongs.
         let mut anchor = old_bucket;
@@ -884,6 +1028,55 @@ mod tests {
     fn increment_min_on_empty_panics() {
         let mut s = StreamSummary::new(2);
         s.increment_min(1);
+    }
+
+    #[test]
+    fn replace_min_churn_exercises_index_deletion() {
+        // At full capacity every replace_min removes one key from the probe table
+        // and inserts another; thousands of cycles over a small (32-entry) table
+        // force wraparound probes and backward-shift chains in every position.
+        let mut s = StreamSummary::new(16);
+        for item in 0..16 {
+            s.insert(item, 1);
+        }
+        let mut state = 0xDEAD_BEEF_u64;
+        for round in 0..4000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let fresh = 100 + (state >> 33) % 50;
+            if s.contains(fresh) {
+                s.increment(fresh, 1);
+            } else {
+                s.replace_min(fresh, 1);
+            }
+            s.validate().unwrap_or_else(|e| panic!("round {round}: {e}"));
+            assert_eq!(s.len(), 16);
+        }
+    }
+
+    #[test]
+    fn clear_then_reuse_matches_fresh_structure() {
+        let mut used = StreamSummary::new(8);
+        for item in 0..8 {
+            used.insert(item * 7, item + 1);
+        }
+        for _ in 0..20 {
+            used.increment_min(3);
+        }
+        used.clear();
+        assert_eq!(used.len(), 0);
+        assert_eq!(used.total_count(), 0);
+        assert!(used.min_value().is_none());
+
+        let mut fresh = StreamSummary::new(8);
+        for s in [&mut used, &mut fresh] {
+            for item in 0..8 {
+                s.insert(item, 2 * item + 1);
+            }
+            s.increment(3, 5);
+            s.replace_min(99, 1);
+            s.validate().unwrap();
+        }
+        assert_eq!(used.dump(), fresh.dump());
     }
 
     #[test]

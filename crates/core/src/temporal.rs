@@ -125,14 +125,16 @@
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TryRecvError};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 
+use crate::engine::ShardLink;
 use crate::estimator::SketchSnapshot;
 use crate::hash::splitmix64;
+use crate::spsc::{block_channel, BlockReceiver, BlockSender, RowBlock, Waker, BLOCK_CAP};
 use crate::merge::{fold_unbiased, fold_unbiased_multiway};
 use crate::persist::{self, PersistError};
 use crate::query::SnapshotSource;
@@ -291,6 +293,11 @@ const SPAN_OUT_SALT: u64 = 0xD1AD_1C03;
 /// the engine's merged-range cache: a dashboard polls a handful of ranges.
 const SPAN_MEMO_SLOTS: usize = 8;
 
+/// Deferred-compaction backlog bound: once this many expired-bucket reports
+/// are queued, each further expiry settles one inline so the debt (and its
+/// memory) stays bounded even when a worker never sees an idle slot.
+const MAX_PENDING_EXPIRED: usize = 64;
+
 /// The deepest ladder level for a window of `fine_buckets`: nodes only cover
 /// *sealed* buckets (everything except the newest), so the largest node span
 /// is the largest power of two that fits in `fine_buckets - 1`. Zero means no
@@ -366,6 +373,19 @@ pub struct WindowedSketchStore {
     ladder: DyadicLadder,
     /// Memoized pre-merged span reports (never persisted; rebuilt on demand).
     span_memo: VecDeque<SpanMemo>,
+    /// Expired fine-bucket reports whose tier compaction is deferred (engine
+    /// workers only; see [`set_defer_compaction`](Self::set_defer_compaction)).
+    /// Always settled before any query, checkpoint or clone, so the queue is
+    /// pure scheduling state — it never reaches persisted images.
+    pending_expired: VecDeque<TierBucket>,
+    /// When set, [`expire`](Self::expire) queues reports instead of compacting
+    /// them inline; idle-slot [`settle_one`](Self::settle_one) calls (and the
+    /// pre-query [`settle_all`](Self::settle_all)) do the tier work instead.
+    defer_compaction: bool,
+    /// One retired fine-bucket sketch kept for reuse: rotation hands the next
+    /// [`make_bucket`](Self::make_bucket) recycled allocations instead of a
+    /// fresh `capacity`-sized sketch every window advance.
+    spare: Option<UnbiasedSpaceSaving>,
     rows: u64,
     late_rows: u64,
     last_ts: u64,
@@ -383,6 +403,9 @@ impl WindowedSketchStore {
             tiers: (0..config.tiers).map(|_| VecDeque::new()).collect(),
             ladder: DyadicLadder::new(ladder_max_level(config.fine_buckets)),
             span_memo: VecDeque::new(),
+            pending_expired: VecDeque::new(),
+            defer_compaction: false,
+            spare: None,
             config,
             fine: VecDeque::new(),
             terminal: None,
@@ -482,7 +505,8 @@ impl WindowedSketchStore {
         // of overflowing span arithmetic or silently escaping every query.
         let b = (ts / self.config.bucket_width).min(u64::MAX - 1);
         let Some(back) = self.fine.back() else {
-            self.fine.push_back(self.make_bucket(b));
+            let bucket = self.make_bucket(b);
+            self.fine.push_back(bucket);
             return (&mut self.fine.back_mut().expect("just pushed").sketch, false);
         };
         let newest = back.index;
@@ -503,7 +527,8 @@ impl WindowedSketchStore {
             // out of retention. New nodes over the freshly sealed buckets are
             // built in worker idle slots or repaired on demand at query time.
             self.ladder_retire(min_live);
-            self.fine.push_back(self.make_bucket(b));
+            let bucket = self.make_bucket(b);
+            self.fine.push_back(bucket);
             return (&mut self.fine.back_mut().expect("just pushed").sketch, false);
         }
         // Out of order. In-window rows land in their true bucket exactly; rows
@@ -523,23 +548,30 @@ impl WindowedSketchStore {
         match self.fine.binary_search_by_key(&b, |f| f.index) {
             Ok(i) => (&mut self.fine[i].sketch, false),
             Err(i) => {
-                self.fine.insert(i, self.make_bucket(b));
+                let bucket = self.make_bucket(b);
+                self.fine.insert(i, bucket);
                 (&mut self.fine[i].sketch, false)
             }
         }
     }
 
-    fn make_bucket(&self, index: u64) -> FineBucket {
-        FineBucket {
-            index,
-            sketch: UnbiasedSpaceSaving::with_seed(
-                self.config.capacity,
-                bucket_seed(self.config.seed, index),
-            ),
-        }
+    fn make_bucket(&mut self, index: u64) -> FineBucket {
+        let seed = bucket_seed(self.config.seed, index);
+        // Reuse the last retired bucket's allocations when one is available:
+        // the reset is bit-identical to a fresh `with_seed` sketch, so the
+        // recycled path is indistinguishable from the allocating one.
+        let sketch = match self.spare.take() {
+            Some(mut sketch) => {
+                sketch.reset_with_seed(seed);
+                sketch
+            }
+            None => UnbiasedSpaceSaving::with_seed(self.config.capacity, seed),
+        };
+        FineBucket { index, sketch }
     }
 
-    /// Moves an expired fine bucket into the retention tiers.
+    /// Moves an expired fine bucket into the retention tiers (or the deferral
+    /// queue) and keeps its sketch allocations for the next rotation.
     fn expire(&mut self, bucket: FineBucket) {
         let report = TierBucket {
             start: bucket.index,
@@ -547,7 +579,52 @@ impl WindowedSketchStore {
             rows: bucket.sketch.rows_processed(),
             entries: bucket.sketch.entries(),
         };
-        self.push_tier(0, report);
+        if self.spare.is_none() {
+            self.spare = Some(bucket.sketch);
+        }
+        if self.defer_compaction {
+            self.pending_expired.push_back(report);
+            // Bound the deferral debt: a store rotating continuously with no
+            // idle slots still compacts amortized-O(1) per rotation instead of
+            // accumulating an unbounded report backlog.
+            if self.pending_expired.len() > MAX_PENDING_EXPIRED {
+                self.settle_one();
+            }
+        } else {
+            self.push_tier(0, report);
+        }
+    }
+
+    /// Switches the store between inline tier compaction (the default, what
+    /// every standalone-store caller sees) and deferred compaction, where
+    /// [`expire`](Self::expire) queues reports for idle-slot settling. Engine
+    /// workers enable deferral; they settle before every query, checkpoint and
+    /// shutdown, so the two modes produce byte-identical tier state — the tiers
+    /// depend only on the sequence of expired reports, which deferral preserves.
+    pub(crate) fn set_defer_compaction(&mut self, defer: bool) {
+        self.defer_compaction = defer;
+        if !defer {
+            self.settle_all();
+        }
+    }
+
+    /// Compacts the oldest deferred expiry report, if any. Returns whether any
+    /// work was done. One call is one bounded unit of idle work: a single
+    /// tier-0 push, including whatever compaction cascade it triggers.
+    pub(crate) fn settle_one(&mut self) -> bool {
+        match self.pending_expired.pop_front() {
+            Some(report) => {
+                self.push_tier(0, report);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drains the deferral queue completely. Must run before any observation of
+    /// tier state (range reports, clones for checkpoints, the final store).
+    pub(crate) fn settle_all(&mut self) {
+        while self.settle_one() {}
     }
 
     /// Pushes a bucket onto tier `t`, compacting a full group into tier `t + 1`
@@ -1112,6 +1189,9 @@ impl WindowedSketchStore {
         Ok(Self {
             ladder: DyadicLadder::new(ladder_max_level(config.fine_buckets)),
             span_memo: VecDeque::new(),
+            pending_expired: VecDeque::new(),
+            defer_compaction: false,
+            spare: None,
             config,
             fine: fine
                 .into_iter()
@@ -1195,6 +1275,15 @@ impl TemporalConfig {
         self.queue_depth = queue_depth;
         self
     }
+
+    /// The per-(handle, shard) ring bound, in blocks: the block-channel
+    /// equivalent of "`queue_depth` batches of `batch_rows` rows" of producer
+    /// backpressure, exactly as on [`crate::engine::EngineConfig`].
+    pub(crate) fn ring_blocks(&self) -> usize {
+        (self.queue_depth * self.batch_rows)
+            .div_ceil(BLOCK_CAP)
+            .max(2)
+    }
 }
 
 /// A time range for queries against a [`TemporalIngestEngine`]. Ranges resolve
@@ -1217,9 +1306,15 @@ pub enum TimeRange {
     },
 }
 
+/// Control-plane messages to a temporal shard worker. Data rides the SPSC block
+/// rings (as on the non-temporal engine); this unbounded, rarely used channel
+/// carries everything else. Every request that observes store state first
+/// drains a *cut* of the data rings and settles deferred compaction.
 enum TemporalMsg {
-    /// A batch of `(item, timestamp)` rows for this shard.
-    Rows(Vec<(u64, u64)>),
+    /// A new producer ring of `(item, timestamp)` blocks to poll: sent when a
+    /// [`TemporalIngestHandle`] is created or cloned. The worker retires the
+    /// ring once the handle drops it and the remaining blocks are drained.
+    Register(BlockReceiver<(u64, u64)>),
     /// Report the retained buckets overlapping `[start, end)` — through the
     /// dyadic index (at most one pre-merged report), or every leaf when
     /// `leaf` is set — plus whether the reply is raw (byte-identical to the
@@ -1233,7 +1328,8 @@ enum TemporalMsg {
     },
     /// Reply with a full clone of the shard's store for a durable checkpoint.
     Checkpoint(Sender<WindowedSketchStore>),
-    /// Stop after the queue drained this far.
+    /// Drain a cut, settle, then stop — even if producer handles (and thus
+    /// rings feeding this shard) are still alive.
     Shutdown,
 }
 
@@ -1260,7 +1356,7 @@ struct CacheSlot {
 #[derive(Debug)]
 pub struct TemporalIngestEngine {
     config: TemporalConfig,
-    senders: Vec<SyncSender<TemporalMsg>>,
+    links: Vec<ShardLink<TemporalMsg>>,
     workers: Vec<JoinHandle<WindowedSketchStore>>,
     snapshots: AtomicU64,
     rows_enqueued: Arc<AtomicU64>,
@@ -1304,16 +1400,20 @@ impl TemporalIngestEngine {
         rows_enqueued: u64,
         max_time: u64,
     ) -> Self {
-        let mut senders = Vec::with_capacity(stores.len());
+        let mut links = Vec::with_capacity(stores.len());
         let mut workers = Vec::with_capacity(stores.len());
         for store in stores {
-            let (tx, rx) = sync_channel(config.queue_depth);
-            workers.push(std::thread::spawn(move || run_worker(rx, store)));
-            senders.push(tx);
+            let (tx, rx) = std::sync::mpsc::channel();
+            let waker = Arc::new(Waker::new());
+            let worker_waker = Arc::clone(&waker);
+            workers.push(std::thread::spawn(move || {
+                run_worker(&rx, &worker_waker, store)
+            }));
+            links.push(ShardLink::new(tx, waker));
         }
         Self {
             config,
-            senders,
+            links,
             workers,
             snapshots: AtomicU64::new(snapshots),
             rows_enqueued: Arc::new(AtomicU64::new(rows_enqueued)),
@@ -1335,7 +1435,7 @@ impl TemporalIngestEngine {
     /// Number of worker shards.
     #[must_use]
     pub fn shards(&self) -> usize {
-        self.senders.len()
+        self.links.len()
     }
 
     /// Rows handed to the shard queues so far (the cheap monotone progress
@@ -1361,15 +1461,12 @@ impl TemporalIngestEngine {
     /// per producer thread.
     #[must_use]
     pub fn handle(&self) -> TemporalIngestHandle {
-        TemporalIngestHandle {
-            senders: self.senders.clone(),
-            buffers: (0..self.senders.len())
-                .map(|_| Vec::with_capacity(self.config.batch_rows))
-                .collect(),
-            batch_rows: self.config.batch_rows,
-            rows_enqueued: Arc::clone(&self.rows_enqueued),
-            max_time: Arc::clone(&self.max_time),
-        }
+        TemporalIngestHandle::connect(
+            &self.links,
+            self.config.ring_blocks(),
+            &self.rows_enqueued,
+            &self.max_time,
+        )
     }
 
     /// Resolves a [`TimeRange`] to a fine-bucket index range `[start, end)`.
@@ -1397,25 +1494,24 @@ impl TemporalIngestEngine {
     /// Collects every shard's bucket reports for `[start, end)` (fine-bucket
     /// indices), in shard order, each shard's buckets oldest first, together
     /// with whether *every* reply was raw (byte-identical to the leaf path)
-    /// and the total rows the shards had *applied* when they reported. The
-    /// report request travels the shard FIFO queues, so all previously
+    /// and the total rows the shards had *applied* when they reported. Each
+    /// worker first drains a cut of its data rings (the blocks queued at
+    /// request time) and settles deferred compaction, so all previously
     /// enqueued batches are applied first. With `leaf` set the shards bypass
     /// the dyadic index and report every overlapping bucket (the reference
     /// path for equivalence tests and benchmarks).
     fn collect_reports(&self, start: u64, end: u64, leaf: bool) -> (Vec<BucketReport>, bool, u64) {
         let receivers: Vec<_> = self
-            .senders
+            .links
             .iter()
-            .map(|sender| {
+            .map(|link| {
                 let (tx, rx) = std::sync::mpsc::channel();
-                sender
-                    .send(TemporalMsg::Range {
-                        start,
-                        end,
-                        leaf,
-                        reply: tx,
-                    })
-                    .expect("temporal shard worker disconnected");
+                link.send(TemporalMsg::Range {
+                    start,
+                    end,
+                    leaf,
+                    reply: tx,
+                });
                 rx
             })
             .collect();
@@ -1567,7 +1663,7 @@ impl TemporalIngestEngine {
     /// bucket-ring file per shard (fine buckets with full RNG + structure
     /// images, compacted tiers, the terminal bucket, and the dyadic-ladder
     /// nodes built so far) plus a temporal manifest.
-    /// Quiesces each shard through its FIFO queue exactly as the non-temporal
+    /// Quiesces each shard with a ring cut exactly as the non-temporal
     /// engine's checkpoint does; ingest continues afterwards.
     ///
     /// # Errors
@@ -1577,13 +1673,11 @@ impl TemporalIngestEngine {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir).map_err(PersistError::Io)?;
         let receivers: Vec<_> = self
-            .senders
+            .links
             .iter()
-            .map(|sender| {
+            .map(|link| {
                 let (tx, rx) = std::sync::mpsc::channel();
-                sender
-                    .send(TemporalMsg::Checkpoint(tx))
-                    .expect("temporal shard worker disconnected");
+                link.send(TemporalMsg::Checkpoint(tx));
                 rx
             })
             .collect();
@@ -1700,11 +1794,11 @@ impl TemporalIngestEngine {
     /// callers that want the per-bucket structure rather than a merged fold).
     #[must_use]
     pub fn finish_stores(mut self) -> Vec<WindowedSketchStore> {
-        for sender in &self.senders {
+        for link in &self.links {
             // A worker is only gone if it panicked; join below surfaces that.
-            let _ = sender.send(TemporalMsg::Shutdown);
+            link.send_lossy(TemporalMsg::Shutdown);
         }
-        self.senders.clear();
+        self.links.clear();
         self.workers
             .drain(..)
             .map(|worker| worker.join().expect("temporal ingest worker panicked"))
@@ -1753,25 +1847,59 @@ impl SnapshotSource for TemporalRangeSource<'_> {
 
 /// A producer-side handle for timestamped rows: routes by item hash (every
 /// occurrence of an item lands on the same shard, keeping frequent-item counts
-/// sharp) and ships `(item, timestamp)` pairs in batches. Unflushed rows are
-/// sent on drop (best-effort) or by [`flush`](Self::flush).
+/// sharp) and ships `(item, timestamp)` pairs in recycled [`RowBlock`]s over
+/// per-shard SPSC rings, exactly like the non-temporal
+/// [`crate::engine::IngestHandle`]. Rows still in the handle's partial blocks
+/// are sent on drop (best-effort) or by [`flush`](Self::flush).
 #[derive(Debug)]
 pub struct TemporalIngestHandle {
-    senders: Vec<SyncSender<TemporalMsg>>,
-    buffers: Vec<Vec<(u64, u64)>>,
-    batch_rows: usize,
+    /// Engine endpoints, kept for ring registration on [`Clone`].
+    links: Vec<ShardLink<TemporalMsg>>,
+    /// One block sender per shard; this handle is the ring's single producer.
+    senders: Vec<BlockSender<(u64, u64)>>,
+    /// The partially filled block per shard, swapped out when full.
+    // Boxed: the ring transports blocks as `Box<RowBlock>` so a send moves one
+    // pointer, never the multi-KiB payload.
+    #[allow(clippy::vec_box)]
+    blocks: Vec<Box<RowBlock<(u64, u64)>>>,
+    ring_blocks: usize,
     rows_enqueued: Arc<AtomicU64>,
     max_time: Arc<AtomicU64>,
 }
 
 impl TemporalIngestHandle {
-    /// Offers one row of `item` stamped `ts`. Blocks only when the destination
-    /// shard's queue is full.
+    /// Builds a handle wired to `links`: one block channel per shard, each
+    /// registered with its worker before any row can be sent over it.
+    fn connect(
+        links: &[ShardLink<TemporalMsg>],
+        ring_blocks: usize,
+        rows_enqueued: &Arc<AtomicU64>,
+        max_time: &Arc<AtomicU64>,
+    ) -> Self {
+        let mut senders = Vec::with_capacity(links.len());
+        let mut blocks = Vec::with_capacity(links.len());
+        for link in links {
+            let (tx, rx) = block_channel(ring_blocks, Arc::clone(link.waker()));
+            link.send(TemporalMsg::Register(rx));
+            blocks.push(RowBlock::boxed());
+            senders.push(tx);
+        }
+        Self {
+            links: links.to_vec(),
+            senders,
+            blocks,
+            ring_blocks,
+            rows_enqueued: Arc::clone(rows_enqueued),
+            max_time: Arc::clone(max_time),
+        }
+    }
+
+    /// Offers one row of `item` stamped `ts`. Lock-free; parks only when the
+    /// destination shard's ring is full (the engine's backpressure).
     #[inline]
     pub fn offer_at(&mut self, item: u64, ts: u64) {
         let shard = self.route(item);
-        self.buffers[shard].push((item, ts));
-        if self.buffers[shard].len() >= self.batch_rows {
+        if self.blocks[shard].push((item, ts)) {
             self.dispatch(shard);
         }
     }
@@ -1783,10 +1911,10 @@ impl TemporalIngestHandle {
         }
     }
 
-    /// Sends every buffered row to its shard, emptying the handle's buffers.
+    /// Ships every partially filled block to its shard, emptying the handle.
     pub fn flush(&mut self) {
-        for shard in 0..self.buffers.len() {
-            if !self.buffers[shard].is_empty() {
+        for shard in 0..self.blocks.len() {
+            if !self.blocks[shard].is_empty() {
                 self.dispatch(shard);
             }
         }
@@ -1801,119 +1929,267 @@ impl TemporalIngestHandle {
         ((u128::from(splitmix64(item)) * self.senders.len() as u128) >> 64) as usize
     }
 
-    fn dispatch(&mut self, shard: usize) {
-        let batch = std::mem::replace(
-            &mut self.buffers[shard],
-            Vec::with_capacity(self.batch_rows),
-        );
+    /// Advances the enqueue counters for an outgoing block and returns it.
+    fn account(&self, block: Box<RowBlock<(u64, u64)>>) -> Box<RowBlock<(u64, u64)>> {
         self.rows_enqueued
-            .fetch_add(batch.len() as u64, Ordering::Relaxed);
-        let newest = batch.iter().map(|&(_, ts)| ts).max().unwrap_or(0);
-        self.max_time.fetch_max(newest, Ordering::Relaxed);
+            .fetch_add(block.len() as u64, Ordering::Relaxed);
+        let newest = block.as_slice().iter().map(|&(_, ts)| ts).max();
+        if let Some(ts) = newest {
+            self.max_time.fetch_max(ts, Ordering::Relaxed);
+        }
+        block
+    }
+
+    /// Sends the current block (recycling a spent one in its place), parking
+    /// while the ring is full.
+    fn dispatch(&mut self, shard: usize) {
+        let block = std::mem::replace(&mut self.blocks[shard], self.senders[shard].acquire());
+        let block = self.account(block);
         self.senders[shard]
-            .send(TemporalMsg::Rows(batch))
+            .send(block)
             .expect("temporal shard worker disconnected");
     }
 }
 
 impl Clone for TemporalIngestHandle {
-    /// Clones the routing state; the new handle starts with empty buffers.
+    /// Clones the routing state with fresh rings of its own: the new handle
+    /// registers one new block channel per shard and starts with empty blocks.
     fn clone(&self) -> Self {
-        Self {
-            senders: self.senders.clone(),
-            buffers: (0..self.senders.len())
-                .map(|_| Vec::with_capacity(self.batch_rows))
-                .collect(),
-            batch_rows: self.batch_rows,
-            rows_enqueued: Arc::clone(&self.rows_enqueued),
-            max_time: Arc::clone(&self.max_time),
-        }
+        Self::connect(
+            &self.links,
+            self.ring_blocks,
+            &self.rows_enqueued,
+            &self.max_time,
+        )
     }
 }
 
 impl Drop for TemporalIngestHandle {
     /// Best-effort flush so producer threads cannot silently drop buffered rows.
+    /// Dropping the senders afterwards closes the rings, which is what lets
+    /// each worker retire them once drained.
     fn drop(&mut self) {
-        for shard in 0..self.buffers.len() {
-            if !self.buffers[shard].is_empty() {
-                let batch = std::mem::take(&mut self.buffers[shard]);
-                self.rows_enqueued
-                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
-                let newest = batch.iter().map(|&(_, ts)| ts).max().unwrap_or(0);
-                self.max_time.fetch_max(newest, Ordering::Relaxed);
+        for shard in 0..self.blocks.len() {
+            if !self.blocks[shard].is_empty() {
+                let block = std::mem::replace(&mut self.blocks[shard], RowBlock::boxed());
+                let block = self.account(block);
                 // After `finish` the workers are gone; losing the send then is fine.
-                let _ = self.senders[shard].send(TemporalMsg::Rows(batch));
+                let _ = self.senders[shard].send(block);
             }
         }
     }
 }
 
-/// The temporal shard worker loop: apply timestamped batches (rotating and
-/// compacting as time advances), answer range reports and checkpoint requests,
-/// and hand the final store back through the join handle. Idle slots — the
-/// queue momentarily empty — go to building one dyadic-ladder node at a time,
-/// so the pre-merge index fills in without ever delaying a waiting batch by
-/// more than one node fold.
-fn run_worker(rx: Receiver<TemporalMsg>, mut store: WindowedSketchStore) -> WindowedSketchStore {
-    // Scratch buffer for runs of equal timestamps, reused across batches.
-    let mut run_items: Vec<u64> = Vec::new();
-    loop {
-        let msg = match rx.try_recv() {
-            Ok(msg) => msg,
-            Err(TryRecvError::Empty) => {
-                if store.ladder_idle_step() {
-                    continue;
-                }
-                match rx.recv() {
-                    Ok(msg) => msg,
-                    Err(_) => break,
-                }
+/// Per-ring budget of blocks drained per scan pass, bounding how long a pass
+/// can run before the worker re-checks the control channel. Matches the
+/// non-temporal engine's budget.
+const DRAIN_BUDGET: usize = 64;
+
+/// A temporal shard worker's mutable state: its store, the producer rings it
+/// polls, and the scratch buffer for timestamp runs.
+struct TemporalWorker {
+    store: WindowedSketchStore,
+    rings: Vec<BlockReceiver<(u64, u64)>>,
+    /// Scratch buffer for runs of equal timestamps, reused across blocks.
+    run_items: Vec<u64>,
+}
+
+impl TemporalWorker {
+    /// Applies one block of `(item, timestamp)` rows. Real blocks are dominated
+    /// by runs of equal timestamps; applying each run through `offer_batch_at`
+    /// (exactly equivalent to per-row offers) pays the bucket resolution once
+    /// per run instead of once per row.
+    fn apply(&mut self, rows: &[(u64, u64)]) {
+        let mut i = 0;
+        while i < rows.len() {
+            let ts = rows[i].1;
+            let mut j = i + 1;
+            while j < rows.len() && rows[j].1 == ts {
+                j += 1;
             }
-            Err(TryRecvError::Disconnected) => break,
-        };
-        match msg {
-            TemporalMsg::Rows(rows) => {
-                // Real batches are dominated by runs of equal timestamps;
-                // applying each run through `offer_batch_at` (exactly
-                // equivalent to per-row offers) pays the bucket resolution
-                // once per run instead of once per row.
-                let mut i = 0;
-                while i < rows.len() {
-                    let ts = rows[i].1;
-                    let mut j = i + 1;
-                    while j < rows.len() && rows[j].1 == ts {
-                        j += 1;
-                    }
-                    if j - i == 1 {
-                        store.offer_at(rows[i].0, ts);
-                    } else {
-                        run_items.clear();
-                        run_items.extend(rows[i..j].iter().map(|&(item, _)| item));
-                        store.offer_batch_at(&run_items, ts);
-                    }
-                    i = j;
-                }
+            if j - i == 1 {
+                self.store.offer_at(rows[i].0, ts);
+            } else {
+                self.run_items.clear();
+                self.run_items
+                    .extend(rows[i..j].iter().map(|&(item, _)| item));
+                self.store.offer_batch_at(&self.run_items, ts);
             }
-            TemporalMsg::Range {
-                start,
-                end,
-                leaf,
-                reply,
-            } => {
-                let (reports, raw) = if leaf {
-                    (store.range_reports(start, end), true)
-                } else {
-                    store.indexed_range_reports(start, end)
-                };
-                let _ = reply.send((reports, raw, store.rows_processed()));
-            }
-            TemporalMsg::Checkpoint(reply) => {
-                let _ = reply.send(store.clone());
-            }
-            TemporalMsg::Shutdown => break,
+            i = j;
         }
     }
-    store
+
+    /// One bounded scan over all rings. Returns `true` if any block was
+    /// applied. Rings whose producer is gone and which are fully drained are
+    /// retired.
+    fn scan_rings(&mut self) -> bool {
+        let mut progressed = false;
+        for i in 0..self.rings.len() {
+            for _ in 0..DRAIN_BUDGET {
+                match self.rings[i].recv() {
+                    Some(block) => {
+                        progressed = true;
+                        self.apply(block.as_slice());
+                        self.rings[i].recycle(block);
+                    }
+                    None => break,
+                }
+            }
+        }
+        self.rings.retain(|ring| !ring.is_finished());
+        progressed
+    }
+
+    /// Drains a *cut* of every ring — exactly the blocks queued at the moment
+    /// this is called — then settles deferred compaction, so the store's tier
+    /// state is canonical before it is observed. Blocks pushed concurrently
+    /// with the drain are left for the normal scan, so a fast producer cannot
+    /// stall a quiesce.
+    fn quiesce(&mut self) {
+        for i in 0..self.rings.len() {
+            let cut = self.rings[i].queued();
+            for _ in 0..cut {
+                // Every counted block is already published; recv cannot fail here.
+                let block = self.rings[i].recv().expect("queued block vanished");
+                self.apply(block.as_slice());
+                self.rings[i].recycle(block);
+            }
+        }
+        self.rings.retain(|ring| !ring.is_finished());
+        self.store.settle_all();
+    }
+}
+
+/// The temporal shard worker loop: poll producer rings and the control channel,
+/// apply timestamped blocks (rotating the window as time advances), answer
+/// range reports and checkpoint requests, park when idle, and hand the final
+/// store back through the join handle.
+///
+/// Maintenance — deferred tier compaction and dyadic-ladder node builds — runs
+/// one bounded unit at a time, and only once the worker has *parked* since the
+/// last applied block: a park means the producers were genuinely quiet, not
+/// just refilling a block. Momentary ring gaps during active ingest therefore
+/// never pay a compaction or ladder fold — on few-core hosts that maintenance
+/// steals the producer's cycles and was the dominant cost of the
+/// rotating-ingest path. Every request that observes store state quiesces
+/// first (ring cut + settle), so deferral is invisible to queries, checkpoints
+/// and the final store.
+fn run_worker(
+    control: &Receiver<TemporalMsg>,
+    waker: &Waker,
+    store: WindowedSketchStore,
+) -> WindowedSketchStore {
+    let mut w = TemporalWorker {
+        store,
+        rings: Vec::new(),
+        run_items: Vec::new(),
+    };
+    w.store.set_defer_compaction(true);
+    let mut engine_alive = true;
+    // Whether the worker has parked since it last applied a block — the
+    // "producers are genuinely quiet" signal that admits idle maintenance.
+    let mut quiet = true;
+    loop {
+        let mut progressed = false;
+        // Control first: registrations and quiesce requests.
+        loop {
+            match control.try_recv() {
+                Ok(msg) => {
+                    progressed = true;
+                    if handle_control(&mut w, msg) == Flow::Stop {
+                        w.store.set_defer_compaction(false);
+                        return w.store;
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    // Engine and every handle are gone: no new rings, no requests.
+                    engine_alive = false;
+                    break;
+                }
+            }
+        }
+        if w.scan_rings() {
+            progressed = true;
+            quiet = false;
+        }
+        if !engine_alive && w.rings.is_empty() {
+            // Nothing can ever arrive again (the engine was dropped without
+            // `finish`); exit so the thread does not leak.
+            w.store.set_defer_compaction(false);
+            return w.store;
+        }
+        if !progressed {
+            if quiet && (w.store.settle_one() || w.store.ladder_idle_step()) {
+                // One bounded unit of idle maintenance, then re-check inputs.
+                continue;
+            }
+            waker.prepare();
+            // Re-check under the raised flag: a producer push or control send
+            // between the empty scan and `prepare` would otherwise be missed.
+            let pending = w.rings.iter().any(|ring| !ring.is_empty())
+                || w.rings.iter().any(BlockReceiver::is_finished);
+            match control.try_recv() {
+                Ok(msg) => {
+                    waker.cancel();
+                    if handle_control(&mut w, msg) == Flow::Stop {
+                        w.store.set_defer_compaction(false);
+                        return w.store;
+                    }
+                }
+                Err(TryRecvError::Disconnected) => {
+                    waker.cancel();
+                    engine_alive = false;
+                }
+                Err(TryRecvError::Empty) => {
+                    if pending {
+                        waker.cancel();
+                    } else {
+                        waker.park();
+                        quiet = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Whether the worker keeps running after a control message.
+#[derive(PartialEq, Eq)]
+enum Flow {
+    Continue,
+    Stop,
+}
+
+/// Handles one control message; requests that observe store state quiesce
+/// (ring cut + settle) first.
+fn handle_control(w: &mut TemporalWorker, msg: TemporalMsg) -> Flow {
+    match msg {
+        TemporalMsg::Register(ring) => w.rings.push(ring),
+        TemporalMsg::Range {
+            start,
+            end,
+            leaf,
+            reply,
+        } => {
+            w.quiesce();
+            let (reports, raw) = if leaf {
+                (w.store.range_reports(start, end), true)
+            } else {
+                w.store.indexed_range_reports(start, end)
+            };
+            let _ = reply.send((reports, raw, w.store.rows_processed()));
+        }
+        TemporalMsg::Checkpoint(reply) => {
+            w.quiesce();
+            let _ = reply.send(w.store.clone());
+        }
+        TemporalMsg::Shutdown => {
+            w.quiesce();
+            return Flow::Stop;
+        }
+    }
+    Flow::Continue
 }
 
 #[cfg(test)]

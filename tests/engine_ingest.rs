@@ -157,3 +157,66 @@ fn exact_batch_mode_matches_sharded_sequential_sketching() {
     assert_eq!(ea, eb, "same seed and same rows must reproduce exactly");
     assert_eq!(a.rows_processed(), rows.len() as u64);
 }
+
+#[test]
+fn single_shard_exact_mode_is_bitwise_equal_to_reference_path() {
+    // The transport must be invisible: a 1-shard engine with the combiner off sees
+    // exactly the stream, in order, on one worker — so its result must be *bitwise*
+    // identical (entry order and f64 bit patterns, not just values) to offering the
+    // rows into a plain sketch and applying the engine's finishing fold by hand.
+    let (rows, _) = workload(35);
+    let seed = 91u64;
+    let engine =
+        ShardedIngestEngine::new(EngineConfig::new(1, CAPACITY, seed).with_combiner_items(0));
+    let mut handle = engine.handle();
+    handle.offer_batch(&rows);
+    handle.flush();
+    drop(handle);
+    let merged = engine.finish();
+
+    // Reference: shard 0 sketches with `seed + 0`; `finish` folds the shard
+    // snapshots under the engine's merge/out seed pair.
+    let mut reference = UnbiasedSpaceSaving::with_seed(CAPACITY, seed);
+    for &row in &rows {
+        reference.offer(row);
+    }
+    let folded = unbiased_space_saving::core::merge::fold_unbiased(
+        CAPACITY,
+        seed ^ 0xD15C0,
+        seed ^ 0xFEED,
+        std::iter::once((reference.entries(), reference.rows_processed())),
+    );
+
+    assert_eq!(merged.rows_processed(), folded.rows_processed());
+    let got: Vec<(u64, u64)> =
+        merged.entries().iter().map(|&(i, c)| (i, c.to_bits())).collect();
+    let want: Vec<(u64, u64)> =
+        folded.entries().iter().map(|&(i, c)| (i, c.to_bits())).collect();
+    assert_eq!(got, want, "engine result diverged bitwise from the reference path");
+}
+
+#[test]
+fn multi_shard_exact_mode_is_bitwise_reproducible() {
+    // Across shards the only ordering the engine promises (combiner off, single
+    // producer) is per-shard row order — which fully determines every shard sketch
+    // and the seeded merge. Two runs must therefore agree on the raw f64 bit
+    // patterns in the same entry order, a stronger check than the sorted value
+    // comparison above.
+    let (rows, _) = workload(36);
+    let config = EngineConfig::new(SHARDS, CAPACITY, 56).with_combiner_items(0);
+    let run = |rows: &[u64]| {
+        let engine = ShardedIngestEngine::new(config);
+        let mut handle = engine.handle();
+        handle.offer_batch(rows);
+        handle.flush();
+        engine.finish()
+    };
+    let a = run(&rows);
+    let b = run(&rows);
+    let bits =
+        |s: &WeightedSpaceSaving| -> Vec<(u64, u64)> {
+            s.entries().iter().map(|&(i, c)| (i, c.to_bits())).collect()
+        };
+    assert_eq!(bits(&a), bits(&b), "identical runs diverged bitwise");
+    assert_eq!(a.rows_processed(), b.rows_processed());
+}
