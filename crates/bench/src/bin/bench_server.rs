@@ -1,0 +1,335 @@
+//! Network service tier load generator with machine-readable output.
+//!
+//! Boots a [`SketchServer`] on an ephemeral loopback port and drives it over
+//! real TCP connections, so the numbers include the full serving stack: frame
+//! encode, checksum, socket hop, total decode, registry lookup, engine work,
+//! response frame. Three workloads:
+//!
+//! 1. `ingest` — one client streaming fixed-size row batches; requests/s,
+//!    rows/s and per-request latency percentiles;
+//! 2. `query` — one client rotating through all five `Query` variants plus a
+//!    keyed-marginals request against a populated stream; qps and latency;
+//! 3. `mixed` — a background writer streaming batches while the measured
+//!    client queries: the contended figure a live deployment actually sees.
+//!
+//! Results go to `BENCH_server.json` (override with `--out`) and a
+//! human-readable table to stdout. `--quick` shrinks the workload for CI smoke
+//! coverage.
+//!
+//! Usage: `bench_server [--quick] [--rows N] [--batch N] [--queries N]
+//! [--shards N] [--seed N] [--out PATH]`
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use uss_core::persist::TemporalMeta;
+use uss_core::{Query, TimeRange};
+use uss_server::{ServerConfig, SketchClient, SketchServer};
+
+struct Options {
+    quick: bool,
+    rows: u64,
+    batch: usize,
+    queries: u32,
+    shards: u64,
+    seed: u64,
+    out: String,
+}
+
+impl Options {
+    fn parse() -> Self {
+        let mut opts = Self {
+            quick: false,
+            rows: 2_000_000,
+            batch: 4_096,
+            queries: 2_000,
+            shards: 4,
+            seed: 7,
+            out: "BENCH_server.json".to_string(),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let mut num = |flag: &str| -> u64 {
+                args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("{flag} requires a numeric argument");
+                    std::process::exit(2);
+                })
+            };
+            match arg.as_str() {
+                "--quick" => opts.quick = true,
+                "--rows" => opts.rows = num("--rows"),
+                "--batch" => opts.batch = num("--batch") as usize,
+                "--queries" => opts.queries = num("--queries") as u32,
+                "--shards" => opts.shards = num("--shards"),
+                "--seed" => opts.seed = num("--seed"),
+                "--out" => {
+                    opts.out = args.next().unwrap_or_else(|| {
+                        eprintln!("--out requires a path");
+                        std::process::exit(2);
+                    });
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "usage: bench_server [--quick] [--rows N] [--batch N] [--queries N] \
+                         [--shards N] [--seed N] [--out PATH]"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unrecognised argument: {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if opts.quick {
+            opts.rows = opts.rows.min(100_000);
+            opts.queries = opts.queries.min(200);
+        }
+        opts
+    }
+}
+
+struct Measurement {
+    name: String,
+    description: String,
+    requests: u64,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    elapsed_sec: f64,
+}
+
+/// Builds a measurement from per-request latencies gathered over `elapsed`.
+fn summarize(
+    name: &str,
+    description: String,
+    mut latencies_us: Vec<u64>,
+    elapsed_sec: f64,
+) -> Measurement {
+    latencies_us.sort_unstable();
+    let pct = |q: f64| -> f64 {
+        if latencies_us.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies_us.len() - 1) as f64 * q).round() as usize;
+        latencies_us[idx] as f64 / 1_000.0
+    };
+    Measurement {
+        name: name.to_string(),
+        description,
+        requests: latencies_us.len() as u64,
+        qps: latencies_us.len() as f64 / elapsed_sec,
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        elapsed_sec,
+    }
+}
+
+fn skewed_item(i: u64) -> u64 {
+    let x = (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 33;
+    if x.is_multiple_of(4) {
+        x % 64
+    } else {
+        1_000 + x % 50_000
+    }
+}
+
+fn spec(opts: &Options) -> TemporalMeta {
+    TemporalMeta {
+        shards: opts.shards,
+        capacity: 1_024,
+        seed: opts.seed,
+        bucket_width: 1_000,
+        fine_buckets: 64,
+        tier_factor: 4,
+        tiers: 2,
+    }
+}
+
+/// The query mix one measured client rotates through: every `Query` variant
+/// plus a keyed-marginals roll-up, over both the full history and a sub-range.
+fn run_query_mix(
+    client: &mut SketchClient,
+    stream: &str,
+    queries: u32,
+    latencies: &mut Vec<u64>,
+) {
+    let subset: Vec<u64> = vec![1, 5, 9, 33];
+    for q in 0..queries {
+        let range = if q % 3 == 0 {
+            TimeRange::All
+        } else {
+            TimeRange::LastBuckets(16)
+        };
+        let start = Instant::now();
+        match q % 6 {
+            0 => {
+                client
+                    .query(stream, &range, &Query::SubsetSum { items: subset.clone() })
+                    .expect("subset sum");
+            }
+            1 => {
+                client
+                    .query(stream, &range, &Query::Proportion { items: subset.clone() })
+                    .expect("proportion");
+            }
+            2 => {
+                client
+                    .query(stream, &range, &Query::TopK { k: 10 })
+                    .expect("top-k");
+            }
+            3 => {
+                client
+                    .query(stream, &range, &Query::FrequentItems { phi: 0.01 })
+                    .expect("frequent items");
+            }
+            4 => {
+                client
+                    .query(stream, &range, &Query::RankQuantile { q: 0.5 })
+                    .expect("rank quantile");
+            }
+            _ => {
+                client
+                    .marginals(stream, &range, 3, 0xFF, 0.95)
+                    .expect("marginals");
+            }
+        }
+        latencies.push(start.elapsed().as_micros() as u64);
+    }
+}
+
+fn main() {
+    let opts = Options::parse();
+    let server = SketchServer::start("127.0.0.1:0", ServerConfig::default())
+        .expect("bind loopback server");
+    let addr = server.addr();
+    let mut results: Vec<Measurement> = Vec::new();
+
+    // --- ingest: one client streaming batches ---
+    let mut client = SketchClient::connect(addr).expect("connect");
+    client.create_stream("bench", spec(&opts)).expect("create stream");
+    let batches = (opts.rows / opts.batch as u64).max(1);
+    let mut latencies = Vec::with_capacity(batches as usize);
+    let started = Instant::now();
+    for b in 0..batches {
+        let base = b * opts.batch as u64;
+        let rows: Vec<(u64, u64)> = (0..opts.batch as u64)
+            .map(|i| (skewed_item(base + i), base + i))
+            .collect();
+        let start = Instant::now();
+        client.ingest("bench", &rows).expect("ingest batch");
+        latencies.push(start.elapsed().as_micros() as u64);
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let total_rows = batches * opts.batch as u64;
+    let mut m = summarize(
+        "ingest",
+        format!(
+            "{total_rows} rows in {}-row batches over one connection ({:.0} rows/s)",
+            opts.batch,
+            total_rows as f64 / elapsed
+        ),
+        latencies,
+        elapsed,
+    );
+    m.requests = batches;
+    results.push(m);
+
+    // --- query: one client rotating through the full query mix ---
+    let mut latencies = Vec::with_capacity(opts.queries as usize);
+    let started = Instant::now();
+    run_query_mix(&mut client, "bench", opts.queries, &mut latencies);
+    let elapsed = started.elapsed().as_secs_f64();
+    results.push(summarize(
+        "query",
+        format!(
+            "{} requests rotating all five Query variants + marginals",
+            opts.queries
+        ),
+        latencies,
+        elapsed,
+    ));
+
+    // --- mixed: background writer + measured query client ---
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer_stop = Arc::clone(&stop);
+    let writer_batch = opts.batch;
+    let writer = std::thread::spawn(move || {
+        let mut client = SketchClient::connect(addr).expect("writer connect");
+        let mut written = 0u64;
+        let mut b = 0u64;
+        while !writer_stop.load(Ordering::Relaxed) {
+            let base = b * writer_batch as u64;
+            let rows: Vec<(u64, u64)> = (0..writer_batch as u64)
+                .map(|i| (skewed_item(base + i), base + i))
+                .collect();
+            client.ingest("bench", &rows).expect("writer ingest");
+            written += writer_batch as u64;
+            b += 1;
+        }
+        written
+    });
+    let mut latencies = Vec::with_capacity(opts.queries as usize);
+    let started = Instant::now();
+    run_query_mix(&mut client, "bench", opts.queries, &mut latencies);
+    let elapsed = started.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    let written = writer.join().expect("writer thread");
+    results.push(summarize(
+        "mixed",
+        format!(
+            "query mix measured against a concurrent writer ({written} rows ingested alongside)"
+        ),
+        latencies,
+        elapsed,
+    ));
+
+    server.shutdown();
+
+    println!(
+        "{:<8} {:>10} {:>12} {:>10} {:>10}",
+        "workload", "requests", "qps", "p50_ms", "p99_ms"
+    );
+    for m in &results {
+        println!(
+            "{:<8} {:>10} {:>12.0} {:>10.3} {:>10.3}",
+            m.name, m.requests, m.qps, m.p50_ms, m.p99_ms
+        );
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"server\",");
+    let _ = writeln!(json, "  \"quick\": {},", opts.quick);
+    let _ = writeln!(json, "  \"rows\": {},", opts.rows);
+    let _ = writeln!(json, "  \"batch\": {},", opts.batch);
+    let _ = writeln!(json, "  \"queries\": {},", opts.queries);
+    let _ = writeln!(json, "  \"shards\": {},", opts.shards);
+    let _ = writeln!(
+        json,
+        "  \"cores\": {},",
+        std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get)
+    );
+    let _ = writeln!(json, "  \"seed\": {},", opts.seed);
+    let _ = writeln!(json, "  \"workloads\": [");
+    for (i, m) in results.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{}\",", m.name);
+        let _ = writeln!(json, "      \"description\": \"{}\",", m.description);
+        let _ = writeln!(json, "      \"requests\": {},", m.requests);
+        let _ = writeln!(json, "      \"qps\": {:.0},", m.qps);
+        let _ = writeln!(json, "      \"p50_ms\": {:.3},", m.p50_ms);
+        let _ = writeln!(json, "      \"p99_ms\": {:.3},", m.p99_ms);
+        let _ = writeln!(json, "      \"elapsed_sec\": {:.6}", m.elapsed_sec);
+        let _ = writeln!(json, "    }}{}", if i + 1 < results.len() { "," } else { "" });
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&opts.out, &json).unwrap_or_else(|e| {
+        eprintln!("failed to write {}: {e}", opts.out);
+        std::process::exit(1);
+    });
+    eprintln!("wrote {}", opts.out);
+}

@@ -102,6 +102,105 @@ impl std::fmt::Display for EngineConfigError {
 
 impl std::error::Error for EngineConfigError {}
 
+/// What went wrong inside one shard during a fallible engine operation.
+#[derive(Debug)]
+pub enum ShardFault {
+    /// The shard's worker thread is gone (it panicked, or the engine is being
+    /// used after `finish`), so the request could not be served.
+    Down,
+    /// The shard's state was captured but persisting it failed.
+    Persist(PersistError),
+}
+
+impl std::fmt::Display for ShardFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Down => write!(f, "worker disconnected"),
+            Self::Persist(err) => write!(f, "persist failed: {err}"),
+        }
+    }
+}
+
+/// A per-shard failure record inside [`EngineError::CheckpointIncomplete`].
+#[derive(Debug)]
+pub struct ShardFailure {
+    /// Index of the failing shard.
+    pub shard: usize,
+    /// What went wrong on that shard.
+    pub fault: ShardFault,
+}
+
+impl std::fmt::Display for ShardFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard {}: {}", self.shard, self.fault)
+    }
+}
+
+/// Typed failure of a running engine's control path.
+///
+/// Worker threads only exit by request or by panicking, so historically every
+/// control-plane send/receive `expect`ed success — which turned one poisoned
+/// shard into a panic in whatever thread happened to snapshot next. A long-lived
+/// daemon serving many tenants cannot afford that: the fallible variants
+/// ([`ShardedIngestEngine::try_snapshot`], [`ShardedIngestEngine::checkpoint`],
+/// and the temporal equivalents) surface this error instead, degrading the one
+/// request while the process (and every healthy shard) keeps running.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// A shard's worker thread is gone: it panicked, or the engine was used
+    /// after teardown. Requests that need all shards cannot be served.
+    ShardDown {
+        /// Index of the dead shard.
+        shard: usize,
+    },
+    /// A persistence failure not attributable to one shard (creating the
+    /// checkpoint directory, writing the manifest).
+    Persist(PersistError),
+    /// A checkpoint captured and wrote every healthy shard but some shards
+    /// failed; the listed shards have no fresh file and no manifest was
+    /// written (a manifest must only ever describe a complete checkpoint).
+    /// Healthy shards' files are on disk and can still be salvaged by hand.
+    CheckpointIncomplete {
+        /// One record per failing shard, in shard order.
+        failures: Vec<ShardFailure>,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ShardDown { shard } => write!(f, "shard {shard} worker disconnected"),
+            Self::Persist(err) => write!(f, "persist failed: {err}"),
+            Self::CheckpointIncomplete { failures } => {
+                write!(f, "checkpoint incomplete ({} shard(s) failed: ", failures.len())?;
+                for (i, failure) in failures.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{failure}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Persist(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<PersistError> for EngineError {
+    fn from(err: PersistError) -> Self {
+        Self::Persist(err)
+    }
+}
+
 /// Configuration for a [`ShardedIngestEngine`].
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
@@ -238,6 +337,10 @@ pub(crate) enum ControlMsg {
     /// Drain a cut, then stop — even if producer handles (and thus rings feeding
     /// this shard) are still alive.
     Shutdown,
+    /// Panic the worker immediately. A test-only fault injector (reachable via
+    /// `debug_kill_shard`) used to prove that control paths degrade into
+    /// [`EngineError::ShardDown`] instead of killing the calling thread.
+    Poison,
 }
 
 /// The engine's per-shard endpoint: the control sender plus the worker's parking
@@ -267,8 +370,20 @@ impl<M> ShardLink<M> {
     /// `Shutdown`, so a failed send means the engine is being misused after
     /// `finish` — mirroring the old "shard worker disconnected" behavior).
     pub(crate) fn send(&self, msg: M) {
-        self.control.send(msg).expect("shard worker disconnected");
-        self.waker.wake();
+        self.try_send(msg).expect("shard worker disconnected");
+    }
+
+    /// Sends a control message and wakes the worker, reporting a dead worker
+    /// instead of panicking. The fallible control paths build their
+    /// [`EngineError::ShardDown`] from this.
+    pub(crate) fn try_send(&self, msg: M) -> Result<(), ()> {
+        match self.control.send(msg) {
+            Ok(()) => {
+                self.waker.wake();
+                Ok(())
+            }
+            Err(_) => Err(()),
+        }
     }
 
     /// Like [`send`](Self::send), but quietly drops the message when the worker is
@@ -395,8 +510,27 @@ impl ShardedIngestEngine {
     /// Creates a producer handle. Handles are independent — each owns one SPSC
     /// block ring per shard, registered with the workers here — and cheap; create
     /// one per producer thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker is gone; [`try_handle`](Self::try_handle) degrades
+    /// that into a typed error instead.
     #[must_use]
     pub fn handle(&self) -> IngestHandle {
+        match self.try_handle() {
+            Ok(handle) => handle,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Fallible variant of [`handle`](Self::handle), for callers (like a serving
+    /// daemon) that must survive a dead worker.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::ShardDown`] naming the first shard whose worker could not
+    /// register the new ring.
+    pub fn try_handle(&self) -> Result<IngestHandle, EngineError> {
         IngestHandle::connect(&self.links, self.config.ring_blocks(), &self.rows_enqueued)
     }
 
@@ -431,6 +565,23 @@ impl ShardedIngestEngine {
     /// draws of the merge's sampling step.
     #[must_use]
     pub fn snapshot(&self) -> WeightedSpaceSaving {
+        match self.try_snapshot() {
+            Ok(merged) => merged,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Fallible variant of [`snapshot`](Self::snapshot): a dead worker degrades
+    /// this request into [`EngineError::ShardDown`] instead of panicking the
+    /// calling thread — the contract a long-lived daemon needs.
+    ///
+    /// The snapshot-salt counter advances even on failure, so a successful
+    /// retry is a fresh, independent draw of the merge's sampling step.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::ShardDown`] naming the first dead shard found.
+    pub fn try_snapshot(&self) -> Result<WeightedSpaceSaving, EngineError> {
         let n = self.snapshots.fetch_add(1, Ordering::Relaxed);
         let salt = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         // Request every shard's report before awaiting any, so the per-shard
@@ -438,22 +589,28 @@ impl ShardedIngestEngine {
         let receivers: Vec<_> = self
             .links
             .iter()
-            .map(|link| {
+            .enumerate()
+            .map(|(shard, link)| {
                 let (tx, rx) = std::sync::mpsc::channel();
-                link.send(ControlMsg::Report(tx));
-                rx
+                link.try_send(ControlMsg::Report(tx))
+                    .map_err(|()| EngineError::ShardDown { shard })?;
+                Ok(rx)
             })
-            .collect();
+            .collect::<Result<_, EngineError>>()?;
         let reports: Vec<ShardReport> = receivers
             .into_iter()
-            .map(|rx| rx.recv().expect("shard worker dropped its report"))
-            .collect();
-        fold_reports(
+            .enumerate()
+            .map(|(shard, rx)| {
+                // The send above raced a dying worker if this recv fails.
+                rx.recv().map_err(|_| EngineError::ShardDown { shard })
+            })
+            .collect::<Result<_, EngineError>>()?;
+        Ok(fold_reports(
             self.config.capacity,
             self.config.seed ^ 0xD15C0 ^ salt,
             self.config.seed ^ 0xFEED ^ salt,
             reports,
-        )
+        ))
     }
 
     /// Writes a durable checkpoint of the engine into `dir`: one
@@ -475,12 +632,26 @@ impl ShardedIngestEngine {
     /// Files are written atomically (temp file + rename), so a crash mid-checkpoint
     /// can leave stray `.tmp` files but never a torn sketch file.
     ///
+    /// The checkpoint is *resilient per shard*: a dead worker or a failed write on
+    /// one shard does not abort the remaining shards' writes — every healthy
+    /// shard's file still lands on disk, and the failures are reported together in
+    /// [`EngineError::CheckpointIncomplete`]. The manifest is only written when
+    /// every shard succeeded, so a manifest on disk always describes a complete,
+    /// restorable checkpoint.
+    ///
     /// # Errors
     ///
-    /// Any filesystem failure is returned as [`PersistError::Io`].
-    pub fn checkpoint<P: AsRef<std::path::Path>>(&self, dir: P) -> Result<(), PersistError> {
+    /// [`EngineError::Persist`] when the directory cannot be created or the
+    /// manifest cannot be written; [`EngineError::CheckpointIncomplete`] listing
+    /// the per-shard failures otherwise.
+    pub fn checkpoint<P: AsRef<std::path::Path>>(&self, dir: P) -> Result<(), EngineError> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir).map_err(PersistError::Io)?;
+        let meta = persist::EngineMeta {
+            shards: self.config.shards as u64,
+            capacity: self.config.capacity as u64,
+            seed: self.config.seed,
+        };
         // Request every shard's clone before awaiting any, so ring drains and
         // combiner flushes run concurrently across the workers.
         let receivers: Vec<_> = self
@@ -488,26 +659,29 @@ impl ShardedIngestEngine {
             .iter()
             .map(|link| {
                 let (tx, rx) = std::sync::mpsc::channel();
-                link.send(ControlMsg::Checkpoint(tx));
-                rx
+                link.try_send(ControlMsg::Checkpoint(tx)).map(|()| rx)
             })
             .collect();
-        let sketches: Vec<UnbiasedSpaceSaving> = receivers
-            .into_iter()
-            .map(|rx| rx.recv().expect("shard worker dropped its checkpoint"))
-            .collect();
-        let meta = persist::EngineMeta {
-            shards: self.config.shards as u64,
-            capacity: self.config.capacity as u64,
-            seed: self.config.seed,
-        };
+        let mut failures = Vec::new();
         let mut rows = 0u64;
-        for (shard, sketch) in sketches.iter().enumerate() {
+        for (shard, receiver) in receivers.into_iter().enumerate() {
+            let sketch = match receiver.map(|rx| rx.recv()) {
+                Ok(Ok(sketch)) => sketch,
+                Ok(Err(_)) | Err(()) => {
+                    failures.push(ShardFailure { shard, fault: ShardFault::Down });
+                    continue;
+                }
+            };
             rows += sketch.rows_processed();
-            persist::write_file(
+            if let Err(err) = persist::write_file(
                 &dir.join(Self::shard_file_name(shard)),
-                &persist::encode_shard(shard as u64, meta, sketch),
-            )?;
+                &persist::encode_shard(shard as u64, meta, &sketch),
+            ) {
+                failures.push(ShardFailure { shard, fault: ShardFault::Persist(err) });
+            }
+        }
+        if !failures.is_empty() {
+            return Err(EngineError::CheckpointIncomplete { failures });
         }
         let manifest = persist::EngineManifest {
             meta,
@@ -515,6 +689,22 @@ impl ShardedIngestEngine {
             rows,
         };
         persist::write_file(&dir.join(Self::MANIFEST_FILE), &persist::encode_manifest(&manifest))
+            .map_err(EngineError::Persist)
+    }
+
+    /// Kills the worker thread of `shard` by making it panic. Fault injection
+    /// for tests only: this is how the regression suite proves that a poisoned
+    /// shard degrades control requests into [`EngineError::ShardDown`] instead
+    /// of taking the process down. The control channel is FIFO, so any request
+    /// sent after this observes the dead worker deterministically.
+    #[doc(hidden)]
+    pub fn debug_kill_shard(&self, shard: usize) {
+        self.links[shard].send_lossy(ControlMsg::Poison);
+        // Wait for the unwind to drop the worker's control receiver, so the
+        // *next* control request fails at send time rather than racing.
+        while self.links[shard].try_send(ControlMsg::Rows(Vec::new())).is_ok() {
+            std::thread::yield_now();
+        }
     }
 
     /// Resumes an engine from a [`checkpoint`](Self::checkpoint) directory. The
@@ -645,22 +835,27 @@ pub struct IngestHandle {
 impl IngestHandle {
     /// Builds a handle wired to `links`: one block channel per shard, each
     /// registered with its worker before any row can be sent over it.
-    fn connect(links: &[ShardLink], ring_blocks: usize, rows_enqueued: &Arc<AtomicU64>) -> Self {
+    fn connect(
+        links: &[ShardLink],
+        ring_blocks: usize,
+        rows_enqueued: &Arc<AtomicU64>,
+    ) -> Result<Self, EngineError> {
         let mut senders = Vec::with_capacity(links.len());
         let mut blocks = Vec::with_capacity(links.len());
-        for link in links {
+        for (shard, link) in links.iter().enumerate() {
             let (tx, rx) = block_channel(ring_blocks, Arc::clone(&link.waker));
-            link.send(ControlMsg::Register(rx));
+            link.try_send(ControlMsg::Register(rx))
+                .map_err(|()| EngineError::ShardDown { shard })?;
             blocks.push(RowBlock::boxed());
             senders.push(tx);
         }
-        Self {
+        Ok(Self {
             links: links.to_vec(),
             senders,
             blocks,
             ring_blocks,
             rows_enqueued: Arc::clone(rows_enqueued),
-        }
+        })
     }
 
     /// Offers one row. Lock-free; parks only when the destination shard's ring is
@@ -673,11 +868,35 @@ impl IngestHandle {
         }
     }
 
+    /// Fallible [`offer`](Self::offer): a dead destination worker fails this
+    /// row's dispatch with [`EngineError::ShardDown`] instead of panicking.
+    #[inline]
+    pub fn try_offer(&mut self, item: u64) -> Result<(), EngineError> {
+        let shard = self.route(item);
+        if self.blocks[shard].push(item) {
+            self.try_dispatch(shard)?;
+        }
+        Ok(())
+    }
+
     /// Offers a batch of rows.
     pub fn offer_batch(&mut self, items: &[u64]) {
         for &item in items {
             self.offer(item);
         }
+    }
+
+    /// Fallible [`offer_batch`](Self::offer_batch); stops at the first row whose
+    /// destination worker is gone.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::ShardDown`] naming the dead shard.
+    pub fn try_offer_batch(&mut self, items: &[u64]) -> Result<(), EngineError> {
+        for &item in items {
+            self.try_offer(item)?;
+        }
+        Ok(())
     }
 
     /// Ships every partially filled block to its shard, emptying the handle.
@@ -687,6 +906,25 @@ impl IngestHandle {
                 self.dispatch(shard);
             }
         }
+    }
+
+    /// Fallible [`flush`](Self::flush). Keeps going past dead shards so every
+    /// healthy shard still receives its rows, then reports the first failure.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::ShardDown`] naming the first dead shard encountered.
+    pub fn try_flush(&mut self) -> Result<(), EngineError> {
+        let mut first_err = Ok(());
+        for shard in 0..self.blocks.len() {
+            if !self.blocks[shard].is_empty() {
+                let result = self.try_dispatch(shard);
+                if first_err.is_ok() {
+                    first_err = result;
+                }
+            }
+        }
+        first_err
     }
 
     #[inline]
@@ -701,20 +939,38 @@ impl IngestHandle {
     /// Sends the current block (recycling a spent one in its place), parking while
     /// the ring is full.
     fn dispatch(&mut self, shard: usize) {
+        if self.try_dispatch(shard).is_err() {
+            panic!("shard worker disconnected");
+        }
+    }
+
+    /// Fallible [`dispatch`]: a closed ring (dead worker) drops the block's rows
+    /// and reports [`EngineError::ShardDown`] instead of panicking.
+    fn try_dispatch(&mut self, shard: usize) -> Result<(), EngineError> {
         let block = std::mem::replace(&mut self.blocks[shard], self.senders[shard].acquire());
+        // Accounting happens before the send, exactly as it always has; a
+        // failed send leaves a small overcount on a shard already reported dead.
         self.rows_enqueued
             .fetch_add(block.len() as u64, Ordering::Relaxed);
         self.senders[shard]
             .send(block)
-            .expect("shard worker disconnected");
+            .map_err(|_| EngineError::ShardDown { shard })
     }
 }
 
 impl Clone for IngestHandle {
     /// Clones the routing state with fresh rings of its own: the new handle
     /// registers one new block channel per shard and starts with empty blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker is gone (use [`ShardedIngestEngine::try_handle`] on
+    /// the engine to get the typed error instead).
     fn clone(&self) -> Self {
-        Self::connect(&self.links, self.ring_blocks, &self.rows_enqueued)
+        match Self::connect(&self.links, self.ring_blocks, &self.rows_enqueued) {
+            Ok(handle) => handle,
+            Err(err) => panic!("{err}"),
+        }
     }
 }
 
@@ -911,6 +1167,8 @@ fn handle_control(w: &mut ShardWorker, msg: ControlMsg) -> Flow {
             w.drain_cut();
             return Flow::Stop;
         }
+        // Test-only fault injection; see `debug_kill_shard`.
+        ControlMsg::Poison => panic!("shard worker poisoned by debug_kill_shard"),
     }
     Flow::Continue
 }
@@ -1137,6 +1395,44 @@ mod tests {
         let engine = ShardedIngestEngine::try_new(good).expect("valid config spawns");
         let merged = engine.finish();
         assert_eq!(merged.rows_processed(), 0);
+    }
+
+    #[test]
+    fn poisoned_worker_degrades_to_typed_errors() {
+        // Regression for the daemon contract: a deliberately-panicked worker must
+        // surface as EngineError::ShardDown from every fallible control path, and
+        // a checkpoint must still write the healthy shards' files.
+        let dir = std::env::temp_dir().join(format!("uss-engine-poison-{}", std::process::id()));
+        let engine = ShardedIngestEngine::new(EngineConfig::new(2, 32, 11).with_batch_rows(64));
+        let mut handle = engine.handle();
+        for i in 0..1_000u64 {
+            handle.offer(i % 50);
+        }
+        handle.flush();
+        engine.debug_kill_shard(1);
+
+        match engine.try_snapshot() {
+            Err(EngineError::ShardDown { shard: 1 }) => {}
+            other => panic!("expected ShardDown {{ shard: 1 }}, got {other:?}"),
+        }
+        match engine.try_handle() {
+            Err(EngineError::ShardDown { shard: 1 }) => {}
+            other => panic!("expected ShardDown {{ shard: 1 }}, got {:?}", other.map(|_| ())),
+        }
+
+        // Checkpoint keeps writing healthy shards and reports the dead one.
+        match engine.checkpoint(&dir) {
+            Err(EngineError::CheckpointIncomplete { failures }) => {
+                assert_eq!(failures.len(), 1);
+                assert_eq!(failures[0].shard, 1);
+                assert!(matches!(failures[0].fault, ShardFault::Down));
+            }
+            other => panic!("expected CheckpointIncomplete, got {other:?}"),
+        }
+        assert!(dir.join(ShardedIngestEngine::shard_file_name(0)).exists());
+        // No manifest: a manifest must only ever describe a complete checkpoint.
+        assert!(!dir.join(ShardedIngestEngine::MANIFEST_FILE).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -83,20 +83,23 @@ pub mod temporal;
 pub mod traits;
 pub mod variance;
 
-pub use engine::{EngineConfig, EngineConfigError, IngestHandle, ShardedIngestEngine};
+pub use engine::{
+    EngineConfig, EngineConfigError, EngineError, IngestHandle, ShardFailure, ShardFault,
+    ShardedIngestEngine,
+};
 pub use estimator::{SketchSnapshot, SubsetEstimate};
-pub use persist::{ColdSnapshot, PersistError, SketchKind};
+pub use persist::{ColdSnapshot, PayloadReader, PayloadWriter, PersistError, SketchKind};
 pub use query::{
-    Query, QueryAnswer, QueryResponse, QueryServer, QueryServerConfig, SnapshotSource,
-    VersionedSnapshot,
+    answer_query, Query, QueryAnswer, QueryResponse, QueryServer, QueryServerConfig,
+    SnapshotSource, VersionedSnapshot,
 };
 pub use space_saving::{
     DecayedSpaceSaving, DeterministicSpaceSaving, UnbiasedSpaceSaving, WeightedSpaceSaving,
 };
 pub use stream_summary::StreamSummary;
 pub use temporal::{
-    TemporalConfig, TemporalIngestEngine, TemporalIngestHandle, TemporalRangeSource, TimeRange,
-    WindowConfig, WindowedSketchStore,
+    TemporalConfig, TemporalConfigError, TemporalIngestEngine, TemporalIngestHandle,
+    TemporalRangeSource, TimeRange, WindowConfig, WindowConfigError, WindowedSketchStore,
 };
 pub use traits::{MergeableSketch, StreamSketch, WeightedStreamSketch};
 pub use variance::{normal_confidence_interval, subset_variance_estimate, ConfidenceInterval};

@@ -289,29 +289,57 @@ pub fn crc64(bytes: &[u8]) -> u64 {
 
 // ----- little-endian payload writer / reader -----
 
-struct Writer {
+/// Little-endian payload builder — the writing half of this codec's frame
+/// discipline, public so other framed protocols (the wire protocol of
+/// `uss-server`) assemble payloads with exactly the same byte conventions.
+#[derive(Debug, Default)]
+pub struct PayloadWriter {
     buf: Vec<u8>,
 }
 
-impl Writer {
-    fn new() -> Self {
+impl PayloadWriter {
+    /// An empty payload.
+    #[must_use]
+    pub fn new() -> Self {
         Self { buf: Vec::new() }
     }
 
-    fn u32(&mut self, v: u32) {
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn u64(&mut self, v: u64) {
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn f64(&mut self, v: f64) {
+    /// Appends an `f64` as its little-endian IEEE-754 bits.
+    pub fn f64(&mut self, v: f64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn bytes(&mut self, v: &[u8]) {
+    /// Appends raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
         self.buf.extend_from_slice(v);
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, yielding the assembled payload.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
     }
 }
 
@@ -319,21 +347,27 @@ impl Writer {
 /// run past the end reports [`PersistError::Truncated`] instead of panicking, and
 /// element counts are validated against the bytes actually present *before* any
 /// allocation, so a corrupted length field cannot trigger an absurd reservation.
-struct Reader<'a> {
+#[derive(Debug)]
+pub struct PayloadReader<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
-impl<'a> Reader<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
+impl<'a> PayloadReader<'a> {
+    /// Starts reading at the front of `bytes`.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
         Self { bytes, pos: 0 }
     }
 
-    fn remaining(&self) -> usize {
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
         self.bytes.len() - self.pos
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+    /// Consumes the next `n` bytes, or reports how short the payload fell.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
         if self.remaining() < n {
             return Err(PersistError::Truncated {
                 needed: n,
@@ -345,21 +379,24 @@ impl<'a> Reader<'a> {
         Ok(slice)
     }
 
-    fn u32(&mut self) -> Result<u32, PersistError> {
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, PersistError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> Result<u64, PersistError> {
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, PersistError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn f64(&mut self) -> Result<f64, PersistError> {
+    /// Reads a little-endian IEEE-754 `f64`.
+    pub fn f64(&mut self) -> Result<f64, PersistError> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
     /// Reads a count of elements that each occupy at least `elem_bytes` more bytes,
     /// rejecting counts the remaining payload cannot possibly hold.
-    fn count(&mut self, elem_bytes: usize) -> Result<usize, PersistError> {
+    pub fn count(&mut self, elem_bytes: usize) -> Result<usize, PersistError> {
         let n = self.u64()?;
         let n: usize = n
             .try_into()
@@ -372,7 +409,8 @@ impl<'a> Reader<'a> {
         Ok(n)
     }
 
-    fn finish(&self) -> Result<(), PersistError> {
+    /// Rejects any bytes left over once the payload should be exhausted.
+    pub fn finish(&self) -> Result<(), PersistError> {
         if self.remaining() != 0 {
             return Err(PersistError::Corrupt(format!(
                 "{} trailing bytes after payload",
@@ -459,7 +497,7 @@ pub fn peek_kind(bytes: &[u8]) -> Result<SketchKind, PersistError> {
 /// Encodes a cold [`SketchSnapshot`] frame.
 #[must_use]
 pub fn encode_snapshot(snapshot: &SketchSnapshot) -> Vec<u8> {
-    let mut w = Writer::new();
+    let mut w = PayloadWriter::new();
     w.u64(snapshot.capacity() as u64);
     w.u64(snapshot.rows_processed());
     w.f64(snapshot.min_count());
@@ -472,7 +510,7 @@ pub fn encode_snapshot(snapshot: &SketchSnapshot) -> Vec<u8> {
 }
 
 fn read_snapshot_payload(payload: &[u8]) -> Result<SketchSnapshot, PersistError> {
-    let mut r = Reader::new(payload);
+    let mut r = PayloadReader::new(payload);
     let capacity = r.u64()?;
     let rows = r.u64()?;
     let min_count = r.f64()?;
@@ -508,7 +546,7 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<SketchSnapshot, PersistError> {
     read_snapshot_payload(decode_frame(bytes, SketchKind::Snapshot)?)
 }
 
-fn write_unbiased_payload(w: &mut Writer, sketch: &UnbiasedSpaceSaving) {
+fn write_unbiased_payload(w: &mut PayloadWriter, sketch: &UnbiasedSpaceSaving) {
     let (dump, rows, rng) = sketch.persist_dump();
     w.u64(dump.capacity as u64);
     w.u64(rows);
@@ -527,7 +565,7 @@ fn write_unbiased_payload(w: &mut Writer, sketch: &UnbiasedSpaceSaving) {
     }
 }
 
-fn read_unbiased_payload(r: &mut Reader<'_>) -> Result<UnbiasedSpaceSaving, PersistError> {
+fn read_unbiased_payload(r: &mut PayloadReader<'_>) -> Result<UnbiasedSpaceSaving, PersistError> {
     let capacity = checked_capacity(r.u64()?)?;
     let rows = r.u64()?;
     let rng: [u8; RNG_STATE_LEN] = r.take(RNG_STATE_LEN)?.try_into().unwrap();
@@ -567,20 +605,20 @@ fn read_unbiased_payload(r: &mut Reader<'_>) -> Result<UnbiasedSpaceSaving, Pers
 /// Encodes a full [`UnbiasedSpaceSaving`] frame (RNG and structure included).
 #[must_use]
 pub fn encode_unbiased(sketch: &UnbiasedSpaceSaving) -> Vec<u8> {
-    let mut w = Writer::new();
+    let mut w = PayloadWriter::new();
     write_unbiased_payload(&mut w, sketch);
     encode_frame(SketchKind::Unbiased, w.buf)
 }
 
 /// Decodes an [`UnbiasedSpaceSaving`] frame; the result resumes bit-compatibly.
 pub fn decode_unbiased(bytes: &[u8]) -> Result<UnbiasedSpaceSaving, PersistError> {
-    let mut r = Reader::new(decode_frame(bytes, SketchKind::Unbiased)?);
+    let mut r = PayloadReader::new(decode_frame(bytes, SketchKind::Unbiased)?);
     let sketch = read_unbiased_payload(&mut r)?;
     r.finish()?;
     Ok(sketch)
 }
 
-fn write_weighted_payload(w: &mut Writer, sketch: &WeightedSpaceSaving) {
+fn write_weighted_payload(w: &mut PayloadWriter, sketch: &WeightedSpaceSaving) {
     let (capacity, items, counts, heap, rows, total_weight, rng) = sketch.persist_dump();
     w.u64(capacity as u64);
     w.u64(rows);
@@ -598,7 +636,7 @@ fn write_weighted_payload(w: &mut Writer, sketch: &WeightedSpaceSaving) {
     }
 }
 
-fn read_weighted_payload(r: &mut Reader<'_>) -> Result<WeightedSpaceSaving, PersistError> {
+fn read_weighted_payload(r: &mut PayloadReader<'_>) -> Result<WeightedSpaceSaving, PersistError> {
     let capacity = checked_capacity(r.u64()?)?;
     let rows = r.u64()?;
     let total_weight = r.f64()?;
@@ -623,14 +661,14 @@ fn read_weighted_payload(r: &mut Reader<'_>) -> Result<WeightedSpaceSaving, Pers
 /// Encodes a full [`WeightedSpaceSaving`] frame (RNG and heap state included).
 #[must_use]
 pub fn encode_weighted(sketch: &WeightedSpaceSaving) -> Vec<u8> {
-    let mut w = Writer::new();
+    let mut w = PayloadWriter::new();
     write_weighted_payload(&mut w, sketch);
     encode_frame(SketchKind::Weighted, w.buf)
 }
 
 /// Decodes a [`WeightedSpaceSaving`] frame; the result resumes bit-compatibly.
 pub fn decode_weighted(bytes: &[u8]) -> Result<WeightedSpaceSaving, PersistError> {
-    let mut r = Reader::new(decode_frame(bytes, SketchKind::Weighted)?);
+    let mut r = PayloadReader::new(decode_frame(bytes, SketchKind::Weighted)?);
     let sketch = read_weighted_payload(&mut r)?;
     r.finish()?;
     Ok(sketch)
@@ -640,7 +678,7 @@ pub fn decode_weighted(bytes: &[u8]) -> Result<WeightedSpaceSaving, PersistError
 /// plus the complete inner weighted sketch (RNG and heap state included).
 #[must_use]
 pub fn encode_decayed(sketch: &DecayedSpaceSaving) -> Vec<u8> {
-    let mut w = Writer::new();
+    let mut w = PayloadWriter::new();
     w.f64(sketch.lambda());
     w.f64(sketch.landmark());
     w.f64(sketch.last_time());
@@ -652,7 +690,7 @@ pub fn encode_decayed(sketch: &DecayedSpaceSaving) -> Vec<u8> {
 /// (same decayed estimates, same rescale points, same random evictions under
 /// the same subsequent stream).
 pub fn decode_decayed(bytes: &[u8]) -> Result<DecayedSpaceSaving, PersistError> {
-    let mut r = Reader::new(decode_frame(bytes, SketchKind::Decayed)?);
+    let mut r = PayloadReader::new(decode_frame(bytes, SketchKind::Decayed)?);
     let lambda = r.f64()?;
     let landmark = r.f64()?;
     let last_time = r.f64()?;
@@ -692,7 +730,7 @@ pub struct EngineManifest {
 /// Encodes one engine shard frame.
 #[must_use]
 pub fn encode_shard(shard: u64, meta: EngineMeta, sketch: &UnbiasedSpaceSaving) -> Vec<u8> {
-    let mut w = Writer::new();
+    let mut w = PayloadWriter::new();
     w.u64(shard);
     w.u64(meta.shards);
     w.u64(meta.capacity);
@@ -703,7 +741,7 @@ pub fn encode_shard(shard: u64, meta: EngineMeta, sketch: &UnbiasedSpaceSaving) 
 
 /// Decodes an engine shard frame into its position, engine identity and sketch.
 pub fn decode_shard(bytes: &[u8]) -> Result<(u64, EngineMeta, UnbiasedSpaceSaving), PersistError> {
-    let mut r = Reader::new(decode_frame(bytes, SketchKind::EngineShard)?);
+    let mut r = PayloadReader::new(decode_frame(bytes, SketchKind::EngineShard)?);
     let shard = r.u64()?;
     let meta = EngineMeta {
         shards: r.u64()?,
@@ -731,7 +769,7 @@ pub fn decode_shard(bytes: &[u8]) -> Result<(u64, EngineMeta, UnbiasedSpaceSavin
 /// Encodes an engine checkpoint manifest frame.
 #[must_use]
 pub fn encode_manifest(manifest: &EngineManifest) -> Vec<u8> {
-    let mut w = Writer::new();
+    let mut w = PayloadWriter::new();
     w.u64(manifest.meta.shards);
     w.u64(manifest.meta.capacity);
     w.u64(manifest.meta.seed);
@@ -742,7 +780,7 @@ pub fn encode_manifest(manifest: &EngineManifest) -> Vec<u8> {
 
 /// Decodes an engine checkpoint manifest frame.
 pub fn decode_manifest(bytes: &[u8]) -> Result<EngineManifest, PersistError> {
-    let mut r = Reader::new(decode_frame(bytes, SketchKind::Manifest)?);
+    let mut r = PayloadReader::new(decode_frame(bytes, SketchKind::Manifest)?);
     let meta = EngineMeta {
         shards: r.u64()?,
         capacity: r.u64()?,
@@ -803,6 +841,35 @@ impl TemporalMeta {
             tiers: config.window.tiers as u64,
         }
     }
+
+    /// Reconstructs a [`TemporalConfig`] from the checkpointed identity,
+    /// filling the operational knobs (queue depth, batch size) with the engine
+    /// defaults. This is how a server boots a stream from a checkpoint
+    /// directory without any out-of-band configuration.
+    ///
+    /// # Errors
+    ///
+    /// Reports [`PersistError::Corrupt`] when a checkpointed dimension
+    /// overflows `usize` on this platform.
+    pub fn to_config(&self) -> Result<TemporalConfig, PersistError> {
+        fn dim(v: u64, what: &str) -> Result<usize, PersistError> {
+            v.try_into()
+                .map_err(|_| PersistError::Corrupt(format!("{what} {v} overflows usize")))
+        }
+        Ok(TemporalConfig {
+            window: WindowConfig {
+                capacity: dim(self.capacity, "capacity")?,
+                seed: self.seed,
+                bucket_width: self.bucket_width,
+                fine_buckets: dim(self.fine_buckets, "fine bucket count")?,
+                tier_factor: dim(self.tier_factor, "tier factor")?,
+                tiers: dim(self.tiers, "tier count")?,
+            },
+            shards: dim(self.shards, "shard count")?,
+            queue_depth: 4,
+            batch_rows: 4096,
+        })
+    }
 }
 
 /// The manifest tying a temporal checkpoint directory together.
@@ -817,7 +884,7 @@ pub struct TemporalManifest {
     pub rows: u64,
 }
 
-fn write_temporal_meta(w: &mut Writer, meta: TemporalMeta) {
+fn write_temporal_meta(w: &mut PayloadWriter, meta: TemporalMeta) {
     w.u64(meta.shards);
     w.u64(meta.capacity);
     w.u64(meta.seed);
@@ -827,7 +894,7 @@ fn write_temporal_meta(w: &mut Writer, meta: TemporalMeta) {
     w.u64(meta.tiers);
 }
 
-fn read_temporal_meta(r: &mut Reader<'_>) -> Result<TemporalMeta, PersistError> {
+fn read_temporal_meta(r: &mut PayloadReader<'_>) -> Result<TemporalMeta, PersistError> {
     let meta = TemporalMeta {
         shards: r.u64()?,
         capacity: r.u64()?,
@@ -854,7 +921,7 @@ fn read_temporal_meta(r: &mut Reader<'_>) -> Result<TemporalMeta, PersistError> 
     Ok(meta)
 }
 
-fn write_tier_bucket(w: &mut Writer, bucket: &TierBucket) {
+fn write_tier_bucket(w: &mut PayloadWriter, bucket: &TierBucket) {
     w.u64(bucket.start());
     w.u64(bucket.end());
     w.u64(bucket.rows());
@@ -865,7 +932,7 @@ fn write_tier_bucket(w: &mut Writer, bucket: &TierBucket) {
     }
 }
 
-fn read_tier_bucket(r: &mut Reader<'_>) -> Result<TierBucket, PersistError> {
+fn read_tier_bucket(r: &mut PayloadReader<'_>) -> Result<TierBucket, PersistError> {
     let start = r.u64()?;
     let end = r.u64()?;
     let rows = r.u64()?;
@@ -887,7 +954,7 @@ fn read_tier_bucket(r: &mut Reader<'_>) -> Result<TierBucket, PersistError> {
 }
 
 fn write_temporal_shard_payload(
-    w: &mut Writer,
+    w: &mut PayloadWriter,
     shard: u64,
     meta: TemporalMeta,
     store: &WindowedSketchStore,
@@ -928,7 +995,7 @@ pub fn encode_temporal_shard(
     meta: TemporalMeta,
     store: &WindowedSketchStore,
 ) -> Vec<u8> {
-    let mut w = Writer::new();
+    let mut w = PayloadWriter::new();
     write_temporal_shard_payload(&mut w, shard, meta, store);
     encode_frame(SketchKind::TemporalShard, w.buf)
 }
@@ -945,7 +1012,7 @@ pub fn encode_temporal_shard_indexed(
     meta: TemporalMeta,
     store: &WindowedSketchStore,
 ) -> Vec<u8> {
-    let mut w = Writer::new();
+    let mut w = PayloadWriter::new();
     write_temporal_shard_payload(&mut w, shard, meta, store);
     let levels = store.ladder_levels();
     let nodes: u64 = levels.iter().map(|level| level.len() as u64).sum();
@@ -978,7 +1045,7 @@ pub fn decode_temporal_shard(
             })
         }
     };
-    let mut r = Reader::new(decode_frame(bytes, kind)?);
+    let mut r = PayloadReader::new(decode_frame(bytes, kind)?);
     let shard = r.u64()?;
     let meta = read_temporal_meta(&mut r)?;
     if shard >= meta.shards {
@@ -1071,7 +1138,7 @@ pub fn decode_temporal_shard(
 /// Encodes a temporal checkpoint manifest frame.
 #[must_use]
 pub fn encode_temporal_manifest(manifest: &TemporalManifest) -> Vec<u8> {
-    let mut w = Writer::new();
+    let mut w = PayloadWriter::new();
     write_temporal_meta(&mut w, manifest.meta);
     w.u64(manifest.snapshots);
     w.u64(manifest.rows);
@@ -1080,7 +1147,7 @@ pub fn encode_temporal_manifest(manifest: &TemporalManifest) -> Vec<u8> {
 
 /// Decodes a temporal checkpoint manifest frame.
 pub fn decode_temporal_manifest(bytes: &[u8]) -> Result<TemporalManifest, PersistError> {
-    let mut r = Reader::new(decode_frame(bytes, SketchKind::TemporalManifest)?);
+    let mut r = PayloadReader::new(decode_frame(bytes, SketchKind::TemporalManifest)?);
     let meta = read_temporal_meta(&mut r)?;
     let snapshots = r.u64()?;
     let rows = r.u64()?;

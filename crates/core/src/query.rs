@@ -439,32 +439,10 @@ impl<S: SnapshotSource> QueryServer<S> {
     #[must_use]
     pub fn execute(&self, query: &Query) -> QueryResponse {
         let snap = self.current();
-        let answer = match query {
-            Query::SubsetSum { items } => {
-                let estimate = snap.subset_estimate_items(items);
-                QueryAnswer::Estimate {
-                    ci: estimate.confidence_interval(self.config.confidence),
-                    estimate,
-                }
-            }
-            Query::Proportion { items } => {
-                let estimate = scale_to_proportion(
-                    snap.subset_estimate_items(items),
-                    snap.rows_processed(),
-                );
-                QueryAnswer::Estimate {
-                    ci: estimate.confidence_interval(self.config.confidence),
-                    estimate,
-                }
-            }
-            Query::TopK { k } => QueryAnswer::Items(snap.top_k(*k)),
-            Query::FrequentItems { phi } => QueryAnswer::Items(snap.frequent_items(*phi)),
-            Query::RankQuantile { q } => QueryAnswer::Rank(snap.rank_quantile(*q)),
-        };
         QueryResponse {
             epoch: snap.epoch(),
             rows: snap.rows_processed(),
-            answer,
+            answer: answer_query(snap.snapshot(), query, self.config.confidence),
         }
     }
 
@@ -510,6 +488,42 @@ impl<S: SnapshotSource> QueryServer<S> {
         F: FnMut(u64) -> Option<K>,
     {
         self.current().marginals(key_of)
+    }
+}
+
+/// Evaluates one typed [`Query`] against a snapshot at the given confidence —
+/// the single evaluation routine behind [`QueryServer::execute`], exposed so
+/// other serving surfaces (the wire-protocol daemon) answer **bit-identically**
+/// to an in-process server by construction: same snapshot, same query, same
+/// confidence ⇒ same bytes in the answer.
+///
+/// # Panics
+///
+/// Inherits the snapshot methods' domain contracts: `FrequentItems` requires
+/// `phi ∈ (0, 1)` and the confidence must lie in `(0, 1)` for estimate
+/// queries. Callers decoding untrusted input must validate first (the wire
+/// layer does).
+#[must_use]
+pub fn answer_query(snap: &SketchSnapshot, query: &Query, confidence: f64) -> QueryAnswer {
+    match query {
+        Query::SubsetSum { items } => {
+            let estimate = snap.subset_estimate_items(items);
+            QueryAnswer::Estimate {
+                ci: estimate.confidence_interval(confidence),
+                estimate,
+            }
+        }
+        Query::Proportion { items } => {
+            let estimate =
+                scale_to_proportion(snap.subset_estimate_items(items), snap.rows_processed());
+            QueryAnswer::Estimate {
+                ci: estimate.confidence_interval(confidence),
+                estimate,
+            }
+        }
+        Query::TopK { k } => QueryAnswer::Items(snap.top_k(*k)),
+        Query::FrequentItems { phi } => QueryAnswer::Items(snap.frequent_items(*phi)),
+        Query::RankQuantile { q } => QueryAnswer::Rank(snap.rank_quantile(*q)),
     }
 }
 

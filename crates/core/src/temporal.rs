@@ -131,7 +131,7 @@ use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 
-use crate::engine::ShardLink;
+use crate::engine::{EngineError, ShardFailure, ShardFault, ShardLink};
 use crate::estimator::SketchSnapshot;
 use crate::hash::splitmix64;
 use crate::spsc::{block_channel, BlockReceiver, BlockSender, RowBlock, Waker, BLOCK_CAP};
@@ -140,6 +140,74 @@ use crate::persist::{self, PersistError};
 use crate::query::SnapshotSource;
 use crate::space_saving::{UnbiasedSpaceSaving, WeightedSpaceSaving};
 use crate::traits::StreamSketch;
+
+/// Why a [`WindowConfig`] cannot drive a store. Construction through
+/// [`WindowConfig::new`] and the builders rejects these values eagerly, but the
+/// fields are public — and a serving daemon builds configs from *client-supplied*
+/// bytes — so [`WindowConfig::validate`] re-checks and surfaces this typed error
+/// instead of panicking, mirroring [`crate::engine::EngineConfigError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WindowConfigError {
+    /// `capacity == 0`: bucket sketches cannot hold zero counters.
+    ZeroCapacity,
+    /// `bucket_width == 0`: every timestamp would divide into a single
+    /// degenerate bucket index by zero.
+    ZeroBucketWidth,
+    /// `fine_buckets == 0`: there would be no bucket to ingest into.
+    ZeroFineBuckets,
+    /// `tier_factor < 2`: a tier must compact groups of at least two buckets,
+    /// or compaction would never terminate.
+    TierFactorTooSmall,
+}
+
+impl std::fmt::Display for WindowConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ZeroCapacity => write!(f, "capacity must be positive"),
+            Self::ZeroBucketWidth => write!(f, "bucket_width must be positive"),
+            Self::ZeroFineBuckets => write!(f, "fine_buckets must be positive"),
+            Self::TierFactorTooSmall => write!(f, "tier_factor must be at least 2"),
+        }
+    }
+}
+
+impl std::error::Error for WindowConfigError {}
+
+/// Why a [`TemporalConfig`] cannot drive an engine; the temporal analogue of
+/// [`crate::engine::EngineConfigError`], returned by [`TemporalConfig::validate`]
+/// and [`TemporalIngestEngine::try_new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TemporalConfigError {
+    /// `shards == 0`: there would be no worker to route any row to.
+    ZeroShards,
+    /// `queue_depth == 0`: every send would block forever on a zero-slot queue.
+    ZeroQueueDepth,
+    /// `batch_rows == 0`: a handle would never accumulate a sendable batch.
+    ZeroBatchRows,
+    /// The per-shard window geometry is invalid.
+    Window(WindowConfigError),
+}
+
+impl std::fmt::Display for TemporalConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ZeroShards => write!(f, "engine needs at least one shard"),
+            Self::ZeroQueueDepth => write!(f, "queue_depth must be positive"),
+            Self::ZeroBatchRows => write!(f, "batch_rows must be positive"),
+            Self::Window(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for TemporalConfigError {}
+
+impl From<WindowConfigError> for TemporalConfigError {
+    fn from(err: WindowConfigError) -> Self {
+        Self::Window(err)
+    }
+}
 
 /// Per-shard window configuration: bucket geometry and retention tiers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -170,17 +238,37 @@ impl WindowConfig {
     /// Panics if `capacity`, `bucket_width` or `fine_buckets` is zero.
     #[must_use]
     pub fn new(capacity: usize, seed: u64, bucket_width: u64, fine_buckets: usize) -> Self {
-        assert!(capacity > 0, "capacity must be positive");
-        assert!(bucket_width > 0, "bucket_width must be positive");
-        assert!(fine_buckets > 0, "fine_buckets must be positive");
-        Self {
+        match Self::try_new(capacity, seed, bucket_width, fine_buckets) {
+            Ok(config) => config,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Fallible [`new`](Self::new), for configurations built from untrusted
+    /// input (a daemon's client-supplied stream specs): returns the typed error
+    /// instead of panicking, mirroring [`crate::engine::EngineConfig`]'s
+    /// `try_new`.
+    ///
+    /// # Errors
+    ///
+    /// [`WindowConfigError`] when `capacity`, `bucket_width` or `fine_buckets`
+    /// is zero.
+    pub fn try_new(
+        capacity: usize,
+        seed: u64,
+        bucket_width: u64,
+        fine_buckets: usize,
+    ) -> Result<Self, WindowConfigError> {
+        let config = Self {
             capacity,
             seed,
             bucket_width,
             fine_buckets,
             tier_factor: 4,
             tiers: 2,
-        }
+        };
+        config.validate()?;
+        Ok(config)
     }
 
     /// Overrides the retention geometry: `tiers` coarse tiers, each compacting
@@ -195,6 +283,30 @@ impl WindowConfig {
         self.tiers = tiers;
         self.tier_factor = tier_factor;
         self
+    }
+
+    /// Checks the configuration for values no store can run with. The fields
+    /// are public (and a daemon fills them from client bytes), so stores and
+    /// engines re-validate before building anything.
+    ///
+    /// # Errors
+    ///
+    /// The first [`WindowConfigError`] found, checking capacity, bucket width,
+    /// fine buckets, then tier factor.
+    pub fn validate(&self) -> Result<(), WindowConfigError> {
+        if self.capacity == 0 {
+            return Err(WindowConfigError::ZeroCapacity);
+        }
+        if self.bucket_width == 0 {
+            return Err(WindowConfigError::ZeroBucketWidth);
+        }
+        if self.fine_buckets == 0 {
+            return Err(WindowConfigError::ZeroFineBuckets);
+        }
+        if self.tier_factor < 2 {
+            return Err(WindowConfigError::TierFactorTooSmall);
+        }
+        Ok(())
     }
 }
 
@@ -393,12 +505,15 @@ pub struct WindowedSketchStore {
 
 impl WindowedSketchStore {
     /// Creates an empty store.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration (see [`WindowConfig::validate`]).
     #[must_use]
     pub fn new(config: WindowConfig) -> Self {
-        assert!(config.capacity > 0, "capacity must be positive");
-        assert!(config.bucket_width > 0, "bucket_width must be positive");
-        assert!(config.fine_buckets > 0, "fine_buckets must be positive");
-        assert!(config.tier_factor >= 2, "tier_factor must be at least 2");
+        if let Err(err) = config.validate() {
+            panic!("{err}");
+        }
         Self {
             tiers: (0..config.tiers).map(|_| VecDeque::new()).collect(),
             ladder: DyadicLadder::new(ladder_max_level(config.fine_buckets)),
@@ -1236,13 +1351,57 @@ impl TemporalConfig {
         bucket_width: u64,
         fine_buckets: usize,
     ) -> Self {
-        assert!(shards > 0, "engine needs at least one shard");
-        Self {
-            window: WindowConfig::new(capacity, seed, bucket_width, fine_buckets),
+        match Self::try_new(shards, capacity, seed, bucket_width, fine_buckets) {
+            Ok(config) => config,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Fallible [`new`](Self::new), for configurations built from untrusted
+    /// input: the typed error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`TemporalConfigError`] when `shards` is zero or the window geometry is
+    /// invalid.
+    pub fn try_new(
+        shards: usize,
+        capacity: usize,
+        seed: u64,
+        bucket_width: u64,
+        fine_buckets: usize,
+    ) -> Result<Self, TemporalConfigError> {
+        let config = Self {
+            window: WindowConfig::try_new(capacity, seed, bucket_width, fine_buckets)?,
             shards,
             queue_depth: 4,
             batch_rows: 4096,
+        };
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Checks the configuration for values no engine can run with, mirroring
+    /// [`crate::engine::EngineConfig::validate`]. The fields are public (and a
+    /// daemon fills them from client bytes), so
+    /// [`TemporalIngestEngine::try_new`] re-validates before spawning workers.
+    ///
+    /// # Errors
+    ///
+    /// The first [`TemporalConfigError`] found, checking shards, queue depth,
+    /// batch size, then the window geometry.
+    pub fn validate(&self) -> Result<(), TemporalConfigError> {
+        if self.shards == 0 {
+            return Err(TemporalConfigError::ZeroShards);
         }
+        if self.queue_depth == 0 {
+            return Err(TemporalConfigError::ZeroQueueDepth);
+        }
+        if self.batch_rows == 0 {
+            return Err(TemporalConfigError::ZeroBatchRows);
+        }
+        self.window.validate()?;
+        Ok(())
     }
 
     /// Overrides the retention geometry (see [`WindowConfig::with_retention`]).
@@ -1331,6 +1490,10 @@ enum TemporalMsg {
     /// Drain a cut, settle, then stop — even if producer handles (and thus
     /// rings feeding this shard) are still alive.
     Shutdown,
+    /// Panic the worker immediately. A test-only fault injector (reachable via
+    /// `debug_kill_shard`) used to prove that control paths degrade into
+    /// [`EngineError::ShardDown`] instead of killing the daemon.
+    Poison,
 }
 
 /// How many distinct folded ranges the engine keeps cached. Small by design: a
@@ -1374,9 +1537,29 @@ pub struct TemporalIngestEngine {
 
 impl TemporalIngestEngine {
     /// Spawns the worker shards and returns the running engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration (see [`TemporalConfig::validate`]);
+    /// use [`try_new`](Self::try_new) to get the typed error instead.
     #[must_use]
     pub fn new(config: TemporalConfig) -> Self {
-        assert!(config.shards > 0, "engine needs at least one shard");
+        match Self::try_new(config) {
+            Ok(engine) => engine,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Validates the configuration and spawns the worker shards.
+    ///
+    /// # Errors
+    ///
+    /// [`TemporalConfigError`] when `config` carries a zero (or `tier_factor <
+    /// 2`) where a positive value is required — caught here, before any worker
+    /// thread exists, so a daemon can refuse a client-supplied stream spec with
+    /// an error frame instead of panicking.
+    pub fn try_new(config: TemporalConfig) -> Result<Self, TemporalConfigError> {
+        config.validate()?;
         let stores = (0..config.shards)
             .map(|shard| {
                 WindowedSketchStore::new(WindowConfig {
@@ -1388,7 +1571,7 @@ impl TemporalIngestEngine {
                 })
             })
             .collect();
-        Self::spawn(config, stores, 0, 0, 0)
+        Ok(Self::spawn(config, stores, 0, 0, 0))
     }
 
     /// Spawns one worker per store; shared by [`new`](Self::new) (fresh stores)
@@ -1459,8 +1642,27 @@ impl TemporalIngestEngine {
 
     /// Creates a producer handle. Handles are independent and cheap; create one
     /// per producer thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker is gone; [`try_handle`](Self::try_handle) degrades
+    /// that into a typed error instead.
     #[must_use]
     pub fn handle(&self) -> TemporalIngestHandle {
+        match self.try_handle() {
+            Ok(handle) => handle,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Fallible variant of [`handle`](Self::handle), for callers (like a
+    /// serving daemon) that must survive a dead worker.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::ShardDown`] naming the first shard whose worker could
+    /// not register the new ring.
+    pub fn try_handle(&self) -> Result<TemporalIngestHandle, EngineError> {
         TemporalIngestHandle::connect(
             &self.links,
             self.config.ring_blocks(),
@@ -1500,32 +1702,40 @@ impl TemporalIngestEngine {
     /// enqueued batches are applied first. With `leaf` set the shards bypass
     /// the dyadic index and report every overlapping bucket (the reference
     /// path for equivalence tests and benchmarks).
-    fn collect_reports(&self, start: u64, end: u64, leaf: bool) -> (Vec<BucketReport>, bool, u64) {
+    fn collect_reports(
+        &self,
+        start: u64,
+        end: u64,
+        leaf: bool,
+    ) -> Result<(Vec<BucketReport>, bool, u64), EngineError> {
         let receivers: Vec<_> = self
             .links
             .iter()
-            .map(|link| {
+            .enumerate()
+            .map(|(shard, link)| {
                 let (tx, rx) = std::sync::mpsc::channel();
-                link.send(TemporalMsg::Range {
+                link.try_send(TemporalMsg::Range {
                     start,
                     end,
                     leaf,
                     reply: tx,
-                });
-                rx
+                })
+                .map_err(|()| EngineError::ShardDown { shard })?;
+                Ok(rx)
             })
-            .collect();
+            .collect::<Result<_, EngineError>>()?;
         let mut reports = Vec::new();
         let mut all_raw = true;
         let mut applied = 0u64;
-        for rx in receivers {
+        for (shard, rx) in receivers.into_iter().enumerate() {
+            // The send above raced a dying worker if this recv fails.
             let (shard_reports, raw, shard_rows) =
-                rx.recv().expect("temporal shard worker dropped its report");
+                rx.recv().map_err(|_| EngineError::ShardDown { shard })?;
             reports.extend(shard_reports);
             all_raw &= raw;
             applied += shard_rows;
         }
-        (reports, all_raw, applied)
+        Ok((reports, all_raw, applied))
     }
 
     /// Folds the collected reports with the engine's salted snapshot seeds.
@@ -1572,12 +1782,26 @@ impl TemporalIngestEngine {
     /// Degenerate ranges answer a well-formed empty snapshot.
     #[must_use]
     pub fn range_snapshot(&self, range: &TimeRange) -> WeightedSpaceSaving {
+        match self.try_range_snapshot(range) {
+            Ok(merged) => merged,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Fallible [`range_snapshot`](Self::range_snapshot): a dead worker
+    /// degrades the request into [`EngineError::ShardDown`] instead of
+    /// panicking the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::ShardDown`] naming the first dead shard found.
+    pub fn try_range_snapshot(&self, range: &TimeRange) -> Result<WeightedSpaceSaving, EngineError> {
         let (start, end) = self.resolve_range(range);
         if start >= end {
-            return self.empty_range_snapshot();
+            return Ok(self.empty_range_snapshot());
         }
-        let (reports, all_raw, _) = self.collect_reports(start, end, false);
-        self.fold_collected(reports, all_raw)
+        let (reports, all_raw, _) = self.collect_reports(start, end, false)?;
+        Ok(self.fold_collected(reports, all_raw))
     }
 
     /// [`range_snapshot`](Self::range_snapshot) through the leaf-by-leaf fold,
@@ -1591,7 +1815,10 @@ impl TemporalIngestEngine {
         if start >= end {
             return self.empty_range_snapshot();
         }
-        let (reports, _, _) = self.collect_reports(start, end, true);
+        let (reports, _, _) = match self.collect_reports(start, end, true) {
+            Ok(collected) => collected,
+            Err(err) => panic!("{err}"),
+        };
         self.fold_collected(reports, true)
     }
 
@@ -1602,11 +1829,25 @@ impl TemporalIngestEngine {
     /// the watermark is part of the key.
     #[must_use]
     pub fn range_capture(&self, range: &TimeRange) -> Arc<SketchSnapshot> {
+        match self.try_range_capture(range) {
+            Ok(snapshot) => snapshot,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Fallible [`range_capture`](Self::range_capture), the form a serving
+    /// daemon uses: a dead worker degrades the request into
+    /// [`EngineError::ShardDown`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::ShardDown`] naming the first dead shard found.
+    pub fn try_range_capture(&self, range: &TimeRange) -> Result<Arc<SketchSnapshot>, EngineError> {
         let (start, end) = self.resolve_range(range);
         if start >= end {
             // Degenerate ranges answer the deterministic empty snapshot
             // directly — nothing worth caching, no salt consumed.
-            return Arc::new(self.empty_range_snapshot().snapshot());
+            return Ok(Arc::new(self.empty_range_snapshot().snapshot()));
         }
         let rows = self.rows_enqueued();
         let generation = self.generation;
@@ -1615,11 +1856,11 @@ impl TemporalIngestEngine {
             if let Some(slot) = cache.iter().find(|s| {
                 s.start == start && s.end == end && s.rows == rows && s.generation == generation
             }) {
-                return Arc::clone(&slot.snapshot);
+                return Ok(Arc::clone(&slot.snapshot));
             }
         }
         // Fold outside the lock: captures are expensive, the cache is not.
-        let (reports, all_raw, applied) = self.collect_reports(start, end, false);
+        let (reports, all_raw, applied) = self.collect_reports(start, end, false)?;
         let snapshot = Arc::new(self.fold_collected(reports, all_raw).snapshot());
         // Cache soundness: `rows_enqueued` is bumped *before* a batch is sent,
         // so a producer preempted between the two can leave a fold that misses
@@ -1645,7 +1886,7 @@ impl TemporalIngestEngine {
                 }
             }
         }
-        snapshot
+        Ok(snapshot)
     }
 
     /// Wraps a time range as a [`SnapshotSource`], so the unchanged
@@ -1666,10 +1907,19 @@ impl TemporalIngestEngine {
     /// Quiesces each shard with a ring cut exactly as the non-temporal
     /// engine's checkpoint does; ingest continues afterwards.
     ///
+    /// The checkpoint is *resilient per shard*: a dead worker or a failed
+    /// write on one shard does not abort the remaining shards' writes — every
+    /// healthy shard's file still lands on disk, with the failures reported
+    /// together in [`EngineError::CheckpointIncomplete`]. The manifest is only
+    /// written when every shard succeeded, so a manifest on disk always
+    /// describes a complete, restorable checkpoint.
+    ///
     /// # Errors
     ///
-    /// Any filesystem failure is returned as [`PersistError::Io`].
-    pub fn checkpoint<P: AsRef<std::path::Path>>(&self, dir: P) -> Result<(), PersistError> {
+    /// [`EngineError::Persist`] when the directory cannot be created or the
+    /// manifest cannot be written; [`EngineError::CheckpointIncomplete`]
+    /// listing the per-shard failures otherwise.
+    pub fn checkpoint<P: AsRef<std::path::Path>>(&self, dir: P) -> Result<(), EngineError> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir).map_err(PersistError::Io)?;
         let receivers: Vec<_> = self
@@ -1677,22 +1927,30 @@ impl TemporalIngestEngine {
             .iter()
             .map(|link| {
                 let (tx, rx) = std::sync::mpsc::channel();
-                link.send(TemporalMsg::Checkpoint(tx));
-                rx
+                link.try_send(TemporalMsg::Checkpoint(tx)).map(|()| rx)
             })
             .collect();
-        let stores: Vec<WindowedSketchStore> = receivers
-            .into_iter()
-            .map(|rx| rx.recv().expect("temporal shard worker dropped its checkpoint"))
-            .collect();
         let meta = persist::TemporalMeta::from_config(&self.config);
+        let mut failures = Vec::new();
         let mut rows = 0u64;
-        for (shard, store) in stores.iter().enumerate() {
+        for (shard, receiver) in receivers.into_iter().enumerate() {
+            let store = match receiver.map(|rx| rx.recv()) {
+                Ok(Ok(store)) => store,
+                Ok(Err(_)) | Err(()) => {
+                    failures.push(ShardFailure { shard, fault: ShardFault::Down });
+                    continue;
+                }
+            };
             rows += store.rows_processed();
-            persist::write_file(
+            if let Err(err) = persist::write_file(
                 &dir.join(Self::shard_file_name(shard)),
-                &persist::encode_temporal_shard_indexed(shard as u64, meta, store),
-            )?;
+                &persist::encode_temporal_shard_indexed(shard as u64, meta, &store),
+            ) {
+                failures.push(ShardFailure { shard, fault: ShardFault::Persist(err) });
+            }
+        }
+        if !failures.is_empty() {
+            return Err(EngineError::CheckpointIncomplete { failures });
         }
         let manifest = persist::TemporalManifest {
             meta,
@@ -1703,6 +1961,22 @@ impl TemporalIngestEngine {
             &dir.join(Self::MANIFEST_FILE),
             &persist::encode_temporal_manifest(&manifest),
         )
+        .map_err(EngineError::Persist)
+    }
+
+    /// Kills the worker thread of `shard` by making it panic. Fault injection
+    /// for tests only: this is how the regression suite proves that a poisoned
+    /// shard degrades control requests into [`EngineError::ShardDown`] instead
+    /// of taking a daemon down. The control channel is FIFO, so any request
+    /// sent after this observes the dead worker deterministically.
+    #[doc(hidden)]
+    pub fn debug_kill_shard(&self, shard: usize) {
+        self.links[shard].send_lossy(TemporalMsg::Poison);
+        // Wait for the unwind to drop the worker's control receiver, so the
+        // *next* control request fails at send time rather than racing.
+        while self.links[shard].try_send(TemporalMsg::Poison).is_ok() {
+            std::thread::yield_now();
+        }
     }
 
     /// Resumes an engine from a [`checkpoint`](Self::checkpoint) directory. The
@@ -1875,23 +2149,24 @@ impl TemporalIngestHandle {
         ring_blocks: usize,
         rows_enqueued: &Arc<AtomicU64>,
         max_time: &Arc<AtomicU64>,
-    ) -> Self {
+    ) -> Result<Self, EngineError> {
         let mut senders = Vec::with_capacity(links.len());
         let mut blocks = Vec::with_capacity(links.len());
-        for link in links {
+        for (shard, link) in links.iter().enumerate() {
             let (tx, rx) = block_channel(ring_blocks, Arc::clone(link.waker()));
-            link.send(TemporalMsg::Register(rx));
+            link.try_send(TemporalMsg::Register(rx))
+                .map_err(|()| EngineError::ShardDown { shard })?;
             blocks.push(RowBlock::boxed());
             senders.push(tx);
         }
-        Self {
+        Ok(Self {
             links: links.to_vec(),
             senders,
             blocks,
             ring_blocks,
             rows_enqueued: Arc::clone(rows_enqueued),
             max_time: Arc::clone(max_time),
-        }
+        })
     }
 
     /// Offers one row of `item` stamped `ts`. Lock-free; parks only when the
@@ -1904,11 +2179,36 @@ impl TemporalIngestHandle {
         }
     }
 
+    /// Fallible [`offer_at`](Self::offer_at): a dead destination worker fails
+    /// this row's dispatch with [`EngineError::ShardDown`] instead of
+    /// panicking.
+    #[inline]
+    pub fn try_offer_at(&mut self, item: u64, ts: u64) -> Result<(), EngineError> {
+        let shard = self.route(item);
+        if self.blocks[shard].push((item, ts)) {
+            self.try_dispatch(shard)?;
+        }
+        Ok(())
+    }
+
     /// Offers a batch of `(item, timestamp)` rows.
     pub fn offer_batch_at(&mut self, rows: &[(u64, u64)]) {
         for &(item, ts) in rows {
             self.offer_at(item, ts);
         }
+    }
+
+    /// Fallible [`offer_batch_at`](Self::offer_batch_at); stops at the first
+    /// row whose destination worker is gone.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::ShardDown`] naming the dead shard.
+    pub fn try_offer_batch_at(&mut self, rows: &[(u64, u64)]) -> Result<(), EngineError> {
+        for &(item, ts) in rows {
+            self.try_offer_at(item, ts)?;
+        }
+        Ok(())
     }
 
     /// Ships every partially filled block to its shard, emptying the handle.
@@ -1918,6 +2218,25 @@ impl TemporalIngestHandle {
                 self.dispatch(shard);
             }
         }
+    }
+
+    /// Fallible [`flush`](Self::flush). Keeps going past dead shards so every
+    /// healthy shard still receives its rows, then reports the first failure.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::ShardDown`] naming the first dead shard encountered.
+    pub fn try_flush(&mut self) -> Result<(), EngineError> {
+        let mut first_err = Ok(());
+        for shard in 0..self.blocks.len() {
+            if !self.blocks[shard].is_empty() {
+                let result = self.try_dispatch(shard);
+                if first_err.is_ok() {
+                    first_err = result;
+                }
+            }
+        }
+        first_err
     }
 
     #[inline]
@@ -1943,24 +2262,43 @@ impl TemporalIngestHandle {
     /// Sends the current block (recycling a spent one in its place), parking
     /// while the ring is full.
     fn dispatch(&mut self, shard: usize) {
+        if self.try_dispatch(shard).is_err() {
+            panic!("temporal shard worker disconnected");
+        }
+    }
+
+    /// Fallible [`dispatch`]: a closed ring (dead worker) drops the block's
+    /// rows and reports [`EngineError::ShardDown`] instead of panicking.
+    fn try_dispatch(&mut self, shard: usize) -> Result<(), EngineError> {
         let block = std::mem::replace(&mut self.blocks[shard], self.senders[shard].acquire());
+        // Accounting happens before the send (the order the range cache's
+        // `applied >= rows` soundness guard is written against); a failed send
+        // leaves a small overcount on a shard that is already reported dead.
         let block = self.account(block);
         self.senders[shard]
             .send(block)
-            .expect("temporal shard worker disconnected");
+            .map_err(|_| EngineError::ShardDown { shard })
     }
 }
 
 impl Clone for TemporalIngestHandle {
     /// Clones the routing state with fresh rings of its own: the new handle
     /// registers one new block channel per shard and starts with empty blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker is gone (use [`TemporalIngestEngine::try_handle`] on
+    /// the engine to get the typed error instead).
     fn clone(&self) -> Self {
-        Self::connect(
+        match Self::connect(
             &self.links,
             self.ring_blocks,
             &self.rows_enqueued,
             &self.max_time,
-        )
+        ) {
+            Ok(handle) => handle,
+            Err(err) => panic!("{err}"),
+        }
     }
 }
 
@@ -2188,6 +2526,8 @@ fn handle_control(w: &mut TemporalWorker, msg: TemporalMsg) -> Flow {
             w.quiesce();
             return Flow::Stop;
         }
+        // Test-only fault injection; see `debug_kill_shard`.
+        TemporalMsg::Poison => panic!("temporal shard worker poisoned by debug_kill_shard"),
     }
     Flow::Continue
 }
@@ -2353,6 +2693,104 @@ mod tests {
         let middle = engine.range_snapshot(&TimeRange::Between { start: 12, end: 38 });
         assert_eq!(middle.rows_processed(), 30); // buckets 1, 2, 3
         let _ = engine.finish();
+    }
+
+    #[test]
+    fn window_config_try_new_returns_typed_errors() {
+        assert_eq!(
+            WindowConfig::try_new(0, 7, 10, 4).unwrap_err(),
+            WindowConfigError::ZeroCapacity
+        );
+        assert_eq!(
+            WindowConfig::try_new(32, 7, 0, 4).unwrap_err(),
+            WindowConfigError::ZeroBucketWidth
+        );
+        assert_eq!(
+            WindowConfig::try_new(32, 7, 10, 0).unwrap_err(),
+            WindowConfigError::ZeroFineBuckets
+        );
+        // The fields are public: a hand-built degenerate tier factor must be
+        // caught by validate (and by the engine) rather than panicking later.
+        let mut config = WindowConfig::new(32, 7, 10, 4);
+        config.tier_factor = 1;
+        assert_eq!(config.validate().unwrap_err(), WindowConfigError::TierFactorTooSmall);
+        assert!(WindowConfig::try_new(32, 7, 10, 4).is_ok());
+    }
+
+    #[test]
+    fn temporal_config_try_new_returns_typed_errors() {
+        assert_eq!(
+            TemporalConfig::try_new(0, 32, 7, 10, 4).unwrap_err(),
+            TemporalConfigError::ZeroShards
+        );
+        assert_eq!(
+            TemporalConfig::try_new(2, 32, 7, 0, 4).unwrap_err(),
+            TemporalConfigError::Window(WindowConfigError::ZeroBucketWidth)
+        );
+        let mut config = TemporalConfig::new(2, 32, 7, 10, 4);
+        config.queue_depth = 0;
+        assert_eq!(config.validate().unwrap_err(), TemporalConfigError::ZeroQueueDepth);
+        let mut config = TemporalConfig::new(2, 32, 7, 10, 4);
+        config.batch_rows = 0;
+        assert_eq!(config.validate().unwrap_err(), TemporalConfigError::ZeroBatchRows);
+        match TemporalIngestEngine::try_new(TemporalConfig {
+            shards: 0,
+            ..TemporalConfig::new(1, 32, 7, 10, 4)
+        }) {
+            Err(TemporalConfigError::ZeroShards) => {}
+            other => panic!("expected ZeroShards, got {:?}", other.map(|_| ())),
+        }
+        let engine = TemporalIngestEngine::try_new(TemporalConfig::new(1, 32, 7, 10, 4))
+            .expect("valid config spawns");
+        let _ = engine.finish();
+    }
+
+    #[test]
+    fn poisoned_worker_degrades_to_typed_errors() {
+        // Regression for the daemon contract: a deliberately-panicked worker
+        // must surface as EngineError::ShardDown from every fallible control
+        // path, and a checkpoint must still write the healthy shards' files.
+        let dir = std::env::temp_dir().join(format!(
+            "uss-temporal-poison-{}",
+            std::process::id()
+        ));
+        let engine =
+            TemporalIngestEngine::new(TemporalConfig::new(2, 64, 13, 10, 4).with_batch_rows(64));
+        let mut handle = engine.handle();
+        for ts in 0u64..50 {
+            for row in 0u64..40 {
+                handle.offer_at(row, ts);
+            }
+        }
+        handle.flush();
+        engine.debug_kill_shard(1);
+
+        match engine.try_range_capture(&TimeRange::All) {
+            Err(EngineError::ShardDown { shard: 1 }) => {}
+            other => panic!("expected ShardDown {{ shard: 1 }}, got {:?}", other.map(|_| ())),
+        }
+        match engine.try_range_snapshot(&TimeRange::LastBuckets(4)) {
+            Err(EngineError::ShardDown { shard: 1 }) => {}
+            other => panic!("expected ShardDown {{ shard: 1 }}, got {:?}", other.map(|_| ())),
+        }
+        match engine.try_handle() {
+            Err(EngineError::ShardDown { shard: 1 }) => {}
+            other => panic!("expected ShardDown {{ shard: 1 }}, got {:?}", other.map(|_| ())),
+        }
+
+        // Checkpoint keeps writing healthy shards and reports the dead one.
+        match engine.checkpoint(&dir) {
+            Err(EngineError::CheckpointIncomplete { failures }) => {
+                assert_eq!(failures.len(), 1);
+                assert_eq!(failures[0].shard, 1);
+                assert!(matches!(failures[0].fault, ShardFault::Down));
+            }
+            other => panic!("expected CheckpointIncomplete, got {other:?}"),
+        }
+        assert!(dir.join(TemporalIngestEngine::shard_file_name(0)).exists());
+        // No manifest: a manifest must only ever describe a complete checkpoint.
+        assert!(!dir.join(TemporalIngestEngine::MANIFEST_FILE).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

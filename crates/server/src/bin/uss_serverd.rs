@@ -1,0 +1,56 @@
+//! The sketch daemon binary.
+//!
+//! ```text
+//! uss_serverd [--addr HOST:PORT] [--data-dir DIR]
+//! ```
+//!
+//! Binds `--addr` (default `127.0.0.1:7071`), restores any streams
+//! checkpointed under `--data-dir`, and serves until a client sends the wire
+//! `Shutdown` request — at which point every stream is checkpointed back into
+//! the data dir and the process exits.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use uss_server::{ServerConfig, SketchServer};
+
+fn main() -> ExitCode {
+    let mut addr = String::from("127.0.0.1:7071");
+    let mut data_dir: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(value) => addr = value,
+                None => return usage("--addr needs a HOST:PORT value"),
+            },
+            "--data-dir" => match args.next() {
+                Some(value) => data_dir = Some(PathBuf::from(value)),
+                None => return usage("--data-dir needs a directory"),
+            },
+            "--help" | "-h" => {
+                println!("usage: uss_serverd [--addr HOST:PORT] [--data-dir DIR]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let server = match SketchServer::start(&addr, ServerConfig { data_dir }) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("uss_serverd: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("uss_serverd listening on {}", server.addr());
+    server.join();
+    ExitCode::SUCCESS
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("uss_serverd: {problem}");
+    eprintln!("usage: uss_serverd [--addr HOST:PORT] [--data-dir DIR]");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,61 @@
+//! # The network service tier
+//!
+//! A TCP daemon hosting many named sketch streams — the serving surface that
+//! turns this workspace's in-process engines into a benchmarkable,
+//! multi-tenant service. Each stream owns one
+//! [`TemporalIngestEngine`](uss_core::TemporalIngestEngine); concurrent
+//! clients ingest timestamped rows and run every
+//! [`Query`](uss_core::Query) variant, keyed marginals and
+//! [`TimeRange`](uss_core::TimeRange) queries over a small binary protocol
+//! with the persist codec's frame discipline: length-prefixed, versioned,
+//! CRC-64-checksummed, and decoded *totally* — hostile bytes produce typed
+//! error frames, never a panic.
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`wire`] | the frame codec: byte layout, request/response types, total decoders |
+//! | [`server`] | [`SketchServer`]: the daemon, registry, checkpoint-on-shutdown / restore-on-boot |
+//! | [`client`] | [`SketchClient`]: a typed synchronous client |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use uss_server::{SketchClient, SketchServer, ServerConfig};
+//! use uss_core::persist::TemporalMeta;
+//! use uss_core::{Query, QueryAnswer, TimeRange};
+//!
+//! // Ephemeral port, in-memory (no checkpoint directory).
+//! let server = SketchServer::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+//!
+//! let mut client = SketchClient::connect(server.addr()).unwrap();
+//! client.create_stream("clicks", TemporalMeta {
+//!     shards: 2, capacity: 256, seed: 42,
+//!     bucket_width: 60, fine_buckets: 32, tier_factor: 4, tiers: 2,
+//! }).unwrap();
+//!
+//! let rows: Vec<(u64, u64)> = (0..10_000).map(|i| (i % 97, i / 100)).collect();
+//! client.ingest("clicks", &rows).unwrap();
+//!
+//! let (rows_seen, answer) =
+//!     client.query("clicks", &TimeRange::All, &Query::TopK { k: 5 }).unwrap();
+//! assert_eq!(rows_seen, 10_000);
+//! if let QueryAnswer::Items(top) = answer {
+//!     assert_eq!(top.len(), 5);
+//! }
+//!
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{ClientError, SketchClient};
+pub use server::{ServerConfig, ServerError, SketchServer};
+pub use wire::{
+    ErrorCode, MarginalEntry, Request, Response, StreamInfo, WireError, MAX_PAYLOAD,
+    PROTOCOL_VERSION,
+};

@@ -1,0 +1,609 @@
+//! The sketch daemon: a TCP server hosting a multi-stream registry.
+//!
+//! Each named stream owns one [`TemporalIngestEngine`]; concurrent clients
+//! ingest timestamped rows and run every [`Query`] variant, keyed marginals and
+//! [`TimeRange`] queries against it over the [`crate::wire`] protocol. The
+//! daemon is built to *degrade* rather than die: hostile frames come back as
+//! error responses (the decode paths are total), a dead worker shard turns into
+//! an [`ErrorCode::ShardDown`] response (the engine control paths are typed
+//! since the panic-path sweep), and an unexpected panic in a request handler is
+//! caught at the connection boundary and surfaced as [`ErrorCode::Internal`].
+//!
+//! Durability: with a data directory configured, shutdown checkpoints every
+//! stream into `data_dir/<name>/` via the engine checkpoint API — reporting
+//! per-shard failures without aborting the remaining streams' writes — and boot
+//! restores every stream the directory holds, reconstructing each engine's
+//! config from its checkpoint manifest alone.
+
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+use std::time::{Duration, Instant};
+
+use uss_core::persist::{self, PersistError, TemporalMeta};
+use uss_core::{answer_query, EngineError, TemporalIngestEngine, TemporalIngestHandle};
+
+use crate::wire::{
+    self, read_frame, write_frame, ErrorCode, MarginalEntry, Request, Response, StreamInfo,
+    WireError,
+};
+
+/// How long a connection thread blocks in one socket read before re-checking
+/// the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(50);
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
+
+/// Why the daemon could not start.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServerError {
+    /// Binding or configuring the listening socket failed.
+    Io(std::io::Error),
+    /// A checkpoint directory under the data dir failed to restore.
+    Restore {
+        /// The stream (directory) name that failed.
+        stream: String,
+        /// What went wrong decoding or rebuilding it.
+        error: PersistError,
+    },
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(err) => write!(f, "server i/o failure: {err}"),
+            Self::Restore { stream, error } => {
+                write!(f, "restoring stream {stream:?} failed: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(err) => Some(err),
+            Self::Restore { error, .. } => Some(error),
+        }
+    }
+}
+
+impl From<std::io::Error> for ServerError {
+    fn from(err: std::io::Error) -> Self {
+        Self::Io(err)
+    }
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Checkpoint root. `Some(dir)` enables checkpoint-on-shutdown into
+    /// `dir/<stream>/` and restore-on-boot from the same layout; `None` runs
+    /// the daemon purely in memory.
+    pub data_dir: Option<PathBuf>,
+}
+
+/// One registered stream: its wire-visible identity plus the live engine.
+struct StreamEntry {
+    spec: TemporalMeta,
+    engine: TemporalIngestEngine,
+}
+
+/// State shared by the accept loop and every connection thread.
+struct Shared {
+    registry: RwLock<HashMap<String, Arc<StreamEntry>>>,
+    data_dir: Option<PathBuf>,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn streams(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, Arc<StreamEntry>>> {
+        self.registry.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn streams_mut(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<String, Arc<StreamEntry>>> {
+        self.registry
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A running daemon. Dropping the handle shuts the daemon down (checkpointing
+/// every stream when a data dir is configured).
+pub struct SketchServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SketchServer {
+    /// Binds `addr` (use port 0 for an ephemeral port), restores any streams
+    /// checkpointed under the configured data dir, and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Io`] when the socket cannot be bound and
+    /// [`ServerError::Restore`] when a checkpoint directory is damaged.
+    pub fn start<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> Result<Self, ServerError> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let mut registry = HashMap::new();
+        if let Some(dir) = &config.data_dir {
+            restore_streams(dir, &mut registry)?;
+        }
+        let shared = Arc::new(Shared {
+            registry: RwLock::new(registry),
+            data_dir: config.data_dir,
+            shutdown: AtomicBool::new(false),
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
+        Ok(Self {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The daemon's bound address (resolves ephemeral ports).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Test-only fault injection: panics one worker shard of a named stream so
+    /// regression tests can prove the daemon degrades to typed error frames
+    /// instead of dying. Returns `false` when the stream does not exist.
+    #[doc(hidden)]
+    pub fn debug_kill_shard(&self, stream: &str, shard: usize) -> bool {
+        let Some(entry) = self.shared.streams().get(stream).cloned() else {
+            return false;
+        };
+        entry.engine.debug_kill_shard(shard);
+        true
+    }
+
+    /// Signals shutdown and blocks until the daemon has stopped accepting,
+    /// drained, and (with a data dir) checkpointed every stream.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    /// Blocks until the daemon shuts down some other way — a client sending a
+    /// wire `Shutdown` request. This is the daemon binary's main loop.
+    pub fn join(mut self) {
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for SketchServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Restores every checkpointed stream under `dir` into the registry. A
+/// subdirectory without a temporal manifest is ignored (it is not a stream
+/// checkpoint); a subdirectory *with* one that fails to decode is a loud error.
+fn restore_streams(
+    dir: &std::path::Path,
+    registry: &mut HashMap<String, Arc<StreamEntry>>,
+) -> Result<(), ServerError> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Ok(()); // no data dir yet: first boot
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let manifest_path = path.join(TemporalIngestEngine::MANIFEST_FILE);
+        if !path.is_dir() || !manifest_path.exists() {
+            continue;
+        }
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if wire::validate_name(&name).is_err() {
+            continue;
+        }
+        let restore = || -> Result<StreamEntry, PersistError> {
+            let manifest = persist::decode_temporal_manifest(&std::fs::read(&manifest_path)?)?;
+            let config = manifest.meta.to_config()?;
+            let engine = TemporalIngestEngine::restore(&path, config)?;
+            Ok(StreamEntry {
+                spec: manifest.meta,
+                engine,
+            })
+        };
+        match restore() {
+            Ok(stream) => {
+                registry.insert(name, Arc::new(stream));
+            }
+            Err(error) => return Err(ServerError::Restore { stream: name, error }),
+        }
+    }
+    Ok(())
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn_shared = Arc::clone(shared);
+                connections.push(std::thread::spawn(move || {
+                    serve_connection(stream, &conn_shared);
+                }));
+            }
+            Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+        connections.retain(|conn| !conn.is_finished());
+    }
+    // Let in-flight requests finish before checkpointing, so a final ingest
+    // that was acknowledged is in the checkpoint.
+    for conn in connections {
+        let _ = conn.join();
+    }
+    checkpoint_streams(shared);
+}
+
+/// Checkpoint-on-shutdown: every stream is attempted, every failure is
+/// reported, and no failure aborts the remaining streams' writes.
+fn checkpoint_streams(shared: &Shared) {
+    let Some(dir) = &shared.data_dir else { return };
+    let streams: Vec<(String, Arc<StreamEntry>)> = shared
+        .streams()
+        .iter()
+        .map(|(name, entry)| (name.clone(), Arc::clone(entry)))
+        .collect();
+    for (name, entry) in streams {
+        if let Err(err) = entry.engine.checkpoint(dir.join(&name)) {
+            eprintln!("uss-server: checkpointing stream {name:?} failed: {err}");
+        }
+    }
+}
+
+/// A socket read outcome that distinguishes "orderly close" and "server is
+/// shutting down" from real errors.
+enum ReadOutcome {
+    Frame(u8, Vec<u8>),
+    Closed,
+    ShuttingDown,
+    Bad(WireError),
+}
+
+/// Wraps a [`TcpStream`] so `read` retries timeout errors while polling the
+/// shutdown flag — turning the 50 ms socket timeout into cancellable blocking.
+struct PollingReader<'a> {
+    stream: &'a TcpStream,
+    shared: &'a Shared,
+    interrupted: bool,
+}
+
+impl Read for PollingReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                self.interrupted = true;
+                // NOT ErrorKind::Interrupted: `read_exact` silently retries
+                // that kind, which would spin forever once the flag is up.
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionAborted,
+                    "server shutting down",
+                ));
+            }
+            match self.stream.read(buf) {
+                Err(err)
+                    if matches!(
+                        err.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) => {}
+                other => return other,
+            }
+        }
+    }
+}
+
+fn read_request(stream: &TcpStream, shared: &Shared) -> ReadOutcome {
+    let mut reader = PollingReader {
+        stream,
+        shared,
+        interrupted: false,
+    };
+    match read_frame(&mut reader) {
+        Ok((kind, payload)) => ReadOutcome::Frame(kind, payload),
+        Err(WireError::Io(err)) => {
+            if reader.interrupted {
+                ReadOutcome::ShuttingDown
+            } else if err.kind() == std::io::ErrorKind::UnexpectedEof {
+                ReadOutcome::Closed
+            } else {
+                ReadOutcome::Bad(WireError::Io(err))
+            }
+        }
+        Err(other) => ReadOutcome::Bad(other),
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    // Accepted sockets can inherit the listener's nonblocking flag; clear it so
+    // the read timeout below is a 50 ms block, not a busy poll.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_nodelay(true);
+    let mut stream = stream;
+    // Per-connection ingest handles, one per stream touched, so repeated
+    // `Ingest` requests reuse their SPSC rings instead of re-registering.
+    let mut handles: HashMap<String, TemporalIngestHandle> = HashMap::new();
+
+    loop {
+        let (kind, payload) = match read_request(&stream, shared) {
+            ReadOutcome::Frame(kind, payload) => (kind, payload),
+            ReadOutcome::Closed | ReadOutcome::ShuttingDown => return,
+            ReadOutcome::Bad(err) => {
+                // The byte stream can no longer be trusted to be frame-aligned:
+                // answer with a typed error, then close.
+                let response = Response::Error {
+                    code: ErrorCode::BadFrame,
+                    message: err.to_string(),
+                };
+                let _ = write_frame(&mut stream, &response.encode());
+                lingering_close(&stream);
+                return;
+            }
+        };
+
+        let request = match Request::decode(kind, &payload) {
+            Ok(request) => request,
+            Err(err) => {
+                // The frame itself was sound (checksum passed), so the stream
+                // is still aligned: report and keep serving.
+                let code = match err {
+                    WireError::UnknownKind(_) => ErrorCode::BadFrame,
+                    _ => ErrorCode::BadRequest,
+                };
+                let response = Response::Error {
+                    code,
+                    message: err.to_string(),
+                };
+                if write_frame(&mut stream, &response.encode()).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+
+        let shutting_down = matches!(request, Request::Shutdown);
+        // A panicking request handler must not take the daemon down with it:
+        // catch at the connection boundary and degrade to a typed error.
+        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_request(shared, &mut handles, request)
+        }))
+        .unwrap_or_else(|panic| Response::Error {
+            code: ErrorCode::Internal,
+            message: panic_message(&panic),
+        });
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            return;
+        }
+        if shutting_down {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            return;
+        }
+    }
+}
+
+/// How long [`lingering_close`] keeps draining a rejected connection.
+const LINGER: Duration = Duration::from_millis(250);
+
+/// Closes a connection whose remaining inbound bytes we are abandoning without
+/// provoking a TCP RST: half-close the write side, then briefly drain the
+/// receive queue. Closing with unread bytes pending turns our FIN into a
+/// reset, which can destroy the error frame still in flight to the client.
+/// The deadline bounds how long a hostile firehose can hold the drain open.
+fn lingering_close(stream: &TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let deadline = Instant::now() + LINGER;
+    let mut sink = [0u8; 1024];
+    let mut reader = stream;
+    while Instant::now() < deadline {
+        match reader.read(&mut sink) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(err)
+                if matches!(
+                    err.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "request handler panicked".to_string()
+    }
+}
+
+fn engine_error_response(err: &EngineError) -> Response {
+    let code = match err {
+        EngineError::ShardDown { .. } => ErrorCode::ShardDown,
+        _ => ErrorCode::Internal,
+    };
+    Response::Error {
+        code,
+        message: err.to_string(),
+    }
+}
+
+fn handle_request(
+    shared: &Shared,
+    handles: &mut HashMap<String, TemporalIngestHandle>,
+    request: Request,
+) -> Response {
+    match request {
+        Request::Ping => Response::Pong {
+            protocol: wire::PROTOCOL_VERSION,
+        },
+        Request::CreateStream { name, spec } => create_stream(shared, name, spec),
+        Request::ListStreams => {
+            let mut streams: Vec<StreamInfo> = shared
+                .streams()
+                .iter()
+                .map(|(name, entry)| StreamInfo {
+                    name: name.clone(),
+                    spec: entry.spec,
+                    rows: entry.engine.rows_enqueued(),
+                })
+                .collect();
+            streams.sort_by(|a, b| a.name.cmp(&b.name));
+            Response::Streams(streams)
+        }
+        Request::Ingest { name, rows } => ingest(shared, handles, &name, &rows),
+        Request::Query {
+            name,
+            range,
+            confidence,
+            query,
+        } => {
+            let Some(entry) = shared.streams().get(&name).cloned() else {
+                return unknown_stream(&name);
+            };
+            match entry.engine.try_range_capture(&range) {
+                Ok(snap) => Response::Answer {
+                    rows: snap.rows_processed(),
+                    answer: answer_query(&snap, &query, confidence),
+                },
+                Err(err) => engine_error_response(&err),
+            }
+        }
+        Request::Marginals {
+            name,
+            range,
+            confidence,
+            shift,
+            mask,
+        } => {
+            let Some(entry) = shared.streams().get(&name).cloned() else {
+                return unknown_stream(&name);
+            };
+            match entry.engine.try_range_capture(&range) {
+                Ok(snap) => {
+                    let entries = snap
+                        .marginals(|item| Some((item >> shift) & mask))
+                        .into_iter()
+                        .map(|(key, estimate)| MarginalEntry {
+                            key,
+                            ci: estimate.confidence_interval(confidence),
+                            estimate,
+                        })
+                        .collect();
+                    Response::MarginalsAnswer {
+                        rows: snap.rows_processed(),
+                        entries,
+                    }
+                }
+                Err(err) => engine_error_response(&err),
+            }
+        }
+        Request::Shutdown => Response::ShuttingDown,
+    }
+}
+
+fn unknown_stream(name: &str) -> Response {
+    Response::Error {
+        code: ErrorCode::UnknownStream,
+        message: format!("no stream named {name:?}"),
+    }
+}
+
+fn create_stream(shared: &Shared, name: String, spec: TemporalMeta) -> Response {
+    let mut registry = shared.streams_mut();
+    if let Some(existing) = registry.get(&name) {
+        return if existing.spec == spec {
+            Response::StreamCreated { created: false }
+        } else {
+            Response::Error {
+                code: ErrorCode::StreamExists,
+                message: format!(
+                    "stream {name:?} already exists with a different spec ({:?})",
+                    existing.spec
+                ),
+            }
+        };
+    }
+    let invalid = |message: String| Response::Error {
+        code: ErrorCode::InvalidConfig,
+        message,
+    };
+    let config = match spec.to_config() {
+        Ok(config) => config,
+        Err(err) => return invalid(err.to_string()),
+    };
+    if let Err(err) = config.validate() {
+        return invalid(err.to_string());
+    }
+    match TemporalIngestEngine::try_new(config) {
+        Ok(engine) => {
+            registry.insert(name, Arc::new(StreamEntry { spec, engine }));
+            Response::StreamCreated { created: true }
+        }
+        Err(err) => invalid(err.to_string()),
+    }
+}
+
+fn ingest(
+    shared: &Shared,
+    handles: &mut HashMap<String, TemporalIngestHandle>,
+    name: &str,
+    rows: &[(u64, u64)],
+) -> Response {
+    let handle = match handles.entry(name.to_string()) {
+        std::collections::hash_map::Entry::Occupied(slot) => slot.into_mut(),
+        std::collections::hash_map::Entry::Vacant(slot) => {
+            let Some(entry) = shared.streams().get(name).cloned() else {
+                return unknown_stream(name);
+            };
+            match entry.engine.try_handle() {
+                Ok(handle) => slot.insert(handle),
+                Err(err) => return engine_error_response(&err),
+            }
+        }
+    };
+    // Flush after every batch so the acknowledged rows are query-visible and
+    // survive a checkpoint the moment the response is on the wire.
+    let result = handle
+        .try_offer_batch_at(rows)
+        .and_then(|()| handle.try_flush());
+    match result {
+        Ok(()) => Response::Ingested {
+            rows: rows.len() as u64,
+        },
+        Err(err) => {
+            // Drop the cached handle: its rings point at a dead worker.
+            handles.remove(name);
+            engine_error_response(&err)
+        }
+    }
+}

@@ -23,6 +23,7 @@
 //!   disaggregated-subset-sum sketches.
 //! * [`workloads`] (`uss-workloads`) — synthetic and ad-click workload generators.
 //! * [`eval`] (`uss-eval`) — the experiment drivers reproducing the paper's figures.
+//! * [`server`] (`uss-server`) — the TCP daemon, wire protocol and typed client.
 
 #![warn(missing_docs)]
 
@@ -30,6 +31,7 @@ pub use uss_baselines as baselines;
 pub use uss_core as core;
 pub use uss_eval as eval;
 pub use uss_sampling as sampling;
+pub use uss_server as server;
 pub use uss_workloads as workloads;
 
 // Compile and run the README's quick-start as a doc-test, so the documented flow
