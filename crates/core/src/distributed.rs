@@ -13,6 +13,7 @@
 //! directly.
 
 use crate::engine::{fold_reports, EngineConfig, ShardReport, ShardedIngestEngine};
+use crate::merge::{FOLD_MERGE_SALT, FOLD_OUT_SALT};
 use crate::query::{QueryServer, QueryServerConfig};
 use crate::space_saving::{UnbiasedSpaceSaving, WeightedSpaceSaving};
 use crate::traits::StreamSketch;
@@ -22,7 +23,7 @@ use crate::traits::StreamSketch;
 pub struct DistributedSketcher {
     /// Number of bins per mapper sketch (and in the merged result).
     pub capacity: usize,
-    /// Base RNG seed; mapper `i` uses `seed + i`, the reducer uses `seed ^ 0xD15C0`.
+    /// Base RNG seed; mapper `i` uses `seed + i`, the reducer uses `seed ^ FOLD_MERGE_SALT`.
     pub seed: u64,
 }
 
@@ -94,8 +95,8 @@ impl DistributedSketcher {
     {
         fold_reports(
             self.capacity,
-            self.seed ^ 0xD15C0,
-            self.seed ^ 0xFEED,
+            self.seed ^ FOLD_MERGE_SALT,
+            self.seed ^ FOLD_OUT_SALT,
             sketches.into_iter().map(|sketch| ShardReport {
                 entries: sketch.entries(),
                 rows: sketch.rows_processed(),
@@ -159,7 +160,7 @@ impl DistributedSketcher {
                     // A bucket ring folds to its whole retained history first.
                     let (shard, meta, store) = persist::decode_temporal_shard(&bytes)?;
                     let seed = meta.seed.wrapping_add(shard);
-                    let folded = store.fold_range(0, u64::MAX, seed ^ 0xD15C0, seed ^ 0xFEED);
+                    let folded = store.fold_range(0, u64::MAX, seed ^ FOLD_MERGE_SALT, seed ^ FOLD_OUT_SALT);
                     (folded.entries(), folded.rows_processed())
                 }
                 kind @ (SketchKind::Manifest | SketchKind::TemporalManifest) => {
@@ -173,8 +174,8 @@ impl DistributedSketcher {
         }
         Ok(fold_reports(
             self.capacity,
-            self.seed ^ 0xD15C0,
-            self.seed ^ 0xFEED,
+            self.seed ^ FOLD_MERGE_SALT,
+            self.seed ^ FOLD_OUT_SALT,
             reports,
         ))
     }

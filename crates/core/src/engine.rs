@@ -66,6 +66,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crate::hash::{splitmix64, FxHashMap};
+use crate::merge::{FOLD_MERGE_SALT, FOLD_OUT_SALT};
 use crate::persist::{self, PersistError};
 use crate::space_saving::{UnbiasedSpaceSaving, WeightedSpaceSaving};
 use crate::spsc::{block_channel, BlockReceiver, BlockSender, RowBlock, Waker, BLOCK_CAP};
@@ -607,8 +608,8 @@ impl ShardedIngestEngine {
             .collect::<Result<_, EngineError>>()?;
         Ok(fold_reports(
             self.config.capacity,
-            self.config.seed ^ 0xD15C0 ^ salt,
-            self.config.seed ^ 0xFEED ^ salt,
+            self.config.seed ^ FOLD_MERGE_SALT ^ salt,
+            self.config.seed ^ FOLD_OUT_SALT ^ salt,
             reports,
         ))
     }
@@ -807,8 +808,8 @@ impl ShardedIngestEngine {
             .collect();
         fold_reports(
             self.config.capacity,
-            self.config.seed ^ 0xD15C0,
-            self.config.seed ^ 0xFEED,
+            self.config.seed ^ FOLD_MERGE_SALT,
+            self.config.seed ^ FOLD_OUT_SALT,
             reports,
         )
     }

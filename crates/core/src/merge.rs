@@ -21,6 +21,18 @@ use crate::reduction::{combine_entries, pps_reduce, threshold_reduce};
 use crate::space_saving::{DeterministicSpaceSaving, UnbiasedSpaceSaving, WeightedSpaceSaving};
 use crate::traits::{MergeableSketch, StreamSketch};
 
+/// Salt XOR-ed into a base seed to derive the RNG stream driving an unbiased
+/// PPS fold ([`fold_unbiased`] / [`fold_unbiased_multiway`]) at its call sites.
+/// Every `*_SALT` constant in the workspace must be pairwise distinct so no two
+/// derived RNG streams can collide for the same base seed (enforced by
+/// `uss-lint` rule R3).
+pub const FOLD_MERGE_SALT: u64 = 0xD15C0;
+
+/// Salt XOR-ed into a base seed to derive the folded *output* sketch's own RNG
+/// seed — distinct from [`FOLD_MERGE_SALT`] so the fold's subsampling draws and
+/// the output sketch's future eviction draws come from unrelated streams.
+pub const FOLD_OUT_SALT: u64 = 0xFEED;
+
 /// Biased Misra-Gries style merge of two entry lists down to `capacity` entries.
 /// Returns the soft-thresholded entries (estimates in the *Misra-Gries* convention,
 /// i.e. lower bounds).

@@ -74,6 +74,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 use crate::estimator::SketchSnapshot;
+use crate::merge::{FOLD_MERGE_SALT, FOLD_OUT_SALT};
 use crate::query::SnapshotSource;
 use crate::space_saving::{DecayedSpaceSaving, UnbiasedSpaceSaving, WeightedSpaceSaving};
 use crate::stream_summary::SummaryDump;
@@ -152,6 +153,12 @@ pub enum SketchKind {
 }
 
 impl SketchKind {
+    /// The header byte encoding this kind — the inverse of [`Self::from_byte`].
+    /// Exists so decode paths compare kind bytes without an `as` cast.
+    pub(crate) fn byte(self) -> u8 {
+        self as u8
+    }
+
     fn from_byte(byte: u8) -> Option<Self> {
         match byte {
             0 => Some(Self::Snapshot),
@@ -353,6 +360,7 @@ pub struct PayloadReader<'a> {
     pos: usize,
 }
 
+// lint: total-decode — every reader primitive feeds hostile bytes to callers.
 impl<'a> PayloadReader<'a> {
     /// Starts reading at the front of `bytes`.
     #[must_use]
@@ -379,19 +387,33 @@ impl<'a> PayloadReader<'a> {
         Ok(slice)
     }
 
+    /// Consumes exactly `N` bytes and returns them as a fixed-size array.
+    pub fn array<const N: usize>(&mut self) -> Result<[u8; N], PersistError> {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N)?);
+        Ok(out)
+    }
+
     /// Reads a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, PersistError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, PersistError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     /// Reads a little-endian IEEE-754 `f64`.
     pub fn f64(&mut self) -> Result<f64, PersistError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(self.array()?))
+    }
+
+    /// Reads a `u32` length field, converting to `usize` without a cast.
+    pub fn len_u32(&mut self) -> Result<usize, PersistError> {
+        let n = self.u32()?;
+        usize::try_from(n)
+            .map_err(|_| PersistError::Corrupt(format!("length {n} overflows usize")))
     }
 
     /// Reads a count of elements that each occupy at least `elem_bytes` more bytes,
@@ -423,11 +445,20 @@ impl<'a> PayloadReader<'a> {
 
 // ----- frame layer -----
 
+/// Copies a slice the caller has already length-checked into a fixed-size
+/// array, so frame readers never reach for `try_into().unwrap()`.
+// lint: total-decode
+fn header_array<const N: usize>(slice: &[u8]) -> [u8; N] {
+    let mut out = [0u8; N];
+    out.copy_from_slice(slice);
+    out
+}
+
 fn encode_frame(kind: SketchKind, payload: Vec<u8>) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + CHECKSUM_LEN);
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
-    out.push(kind as u8);
+    out.push(kind.byte());
     out.push(0);
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     out.extend_from_slice(&payload);
@@ -449,7 +480,7 @@ fn check_header(bytes: &[u8]) -> Result<u8, PersistError> {
     if bytes[0..4] != MAGIC {
         return Err(PersistError::BadMagic);
     }
-    let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+    let version = u16::from_le_bytes(header_array(&bytes[4..6]));
     if version != FORMAT_VERSION {
         return Err(PersistError::UnsupportedVersion(version));
     }
@@ -460,13 +491,13 @@ fn check_header(bytes: &[u8]) -> Result<u8, PersistError> {
 /// payload slice.
 fn decode_frame(bytes: &[u8], expected: SketchKind) -> Result<&[u8], PersistError> {
     let kind_byte = check_header(bytes)?;
-    if kind_byte != expected as u8 {
+    if kind_byte != expected.byte() {
         return Err(PersistError::WrongKind {
             expected,
             got: kind_byte,
         });
     }
-    let declared = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let declared = u64::from_le_bytes(header_array(&bytes[8..16]));
     let body_len = bytes.len() - HEADER_LEN - CHECKSUM_LEN;
     if declared != body_len as u64 {
         return Err(PersistError::Truncated {
@@ -476,7 +507,7 @@ fn decode_frame(bytes: &[u8], expected: SketchKind) -> Result<&[u8], PersistErro
             got: bytes.len(),
         });
     }
-    let stored = u64::from_le_bytes(bytes[bytes.len() - CHECKSUM_LEN..].try_into().unwrap());
+    let stored = u64::from_le_bytes(header_array(&bytes[bytes.len() - CHECKSUM_LEN..]));
     if crc64(&bytes[..bytes.len() - CHECKSUM_LEN]) != stored {
         return Err(PersistError::ChecksumMismatch);
     }
@@ -568,7 +599,7 @@ fn write_unbiased_payload(w: &mut PayloadWriter, sketch: &UnbiasedSpaceSaving) {
 fn read_unbiased_payload(r: &mut PayloadReader<'_>) -> Result<UnbiasedSpaceSaving, PersistError> {
     let capacity = checked_capacity(r.u64()?)?;
     let rows = r.u64()?;
-    let rng: [u8; RNG_STATE_LEN] = r.take(RNG_STATE_LEN)?.try_into().unwrap();
+    let rng: [u8; RNG_STATE_LEN] = r.array()?;
     let n = r.count(8)?;
     let mut counters = Vec::with_capacity(n);
     for _ in 0..n {
@@ -578,7 +609,7 @@ fn read_unbiased_payload(r: &mut PayloadReader<'_>) -> Result<UnbiasedSpaceSavin
     let mut buckets = Vec::with_capacity(b);
     for _ in 0..b {
         let value = r.u64()?;
-        let len = r.u32()? as usize;
+        let len = r.len_u32()?;
         if len.checked_mul(4).is_none_or(|need| need > r.remaining()) {
             return Err(PersistError::Corrupt(format!(
                 "bucket chain length {len} exceeds the bytes present"
@@ -640,7 +671,7 @@ fn read_weighted_payload(r: &mut PayloadReader<'_>) -> Result<WeightedSpaceSavin
     let capacity = checked_capacity(r.u64()?)?;
     let rows = r.u64()?;
     let total_weight = r.f64()?;
-    let rng: [u8; RNG_STATE_LEN] = r.take(RNG_STATE_LEN)?.try_into().unwrap();
+    let rng: [u8; RNG_STATE_LEN] = r.array()?;
     let n = r.count(20)?;
     let mut items = Vec::with_capacity(n);
     for _ in 0..n {
@@ -1041,7 +1072,7 @@ pub fn decode_temporal_shard(
         other => {
             return Err(PersistError::WrongKind {
                 expected: SketchKind::TemporalShard,
-                got: other as u8,
+                got: other.byte(),
             })
         }
     };
@@ -1121,8 +1152,15 @@ pub fn decode_temporal_shard(
         // huge seed must decode to Corrupt, never panic on overflow checks.
         seed: meta.seed.wrapping_add(shard),
         bucket_width: meta.bucket_width,
-        fine_buckets: meta.fine_buckets as usize,
-        tier_factor: meta.tier_factor as usize,
+        fine_buckets: usize::try_from(meta.fine_buckets).map_err(|_| {
+            PersistError::Corrupt(format!(
+                "fine bucket count {} overflows usize",
+                meta.fine_buckets
+            ))
+        })?,
+        tier_factor: usize::try_from(meta.tier_factor).map_err(|_| {
+            PersistError::Corrupt(format!("tier factor {} overflows usize", meta.tier_factor))
+        })?,
         tiers: tiers_n,
     };
     let mut store =
@@ -1240,6 +1278,7 @@ pub struct ColdSnapshot {
 
 impl ColdSnapshot {
     /// Reads and decodes `path`.
+    // lint: total-decode — accepts any frame kind straight off disk.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, PersistError> {
         let path = path.as_ref().to_path_buf();
         let bytes = std::fs::read(&path)?;
@@ -1260,13 +1299,13 @@ impl ColdSnapshot {
                 let (shard, meta, store) = decode_temporal_shard(&bytes)?;
                 let seed = meta.seed.wrapping_add(shard);
                 store
-                    .fold_range(0, u64::MAX, seed ^ 0xD15C0, seed ^ 0xFEED)
+                    .fold_range(0, u64::MAX, seed ^ FOLD_MERGE_SALT, seed ^ FOLD_OUT_SALT)
                     .snapshot()
             }
             kind @ (SketchKind::Manifest | SketchKind::TemporalManifest) => {
                 return Err(PersistError::WrongKind {
                     expected: SketchKind::Snapshot,
-                    got: kind as u8,
+                    got: kind.byte(),
                 })
             }
         };
@@ -1541,7 +1580,7 @@ mod tests {
         let cold = ColdSnapshot::open(&path).unwrap();
         let seed = meta.seed + shard;
         let expected = store
-            .fold_range(0, u64::MAX, seed ^ 0xD15C0, seed ^ 0xFEED)
+            .fold_range(0, u64::MAX, seed ^ FOLD_MERGE_SALT, seed ^ FOLD_OUT_SALT)
             .snapshot();
         assert_eq!(cold.capture(), expected);
         assert_eq!(cold.rows_hint(), 40);

@@ -38,8 +38,10 @@
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::Thread;
+
+use parking_lot::Mutex;
 
 /// Rows per [`RowBlock`]. Chosen so a block of unit rows (`u64`) is exactly 2 KiB —
 /// 32 cache lines — including the length header.
@@ -127,7 +129,7 @@ impl Waker {
     /// Registers the current thread and raises the parked flag. Call immediately
     /// before re-checking the wake condition.
     pub fn prepare(&self) {
-        *self.thread.lock().expect("waker mutex poisoned") = Some(std::thread::current());
+        *self.thread.lock() = Some(std::thread::current());
         self.parked.store(true, Ordering::SeqCst);
         fence(Ordering::SeqCst);
     }
@@ -150,7 +152,7 @@ impl Waker {
     pub fn wake(&self) {
         fence(Ordering::SeqCst);
         if self.parked.load(Ordering::SeqCst) && self.parked.swap(false, Ordering::SeqCst) {
-            let thread = self.thread.lock().expect("waker mutex poisoned").take();
+            let thread = self.thread.lock().take();
             if let Some(thread) = thread {
                 thread.unpark();
             }
@@ -180,9 +182,16 @@ struct RingShared<T> {
     producer_waker: Waker,
 }
 
-// SAFETY: the ring hands each `T` from exactly one thread to exactly one other
-// thread; slot access is serialized by the acquire/release head/tail protocol.
+// SAFETY: a `RingShared<T>` only ever moves between threads wholesale (inside
+// the producer/consumer `Arc`), and the `T`s it carries are handed from exactly
+// one thread to exactly one other, so `T: Send` is the only requirement.
 unsafe impl<T: Send> Send for RingShared<T> {}
+// SAFETY: shared access from the two endpoint threads is safe because every
+// slot is touched by at most one side at a time: the producer writes only slots
+// in `tail..head + capacity` and the consumer reads only slots in `head..tail`,
+// with each index published by a release store and read with an acquire load,
+// so a slot's ownership transfer happens-before the other side touches it.
+// `T: Sync` is *not* required: no `&T` is ever shared across threads.
 unsafe impl<T: Send> Sync for RingShared<T> {}
 
 impl<T> Drop for RingShared<T> {
@@ -190,7 +199,11 @@ impl<T> Drop for RingShared<T> {
         let head = *self.head.0.get_mut();
         let tail = *self.tail.0.get_mut();
         for i in head..tail {
-            // SAFETY: slots in head..tail were written and never popped.
+            // SAFETY: `&mut self` proves both endpoints are gone, so no thread
+            // races this drop. Every slot in `head..tail` was initialised by a
+            // producer `write` (tail is only advanced after the slot is
+            // written) and never popped (head is only advanced after a slot is
+            // read out), so each holds a live `T` exactly once.
             unsafe {
                 self.slots[i & self.mask].get_mut().assume_init_drop();
             }
@@ -229,8 +242,12 @@ impl<T> RingProducer<T> {
                 return Ok(Some(value));
             }
         }
-        // SAFETY: `tail - head < capacity`, so this slot is free; only the producer
-        // writes slots at `tail`.
+        // SAFETY: the check above established `tail - head < capacity` (re-read
+        // with an acquire load on the slow path), so the slot at `tail` is not
+        // in the consumer's readable window `head..tail` and holds no live `T`.
+        // This is the only thread writing slots (single producer), and the
+        // consumer will not read this slot until the release store of `tail + 1`
+        // below publishes the write.
         unsafe {
             (*self.shared.slots[tail & self.shared.mask].get()).write(value);
         }
@@ -303,8 +320,12 @@ impl<T> RingConsumer<T> {
                 return None;
             }
         }
-        // SAFETY: `head < tail`, so this slot was written by the producer and
-        // published by the release store of `tail`.
+        // SAFETY: the check above established `head < tail` (tail re-read with
+        // an acquire load), so the producer's release store of `tail` — and
+        // therefore its initialising write of this slot — happens-before this
+        // read. This is the only thread reading slots (single consumer), and
+        // the producer will not overwrite the slot until the release store of
+        // `head + 1` below returns it to the writable window.
         let value = unsafe { (*self.shared.slots[head & self.shared.mask].get()).assume_init_read() };
         self.shared.head.0.store(head.wrapping_add(1), Ordering::Release);
         self.shared.producer_waker.wake();

@@ -33,6 +33,10 @@
 //!   bucket's value in place (no detach/attach, no allocation) while producing a
 //!   structure bit-identical to the one the generic walk would have produced.
 
+// The slab is all safe index-linked code; keep it that way. Anyone tempted to
+// add pointer-based chasing must move it behind a dedicated audited module.
+#![forbid(unsafe_code)]
+
 /// Sentinel index meaning "no element".
 const NIL: u32 = u32::MAX;
 

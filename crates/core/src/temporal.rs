@@ -135,7 +135,7 @@ use crate::engine::{EngineError, ShardFailure, ShardFault, ShardLink};
 use crate::estimator::SketchSnapshot;
 use crate::hash::splitmix64;
 use crate::spsc::{block_channel, BlockReceiver, BlockSender, RowBlock, Waker, BLOCK_CAP};
-use crate::merge::{fold_unbiased, fold_unbiased_multiway};
+use crate::merge::{fold_unbiased, fold_unbiased_multiway, FOLD_MERGE_SALT, FOLD_OUT_SALT};
 use crate::persist::{self, PersistError};
 use crate::query::SnapshotSource;
 use crate::space_saving::{UnbiasedSpaceSaving, WeightedSpaceSaving};
@@ -1747,8 +1747,8 @@ impl TemporalIngestEngine {
         let salt = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let seed = self.config.window.seed;
         let capacity = self.config.window.capacity;
-        let merge_seed = seed ^ 0xD15C0 ^ salt;
-        let out_seed = seed ^ 0xFEED ^ salt;
+        let merge_seed = seed ^ FOLD_MERGE_SALT ^ salt;
+        let out_seed = seed ^ FOLD_OUT_SALT ^ salt;
         let parts = reports.into_iter().map(|r| (r.entries, r.rows));
         if raw {
             fold_unbiased(capacity, merge_seed, out_seed, parts)
@@ -1766,8 +1766,8 @@ impl TemporalIngestEngine {
         let seed = self.config.window.seed;
         fold_unbiased(
             self.config.window.capacity,
-            seed ^ 0xD15C0,
-            seed ^ 0xFEED,
+            seed ^ FOLD_MERGE_SALT,
+            seed ^ FOLD_OUT_SALT,
             std::iter::empty(),
         )
     }
@@ -2055,8 +2055,8 @@ impl TemporalIngestEngine {
         let stores = self.finish_stores();
         fold_unbiased(
             capacity,
-            seed ^ 0xD15C0,
-            seed ^ 0xFEED,
+            seed ^ FOLD_MERGE_SALT,
+            seed ^ FOLD_OUT_SALT,
             stores
                 .iter()
                 .flat_map(|s| s.range_reports(0, u64::MAX))

@@ -1,0 +1,74 @@
+//! Diagnostics, allowances, and the lint report.
+
+use std::fmt;
+
+/// One rule violation, anchored to a file and line.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// The rule that fired: `"R1"` … `"R5"`.
+    pub rule: &'static str,
+    /// Repo-relative path (forward slashes) of the offending file.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub hint: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    fix: {}",
+            self.file, self.line, self.rule, self.message, self.hint
+        )
+    }
+}
+
+/// One use of the `// lint: allow(panic) <reason>` escape hatch. Allowed code
+/// is not a violation, but every hatch is surfaced in the run summary so the
+/// waivers stay visible instead of rotting silently.
+#[derive(Debug, Clone)]
+pub struct Allowance {
+    /// Repo-relative path of the waived line.
+    pub file: String,
+    /// 1-based line of the waived token.
+    pub line: usize,
+    /// The construct that was waived (e.g. `unwrap`).
+    pub what: String,
+    /// The justification written after `allow(panic)`.
+    pub reason: String,
+}
+
+impl fmt::Display for Allowance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: allowed `{}` — {}", self.file, self.line, self.what, self.reason)
+    }
+}
+
+/// The outcome of a full lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Every violation found, sorted by file then line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Every escape hatch honoured.
+    pub allowances: Vec<Allowance>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Whether the run found no violations.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Diagnostics for one rule, for targeted assertions in the fixture suite.
+    #[must_use]
+    pub fn for_rule(&self, rule: &str) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.rule == rule).collect()
+    }
+}

@@ -1,0 +1,443 @@
+//! A hand-rolled lexical scanner for Rust source, sufficient for lint rules.
+//!
+//! The scanner's one job is to classify every byte of a source file so that
+//! rule matching never fires inside the wrong context: an `unwrap` in a string
+//! literal, a `SAFETY:` inside a doc example, or a kind byte in a comment must
+//! all be invisible to token-sequence matchers. It therefore distinguishes,
+//! with full fidelity:
+//!
+//! * line comments (`//`, `///`, `//!`) and nested block comments (`/* /* */ */`),
+//! * string literals with escapes, byte strings, and raw strings with any
+//!   number of `#` guards (`r"…"`, `r#"…"#`, `br##"…"##`),
+//! * character literals versus lifetimes (`'a'` versus `'a`),
+//! * raw identifiers (`r#fn`) versus raw strings (`r#"…"#`),
+//! * identifiers, numeric literals, and single-character punctuation.
+//!
+//! It deliberately does **not** build a syntax tree: rules work on flat token
+//! sequences plus a brace-matching cursor, which is robust to code it has
+//! never seen and keeps the scanner small enough to audit by eye.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `unwrap`, `as`, …).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// A numeric literal, suffix included (`9`, `0x3F`, `0u8`, `1_000`).
+    Number,
+    /// A string literal of any flavour (escaped, byte, raw). Content is opaque.
+    Str,
+    /// A character or byte-character literal (`'x'`, `b'\n'`).
+    Char,
+    /// A `//` comment, text included (rules look for markers in these).
+    LineComment,
+    /// A `/* … */` comment (nesting handled), text included.
+    BlockComment,
+    /// Any other single character (`{`, `::` arrives as two `:` tokens, …).
+    Punct,
+}
+
+/// One lexed token: its kind, its raw text, and the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The classification.
+    pub kind: TokenKind,
+    /// The raw source text of the token (for comments and literals this is the
+    /// complete lexeme including delimiters).
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: usize,
+}
+
+impl Token {
+    /// Whether this token is a comment of either flavour.
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Whether this token is the identifier `name`.
+    #[must_use]
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// Whether this token is the punctuation character `ch`.
+    #[must_use]
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == ch.len_utf8() && self.text.starts_with(ch)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Scanner {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+}
+
+impl Scanner {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    /// Consumes an identifier body starting at the current position.
+    fn ident_body(&mut self, first: char) -> String {
+        let mut text = String::new();
+        text.push(first);
+        while self.peek(0).is_some_and(is_ident_continue) {
+            text.push(self.bump().unwrap_or_default());
+        }
+        text
+    }
+
+    /// Consumes to end of line (exclusive), returning the text consumed.
+    fn take_line(&mut self) -> String {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        text
+    }
+
+    /// Consumes a nested block comment; the leading `/*` is already consumed.
+    fn block_comment(&mut self) -> String {
+        let mut text = String::from("/*");
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.bump() {
+                None => break,
+                Some('*') if self.peek(0) == Some('/') => {
+                    self.bump();
+                    text.push_str("*/");
+                    depth -= 1;
+                }
+                Some('/') if self.peek(0) == Some('*') => {
+                    self.bump();
+                    text.push_str("/*");
+                    depth += 1;
+                }
+                Some(c) => text.push(c),
+            }
+        }
+        text
+    }
+
+    /// Consumes an escaped (non-raw) string body; the opening `"` is consumed.
+    fn string_body(&mut self) -> String {
+        let mut text = String::from("\"");
+        loop {
+            match self.bump() {
+                None => break,
+                Some('\\') => {
+                    text.push('\\');
+                    if let Some(c) = self.bump() {
+                        text.push(c);
+                    }
+                }
+                Some('"') => {
+                    text.push('"');
+                    break;
+                }
+                Some(c) => text.push(c),
+            }
+        }
+        text
+    }
+
+    /// Consumes a raw string with `guards` `#` characters; positioned after
+    /// the opening quote.
+    fn raw_string_body(&mut self, guards: usize) -> String {
+        let mut text = String::from("\"");
+        loop {
+            match self.bump() {
+                None => break,
+                Some('"') => {
+                    text.push('"');
+                    let mut seen = 0usize;
+                    while seen < guards && self.peek(0) == Some('#') {
+                        self.bump();
+                        text.push('#');
+                        seen += 1;
+                    }
+                    if seen == guards {
+                        break;
+                    }
+                }
+                Some(c) => text.push(c),
+            }
+        }
+        text
+    }
+
+    /// Consumes a char literal body; the opening `'` is consumed. Handles
+    /// escapes (`'\''`, `'\u{1F600}'`) and plain chars (`'x'`, `'('`).
+    fn char_body(&mut self) -> String {
+        let mut text = String::from("'");
+        loop {
+            match self.bump() {
+                None => break,
+                Some('\\') => {
+                    text.push('\\');
+                    if let Some(c) = self.bump() {
+                        text.push(c);
+                    }
+                }
+                Some('\'') => {
+                    text.push('\'');
+                    break;
+                }
+                Some(c) => text.push(c),
+            }
+        }
+        text
+    }
+
+    /// Consumes a numeric literal starting with `first`.
+    fn number_body(&mut self, first: char) -> String {
+        let mut text = String::new();
+        text.push(first);
+        loop {
+            match self.peek(0) {
+                Some(c) if c.is_alphanumeric() || c == '_' => {
+                    text.push(c);
+                    self.bump();
+                }
+                // A decimal point, but only when a digit follows: `0.5` is one
+                // number, `0..9` is a number and a range operator.
+                Some('.') if self.peek(1).is_some_and(|c| c.is_ascii_digit()) => {
+                    text.push('.');
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        text
+    }
+}
+
+/// Lexes `src` into a flat token stream. Never fails: unrecognised bytes come
+/// out as [`TokenKind::Punct`], and unterminated literals or comments extend to
+/// end of input — a lint scanner must make progress on any file it is pointed
+/// at.
+#[must_use]
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let mut s = Scanner {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+    };
+    let mut tokens = Vec::new();
+    loop {
+        let line = s.line;
+        let Some(c) = s.bump() else { break };
+        let (kind, text) = match c {
+            c if c.is_whitespace() => continue,
+            '/' if s.peek(0) == Some('/') => {
+                s.bump();
+                let rest = s.take_line();
+                (TokenKind::LineComment, format!("//{rest}"))
+            }
+            '/' if s.peek(0) == Some('*') => {
+                s.bump();
+                (TokenKind::BlockComment, s.block_comment())
+            }
+            '"' => (TokenKind::Str, s.string_body()),
+            '\'' => match s.peek(0) {
+                // `'\…'` is always a char literal.
+                Some('\\') => (TokenKind::Char, s.char_body()),
+                // `'a'` is a char, `'a`/`'static` a lifetime: look past the
+                // identifier run for a closing quote.
+                Some(c2) if is_ident_start(c2) => {
+                    let mut end = 1;
+                    while s.peek(end).is_some_and(is_ident_continue) {
+                        end += 1;
+                    }
+                    if s.peek(end) == Some('\'') {
+                        (TokenKind::Char, s.char_body())
+                    } else {
+                        let first = s.bump().unwrap_or_default();
+                        let name = s.ident_body(first);
+                        (TokenKind::Lifetime, format!("'{name}"))
+                    }
+                }
+                // `'('`, `'0'`, etc.
+                Some(_) => (TokenKind::Char, s.char_body()),
+                None => (TokenKind::Punct, "'".to_string()),
+            },
+            // `b"…"`, `b'…'`, `br#"…"#` — byte literal prefixes.
+            'b' if matches!(s.peek(0), Some('"' | '\'')) || (s.peek(0) == Some('r') && matches!(s.peek(1), Some('"' | '#'))) => {
+                match s.bump() {
+                    Some('"') => (TokenKind::Str, s.string_body()),
+                    Some('\'') => (TokenKind::Char, s.char_body()),
+                    _ => {
+                        // `br` raw byte string.
+                        let mut guards = 0usize;
+                        while s.peek(0) == Some('#') {
+                            s.bump();
+                            guards += 1;
+                        }
+                        if s.peek(0) == Some('"') {
+                            s.bump();
+                            (TokenKind::Str, s.raw_string_body(guards))
+                        } else {
+                            // `br#ident` is not valid Rust; lex as ident.
+                            (TokenKind::Ident, s.ident_body('b'))
+                        }
+                    }
+                }
+            }
+            // `r"…"`, `r#"…"#` raw strings, or `r#ident` raw identifiers.
+            'r' if matches!(s.peek(0), Some('"' | '#')) => {
+                let mut guards = 0usize;
+                while s.peek(0) == Some('#') {
+                    s.bump();
+                    guards += 1;
+                }
+                if s.peek(0) == Some('"') {
+                    s.bump();
+                    (TokenKind::Str, s.raw_string_body(guards))
+                } else if guards == 1 && s.peek(0).is_some_and(is_ident_start) {
+                    let first = s.bump().unwrap_or_default();
+                    let name = s.ident_body(first);
+                    (TokenKind::Ident, format!("r#{name}"))
+                } else {
+                    (TokenKind::Ident, "r".to_string())
+                }
+            }
+            c if is_ident_start(c) => (TokenKind::Ident, s.ident_body(c)),
+            c if c.is_ascii_digit() => (TokenKind::Number, s.number_body(c)),
+            c => (TokenKind::Punct, c.to_string()),
+        };
+        tokens.push(Token { kind, text, line });
+    }
+    tokens
+}
+
+/// Parses a numeric literal's value: handles `0x`/`0o`/`0b` prefixes, `_`
+/// separators, and type suffixes (`0u8`, `0x3Fu8`). Returns `None` for floats
+/// or malformed input.
+#[must_use]
+pub fn number_value(text: &str) -> Option<u64> {
+    let text: String = text.chars().filter(|&c| c != '_').collect();
+    let (radix, digits) = match text.as_bytes() {
+        [b'0', b'x' | b'X', ..] => (16, &text[2..]),
+        [b'0', b'o' | b'O', ..] => (8, &text[2..]),
+        [b'0', b'b' | b'B', ..] => (2, &text[2..]),
+        _ => (10, text.as_str()),
+    };
+    // Strip an integer type suffix, longest first (`u128` before `u8`). A `u`
+    // or `i` is not a digit in any radix, so the suffix boundary is
+    // unambiguous even for hex literals.
+    const SUFFIXES: [&str; 12] = [
+        "usize", "isize", "u128", "i128", "u64", "i64", "u32", "i32", "u16", "i16", "u8", "i8",
+    ];
+    let body = SUFFIXES
+        .iter()
+        .find_map(|s| digits.strip_suffix(s).filter(|b| !b.is_empty()))
+        .unwrap_or(digits);
+    u64::from_str_radix(body, radix).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("fn foo(x: u8) {}");
+        assert_eq!(toks[0], (TokenKind::Ident, "fn".into()));
+        assert_eq!(toks[1], (TokenKind::Ident, "foo".into()));
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Punct && t.1 == "{"));
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        let toks = kinds(r#"let x = "unwrap() // SAFETY: nope";"#);
+        assert!(!toks.iter().any(|t| t.0 == TokenKind::Ident && t.1 == "unwrap"));
+        assert!(!toks.iter().any(|t| t.0 == TokenKind::LineComment));
+        assert_eq!(toks.iter().filter(|t| t.0 == TokenKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_guards() {
+        let toks = kinds(r##"let x = r#"quote " inside"#; let y = 1;"##);
+        assert_eq!(toks.iter().filter(|t| t.0 == TokenKind::Str).count(), 1);
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Ident && t.1 == "y"));
+    }
+
+    #[test]
+    fn raw_ident_is_not_a_raw_string() {
+        let toks = kinds("let r#fn = 1;");
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Ident && t.1 == "r#fn"));
+    }
+
+    #[test]
+    fn char_versus_lifetime() {
+        let toks = kinds("impl<'a> Foo<'a> { const C: char = 'a'; const Q: char = '\\''; }");
+        assert_eq!(toks.iter().filter(|t| t.0 == TokenKind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|t| t.0 == TokenKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn comments_capture_text_and_lines() {
+        let toks = tokenize("let a = 1; // lint: total-decode\n/* block\nspans */ let b = 2;");
+        let line_comment = toks.iter().find(|t| t.kind == TokenKind::LineComment);
+        assert!(line_comment.is_some_and(|t| t.text.contains("lint: total-decode") && t.line == 1));
+        let b = toks.iter().find(|t| t.is_ident("b"));
+        assert!(b.is_some_and(|t| t.line == 3));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still comment */ fn f() {}");
+        assert_eq!(toks.iter().filter(|t| t.0 == TokenKind::BlockComment).count(), 1);
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Ident && t.1 == "fn"));
+    }
+
+    #[test]
+    fn number_ranges_do_not_swallow_dots() {
+        let toks = kinds("for k in 0u8..9 {}");
+        let nums: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Number).collect();
+        assert_eq!(nums.len(), 2);
+        assert_eq!(nums[0].1, "0u8");
+        assert_eq!(nums[1].1, "9");
+    }
+
+    #[test]
+    fn number_values() {
+        assert_eq!(number_value("0u8"), Some(0));
+        assert_eq!(number_value("9"), Some(9));
+        assert_eq!(number_value("0x3F"), Some(0x3F));
+        assert_eq!(number_value("0xD1AD_1C00"), Some(0xD1AD_1C00));
+        assert_eq!(number_value("1_000u64"), Some(1000));
+        assert_eq!(number_value("0.5"), None);
+    }
+}

@@ -1,0 +1,70 @@
+//! The `uss-lint` binary: run the project-invariant lint pass and exit
+//! nonzero on any violation. See the library docs for the rule table.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("uss-lint: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "uss-lint: project-invariant static analysis for this workspace\n\n\
+                     usage: uss-lint [--root <dir>]\n\n\
+                     Checks R1 (total decode paths), R2 (kind-registry exhaustiveness),\n\
+                     R3 (distinct salts), R4 (SAFETY comments on unsafe), R5 (banned APIs).\n\
+                     Exits 0 when clean, 1 on any violation."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("uss-lint: unknown flag `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+            other => {
+                // A bare path argument is treated as the root.
+                root = PathBuf::from(other);
+            }
+        }
+    }
+    if !root.is_dir() {
+        eprintln!("uss-lint: root `{}` is not a directory", root.display());
+        return ExitCode::from(2);
+    }
+    let report = match uss_lint::run(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("uss-lint: failed to read project under {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for diag in &report.diagnostics {
+        eprintln!("{diag}");
+    }
+    if !report.allowances.is_empty() {
+        println!("uss-lint: {} panic allowance(s) in force:", report.allowances.len());
+        for allowance in &report.allowances {
+            println!("    {allowance}");
+        }
+    }
+    println!(
+        "uss-lint: {} files scanned, {} violation(s), {} allowance(s)",
+        report.files_scanned,
+        report.diagnostics.len(),
+        report.allowances.len()
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,107 @@
+//! Discovering and loading the source files a lint run covers.
+//!
+//! The scan set is `crates/*/src/**/*.rs` (recursive — bin targets and module
+//! directories included) plus `crates/*/tests/*.rs` (non-recursive — the
+//! integration tests that anchor registry checks, but *not* their fixture
+//! subdirectories, which hold intentionally-failing mini-trees).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{tokenize, Token};
+
+/// One loaded source file, pre-lexed.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the project root, with forward slashes
+    /// (`crates/core/src/persist.rs`).
+    pub rel: String,
+    /// The lexed token stream.
+    pub tokens: Vec<Token>,
+}
+
+impl SourceFile {
+    /// Whether this file's relative path ends with `suffix` (forward-slash
+    /// form), e.g. `crates/core/src/persist.rs`.
+    #[must_use]
+    pub fn path_ends_with(&self, suffix: &str) -> bool {
+        self.rel == suffix || self.rel.ends_with(&format!("/{suffix}"))
+    }
+}
+
+/// A loaded project: every file the rules look at.
+#[derive(Debug)]
+pub struct Project {
+    /// The root the relative paths hang off.
+    pub root: PathBuf,
+    /// All scanned files, sorted by relative path for deterministic output.
+    pub files: Vec<SourceFile>,
+}
+
+impl Project {
+    /// The first scanned file whose path ends with `suffix`, if any.
+    #[must_use]
+    pub fn file(&self, suffix: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.path_ends_with(suffix))
+    }
+}
+
+fn push_file(files: &mut Vec<SourceFile>, root: &Path, path: &Path) -> io::Result<()> {
+    let text = fs::read_to_string(path)?;
+    let rel = path
+        .strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/");
+    files.push(SourceFile {
+        rel,
+        tokens: tokenize(&text),
+    });
+    Ok(())
+}
+
+fn walk_rs(files: &mut Vec<SourceFile>, root: &Path, dir: &Path, recursive: bool) -> io::Result<()> {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return Ok(());
+    };
+    for entry in entries {
+        let path = entry?.path();
+        if path.is_dir() {
+            if recursive {
+                walk_rs(files, root, &path, true)?;
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            push_file(files, root, &path)?;
+        }
+    }
+    Ok(())
+}
+
+/// Loads every file in the scan set under `root`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from reading a discovered file; a missing
+/// `crates/` directory yields an empty project, not an error.
+pub fn load(root: &Path) -> io::Result<Project> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = fs::read_dir(&crates_dir) {
+        for entry in entries {
+            let krate = entry?.path();
+            if !krate.is_dir() {
+                continue;
+            }
+            walk_rs(&mut files, root, &krate.join("src"), true)?;
+            walk_rs(&mut files, root, &krate.join("tests"), false)?;
+        }
+    }
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(Project {
+        root: root.to_path_buf(),
+        files,
+    })
+}

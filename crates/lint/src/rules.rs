@@ -1,0 +1,918 @@
+//! The five project-invariant rules.
+//!
+//! Every rule works on the flat token streams produced by [`crate::lexer`],
+//! plus a small item scanner that finds `fn`/`impl` bodies by brace matching.
+//! Rules are deliberately syntactic: they enforce *lexical* invariants (no
+//! `unwrap` token in a decode region, every `unsafe` token under a `SAFETY:`
+//! comment) that survive any refactor the type system would accept.
+
+use std::collections::{HashMap, HashSet};
+use std::ops::Range;
+
+use crate::diag::{Allowance, Diagnostic};
+use crate::lexer::{number_value, Token, TokenKind};
+use crate::project::{Project, SourceFile};
+
+/// The files whose decode paths must be total (rule R1).
+const R1_FILES: [&str; 2] = ["crates/core/src/persist.rs", "crates/server/src/wire.rs"];
+
+/// Function-name prefixes that mark a fn as a decode region automatically.
+const R1_PREFIXES: [&str; 6] = ["decode", "read", "peek", "check", "validate", "from"];
+
+/// Idents that panic when called as methods.
+const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+
+/// Macros that panic (matched as `ident` followed by `!`).
+const PANIC_MACROS: [&str; 10] = [
+    "panic",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+    "unreachable",
+    "todo",
+    "unimplemented",
+];
+
+/// `as` cast targets that can silently truncate a wider integer.
+const NARROWING_TARGETS: [&str; 9] = ["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize", "char"];
+
+/// `std::sync` names banned workspace-wide (rule R5): the project standardises
+/// on `parking_lot`'s non-poisoning locks.
+const BANNED_SYNC: [&str; 6] = [
+    "Mutex",
+    "RwLock",
+    "MutexGuard",
+    "RwLockReadGuard",
+    "RwLockWriteGuard",
+    "PoisonError",
+];
+
+/// Path prefixes whose code must be deterministic: no wall-clock reads.
+const DETERMINISTIC_PREFIXES: [&str; 3] =
+    ["crates/core/src/", "crates/sampling/src/", "crates/baselines/src/"];
+
+/// The escape-hatch marker honoured by R1.
+const ALLOW_MARKER: &str = "lint: allow(panic)";
+
+/// The marker that turns the next `fn` or `impl` into a decode region.
+const REGION_MARKER: &str = "lint: total-decode";
+
+// ----- item scanning -----
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ItemKind {
+    Fn,
+    Impl,
+}
+
+#[derive(Debug)]
+struct Item {
+    kind: ItemKind,
+    name: String,
+    marked: bool,
+    /// Token-index range of the body, braces inclusive.
+    body: Range<usize>,
+    line: usize,
+}
+
+/// Index of the next non-comment token at or after `i`.
+fn next_code(toks: &[Token], mut i: usize) -> Option<usize> {
+    while i < toks.len() {
+        if !toks[i].is_comment() {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Finds the item body starting at or after `from`: the first `{` outside any
+/// parens/brackets, matched to its closing `}`. Returns `None` when a `;`
+/// terminates the item first (a bodyless declaration).
+fn find_body(toks: &[Token], from: usize) -> Option<Range<usize>> {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut i = from;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_comment() {
+            i += 1;
+            continue;
+        }
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren -= 1;
+        } else if t.is_punct('[') {
+            bracket += 1;
+        } else if t.is_punct(']') {
+            bracket -= 1;
+        } else if paren == 0 && bracket == 0 {
+            if t.is_punct(';') {
+                return None;
+            }
+            if t.is_punct('{') {
+                let open = i;
+                let mut depth = 1i32;
+                let mut j = i + 1;
+                while j < toks.len() && depth > 0 {
+                    if toks[j].is_punct('{') {
+                        depth += 1;
+                    } else if toks[j].is_punct('}') {
+                        depth -= 1;
+                    }
+                    j += 1;
+                }
+                return Some(open..j);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Skips one item starting at `from`: everything to the first top-level `;`,
+/// or past the matched body braces. Returns the index after the item.
+fn skip_item(toks: &[Token], from: usize) -> usize {
+    match find_body(toks, from) {
+        Some(body) => body.end,
+        None => {
+            let mut i = from;
+            while i < toks.len() && !toks[i].is_punct(';') {
+                i += 1;
+            }
+            i + 1
+        }
+    }
+}
+
+/// Whether the attribute tokens (between `[` and `]`) are exactly `cfg(test)`.
+fn attr_is_cfg_test(toks: &[Token], range: Range<usize>) -> bool {
+    let code: Vec<&Token> = toks[range].iter().filter(|t| !t.is_comment()).collect();
+    code.windows(4).any(|w| {
+        w[0].is_ident("cfg") && w[1].is_punct('(') && w[2].is_ident("test") && w[3].is_punct(')')
+    })
+}
+
+/// Scans a file for `fn` and `impl` items, tracking `// lint: total-decode`
+/// markers and skipping items under `#[cfg(test)]`.
+fn scan_items(toks: &[Token]) -> Vec<Item> {
+    let mut items = Vec::new();
+    let mut marker = false;
+    let mut skip_test = false;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_comment() {
+            if t.text.contains(REGION_MARKER) {
+                marker = true;
+            }
+            i += 1;
+            continue;
+        }
+        // Attributes: parse `#[…]`, remember `#[cfg(test)]`, keep any pending
+        // marker alive across them.
+        if t.is_punct('#') {
+            if let Some(open) = next_code(toks, i + 1).filter(|&j| toks[j].is_punct('[') || toks[j].is_punct('!')) {
+                // `#![…]` inner attribute: step to the `[`.
+                let open = if toks[open].is_punct('!') {
+                    match next_code(toks, open + 1) {
+                        Some(j) if toks[j].is_punct('[') => j,
+                        _ => {
+                            i += 1;
+                            continue;
+                        }
+                    }
+                } else {
+                    open
+                };
+                let mut depth = 1i32;
+                let mut j = open + 1;
+                while j < toks.len() && depth > 0 {
+                    if toks[j].is_punct('[') {
+                        depth += 1;
+                    } else if toks[j].is_punct(']') {
+                        depth -= 1;
+                    }
+                    j += 1;
+                }
+                if attr_is_cfg_test(toks, open + 1..j.saturating_sub(1)) {
+                    skip_test = true;
+                }
+                i = j;
+                continue;
+            }
+        }
+        if skip_test {
+            i = skip_item(toks, i);
+            skip_test = false;
+            marker = false;
+            continue;
+        }
+        if t.is_ident("fn") {
+            if let Some(name_idx) = next_code(toks, i + 1).filter(|&j| toks[j].kind == TokenKind::Ident) {
+                if let Some(body) = find_body(toks, name_idx + 1) {
+                    items.push(Item {
+                        kind: ItemKind::Fn,
+                        name: toks[name_idx].text.clone(),
+                        marked: marker,
+                        body,
+                        line: t.line,
+                    });
+                }
+                marker = false;
+                // Continue from just past the name so nested items are seen.
+                i = name_idx + 1;
+                continue;
+            }
+        }
+        if t.is_ident("impl") {
+            if marker {
+                if let Some(body) = find_body(toks, i + 1) {
+                    items.push(Item {
+                        kind: ItemKind::Impl,
+                        name: "impl".to_string(),
+                        marked: true,
+                        body,
+                        line: t.line,
+                    });
+                }
+            }
+            marker = false;
+            i += 1;
+            continue;
+        }
+        // Item qualifiers sit between a marker comment and the `fn`/`impl`
+        // keyword; they must not clear a pending marker.
+        if t.is_ident("pub") {
+            if let Some(open) = next_code(toks, i + 1).filter(|&j| toks[j].is_punct('(')) {
+                let mut depth = 1i32;
+                let mut j = open + 1;
+                while j < toks.len() && depth > 0 {
+                    if toks[j].is_punct('(') {
+                        depth += 1;
+                    } else if toks[j].is_punct(')') {
+                        depth -= 1;
+                    }
+                    j += 1;
+                }
+                i = j;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        if t.is_ident("const") || t.is_ident("unsafe") || t.is_ident("async") || t.is_ident("extern") {
+            i += 1;
+            continue;
+        }
+        marker = false;
+        i += 1;
+    }
+    items
+}
+
+/// Map from line number to the comment texts that start on it.
+fn comments_by_line(toks: &[Token]) -> HashMap<usize, Vec<&str>> {
+    let mut map: HashMap<usize, Vec<&str>> = HashMap::new();
+    for t in toks {
+        if t.is_comment() {
+            map.entry(t.line).or_default().push(&t.text);
+        }
+    }
+    map
+}
+
+// ----- R1: panic-freedom in total-decode modules -----
+
+/// R1 — decode paths must be total. In the designated codec files, any
+/// function whose name starts with a decode-ish prefix (`decode`, `read`,
+/// `peek`, `check`, `validate`, `from`) — plus any `fn` or `impl` explicitly
+/// marked `// lint: total-decode` — must contain no `unwrap`/`expect`, no
+/// panicking macro, and no narrowing `as` cast. `// lint: allow(panic)
+/// <reason>` on the same or preceding line waives one site and is reported in
+/// the run summary.
+pub fn check_r1(project: &Project, allowances: &mut Vec<Allowance>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for suffix in R1_FILES {
+        let Some(file) = project.file(suffix) else { continue };
+        let toks = &file.tokens;
+        let comments = comments_by_line(toks);
+        let items = scan_items(toks);
+        let mut seen: HashSet<usize> = HashSet::new();
+        for item in items.iter().filter(|it| {
+            it.marked
+                || (it.kind == ItemKind::Fn && R1_PREFIXES.iter().any(|p| it.name.starts_with(p)))
+        }) {
+            let mut i = item.body.start;
+            while i < item.body.end {
+                let t = &toks[i];
+                if t.is_comment() || !seen.insert(i) {
+                    i += 1;
+                    continue;
+                }
+                let found: Option<String> = if t.kind == TokenKind::Ident
+                    && PANIC_METHODS.contains(&t.text.as_str())
+                {
+                    Some(format!("`{}`", t.text))
+                } else if t.kind == TokenKind::Ident
+                    && PANIC_MACROS.contains(&t.text.as_str())
+                    && next_code(toks, i + 1).is_some_and(|j| toks[j].is_punct('!'))
+                {
+                    Some(format!("`{}!`", t.text))
+                } else if t.is_ident("as") {
+                    next_code(toks, i + 1)
+                        .filter(|&j| {
+                            toks[j].kind == TokenKind::Ident
+                                && NARROWING_TARGETS.contains(&toks[j].text.as_str())
+                        })
+                        .map(|j| format!("narrowing cast `as {}`", toks[j].text))
+                } else {
+                    None
+                };
+                if let Some(what) = found {
+                    let hatch = [t.line, t.line.saturating_sub(1)]
+                        .iter()
+                        .filter_map(|l| comments.get(l))
+                        .flatten()
+                        .find_map(|c| {
+                            c.find(ALLOW_MARKER)
+                                .map(|at| c[at + ALLOW_MARKER.len()..].trim().to_string())
+                        });
+                    match hatch {
+                        Some(reason) if !reason.is_empty() => allowances.push(Allowance {
+                            file: file.rel.clone(),
+                            line: t.line,
+                            what: what.clone(),
+                            reason,
+                        }),
+                        Some(_) => diags.push(Diagnostic {
+                            rule: "R1",
+                            file: file.rel.clone(),
+                            line: t.line,
+                            message: format!(
+                                "{what} in total-decode region `{}` has an empty allow reason",
+                                item.name
+                            ),
+                            hint: format!("write `// {ALLOW_MARKER} <why this cannot fire>`"),
+                        }),
+                        None => diags.push(Diagnostic {
+                            rule: "R1",
+                            file: file.rel.clone(),
+                            line: t.line,
+                            message: format!(
+                                "{what} in total-decode region `{}` — decode paths must return errors, never panic",
+                                item.name
+                            ),
+                            hint: "return a typed error (try_from/checked helpers); or waive with \
+                                   `// lint: allow(panic) <reason>`"
+                                .to_string(),
+                        }),
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+    diags
+}
+
+// ----- R2: kind-tag registry exhaustiveness -----
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    disc: u64,
+}
+
+/// Parses `enum SketchKind { … }` variant names and discriminants.
+fn parse_sketch_kinds(toks: &[Token]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+    for w in code.windows(2) {
+        if toks[w[0]].is_ident("enum") && toks[w[1]].is_ident("SketchKind") {
+            let Some(body) = find_body(toks, w[1] + 1) else { break };
+            let mut next_disc = 0u64;
+            let mut i = body.start + 1;
+            while i < body.end - 1 {
+                let Some(ni) = next_code(toks, i).filter(|&j| j < body.end - 1) else { break };
+                let t = &toks[ni];
+                if t.kind == TokenKind::Ident {
+                    let mut disc = next_disc;
+                    let mut j = ni + 1;
+                    if let Some(eq) = next_code(toks, j).filter(|&k| toks[k].is_punct('=')) {
+                        if let Some(nv) = next_code(toks, eq + 1)
+                            .filter(|&k| toks[k].kind == TokenKind::Number)
+                        {
+                            if let Some(v) = number_value(&toks[nv].text) {
+                                disc = v;
+                            }
+                            j = nv + 1;
+                        }
+                    }
+                    variants.push(Variant {
+                        name: t.text.clone(),
+                        disc,
+                    });
+                    next_disc = disc + 1;
+                    // Skip to the variant separator.
+                    while j < body.end - 1 && !toks[j].is_punct(',') {
+                        j += 1;
+                    }
+                    i = j + 1;
+                } else {
+                    i = ni + 1;
+                }
+            }
+            break;
+        }
+    }
+    variants
+}
+
+/// Whether `item`'s body mentions ident `name`.
+fn body_has_ident(toks: &[Token], item: &Item, name: &str) -> bool {
+    toks[item.body.clone()].iter().any(|t| t.is_ident(name))
+}
+
+/// Whether `item`'s body contains a number literal of value `v`.
+fn body_has_number(toks: &[Token], item: &Item, v: u64) -> bool {
+    toks[item.body.clone()]
+        .iter()
+        .any(|t| t.kind == TokenKind::Number && number_value(&t.text) == Some(v))
+}
+
+/// R2 — the persist kind-tag registry must stay exhaustive. Every
+/// `SketchKind` variant must be dispatched in `from_byte` (name and
+/// discriminant), handled in `ColdSnapshot::open`, and handled in
+/// `DistributedSketcher::merge_files`; the property-test garbage-kind range
+/// must be exactly one past the highest discriminant; and the wire-fuzz
+/// injected unknown kind must not collide with a defined wire kind.
+pub fn check_r2(project: &Project) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let Some(persist) = project.file("crates/core/src/persist.rs") else {
+        return diags;
+    };
+    let variants = parse_sketch_kinds(&persist.tokens);
+    if variants.is_empty() {
+        return diags;
+    }
+    let max_disc = variants.iter().map(|v| v.disc).max().unwrap_or(0);
+    let items = scan_items(&persist.tokens);
+
+    let require_all = |file: &SourceFile, items: &[Item], fn_name: &str, site: &str, diags: &mut Vec<Diagnostic>| {
+        let Some(item) = items.iter().find(|it| it.kind == ItemKind::Fn && it.name == fn_name)
+        else {
+            diags.push(Diagnostic {
+                rule: "R2",
+                file: file.rel.clone(),
+                line: 1,
+                message: format!("kind dispatch site `{site}` (fn {fn_name}) not found"),
+                hint: format!("every SketchKind must be dispatched in {site}"),
+            });
+            return;
+        };
+        for v in &variants {
+            if !body_has_ident(&file.tokens, item, &v.name) {
+                diags.push(Diagnostic {
+                    rule: "R2",
+                    file: file.rel.clone(),
+                    line: item.line,
+                    message: format!("SketchKind::{} (= {}) is not handled in `{site}`", v.name, v.disc),
+                    hint: format!("add a `SketchKind::{}` arm to {site}", v.name),
+                });
+            }
+        }
+    };
+    require_all(persist, &items, "from_byte", "SketchKind::from_byte", &mut diags);
+    require_all(persist, &items, "open", "ColdSnapshot::open", &mut diags);
+    // from_byte must also dispatch every discriminant *byte*, not just name it.
+    if let Some(item) = items.iter().find(|it| it.kind == ItemKind::Fn && it.name == "from_byte") {
+        for v in &variants {
+            if !body_has_number(&persist.tokens, item, v.disc) {
+                diags.push(Diagnostic {
+                    rule: "R2",
+                    file: persist.rel.clone(),
+                    line: item.line,
+                    message: format!(
+                        "discriminant {} (SketchKind::{}) is not matched in `SketchKind::from_byte`",
+                        v.disc, v.name
+                    ),
+                    hint: format!("add `{} => Some(Self::{})`", v.disc, v.name),
+                });
+            }
+        }
+    }
+    if let Some(dist) = project.file("crates/core/src/distributed.rs") {
+        let dist_items = scan_items(&dist.tokens);
+        require_all(dist, &dist_items, "merge_files", "DistributedSketcher::merge_files", &mut diags);
+    }
+    // Garbage-kind fuzz range: `kind in 0u8..N` with N = max discriminant + 1.
+    if let Some(pp) = project.file("crates/core/tests/persist_properties.rs") {
+        let code: Vec<&Token> = pp.tokens.iter().filter(|t| !t.is_comment()).collect();
+        let mut found = false;
+        for w in code.windows(6) {
+            if w[0].is_ident("kind")
+                && w[1].is_ident("in")
+                && w[2].kind == TokenKind::Number
+                && number_value(&w[2].text) == Some(0)
+                && w[3].is_punct('.')
+                && w[4].is_punct('.')
+                && w[5].kind == TokenKind::Number
+            {
+                found = true;
+                let bound = number_value(&w[5].text);
+                if bound != Some(max_disc + 1) {
+                    diags.push(Diagnostic {
+                        rule: "R2",
+                        file: pp.rel.clone(),
+                        line: w[5].line,
+                        message: format!(
+                            "garbage-kind fuzz range ends at {} but defined kinds are 0..={max_disc}",
+                            w[5].text
+                        ),
+                        hint: format!("the strategy must be `kind in 0u8..{}` so every defined kind is fuzzed", max_disc + 1),
+                    });
+                }
+            }
+        }
+        if !found {
+            diags.push(Diagnostic {
+                rule: "R2",
+                file: pp.rel.clone(),
+                line: 1,
+                message: "no garbage-kind fuzz range (`kind in 0u8..N`) found".to_string(),
+                hint: format!(
+                    "add a strategy `kind in 0u8..{}` covering every defined kind",
+                    max_disc + 1
+                ),
+            });
+        }
+    }
+    // Wire registry: KIND_* constants must be pairwise distinct, and the fuzz
+    // test's injected unknown kind must not collide with any of them.
+    if let Some(wire) = project.file("crates/server/src/wire.rs") {
+        let code: Vec<&Token> = wire.tokens.iter().filter(|t| !t.is_comment()).collect();
+        let mut kind_consts: Vec<(String, u64, usize)> = Vec::new();
+        for w in code.windows(7) {
+            if w[0].is_ident("const")
+                && w[1].kind == TokenKind::Ident
+                && w[1].text.starts_with("KIND_")
+                && w[2].is_punct(':')
+                && w[3].is_ident("u8")
+                && w[4].is_punct('=')
+                && w[5].kind == TokenKind::Number
+                && w[6].is_punct(';')
+            {
+                if let Some(v) = number_value(&w[5].text) {
+                    kind_consts.push((w[1].text.clone(), v, w[1].line));
+                }
+            }
+        }
+        for (i, (name, v, line)) in kind_consts.iter().enumerate() {
+            if let Some((prev, _, prev_line)) = kind_consts[..i].iter().find(|(_, pv, _)| pv == v) {
+                diags.push(Diagnostic {
+                    rule: "R2",
+                    file: wire.rel.clone(),
+                    line: *line,
+                    message: format!("wire kind `{name}` reuses byte {v:#04X} of `{prev}` (line {prev_line})"),
+                    hint: "every wire kind byte must be unique".to_string(),
+                });
+            }
+        }
+        if let Some(wf) = project.file("crates/server/tests/wire_fuzz.rs") {
+            let wf_code: Vec<&Token> = wf.tokens.iter().filter(|t| !t.is_comment()).collect();
+            for w in wf_code.windows(7) {
+                if w[0].is_ident("frame")
+                    && w[1].is_punct('[')
+                    && w[2].kind == TokenKind::Number
+                    && number_value(&w[2].text) == Some(6)
+                    && w[3].is_punct(']')
+                    && w[4].is_punct('=')
+                    && w[5].kind == TokenKind::Number
+                    && w[6].is_punct(';')
+                {
+                    let injected = number_value(&w[5].text);
+                    if let Some(inj) = injected {
+                        if kind_consts.iter().any(|(_, v, _)| *v == inj) {
+                            diags.push(Diagnostic {
+                                rule: "R2",
+                                file: wf.rel.clone(),
+                                line: w[5].line,
+                                message: format!(
+                                    "unknown-kind fuzz byte {inj:#04X} collides with a defined wire kind"
+                                ),
+                                hint: "pick a byte outside the defined request/response/error kinds".to_string(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    diags
+}
+
+// ----- R3: salts pairwise distinct -----
+
+/// R3 — every `*_SALT: u64` constant in the workspace must be pairwise
+/// distinct: two folds seeded with the same salt would draw identical RNG
+/// streams for the same base seed, silently correlating subsampling decisions
+/// that the estimator treats as independent.
+pub fn check_r3(project: &Project) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut seen: Vec<(String, u64, String, usize)> = Vec::new();
+    for file in &project.files {
+        if !file.rel.contains("/src/") {
+            continue;
+        }
+        let code: Vec<&Token> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
+        for w in code.windows(7) {
+            if w[0].is_ident("const")
+                && w[1].kind == TokenKind::Ident
+                && w[1].text.ends_with("_SALT")
+                && w[2].is_punct(':')
+                && w[3].is_ident("u64")
+                && w[4].is_punct('=')
+                && w[5].kind == TokenKind::Number
+                && w[6].is_punct(';')
+            {
+                let Some(v) = number_value(&w[5].text) else { continue };
+                if let Some((prev_name, _, prev_file, prev_line)) =
+                    seen.iter().find(|(_, pv, _, _)| *pv == v)
+                {
+                    diags.push(Diagnostic {
+                        rule: "R3",
+                        file: file.rel.clone(),
+                        line: w[1].line,
+                        message: format!(
+                            "salt `{}` = {v:#x} duplicates `{prev_name}` ({prev_file}:{prev_line})",
+                            w[1].text
+                        ),
+                        hint: "every salt must XOR the base seed into a distinct RNG stream; pick an unused constant"
+                            .to_string(),
+                    });
+                } else {
+                    seen.push((w[1].text.clone(), v, file.rel.clone(), w[1].line));
+                }
+            }
+        }
+    }
+    diags
+}
+
+// ----- R4: every `unsafe` carries a SAFETY comment -----
+
+/// Whether the comment tokens directly above token `k` (attributes and other
+/// comments may intervene, code may not) include a `SAFETY:` justification.
+/// Works on *tokens*, so a `"// SAFETY:"` inside a string literal is code and
+/// never satisfies the rule.
+fn safety_comment_above(toks: &[Token], k: usize) -> bool {
+    let line = toks[k].line;
+    let mut j = k;
+    // Code earlier on the same line (`let value = unsafe { … }`) is part of
+    // the same statement the comment annotates — step over it.
+    while j > 0 && toks[j - 1].line == line && !toks[j - 1].is_comment() {
+        j -= 1;
+    }
+    while j > 0 {
+        j -= 1;
+        let p = &toks[j];
+        if p.is_comment() {
+            if p.text.contains("SAFETY:") {
+                return true;
+            }
+            continue;
+        }
+        // Step backward over one attribute: `#[…]` or `#![…]`.
+        if p.is_punct(']') {
+            let mut depth = 1i32;
+            while j > 0 && depth > 0 {
+                j -= 1;
+                if toks[j].is_punct(']') {
+                    depth += 1;
+                } else if toks[j].is_punct('[') {
+                    depth -= 1;
+                }
+            }
+            if j > 0 && toks[j - 1].is_punct('!') {
+                j -= 1;
+            }
+            if j > 0 && toks[j - 1].is_punct('#') {
+                j -= 1;
+            }
+            continue;
+        }
+        break;
+    }
+    false
+}
+
+/// R4 — every `unsafe` token must sit under a `// SAFETY:` justification: a
+/// comment on the same line, or in the comment block directly above
+/// (attributes may intervene, code may not). The check is token-based: a
+/// `SAFETY:` inside a string literal or the code itself does not count.
+pub fn check_r4(project: &Project) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in &project.files {
+        if !file.rel.contains("/src/") {
+            continue;
+        }
+        let comments = comments_by_line(&file.tokens);
+        let mut flagged: HashSet<usize> = HashSet::new();
+        for (k, t) in file.tokens.iter().enumerate() {
+            if !t.is_ident("unsafe") || !flagged.insert(t.line) {
+                continue;
+            }
+            let covered = comments
+                .get(&t.line)
+                .is_some_and(|cs| cs.iter().any(|c| c.contains("SAFETY:")))
+                || safety_comment_above(&file.tokens, k);
+            if !covered {
+                diags.push(Diagnostic {
+                    rule: "R4",
+                    file: file.rel.clone(),
+                    line: t.line,
+                    message: "`unsafe` without a `// SAFETY:` comment".to_string(),
+                    hint: "state the invariant that makes this sound in a `// SAFETY:` comment \
+                           directly above the unsafe code"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    diags
+}
+
+// ----- R5: banned APIs -----
+
+/// R5 — banned APIs. `std::sync::mpsc::sync_channel` (replaced by the SPSC
+/// rings), `std::sync::Mutex`/`RwLock` and their guards (the project standard
+/// is `parking_lot`'s non-poisoning locks), and wall-clock reads
+/// (`Instant::now`/`SystemTime::now`) inside the deterministic sketch/fold
+/// crates, whose outputs must be a pure function of input and seed.
+pub fn check_r5(project: &Project) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in &project.files {
+        if !file.rel.contains("/src/") {
+            continue;
+        }
+        let code: Vec<&Token> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
+        for (i, t) in code.iter().enumerate() {
+            if t.is_ident("sync_channel") {
+                diags.push(Diagnostic {
+                    rule: "R5",
+                    file: file.rel.clone(),
+                    line: t.line,
+                    message: "`sync_channel` is banned".to_string(),
+                    hint: "use the lock-free SPSC block rings in `uss_core::spsc`".to_string(),
+                });
+            }
+            // `std :: sync :: <name | { … }>`
+            if t.is_ident("std")
+                && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                && code.get(i + 3).is_some_and(|t| t.is_ident("sync"))
+                && code.get(i + 4).is_some_and(|t| t.is_punct(':'))
+                && code.get(i + 5).is_some_and(|t| t.is_punct(':'))
+            {
+                let mut flag = |tok: &Token| {
+                    if BANNED_SYNC.contains(&tok.text.as_str()) {
+                        diags.push(Diagnostic {
+                            rule: "R5",
+                            file: file.rel.clone(),
+                            line: tok.line,
+                            message: format!("`std::sync::{}` is banned", tok.text),
+                            hint: "use `parking_lot`'s non-poisoning locks (workspace standard)"
+                                .to_string(),
+                        });
+                    }
+                };
+                match code.get(i + 6) {
+                    Some(tok) if tok.kind == TokenKind::Ident => flag(tok),
+                    Some(tok) if tok.is_punct('{') => {
+                        let mut depth = 1i32;
+                        let mut j = i + 7;
+                        while let Some(tok) = code.get(j) {
+                            if tok.is_punct('{') {
+                                depth += 1;
+                            } else if tok.is_punct('}') {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            } else if tok.kind == TokenKind::Ident {
+                                flag(tok);
+                            }
+                            j += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            // Wall-clock reads in deterministic code.
+            if DETERMINISTIC_PREFIXES.iter().any(|p| file.rel.starts_with(p))
+                && (t.is_ident("Instant") || t.is_ident("SystemTime"))
+                && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                && code.get(i + 3).is_some_and(|t| t.is_ident("now"))
+            {
+                diags.push(Diagnostic {
+                    rule: "R5",
+                    file: file.rel.clone(),
+                    line: t.line,
+                    message: format!("`{}::now()` in deterministic sketch code", t.text),
+                    hint: "sketch and fold outputs must be a pure function of input and seed; \
+                           take timestamps as parameters"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    #[test]
+    fn item_scanner_finds_fns_and_markers() {
+        let toks = tokenize(
+            "// lint: total-decode\nimpl Foo { fn get(&self) {} }\nfn decode_x() { body(); }\nfn write_y() {}\n",
+        );
+        let items = scan_items(&toks);
+        let names: Vec<&str> = items.iter().map(|i| i.name.as_str()).collect();
+        assert!(names.contains(&"impl"));
+        assert!(names.contains(&"decode_x"));
+        assert!(items.iter().find(|i| i.name == "impl").is_some_and(|i| i.marked));
+        assert!(items.iter().find(|i| i.name == "write_y").is_some_and(|i| !i.marked));
+    }
+
+    #[test]
+    fn cfg_test_items_are_skipped() {
+        let toks = tokenize("#[cfg(test)]\nmod tests { fn decode_z() { x.unwrap(); } }\nfn decode_a() {}\n");
+        let items = scan_items(&toks);
+        assert!(items.iter().all(|i| i.name != "decode_z"));
+        assert!(items.iter().any(|i| i.name == "decode_a"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_skipped() {
+        let toks = tokenize("#[cfg(not(test))]\nfn decode_b() {}\n");
+        let items = scan_items(&toks);
+        assert!(items.iter().any(|i| i.name == "decode_b"));
+    }
+
+    fn proj(rel: &str, src: &str) -> Project {
+        Project {
+            root: std::path::PathBuf::from("."),
+            files: vec![SourceFile {
+                rel: rel.to_string(),
+                tokens: tokenize(src),
+            }],
+        }
+    }
+
+    #[test]
+    fn r4_safety_inside_string_does_not_count() {
+        let p = proj(
+            "crates/x/src/lib.rs",
+            "fn f(p: *const u8) -> u8 {\n    let _s = \"// SAFETY: bogus\";\n    unsafe { *p }\n}\n",
+        );
+        assert_eq!(check_r4(&p).len(), 1);
+    }
+
+    #[test]
+    fn r4_comment_above_statement_counts() {
+        let p = proj(
+            "crates/x/src/lib.rs",
+            "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller promises `p` valid.\n    let v = unsafe { *p };\n    v\n}\n",
+        );
+        assert!(check_r4(&p).is_empty());
+    }
+
+    #[test]
+    fn r4_trailing_same_line_comment_counts() {
+        let p = proj(
+            "crates/x/src/lib.rs",
+            "fn f(p: *const u8) -> u8 {\n    unsafe { *p } // SAFETY: caller promises `p` valid.\n}\n",
+        );
+        assert!(check_r4(&p).is_empty());
+    }
+
+    #[test]
+    fn sketch_kind_parse() {
+        let toks = tokenize(
+            "pub enum SketchKind { /// doc\n A = 0, B = 1, C = 4, }",
+        );
+        let vs = parse_sketch_kinds(&toks);
+        assert_eq!(vs.len(), 3);
+        assert_eq!(vs[2].name, "C");
+        assert_eq!(vs[2].disc, 4);
+    }
+}

@@ -1,0 +1,162 @@
+//! Fixture-driven self-tests: each `tests/fixtures/<case>/` directory is a
+//! minimal mini-tree that must trip exactly one rule (or none), both through
+//! the library API and through the compiled `uss-lint` binary's exit code.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use uss_lint::LintReport;
+
+fn fixture_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn lint(name: &str) -> LintReport {
+    uss_lint::run(&fixture_root(name)).expect("fixture tree must load")
+}
+
+/// Asserts every diagnostic in `report` carries `rule`, and there are `n`.
+fn assert_only_rule(report: &LintReport, rule: &str, n: usize) {
+    for d in &report.diagnostics {
+        assert_eq!(d.rule, rule, "unexpected rule in report: {d}");
+    }
+    assert_eq!(
+        report.diagnostics.len(),
+        n,
+        "expected {n} {rule} diagnostic(s), got: {:#?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn r1_unwrap_in_decode_fn_fires() {
+    let report = lint("r1");
+    assert_only_rule(&report, "R1", 1);
+    let d = &report.diagnostics[0];
+    assert_eq!(d.file, "crates/core/src/persist.rs");
+    assert_eq!(d.line, 5);
+    assert!(d.message.contains("unwrap"), "message: {}", d.message);
+    assert!(report.allowances.is_empty());
+}
+
+#[test]
+fn r2_missing_from_byte_arm_fires() {
+    let report = lint("r2");
+    // One diagnostic for the missing `Self::B` arm, one for the missing
+    // discriminant byte `1`.
+    assert_only_rule(&report, "R2", 2);
+    assert!(report.diagnostics.iter().any(|d| d.message.contains("SketchKind::B")));
+    assert!(report.diagnostics.iter().any(|d| d.message.contains("discriminant 1")));
+}
+
+#[test]
+fn r3_duplicate_salt_fires() {
+    let report = lint("r3");
+    assert_only_rule(&report, "R3", 1);
+    let d = &report.diagnostics[0];
+    assert!(d.message.contains("BETA_SALT"), "message: {}", d.message);
+    assert!(d.message.contains("ALPHA_SALT"), "message: {}", d.message);
+}
+
+#[test]
+fn r4_unsafe_without_safety_fires() {
+    let report = lint("r4");
+    assert_only_rule(&report, "R4", 1);
+    assert_eq!(report.diagnostics[0].line, 5);
+}
+
+#[test]
+fn r5_banned_lock_and_clock_fire() {
+    let report = lint("r5");
+    assert_only_rule(&report, "R5", 2);
+    assert!(report.diagnostics.iter().any(|d| d.message.contains("std::sync::Mutex")));
+    assert!(report.diagnostics.iter().any(|d| d.message.contains("Instant::now")));
+}
+
+#[test]
+fn clean_tree_is_clean() {
+    let report = lint("clean");
+    assert!(report.is_clean(), "diagnostics: {:#?}", report.diagnostics);
+    assert!(report.allowances.is_empty());
+    assert_eq!(report.files_scanned, 2);
+}
+
+#[test]
+fn allow_hatch_waives_and_is_reported() {
+    let report = lint("allowed");
+    assert!(report.is_clean(), "diagnostics: {:#?}", report.diagnostics);
+    assert_eq!(report.allowances.len(), 1);
+    let a = &report.allowances[0];
+    assert_eq!(a.what, "`unwrap`");
+    assert!(a.reason.contains("statically non-empty"), "reason: {}", a.reason);
+}
+
+#[test]
+fn for_rule_filters() {
+    let report = lint("r3");
+    assert_eq!(report.for_rule("R3").len(), 1);
+    assert!(report.for_rule("R1").is_empty());
+}
+
+// ----- binary exit codes -----
+
+fn run_binary(fixture: &str) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_uss-lint"))
+        .arg("--root")
+        .arg(fixture_root(fixture))
+        .output()
+        .expect("spawn uss-lint")
+}
+
+#[test]
+fn binary_exits_nonzero_on_each_rule_fixture() {
+    for (fixture, rule) in [("r1", "[R1]"), ("r2", "[R2]"), ("r3", "[R3]"), ("r4", "[R4]"), ("r5", "[R5]")] {
+        let out = run_binary(fixture);
+        assert_eq!(out.status.code(), Some(1), "fixture {fixture} should exit 1");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(rule), "fixture {fixture} stderr missing {rule}: {stderr}");
+    }
+}
+
+#[test]
+fn binary_exits_zero_on_clean_and_allowed() {
+    for fixture in ["clean", "allowed"] {
+        let out = run_binary(fixture);
+        assert_eq!(out.status.code(), Some(0), "fixture {fixture} should exit 0");
+    }
+    // The allowance is surfaced in the summary even though the run is clean.
+    let out = run_binary("allowed");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1 allowance"), "stdout: {stdout}");
+}
+
+#[test]
+fn binary_exits_two_on_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_uss-lint"))
+        .arg("--no-such-flag")
+        .output()
+        .expect("spawn uss-lint");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+/// The real workspace must lint clean — this is the same gate CI runs, kept
+/// here so `cargo test` alone catches a regression.
+#[test]
+fn workspace_is_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root")
+        .to_path_buf();
+    let out = Command::new(env!("CARGO_BIN_EXE_uss-lint"))
+        .arg("--root")
+        .arg(&root)
+        .output()
+        .expect("spawn uss-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace lint failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -1,0 +1,8 @@
+//! Allowance fixture: the escape hatch waives one R1 site with a reason,
+//! so the run is clean but reports one allowance.
+
+/// Reads the first byte of a frame known to be non-empty.
+pub fn decode_first(bytes: &[u8]) -> u8 {
+    // lint: allow(panic) fixture: input is statically non-empty here
+    bytes.first().copied().unwrap()
+}

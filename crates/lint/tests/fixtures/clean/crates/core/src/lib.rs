@@ -1,0 +1,13 @@
+//! Clean fixture: distinct salts and a justified `unsafe`.
+
+/// Salt for merges.
+pub const ALPHA_SALT: u64 = 0xA;
+
+/// Salt for outputs.
+pub const BETA_SALT: u64 = 0xB;
+
+/// Reads through a raw pointer the caller promises is valid.
+pub fn read_raw(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` points to a live, initialised byte.
+    unsafe { *p }
+}

@@ -1,0 +1,31 @@
+//! Clean fixture: a complete kind registry and a total decode path.
+
+/// Sketch kinds persisted to disk.
+pub enum SketchKind {
+    A = 0,
+    B = 1,
+}
+
+impl SketchKind {
+    /// Decodes a kind byte.
+    pub fn from_byte(byte: u8) -> Option<Self> {
+        match byte {
+            0 => Some(Self::A),
+            1 => Some(Self::B),
+            _ => None,
+        }
+    }
+}
+
+/// A snapshot handle.
+pub struct ColdSnapshot;
+
+impl ColdSnapshot {
+    /// Opens a snapshot of either kind.
+    pub fn open(kind: SketchKind) -> u8 {
+        match kind {
+            SketchKind::A => 0,
+            SketchKind::B => 1,
+        }
+    }
+}

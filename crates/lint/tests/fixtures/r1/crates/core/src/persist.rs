@@ -1,0 +1,6 @@
+//! R1 fixture: an `unwrap` inside a decode-prefixed fn must fire.
+
+/// Reads the first payload byte.
+pub fn decode_first(bytes: &[u8]) -> u8 {
+    bytes.first().copied().unwrap()
+}

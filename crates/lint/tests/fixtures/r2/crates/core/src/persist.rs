@@ -1,0 +1,31 @@
+//! R2 fixture: `SketchKind::B` is missing from `from_byte` — both the
+//! variant-name check and the discriminant-byte check must fire.
+
+/// Sketch kinds persisted to disk.
+pub enum SketchKind {
+    A = 0,
+    B = 1,
+}
+
+impl SketchKind {
+    /// Decodes a kind byte — incomplete on purpose.
+    pub fn from_byte(byte: u8) -> Option<Self> {
+        match byte {
+            0 => Some(Self::A),
+            _ => None,
+        }
+    }
+}
+
+/// A snapshot handle.
+pub struct ColdSnapshot;
+
+impl ColdSnapshot {
+    /// Opens a snapshot of either kind — complete, so only `from_byte` fires.
+    pub fn open(kind: SketchKind) -> u8 {
+        match kind {
+            SketchKind::A => 0,
+            SketchKind::B => 1,
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! R3 fixture: two salts sharing a value must fire.
+
+/// Salt for the merge stream.
+pub const ALPHA_SALT: u64 = 0xD0D0;
+
+/// Salt for the output stream — collides with [`ALPHA_SALT`].
+pub const BETA_SALT: u64 = 0xD0D0;

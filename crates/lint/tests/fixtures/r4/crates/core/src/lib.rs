@@ -1,0 +1,6 @@
+//! R4 fixture: `unsafe` without a `// SAFETY:` comment must fire.
+
+/// Reads through a raw pointer.
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}

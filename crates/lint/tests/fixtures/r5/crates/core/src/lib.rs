@@ -1,0 +1,12 @@
+//! R5 fixture: a banned `std::sync` lock and a wall-clock read in
+//! deterministic sketch code must both fire.
+
+use std::sync::Mutex;
+
+/// A counter guarded by the banned lock.
+pub static COUNT: Mutex<u64> = Mutex::new(0);
+
+/// Returns a timestamp — banned in deterministic code.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

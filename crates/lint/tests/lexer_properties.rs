@@ -1,0 +1,158 @@
+//! Property tests for the lexer and the rules' blindness to non-code text:
+//! banned names spelled inside string literals, raw strings, chars and
+//! comments must be invisible to the token-level rules, and a `// SAFETY:`
+//! spelled inside a *string* must never satisfy R4.
+//!
+//! The vendored proptest has no string strategy, so sources are composed from
+//! fragment pools indexed by generated `usize` vectors.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use uss_lint::lexer::{tokenize, TokenKind};
+use uss_lint::project::{Project, SourceFile};
+use uss_lint::rules;
+
+/// Names that would trip R1/R5 if they appeared as code tokens.
+const BANNED: &[&str] = &[
+    "unwrap",
+    "expect",
+    "panic",
+    "sync_channel",
+    "Mutex",
+    "Instant",
+    "SAFETY:",
+];
+
+/// Containers that must make a fragment invisible to the token rules.
+fn contain(container: usize, frag: &str) -> String {
+    match container % 4 {
+        0 => format!("let _s = \"{frag}\";\n"),
+        1 => format!("// {frag}\n"),
+        2 => format!("/* {frag} */\n"),
+        _ => format!("let _r = r#\"{frag}\"#;\n"),
+    }
+}
+
+fn pick(pool: &'static [&'static str], idx: usize) -> &'static str {
+    pool[idx % pool.len()]
+}
+
+fn project_of(rel: &str, src: &str) -> Project {
+    Project {
+        root: std::path::PathBuf::from("."),
+        files: vec![SourceFile {
+            rel: rel.to_string(),
+            tokens: tokenize(src),
+        }],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A banned name inside a string/comment/raw string never lexes as an
+    /// identifier token.
+    #[test]
+    fn banned_names_in_containers_are_not_idents(picks in vec((0usize..64, 0usize..64), 1..12)) {
+        let mut src = String::from("fn decode_probe() {\n");
+        for (f, c) in &picks {
+            src.push_str(&contain(*c, pick(BANNED, *f)));
+        }
+        src.push_str("}\n");
+        for t in tokenize(&src) {
+            if t.kind == TokenKind::Ident {
+                prop_assert!(
+                    !BANNED.contains(&t.text.as_str()),
+                    "banned name `{}` leaked out of its container in:\n{src}",
+                    t.text
+                );
+            }
+        }
+    }
+
+    /// R1 stays silent when `unwrap`/`expect`/`panic!` appear only inside
+    /// strings or comments of a decode fn in a designated codec file.
+    #[test]
+    fn r1_ignores_banned_names_in_containers(picks in vec((0usize..64, 0usize..64), 1..12)) {
+        let mut src = String::from("fn decode_probe(bytes: &[u8]) -> u8 {\n");
+        for (f, c) in &picks {
+            src.push_str(&contain(*c, pick(BANNED, *f)));
+        }
+        src.push_str("    0\n}\n");
+        let project = project_of("crates/core/src/persist.rs", &src);
+        let mut allowances = Vec::new();
+        let diags = rules::check_r1(&project, &mut allowances);
+        prop_assert!(diags.is_empty(), "spurious R1 in:\n{src}\n{diags:#?}");
+        prop_assert!(allowances.is_empty());
+    }
+
+    /// R5 stays silent for the same containers.
+    #[test]
+    fn r5_ignores_banned_names_in_containers(picks in vec((0usize..64, 0usize..64), 1..12)) {
+        let mut src = String::from("fn probe() {\n");
+        for (f, c) in &picks {
+            src.push_str(&contain(*c, pick(BANNED, *f)));
+        }
+        src.push_str("}\n");
+        let project = project_of("crates/core/src/lib.rs", &src);
+        let diags = rules::check_r5(&project);
+        prop_assert!(diags.is_empty(), "spurious R5 in:\n{src}\n{diags:#?}");
+    }
+
+    /// A `// SAFETY:` spelled inside a string literal never satisfies R4 —
+    /// regardless of how many such decoy lines precede the `unsafe`.
+    #[test]
+    fn safety_inside_string_never_satisfies_r4(decoys in 1usize..8, raw in any::<bool>()) {
+        let mut src = String::from("fn probe(p: *const u8) -> u8 {\n");
+        for _ in 0..decoys {
+            if raw {
+                src.push_str("    let _d = r#\"// SAFETY: decoy\"#;\n");
+            } else {
+                src.push_str("    let _d = \"// SAFETY: decoy\";\n");
+            }
+        }
+        src.push_str("    unsafe { *p }\n}\n");
+        let project = project_of("crates/core/src/lib.rs", &src);
+        let diags = rules::check_r4(&project);
+        prop_assert_eq!(diags.len(), 1, "R4 must still fire through string decoys in:\n{}", src);
+    }
+
+    /// Control: a real `// SAFETY:` comment above the statement satisfies R4
+    /// even with attribute lines between comment and `unsafe`.
+    #[test]
+    fn real_safety_comment_satisfies_r4(attrs in 0usize..3) {
+        let mut src = String::from("fn probe(p: *const u8) -> u8 {\n    // SAFETY: proptest control case.\n");
+        for _ in 0..attrs {
+            src.push_str("    #[allow(unused_unsafe)]\n");
+        }
+        src.push_str("    unsafe { *p }\n}\n");
+        let project = project_of("crates/core/src/lib.rs", &src);
+        let diags = rules::check_r4(&project);
+        prop_assert!(diags.is_empty(), "R4 fired despite a real SAFETY comment in:\n{src}\n{diags:#?}");
+    }
+
+    /// The lexer is total: arbitrary byte soup (lossily decoded) never panics
+    /// and always yields tokens with sane line numbers.
+    #[test]
+    fn tokenize_is_total_on_arbitrary_input(bytes in vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let line_count = src.lines().count().max(1);
+        for t in tokenize(&src) {
+            prop_assert!(t.line >= 1 && t.line <= line_count);
+        }
+    }
+
+    /// Char literals are opaque too: `'u'` followed by banned-looking text
+    /// never fuses into identifiers.
+    #[test]
+    fn char_literals_do_not_leak(f in 0usize..64) {
+        let frag = pick(BANNED, f);
+        let src = format!("fn probe() {{ let _c = 'x'; let _s = \"{frag}\"; }}\n");
+        for t in tokenize(&src) {
+            if t.kind == TokenKind::Ident {
+                prop_assert!(!BANNED.contains(&t.text.as_str()));
+            }
+        }
+    }
+}

@@ -20,8 +20,10 @@ use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, PoisonError, RwLock};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
 
 use uss_core::persist::{self, PersistError, TemporalMeta};
 use uss_core::{answer_query, EngineError, TemporalIngestEngine, TemporalIngestHandle};
@@ -101,14 +103,12 @@ struct Shared {
 }
 
 impl Shared {
-    fn streams(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, Arc<StreamEntry>>> {
-        self.registry.read().unwrap_or_else(PoisonError::into_inner)
+    fn streams(&self) -> parking_lot::RwLockReadGuard<'_, HashMap<String, Arc<StreamEntry>>> {
+        self.registry.read()
     }
 
-    fn streams_mut(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<String, Arc<StreamEntry>>> {
-        self.registry
-            .write()
-            .unwrap_or_else(PoisonError::into_inner)
+    fn streams_mut(&self) -> parking_lot::RwLockWriteGuard<'_, HashMap<String, Arc<StreamEntry>>> {
+        self.registry.write()
     }
 }
 

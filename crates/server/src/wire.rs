@@ -344,6 +344,15 @@ const KIND_ERROR: u8 = 0x7F;
 
 // ----- frame layer -----
 
+/// Copies a slice the caller has already length-checked into a fixed-size
+/// array, so frame readers never reach for `try_into().unwrap()`.
+// lint: total-decode
+fn header_array<const N: usize>(slice: &[u8]) -> [u8; N] {
+    let mut out = [0u8; N];
+    out.copy_from_slice(slice);
+    out
+}
+
 fn encode_frame(kind: u8, payload: Vec<u8>) -> Vec<u8> {
     debug_assert!(payload.len() <= MAX_PAYLOAD);
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + CHECKSUM_LEN);
@@ -379,7 +388,7 @@ pub fn check_header(header: &[u8]) -> Result<(u8, usize), WireError> {
     if header[0..4] != MAGIC {
         return Err(WireError::BadMagic);
     }
-    let version = u16::from_le_bytes(header[4..6].try_into().unwrap());
+    let version = u16::from_le_bytes(header_array(&header[4..6]));
     if version != PROTOCOL_VERSION {
         return Err(WireError::UnsupportedVersion(version));
     }
@@ -387,11 +396,12 @@ pub fn check_header(header: &[u8]) -> Result<(u8, usize), WireError> {
     if !matches!(kind, KIND_PING..=KIND_SHUTDOWN | KIND_PONG..=KIND_SHUTTING_DOWN | KIND_ERROR) {
         return Err(WireError::UnknownKind(kind));
     }
-    let len = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    let len = u64::from_le_bytes(header_array(&header[8..16]));
     if len > MAX_PAYLOAD as u64 {
         return Err(WireError::Oversized(len));
     }
-    Ok((kind, len as usize))
+    let len = usize::try_from(len).map_err(|_| WireError::Oversized(len))?;
+    Ok((kind, len))
 }
 
 /// Decodes one complete frame from a byte slice, returning the kind and the
@@ -412,7 +422,7 @@ fn decode_frame(bytes: &[u8]) -> Result<(u8, &[u8]), WireError> {
         )));
     }
     let body = &bytes[..HEADER_LEN + len];
-    let expected = u64::from_le_bytes(bytes[HEADER_LEN + len..total].try_into().unwrap());
+    let expected = u64::from_le_bytes(header_array(&bytes[HEADER_LEN + len..total]));
     if crc64(body) != expected {
         return Err(WireError::BadChecksum);
     }
@@ -438,7 +448,7 @@ pub fn read_frame<R: Read>(reader: &mut R) -> Result<(u8, Vec<u8>), WireError> {
     let mut body = Vec::with_capacity(HEADER_LEN + len);
     body.extend_from_slice(&header);
     body.extend_from_slice(&rest[..len]);
-    let expected = u64::from_le_bytes(rest[len..].try_into().unwrap());
+    let expected = u64::from_le_bytes(header_array(&rest[len..]));
     if crc64(&body) != expected {
         return Err(WireError::BadChecksum);
     }
@@ -465,7 +475,7 @@ fn write_name(w: &mut PayloadWriter, name: &str) {
 }
 
 fn read_name(r: &mut PayloadReader<'_>) -> Result<String, WireError> {
-    let len = r.u32()? as usize;
+    let len = r.len_u32()?;
     if len > MAX_NAME_LEN {
         return Err(WireError::Invalid(format!(
             "name length {len} exceeds the {MAX_NAME_LEN}-byte ceiling"
@@ -916,7 +926,7 @@ impl Response {
         let mut r = PayloadReader::new(payload);
         let response = match kind {
             KIND_PONG => Self::Pong {
-                protocol: u16::from_le_bytes(r.take(2)?.try_into().unwrap()),
+                protocol: u16::from_le_bytes(r.array()?),
             },
             KIND_STREAM_CREATED => Self::StreamCreated {
                 created: match r.take(1)?[0] {
@@ -989,7 +999,7 @@ fn write_name_unchecked(w: &mut PayloadWriter, message: &str) {
 }
 
 fn read_message(r: &mut PayloadReader<'_>) -> Result<String, WireError> {
-    let len = r.u32()? as usize;
+    let len = r.len_u32()?;
     if len > 4096 {
         return Err(WireError::Invalid(format!(
             "error message length {len} exceeds the 4096-byte ceiling"
