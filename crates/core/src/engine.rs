@@ -67,9 +67,12 @@ use std::thread::JoinHandle;
 
 use crate::hash::{splitmix64, FxHashMap};
 use crate::merge::{FOLD_MERGE_SALT, FOLD_OUT_SALT};
+use crate::metrics::{EngineMetrics, RingCounters, ShardMetrics};
 use crate::persist::{self, PersistError};
 use crate::space_saving::{UnbiasedSpaceSaving, WeightedSpaceSaving};
-use crate::spsc::{block_channel, BlockReceiver, BlockSender, RowBlock, Waker, BLOCK_CAP};
+use crate::spsc::{
+    block_channel_with_counters, BlockReceiver, BlockSender, RowBlock, Waker, BLOCK_CAP,
+};
 use crate::traits::StreamSketch;
 
 /// Why an [`EngineConfig`] cannot drive an engine. Construction through
@@ -351,16 +354,31 @@ pub(crate) enum ControlMsg {
 pub(crate) struct ShardLink<M = ControlMsg> {
     control: Sender<M>,
     waker: Arc<Waker>,
+    /// The shard's ring telemetry, shared by every block channel wired to it.
+    ring_counters: Arc<RingCounters>,
 }
 
 impl<M> ShardLink<M> {
-    pub(crate) fn new(control: Sender<M>, waker: Arc<Waker>) -> Self {
-        Self { control, waker }
+    pub(crate) fn new(
+        control: Sender<M>,
+        waker: Arc<Waker>,
+        ring_counters: Arc<RingCounters>,
+    ) -> Self {
+        Self {
+            control,
+            waker,
+            ring_counters,
+        }
     }
 
     /// The worker's parking slot, for wiring new block channels to it.
     pub(crate) fn waker(&self) -> &Arc<Waker> {
         &self.waker
+    }
+
+    /// The shard's shared ring telemetry, for wiring new block channels to it.
+    pub(crate) fn ring_counters(&self) -> &Arc<RingCounters> {
+        &self.ring_counters
     }
 
     /// Sends a control message and wakes the worker.
@@ -401,6 +419,7 @@ impl<M> Clone for ShardLink<M> {
         Self {
             control: self.control.clone(),
             waker: Arc::clone(&self.waker),
+            ring_counters: Arc::clone(&self.ring_counters),
         }
     }
 }
@@ -424,6 +443,9 @@ pub struct ShardedIngestEngine {
     /// query layer's staleness policy; it leads `rows_processed` by whatever is
     /// still queued.
     rows_enqueued: Arc<AtomicU64>,
+    /// Runtime telemetry: per-shard rows/blocks/ring counters plus engine-level
+    /// checkpoint counters. Shared with workers and producer handles.
+    metrics: Arc<EngineMetrics>,
 }
 
 impl ShardedIngestEngine {
@@ -466,17 +488,23 @@ impl ShardedIngestEngine {
         snapshots: u64,
         rows_enqueued: u64,
     ) -> Self {
+        let metrics = Arc::new(EngineMetrics::with_shards(sketches.len()));
         let mut links = Vec::with_capacity(sketches.len());
         let mut workers = Vec::with_capacity(sketches.len());
-        for sketch in sketches {
+        for (shard, sketch) in sketches.into_iter().enumerate() {
             let (tx, rx) = std::sync::mpsc::channel();
             let waker = Arc::new(Waker::new());
             let combiner_items = config.combiner_items;
             let worker_waker = Arc::clone(&waker);
+            let shard_metrics = Arc::clone(&metrics.shards[shard]);
             workers.push(std::thread::spawn(move || {
-                run_worker(&rx, &worker_waker, sketch, combiner_items)
+                run_worker(&rx, &worker_waker, sketch, combiner_items, &shard_metrics)
             }));
-            links.push(ShardLink { control: tx, waker });
+            links.push(ShardLink {
+                control: tx,
+                waker,
+                ring_counters: Arc::clone(&metrics.shards[shard].ring),
+            });
         }
         Self {
             config,
@@ -484,7 +512,15 @@ impl ShardedIngestEngine {
             workers,
             snapshots: AtomicU64::new(snapshots),
             rows_enqueued: Arc::new(AtomicU64::new(rows_enqueued)),
+            metrics,
         }
+    }
+
+    /// The engine's runtime telemetry (live counters — read them any time; they
+    /// are exact after a quiesce point such as a snapshot or checkpoint).
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<EngineMetrics> {
+        &self.metrics
     }
 
     /// Number of rows handed to the shard queues so far (a cheap, monotone ingest
@@ -674,11 +710,18 @@ impl ShardedIngestEngine {
                 }
             };
             rows += sketch.rows_processed();
-            if let Err(err) = persist::write_file(
+            match persist::write_file(
                 &dir.join(Self::shard_file_name(shard)),
                 &persist::encode_shard(shard as u64, meta, &sketch),
             ) {
-                failures.push(ShardFailure { shard, fault: ShardFault::Persist(err) });
+                Ok(bytes) => {
+                    self.metrics.checkpoint_bytes.add(bytes);
+                    self.metrics.checkpoint_frames.inc();
+                }
+                Err(err) => {
+                    self.metrics.checkpoint_failures.inc();
+                    failures.push(ShardFailure { shard, fault: ShardFault::Persist(err) });
+                }
             }
         }
         if !failures.is_empty() {
@@ -689,8 +732,12 @@ impl ShardedIngestEngine {
             snapshots: self.snapshots.load(Ordering::Relaxed),
             rows,
         };
-        persist::write_file(&dir.join(Self::MANIFEST_FILE), &persist::encode_manifest(&manifest))
-            .map_err(EngineError::Persist)
+        let bytes =
+            persist::write_file(&dir.join(Self::MANIFEST_FILE), &persist::encode_manifest(&manifest))
+                .map_err(EngineError::Persist)?;
+        self.metrics.checkpoint_bytes.add(bytes);
+        self.metrics.checkpoint_frames.inc();
+        Ok(())
     }
 
     /// Kills the worker thread of `shard` by making it panic. Fault injection
@@ -844,7 +891,11 @@ impl IngestHandle {
         let mut senders = Vec::with_capacity(links.len());
         let mut blocks = Vec::with_capacity(links.len());
         for (shard, link) in links.iter().enumerate() {
-            let (tx, rx) = block_channel(ring_blocks, Arc::clone(&link.waker));
+            let (tx, rx) = block_channel_with_counters(
+                ring_blocks,
+                Arc::clone(&link.waker),
+                Arc::clone(&link.ring_counters),
+            );
             link.try_send(ControlMsg::Register(rx))
                 .map_err(|()| EngineError::ShardDown { shard })?;
             blocks.push(RowBlock::boxed());
@@ -1003,12 +1054,16 @@ struct ShardWorker {
     combiner: FxHashMap<u64, u64>,
     combiner_items: usize,
     rings: Vec<BlockReceiver<u64>>,
+    metrics: Arc<ShardMetrics>,
 }
 
 impl ShardWorker {
     /// Applies one block of rows through the combiner (or directly, when the
-    /// combiner is disabled).
+    /// combiner is disabled). Metrics cost: two Relaxed adds per *block*
+    /// (254 rows), never per row.
     fn apply(&mut self, rows: &[u64]) {
+        self.metrics.rows.add(rows.len() as u64);
+        self.metrics.blocks.inc();
         if self.combiner_items == 0 {
             self.sketch.offer_batch(rows);
         } else {
@@ -1074,12 +1129,14 @@ fn run_worker(
     waker: &Waker,
     sketch: UnbiasedSpaceSaving,
     combiner_items: usize,
+    metrics: &Arc<ShardMetrics>,
 ) -> UnbiasedSpaceSaving {
     let mut w = ShardWorker {
         sketch,
         combiner: FxHashMap::default(),
         combiner_items,
         rings: Vec::new(),
+        metrics: Arc::clone(metrics),
     };
     let mut engine_alive = true;
     loop {
@@ -1154,6 +1211,9 @@ fn handle_control(w: &mut ShardWorker, msg: ControlMsg) -> Flow {
         ControlMsg::Report(reply) => {
             w.drain_cut();
             w.flush_combiner();
+            // Quiesce points sample the sketch's resident size: the O(1) read
+            // stays entirely off the per-block path.
+            w.metrics.sketch_memory.record_max(w.sketch.memory_bytes());
             let _ = reply.send(ShardReport {
                 entries: w.sketch.entries(),
                 rows: w.sketch.rows_processed(),
@@ -1162,6 +1222,7 @@ fn handle_control(w: &mut ShardWorker, msg: ControlMsg) -> Flow {
         ControlMsg::Checkpoint(reply) => {
             w.drain_cut();
             w.flush_combiner();
+            w.metrics.sketch_memory.record_max(w.sketch.memory_bytes());
             let _ = reply.send(w.sketch.clone());
         }
         ControlMsg::Shutdown => {

@@ -55,6 +55,7 @@
 //! | [`reduction`] | thresholding vs PPS-subsampling reduction operations (section 5.3) |
 //! | [`merge`] | biased Misra-Gries merge and the unbiased PPS merge (section 5.5) |
 //! | [`engine`] | the concurrent sharded ingest engine: multi-producer block ingestion into live, queryable worker shards folded with the unbiased merge |
+//! | [`metrics`] | lock-free runtime telemetry: cache-padded counters/gauges, log₂ histograms, the deterministic [`Clock`](metrics::Clock) trait, and the static metric-family registry |
 //! | [`spsc`] | lock-free single-producer/single-consumer block rings — the engines' ingest transport |
 //! | [`query`] | the concurrent query-serving layer: epoch-versioned cached snapshots over a live engine or sketch, typed queries with variance and confidence intervals |
 //! | [`temporal`] | the time-partitioned subsystem: windowed ingest over a bucket ring, time-range queries, tiered retention with graceful aging |
@@ -77,6 +78,7 @@ pub mod engine;
 pub mod estimator;
 pub mod hash;
 pub mod merge;
+pub mod metrics;
 pub mod persist;
 pub mod query;
 pub mod reduction;
@@ -92,6 +94,10 @@ pub use engine::{
     ShardedIngestEngine,
 };
 pub use estimator::{SketchSnapshot, SubsetEstimate};
+pub use metrics::{
+    Clock, Counter, EngineMetrics, Gauge, Histogram, HistogramSnapshot, ManualClock,
+    RingCounters, ShardMetrics, TemporalMetrics,
+};
 pub use persist::{ColdSnapshot, PayloadReader, PayloadWriter, PersistError, SketchKind};
 pub use query::{
     answer_query, Query, QueryAnswer, QueryResponse, QueryServer, QueryServerConfig,

@@ -1203,7 +1203,9 @@ pub fn decode_temporal_manifest(bytes: &[u8]) -> Result<TemporalManifest, Persis
 /// sibling temporary file, are fsynced, renamed into place, and the parent
 /// directory is fsynced too — so a crash (or power loss) mid-write can leave a
 /// stray `.tmp` but never a torn or empty sketch file behind the final name.
-pub fn write_file(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+/// Returns the number of bytes written (for the `uss_checkpoint_bytes_total`
+/// counter).
+pub fn write_file(path: &Path, bytes: &[u8]) -> Result<u64, PersistError> {
     use std::io::Write as _;
     let tmp = path.with_extension("uss.tmp");
     {
@@ -1218,12 +1220,12 @@ pub fn write_file(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
     if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
         std::fs::File::open(parent)?.sync_all()?;
     }
-    Ok(())
+    Ok(bytes.len() as u64)
 }
 
 /// Saves a cold [`SketchSnapshot`] to `path`.
 pub fn save_snapshot<P: AsRef<Path>>(path: P, snapshot: &SketchSnapshot) -> Result<(), PersistError> {
-    write_file(path.as_ref(), &encode_snapshot(snapshot))
+    write_file(path.as_ref(), &encode_snapshot(snapshot)).map(|_| ())
 }
 
 /// Loads a [`SketchSnapshot`] from `path`.
@@ -1236,7 +1238,7 @@ pub fn save_unbiased<P: AsRef<Path>>(
     path: P,
     sketch: &UnbiasedSpaceSaving,
 ) -> Result<(), PersistError> {
-    write_file(path.as_ref(), &encode_unbiased(sketch))
+    write_file(path.as_ref(), &encode_unbiased(sketch)).map(|_| ())
 }
 
 /// Loads a full [`UnbiasedSpaceSaving`] from `path`.
@@ -1249,7 +1251,7 @@ pub fn save_weighted<P: AsRef<Path>>(
     path: P,
     sketch: &WeightedSpaceSaving,
 ) -> Result<(), PersistError> {
-    write_file(path.as_ref(), &encode_weighted(sketch))
+    write_file(path.as_ref(), &encode_weighted(sketch)).map(|_| ())
 }
 
 /// Loads a full [`WeightedSpaceSaving`] from `path`.

@@ -91,6 +91,13 @@ impl UnbiasedSpaceSaving {
         self.summary.entries().collect()
     }
 
+    /// Resident heap size in bytes, `O(1)` (see [`StreamSummary::memory_bytes`]).
+    /// Feeds the `uss_sketch_memory_bytes` gauge.
+    #[must_use]
+    pub fn memory_bytes(&self) -> u64 {
+        self.summary.memory_bytes() + std::mem::size_of::<Self>() as u64
+    }
+
     /// Takes an immutable snapshot of the sketch for querying: subset sums, variance
     /// estimates, confidence intervals, frequent items and proportions.
     #[must_use]

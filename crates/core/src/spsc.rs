@@ -43,6 +43,8 @@ use std::thread::Thread;
 
 use parking_lot::Mutex;
 
+use crate::metrics::RingCounters;
+
 /// Rows per [`RowBlock`]. Chosen so a block of unit rows (`u64`) is exactly 2 KiB —
 /// 32 cache lines — including the length header.
 pub const BLOCK_CAP: usize = 254;
@@ -148,15 +150,18 @@ impl Waker {
     }
 
     /// Unparks the registered thread if it is (preparing to be) parked. Cheap when
-    /// nobody is parked: a single `SeqCst` load.
-    pub fn wake(&self) {
+    /// nobody is parked: a single `SeqCst` load. Returns whether this call actually
+    /// won the unpark (so callers can count true wake transitions, not no-ops).
+    pub fn wake(&self) -> bool {
         fence(Ordering::SeqCst);
         if self.parked.load(Ordering::SeqCst) && self.parked.swap(false, Ordering::SeqCst) {
             let thread = self.thread.lock().take();
             if let Some(thread) = thread {
                 thread.unpark();
             }
+            return true;
         }
+        false
     }
 }
 
@@ -180,6 +185,10 @@ struct RingShared<T> {
     consumer_waker: Option<Arc<Waker>>,
     /// Parking slot for a producer blocked on a full ring.
     producer_waker: Waker,
+    /// Slow-path telemetry (full rings, parks, wakes, occupancy high-water).
+    /// Rings made by the plain constructors get a fresh unobserved block;
+    /// engine rings share their shard's block.
+    counters: Arc<RingCounters>,
 }
 
 // SAFETY: a `RingShared<T>` only ever moves between threads wholesale (inside
@@ -239,6 +248,13 @@ impl<T> RingProducer<T> {
         if tail.wrapping_sub(self.cached_head) == self.capacity {
             self.cached_head = self.shared.head.0.load(Ordering::Acquire);
             if tail.wrapping_sub(self.cached_head) == self.capacity {
+                // Slow path: the ring is genuinely full — count it and record
+                // the (maximal) occupancy. The success path pays nothing.
+                self.shared.counters.try_push_full.inc();
+                self.shared
+                    .counters
+                    .occupancy_high_water
+                    .record_max(self.capacity as u64);
                 return Ok(Some(value));
             }
         }
@@ -253,7 +269,9 @@ impl<T> RingProducer<T> {
         }
         self.shared.tail.0.store(tail.wrapping_add(1), Ordering::Release);
         if let Some(waker) = &self.shared.consumer_waker {
-            waker.wake();
+            if waker.wake() {
+                self.shared.counters.consumer_wakes.inc();
+            }
         }
         Ok(())
         .map(|()| None)
@@ -282,6 +300,7 @@ impl<T> RingProducer<T> {
                         self.shared.producer_waker.cancel();
                         continue;
                     }
+                    self.shared.counters.producer_parks.inc();
                     self.shared.producer_waker.park();
                 }
             }
@@ -319,6 +338,11 @@ impl<T> RingConsumer<T> {
             if head == self.cached_tail {
                 return None;
             }
+            // Once per refill, not per pop: record how deep the queue got.
+            self.shared
+                .counters
+                .occupancy_high_water
+                .record_max(self.cached_tail.wrapping_sub(head) as u64);
         }
         // SAFETY: the check above established `head < tail` (tail re-read with
         // an acquire load), so the producer's release store of `tail` — and
@@ -382,6 +406,18 @@ pub fn ring<T>(
     capacity: usize,
     consumer_waker: Option<Arc<Waker>>,
 ) -> (RingProducer<T>, RingConsumer<T>) {
+    ring_with_counters(capacity, consumer_waker, Arc::new(RingCounters::new()))
+}
+
+/// [`ring`], with the slow-path telemetry block supplied by the caller — the
+/// engines pass each shard's shared [`RingCounters`] so every ring feeding
+/// that shard lands in the same per-shard metrics.
+#[must_use]
+pub fn ring_with_counters<T>(
+    capacity: usize,
+    consumer_waker: Option<Arc<Waker>>,
+    counters: Arc<RingCounters>,
+) -> (RingProducer<T>, RingConsumer<T>) {
     let capacity = capacity.next_power_of_two().max(2);
     let slots: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..capacity)
         .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
@@ -395,6 +431,7 @@ pub fn ring<T>(
         consumer_closed: AtomicBool::new(false),
         consumer_waker,
         producer_waker: Waker::new(),
+        counters,
     });
     (
         RingProducer {
@@ -492,7 +529,20 @@ pub fn block_channel<T: Copy + Default>(
     depth: usize,
     consumer_waker: Arc<Waker>,
 ) -> (BlockSender<T>, BlockReceiver<T>) {
-    let (data_tx, data_rx) = ring(depth, Some(consumer_waker));
+    block_channel_with_counters(depth, consumer_waker, Arc::new(RingCounters::new()))
+}
+
+/// [`block_channel`], with the data ring's telemetry block supplied by the
+/// caller (see [`ring_with_counters`]). The recycle ring keeps a private
+/// unobserved block: a full recycle ring is the benign steady state, not
+/// backpressure.
+#[must_use]
+pub fn block_channel_with_counters<T: Copy + Default>(
+    depth: usize,
+    consumer_waker: Arc<Waker>,
+    counters: Arc<RingCounters>,
+) -> (BlockSender<T>, BlockReceiver<T>) {
+    let (data_tx, data_rx) = ring_with_counters(depth, Some(consumer_waker), counters);
     // +2: one block in the producer's hands, one in the consumer's, both rings full.
     let (recycle_tx, recycle_rx) = ring(depth + 2, None);
     (
@@ -626,6 +676,57 @@ mod tests {
             "recycled block is the same allocation"
         );
         assert!(reused.is_empty(), "recycled block arrives cleared");
+    }
+
+    #[test]
+    fn ring_counters_track_slow_paths() {
+        let counters = Arc::new(RingCounters::new());
+        let (mut tx, mut rx) = ring_with_counters::<u32>(2, None, Arc::clone(&counters));
+        tx.try_push(1).unwrap();
+        tx.try_push(2).unwrap();
+        assert_eq!(tx.try_push(3).unwrap(), Some(3), "ring full");
+        assert_eq!(counters.try_push_full.get(), 1);
+        assert_eq!(
+            counters.occupancy_high_water.get(),
+            2,
+            "full ring records capacity as the high-water"
+        );
+        assert_eq!(rx.pop(), Some(1));
+        assert_eq!(counters.producer_parks.get(), 0, "try_push never parks");
+    }
+
+    #[test]
+    fn threaded_ring_counts_parks_and_wakes() {
+        let waker = Arc::new(Waker::new());
+        let counters = Arc::new(RingCounters::new());
+        let (mut tx, mut rx) =
+            ring_with_counters::<u64>(2, Some(Arc::clone(&waker)), Arc::clone(&counters));
+        const N: u64 = 50_000;
+        let consumer = std::thread::spawn(move || {
+            let mut seen = 0u64;
+            while seen < N {
+                match rx.pop() {
+                    Some(_) => seen += 1,
+                    None => {
+                        waker.prepare();
+                        if rx.is_empty() {
+                            waker.park();
+                        } else {
+                            waker.cancel();
+                        }
+                    }
+                }
+            }
+        });
+        for v in 0..N {
+            tx.push(v).expect("consumer alive");
+        }
+        consumer.join().expect("consumer thread");
+        // A capacity-2 ring under 50k rows must have hit the full slow path;
+        // the exact counts are schedule-dependent but the invariants are not.
+        assert!(counters.try_push_full.get() > 0, "full events recorded");
+        assert!(counters.occupancy_high_water.get() >= 1);
+        assert!(counters.occupancy_high_water.get() <= 2, "never above capacity");
     }
 
     #[test]

@@ -158,6 +158,20 @@ impl StreamSummary {
         self.counters.is_empty()
     }
 
+    /// Resident heap size in bytes, `O(1)`: the slab vectors' *capacities* (what
+    /// the allocator actually holds) plus the probe table. Feeds the
+    /// `uss_sketch_memory_bytes` gauge, so it must stay cheap enough to sample
+    /// from a worker's quiesce path.
+    #[must_use]
+    pub fn memory_bytes(&self) -> u64 {
+        let counters = self.counters.capacity() * std::mem::size_of::<Counter>();
+        let buckets = self.buckets.capacity() * std::mem::size_of::<Bucket>();
+        let free = self.free_buckets.capacity() * std::mem::size_of::<u32>();
+        let table = self.idx_keys.len() * std::mem::size_of::<u64>()
+            + self.idx_slots.len() * std::mem::size_of::<u32>();
+        (std::mem::size_of::<Self>() + counters + buckets + free + table) as u64
+    }
+
     /// Whether the structure is at capacity.
     #[must_use]
     pub fn is_full(&self) -> bool {

@@ -134,7 +134,10 @@ use parking_lot::Mutex;
 use crate::engine::{EngineError, ShardFailure, ShardFault, ShardLink};
 use crate::estimator::SketchSnapshot;
 use crate::hash::splitmix64;
-use crate::spsc::{block_channel, BlockReceiver, BlockSender, RowBlock, Waker, BLOCK_CAP};
+use crate::metrics::{EngineMetrics, ShardMetrics, TemporalMetrics};
+use crate::spsc::{
+    block_channel_with_counters, BlockReceiver, BlockSender, RowBlock, Waker, BLOCK_CAP,
+};
 use crate::merge::{fold_unbiased, fold_unbiased_multiway, FOLD_MERGE_SALT, FOLD_OUT_SALT};
 use crate::persist::{self, PersistError};
 use crate::query::SnapshotSource;
@@ -501,6 +504,13 @@ pub struct WindowedSketchStore {
     rows: u64,
     late_rows: u64,
     last_ts: u64,
+    /// Engine-wide temporal telemetry (rotations, compactions, ladder churn).
+    /// Standalone stores get a private block; engine workers share the
+    /// engine's. Never persisted; clones share the same block.
+    metrics: Arc<TemporalMetrics>,
+    /// Whether a dyadic range walk is currently repairing nodes — ladder
+    /// builds under this flag count as query-path repairs, not idle builds.
+    query_repair: bool,
 }
 
 impl WindowedSketchStore {
@@ -527,7 +537,15 @@ impl WindowedSketchStore {
             rows: 0,
             late_rows: 0,
             last_ts: 0,
+            metrics: Arc::new(TemporalMetrics::new()),
+            query_repair: false,
         }
+    }
+
+    /// Points the store at a shared telemetry block (the engine's, so every
+    /// shard's events land in one set of stream-level counters).
+    pub(crate) fn set_metrics(&mut self, metrics: Arc<TemporalMetrics>) {
+        self.metrics = metrics;
     }
 
     /// The store's configuration.
@@ -589,6 +607,7 @@ impl WindowedSketchStore {
         sketch.offer(item);
         if late {
             self.late_rows += 1;
+            self.metrics.late_rows.inc();
         }
     }
 
@@ -604,6 +623,7 @@ impl WindowedSketchStore {
         sketch.offer_batch(items);
         if late {
             self.late_rows += items.len() as u64;
+            self.metrics.late_rows.add(items.len() as u64);
         }
     }
 
@@ -632,6 +652,7 @@ impl WindowedSketchStore {
             );
         }
         if b > newest {
+            self.metrics.rotations.inc();
             // Advance the window: expire everything that falls out of it.
             let min_live = b.saturating_sub(self.config.fine_buckets as u64 - 1);
             while self.fine.front().is_some_and(|f| f.index < min_live) {
@@ -754,6 +775,7 @@ impl WindowedSketchStore {
         }
         self.tiers[t].push_back(bucket);
         if self.tiers[t].len() >= self.config.tier_factor {
+            self.metrics.tier_compactions.inc();
             let group: Vec<TierBucket> = self.tiers[t].drain(..).collect();
             let merged = self.compact_group(group);
             self.push_tier(t + 1, merged);
@@ -928,6 +950,10 @@ impl WindowedSketchStore {
         }
         let node = self.ladder_node_fold(start, end, parts);
         self.ladder.levels[idx].insert(start, node);
+        self.metrics.ladder_nodes_built.inc();
+        if self.query_repair {
+            self.metrics.ladder_repaired_at_query.inc();
+        }
         true
     }
 
@@ -937,7 +963,9 @@ impl WindowedSketchStore {
     fn ladder_invalidate(&mut self, bucket: u64) {
         for (idx, level) in self.ladder.levels.iter_mut().enumerate() {
             let len = 1u64 << (idx + 1);
-            level.remove(&(bucket - bucket % len));
+            if level.remove(&(bucket - bucket % len)).is_some() {
+                self.metrics.ladder_nodes_invalidated.inc();
+            }
         }
     }
 
@@ -949,6 +977,9 @@ impl WindowedSketchStore {
             // split_off keeps keys >= min_live; anything starting below the
             // floor covers at least one expired bucket.
             let keep = self.ladder.levels[idx].split_off(&min_live);
+            self.metrics
+                .ladder_nodes_invalidated
+                .add(self.ladder.levels[idx].len() as u64);
             self.ladder.levels[idx] = keep;
             let frontier = min_live.checked_next_multiple_of(len).unwrap_or(u64::MAX);
             self.ladder.built[idx] = self.ladder.built[idx].max(frontier);
@@ -1104,6 +1135,9 @@ impl WindowedSketchStore {
         let max_level = ladder_max_level(self.config.fine_buckets);
         let lo = start.max(min_live);
         let hi = end.min(newest.saturating_add(1));
+        // Node builds from here to the end of the walk are query-path repairs
+        // (the idle builder didn't get there first).
+        self.query_repair = true;
         let mut x = lo;
         while x < hi {
             // The largest aligned node starting at x that stays inside the
@@ -1132,6 +1166,7 @@ impl WindowedSketchStore {
                 x += 1;
             }
         }
+        self.query_repair = false;
         (out, !used_ladder)
     }
 
@@ -1317,6 +1352,8 @@ impl WindowedSketchStore {
             rows,
             late_rows,
             last_ts,
+            metrics: Arc::new(TemporalMetrics::new()),
+            query_repair: false,
         })
     }
 }
@@ -1533,6 +1570,11 @@ pub struct TemporalIngestEngine {
     /// The merged-range cache: repeated range queries at the same ingest
     /// watermark return the identical snapshot without re-folding.
     range_cache: Mutex<VecDeque<CacheSlot>>,
+    /// Per-shard rows/blocks/ring counters plus checkpoint counters, exactly
+    /// as on the non-temporal engine.
+    metrics: Arc<EngineMetrics>,
+    /// Stream-level temporal telemetry, shared by every shard's store.
+    temporal_metrics: Arc<TemporalMetrics>,
 }
 
 impl TemporalIngestEngine {
@@ -1583,16 +1625,24 @@ impl TemporalIngestEngine {
         rows_enqueued: u64,
         max_time: u64,
     ) -> Self {
+        let metrics = Arc::new(EngineMetrics::with_shards(stores.len()));
+        let temporal_metrics = Arc::new(TemporalMetrics::new());
         let mut links = Vec::with_capacity(stores.len());
         let mut workers = Vec::with_capacity(stores.len());
-        for store in stores {
+        for (shard, mut store) in stores.into_iter().enumerate() {
+            store.set_metrics(Arc::clone(&temporal_metrics));
             let (tx, rx) = std::sync::mpsc::channel();
             let waker = Arc::new(Waker::new());
             let worker_waker = Arc::clone(&waker);
+            let shard_metrics = Arc::clone(&metrics.shards[shard]);
             workers.push(std::thread::spawn(move || {
-                run_worker(&rx, &worker_waker, store)
+                run_worker(&rx, &worker_waker, store, &shard_metrics)
             }));
-            links.push(ShardLink::new(tx, waker));
+            links.push(ShardLink::new(
+                tx,
+                waker,
+                Arc::clone(&metrics.shards[shard].ring),
+            ));
         }
         Self {
             config,
@@ -1606,7 +1656,23 @@ impl TemporalIngestEngine {
             // the generation tag above guards even hypothetical slot reuse
             // across incarnations.
             range_cache: Mutex::new(VecDeque::new()),
+            metrics,
+            temporal_metrics,
         }
+    }
+
+    /// The engine's per-shard/checkpoint telemetry (live counters — exact
+    /// after a quiesce point such as a range capture or checkpoint).
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<EngineMetrics> {
+        &self.metrics
+    }
+
+    /// The engine's temporal telemetry (rotations, compactions, ladder churn,
+    /// range-cache hits/misses), aggregated across all shards.
+    #[must_use]
+    pub fn temporal_metrics(&self) -> &Arc<TemporalMetrics> {
+        &self.temporal_metrics
     }
 
     /// The engine's configuration.
@@ -1856,9 +1922,11 @@ impl TemporalIngestEngine {
             if let Some(slot) = cache.iter().find(|s| {
                 s.start == start && s.end == end && s.rows == rows && s.generation == generation
             }) {
+                self.temporal_metrics.range_cache_hits.inc();
                 return Ok(Arc::clone(&slot.snapshot));
             }
         }
+        self.temporal_metrics.range_cache_misses.inc();
         // Fold outside the lock: captures are expensive, the cache is not.
         let (reports, all_raw, applied) = self.collect_reports(start, end, false)?;
         let snapshot = Arc::new(self.fold_collected(reports, all_raw).snapshot());
@@ -1942,11 +2010,18 @@ impl TemporalIngestEngine {
                 }
             };
             rows += store.rows_processed();
-            if let Err(err) = persist::write_file(
+            match persist::write_file(
                 &dir.join(Self::shard_file_name(shard)),
                 &persist::encode_temporal_shard_indexed(shard as u64, meta, &store),
             ) {
-                failures.push(ShardFailure { shard, fault: ShardFault::Persist(err) });
+                Ok(bytes) => {
+                    self.metrics.checkpoint_bytes.add(bytes);
+                    self.metrics.checkpoint_frames.inc();
+                }
+                Err(err) => {
+                    self.metrics.checkpoint_failures.inc();
+                    failures.push(ShardFailure { shard, fault: ShardFault::Persist(err) });
+                }
             }
         }
         if !failures.is_empty() {
@@ -1957,11 +2032,14 @@ impl TemporalIngestEngine {
             snapshots: self.snapshots.load(Ordering::Relaxed),
             rows,
         };
-        persist::write_file(
+        let bytes = persist::write_file(
             &dir.join(Self::MANIFEST_FILE),
             &persist::encode_temporal_manifest(&manifest),
         )
-        .map_err(EngineError::Persist)
+        .map_err(EngineError::Persist)?;
+        self.metrics.checkpoint_bytes.add(bytes);
+        self.metrics.checkpoint_frames.inc();
+        Ok(())
     }
 
     /// Kills the worker thread of `shard` by making it panic. Fault injection
@@ -2153,7 +2231,11 @@ impl TemporalIngestHandle {
         let mut senders = Vec::with_capacity(links.len());
         let mut blocks = Vec::with_capacity(links.len());
         for (shard, link) in links.iter().enumerate() {
-            let (tx, rx) = block_channel(ring_blocks, Arc::clone(link.waker()));
+            let (tx, rx) = block_channel_with_counters(
+                ring_blocks,
+                Arc::clone(link.waker()),
+                Arc::clone(link.ring_counters()),
+            );
             link.try_send(TemporalMsg::Register(rx))
                 .map_err(|()| EngineError::ShardDown { shard })?;
             blocks.push(RowBlock::boxed());
@@ -2330,14 +2412,18 @@ struct TemporalWorker {
     rings: Vec<BlockReceiver<(u64, u64)>>,
     /// Scratch buffer for runs of equal timestamps, reused across blocks.
     run_items: Vec<u64>,
+    metrics: Arc<ShardMetrics>,
 }
 
 impl TemporalWorker {
     /// Applies one block of `(item, timestamp)` rows. Real blocks are dominated
     /// by runs of equal timestamps; applying each run through `offer_batch_at`
     /// (exactly equivalent to per-row offers) pays the bucket resolution once
-    /// per run instead of once per row.
+    /// per run instead of once per row. Metrics cost: two Relaxed adds per
+    /// block, never per row.
     fn apply(&mut self, rows: &[(u64, u64)]) {
+        self.metrics.rows.add(rows.len() as u64);
+        self.metrics.blocks.inc();
         let mut i = 0;
         while i < rows.len() {
             let ts = rows[i].1;
@@ -2416,11 +2502,13 @@ fn run_worker(
     control: &Receiver<TemporalMsg>,
     waker: &Waker,
     store: WindowedSketchStore,
+    metrics: &Arc<ShardMetrics>,
 ) -> WindowedSketchStore {
     let mut w = TemporalWorker {
         store,
         rings: Vec::new(),
         run_items: Vec::new(),
+        metrics: Arc::clone(metrics),
     };
     w.store.set_defer_compaction(true);
     let mut engine_alive = true;

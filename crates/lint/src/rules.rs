@@ -611,6 +611,68 @@ pub fn check_r2(project: &Project) -> Vec<Diagnostic> {
                     }
                 }
             }
+            // The fuzz suite's first-undefined-kind constants must sit exactly
+            // one past the highest defined kind of their half of the byte
+            // space, so adding a wire kind without extending the fuzz coverage
+            // is a lint failure, not a silent gap. (Error kind 0x7F is its own
+            // register, outside both ranges.)
+            let request_max = kind_consts
+                .iter()
+                .filter(|(_, v, _)| *v < 0x40)
+                .map(|(_, v, _)| *v)
+                .max();
+            let response_max = kind_consts
+                .iter()
+                .filter(|(_, v, _)| (0x40..0x7F).contains(v))
+                .map(|(_, v, _)| *v)
+                .max();
+            let expectations = [
+                ("FIRST_UNDEFINED_REQUEST_KIND", request_max),
+                ("FIRST_UNDEFINED_RESPONSE_KIND", response_max),
+            ];
+            for (const_name, defined_max) in expectations {
+                let Some(defined_max) = defined_max else { continue };
+                let mut found = false;
+                for w in wf_code.windows(7) {
+                    if w[0].is_ident("const")
+                        && w[1].is_ident(const_name)
+                        && w[2].is_punct(':')
+                        && w[3].is_ident("u8")
+                        && w[4].is_punct('=')
+                        && w[5].kind == TokenKind::Number
+                        && w[6].is_punct(';')
+                    {
+                        found = true;
+                        if number_value(&w[5].text) != Some(defined_max + 1) {
+                            diags.push(Diagnostic {
+                                rule: "R2",
+                                file: wf.rel.clone(),
+                                line: w[5].line,
+                                message: format!(
+                                    "`{const_name}` is {} but the highest defined kind in its range is {defined_max:#04X}",
+                                    w[5].text
+                                ),
+                                hint: format!(
+                                    "set `{const_name}` to {:#04X} so the fuzz suite probes the first gap",
+                                    defined_max + 1
+                                ),
+                            });
+                        }
+                    }
+                }
+                if !found {
+                    diags.push(Diagnostic {
+                        rule: "R2",
+                        file: wf.rel.clone(),
+                        line: 1,
+                        message: format!("`const {const_name}: u8 = …;` not found"),
+                        hint: format!(
+                            "declare `{const_name}` (= {:#04X}) and exercise it against the daemon",
+                            defined_max + 1
+                        ),
+                    });
+                }
+            }
         }
     }
     diags
@@ -831,8 +893,74 @@ pub fn check_r5(project: &Project) -> Vec<Diagnostic> {
                 });
             }
         }
+        if DETERMINISTIC_PREFIXES.iter().any(|p| file.rel.starts_with(p)) {
+            check_clock_impls(file, &code, &mut diags);
+        }
     }
     diags
+}
+
+/// Idents that smuggle a wall-clock read into a `Clock` impl without spelling
+/// `Instant::now` — a stored `Instant`'s `elapsed()` reads the clock too.
+const CLOCK_SMUGGLERS: [&str; 3] = ["Instant", "SystemTime", "elapsed"];
+
+/// R5 (Clock) — durations in the deterministic crates must flow through the
+/// `uss_core::metrics::Clock` trait, and an `impl Clock for …` *inside* those
+/// crates must itself be deterministic: deriving `now_nanos` from a stored
+/// `std::time::Instant` (or any `elapsed()` call) is a wall-clock read with
+/// the serial numbers filed off. Real clocks belong in the server and bench
+/// crates, outside the deterministic prefixes.
+fn check_clock_impls(file: &SourceFile, code: &[&Token], diags: &mut Vec<Diagnostic>) {
+    let mut i = 0usize;
+    while i < code.len() {
+        if !code[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        // Walk the impl header to its `{` (or `;`), noting whether it reads
+        // `impl … Clock for …`.
+        let mut saw_clock = false;
+        let mut saw_for = false;
+        let mut j = i + 1;
+        while j < code.len() && !code[j].is_punct('{') && !code[j].is_punct(';') {
+            if code[j].is_ident("Clock") {
+                saw_clock = true;
+            }
+            if code[j].is_ident("for") {
+                saw_for = true;
+            }
+            j += 1;
+        }
+        if j >= code.len() || code[j].is_punct(';') || !(saw_clock && saw_for) {
+            i = j + 1;
+            continue;
+        }
+        // Brace-match the impl body and flag clock smugglers inside it.
+        let mut depth = 1i32;
+        let mut k = j + 1;
+        while k < code.len() && depth > 0 {
+            if code[k].is_punct('{') {
+                depth += 1;
+            } else if code[k].is_punct('}') {
+                depth -= 1;
+            } else if CLOCK_SMUGGLERS.contains(&code[k].text.as_str()) {
+                diags.push(Diagnostic {
+                    rule: "R5",
+                    file: file.rel.clone(),
+                    line: code[k].line,
+                    message: format!(
+                        "`{}` inside a `Clock` impl in deterministic sketch code",
+                        code[k].text
+                    ),
+                    hint: "Clock impls in the deterministic crates must be manual \
+                           (ManualClock-style); real clocks live in uss-server/bench"
+                        .to_string(),
+                });
+            }
+            k += 1;
+        }
+        i = k;
+    }
 }
 
 #[cfg(test)]

@@ -74,6 +74,17 @@ fn r5_banned_lock_and_clock_fire() {
 }
 
 #[test]
+fn r5_clock_impl_smuggling_elapsed_fires() {
+    let report = lint("r5-clock");
+    // Exactly the `elapsed` call inside the `impl Clock for …` body — the
+    // stored `Instant` field and the trait itself are not flagged.
+    assert_only_rule(&report, "R5", 1);
+    let d = &report.diagnostics[0];
+    assert!(d.message.contains("elapsed"), "message: {}", d.message);
+    assert!(d.message.contains("Clock"), "message: {}", d.message);
+}
+
+#[test]
 fn clean_tree_is_clean() {
     let report = lint("clean");
     assert!(report.is_clean(), "diagnostics: {:#?}", report.diagnostics);
@@ -110,7 +121,14 @@ fn run_binary(fixture: &str) -> std::process::Output {
 
 #[test]
 fn binary_exits_nonzero_on_each_rule_fixture() {
-    for (fixture, rule) in [("r1", "[R1]"), ("r2", "[R2]"), ("r3", "[R3]"), ("r4", "[R4]"), ("r5", "[R5]")] {
+    for (fixture, rule) in [
+        ("r1", "[R1]"),
+        ("r2", "[R2]"),
+        ("r3", "[R3]"),
+        ("r4", "[R4]"),
+        ("r5", "[R5]"),
+        ("r5-clock", "[R5]"),
+    ] {
         let out = run_binary(fixture);
         assert_eq!(out.status.code(), Some(1), "fixture {fixture} should exit 1");
         let stderr = String::from_utf8_lossy(&out.stderr);

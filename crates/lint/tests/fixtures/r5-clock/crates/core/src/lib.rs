@@ -1,0 +1,21 @@
+//! R5 (Clock) fixture: an `impl Clock for …` in deterministic sketch code
+//! that derives its reading from a stored `std::time::Instant` via
+//! `elapsed()` — a wall-clock read without ever spelling `Instant::now`.
+
+/// The duration source the deterministic crates are allowed to depend on.
+pub trait Clock {
+    /// Monotonic nanoseconds since an arbitrary origin.
+    fn now_nanos(&self) -> u64;
+}
+
+/// A clock that smuggles the wall clock in through a stored start instant.
+pub struct WallClock {
+    /// Captured by the caller; the impl below milks it for real time.
+    pub started: std::time::Instant,
+}
+
+impl Clock for WallClock {
+    fn now_nanos(&self) -> u64 {
+        self.started.elapsed().as_nanos() as u64
+    }
+}

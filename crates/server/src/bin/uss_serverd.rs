@@ -2,21 +2,32 @@
 //!
 //! ```text
 //! uss_serverd [--addr HOST:PORT] [--data-dir DIR]
+//!             [--metrics-addr HOST:PORT] [--log-level LEVEL]
 //! ```
 //!
 //! Binds `--addr` (default `127.0.0.1:7071`), restores any streams
 //! checkpointed under `--data-dir`, and serves until a client sends the wire
 //! `Shutdown` request — at which point every stream is checkpointed back into
 //! the data dir and the process exits.
+//!
+//! `--metrics-addr` additionally binds a plaintext Prometheus exposition
+//! endpoint (text format 0.0.4; `GET` anything). `--log-level` gates the
+//! daemon's stderr log: `off`, `error`, `warn`, `info` (default) or `debug`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use uss_server::{ServerConfig, SketchServer};
+use uss_server::logger;
+use uss_server::{LogLevel, ServerConfig, SketchServer};
+
+const USAGE: &str = "usage: uss_serverd [--addr HOST:PORT] [--data-dir DIR] \
+[--metrics-addr HOST:PORT] [--log-level off|error|warn|info|debug]";
 
 fn main() -> ExitCode {
     let mut addr = String::from("127.0.0.1:7071");
     let mut data_dir: Option<PathBuf> = None;
+    let mut metrics_addr: Option<String> = None;
+    let mut log_level = LogLevel::Info;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -29,15 +40,29 @@ fn main() -> ExitCode {
                 Some(value) => data_dir = Some(PathBuf::from(value)),
                 None => return usage("--data-dir needs a directory"),
             },
+            "--metrics-addr" => match args.next() {
+                Some(value) => metrics_addr = Some(value),
+                None => return usage("--metrics-addr needs a HOST:PORT value"),
+            },
+            "--log-level" => match args.next().as_deref().map(LogLevel::parse) {
+                Some(Ok(level)) => log_level = level,
+                Some(Err(bad)) => return usage(&format!("unknown log level {bad:?}")),
+                None => return usage("--log-level needs a level name"),
+            },
             "--help" | "-h" => {
-                println!("usage: uss_serverd [--addr HOST:PORT] [--data-dir DIR]");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument {other:?}")),
         }
     }
+    logger::set_level(log_level);
 
-    let server = match SketchServer::start(&addr, ServerConfig { data_dir }) {
+    let config = ServerConfig {
+        data_dir,
+        metrics_addr,
+    };
+    let server = match SketchServer::start(&addr, config) {
         Ok(server) => server,
         Err(err) => {
             eprintln!("uss_serverd: {err}");
@@ -45,12 +70,15 @@ fn main() -> ExitCode {
         }
     };
     println!("uss_serverd listening on {}", server.addr());
+    if let Some(metrics) = server.metrics_addr() {
+        println!("uss_serverd metrics on http://{metrics}/metrics");
+    }
     server.join();
     ExitCode::SUCCESS
 }
 
 fn usage(problem: &str) -> ExitCode {
     eprintln!("uss_serverd: {problem}");
-    eprintln!("usage: uss_serverd [--addr HOST:PORT] [--data-dir DIR]");
+    eprintln!("{USAGE}");
     ExitCode::FAILURE
 }

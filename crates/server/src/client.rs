@@ -11,8 +11,8 @@ use uss_core::persist::TemporalMeta;
 use uss_core::{Query, QueryAnswer, TimeRange};
 
 use crate::wire::{
-    read_frame, write_frame, ErrorCode, MarginalEntry, Request, Response, StreamInfo, WireError,
-    MAX_PAYLOAD,
+    read_frame, write_frame, ErrorCode, MarginalEntry, Request, Response, ServerStats, StreamInfo,
+    WireError, MAX_PAYLOAD,
 };
 
 /// Rows per `Ingest` frame when a batch is auto-chunked: 8 MiB of rows, half
@@ -34,6 +34,12 @@ pub enum ClientError {
     },
     /// The server answered with a well-formed frame of the wrong kind.
     UnexpectedResponse(String),
+    /// A configured deadline expired: the connect, a read or a write sat
+    /// longer than the timeout without the server moving a byte.
+    Timeout {
+        /// Which operation timed out (`"connect"`, `"read"`, `"write"`).
+        operation: &'static str,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -42,6 +48,7 @@ impl std::fmt::Display for ClientError {
             Self::Wire(err) => write!(f, "wire failure: {err}"),
             Self::Server { code, message } => write!(f, "server error ({code:?}): {message}"),
             Self::UnexpectedResponse(got) => write!(f, "unexpected response kind: {got}"),
+            Self::Timeout { operation } => write!(f, "{operation} timed out"),
         }
     }
 }
@@ -84,8 +91,46 @@ impl SketchClient {
         Ok(Self { stream })
     }
 
+    /// Connects to a daemon with a connect deadline, then applies the same
+    /// deadline to every read and write (as [`SketchClient::set_timeout`]
+    /// would). A server that accepts but never answers surfaces as
+    /// [`ClientError::Timeout`] instead of a stuck client.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Timeout`] when the deadline expires mid-connect, and
+    /// [`ClientError::Wire`] for other connect failures — including address
+    /// resolution yielding no candidates.
+    pub fn connect_timeout<A: ToSocketAddrs>(
+        addr: A,
+        timeout: Duration,
+    ) -> Result<Self, ClientError> {
+        let mut last: Option<std::io::Error> = None;
+        for candidate in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&candidate, timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    let mut client = Self { stream };
+                    client.set_timeout(Some(timeout))?;
+                    return Ok(client);
+                }
+                Err(err) => last = Some(err),
+            }
+        }
+        Err(match last {
+            Some(err) if is_timeout(&err) => ClientError::Timeout {
+                operation: "connect",
+            },
+            Some(err) => ClientError::Wire(WireError::Io(err)),
+            None => ClientError::Wire(WireError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to no candidates",
+            ))),
+        })
+    }
+
     /// Sets a receive deadline for every subsequent call, turning a hung or
-    /// silent server into a [`WireError::Io`] timeout instead of a stuck
+    /// silent server into a [`ClientError::Timeout`] instead of a stuck
     /// client.
     ///
     /// # Errors
@@ -98,8 +143,8 @@ impl SketchClient {
     }
 
     fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
-        write_frame(&mut self.stream, &request.encode())?;
-        let (kind, payload) = read_frame(&mut self.stream)?;
+        write_frame(&mut self.stream, &request.encode()).map_err(|err| classify(err, "write"))?;
+        let (kind, payload) = read_frame(&mut self.stream).map_err(|err| classify(err, "read"))?;
         let response = Response::decode(kind, &payload)?;
         if let Response::Error { code, message } = response {
             return Err(ClientError::Server { code, message });
@@ -243,6 +288,49 @@ impl SketchClient {
         }
     }
 
+    /// Snapshots the daemon's metrics registry: connection lifecycle, per-kind
+    /// request counts and latency histograms, error frames by code, and every
+    /// per-stream core metric (ingest, rings, temporal, checkpoints) rendered
+    /// exactly as the Prometheus exposition endpoint would print it.
+    ///
+    /// ```
+    /// # use uss_server::{SketchClient, SketchServer, ServerConfig};
+    /// # use uss_core::persist::TemporalMeta;
+    /// # let server = SketchServer::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+    /// # let mut client = SketchClient::connect(server.addr()).unwrap();
+    /// # client.create_stream("clicks", TemporalMeta {
+    /// #     shards: 2, capacity: 256, seed: 42,
+    /// #     bucket_width: 60, fine_buckets: 32, tier_factor: 4, tiers: 2,
+    /// # }).unwrap();
+    /// # use uss_core::{Query, TimeRange};
+    /// client.ingest("clicks", &[(7, 0), (8, 0), (7, 1)]).unwrap();
+    /// // Quiesce the workers (any query does) so the ingest counters are
+    /// // exact, then snapshot.
+    /// client.query("clicks", &TimeRange::All, &Query::TopK { k: 1 }).unwrap();
+    /// let stats = client.stats().unwrap();
+    /// let clicks = stats.streams.iter().find(|s| s.name == "clicks").unwrap();
+    /// assert_eq!(clicks.rows_ingested, 3);
+    /// // Worker-side row counters conserve the rows the client sent.
+    /// let applied: u64 = clicks
+    ///     .samples
+    ///     .iter()
+    ///     .filter(|(name, _)| name.starts_with("uss_ingest_rows_total{"))
+    ///     .map(|&(_, value)| value)
+    ///     .sum();
+    /// assert_eq!(applied, 3);
+    /// # server.shutdown();
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and server error frames.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Asks the daemon to checkpoint every stream and exit.
     ///
     /// # Errors
@@ -258,4 +346,22 @@ impl SketchClient {
 
 fn unexpected(response: &Response) -> ClientError {
     ClientError::UnexpectedResponse(format!("{response:?}"))
+}
+
+/// True for the two `ErrorKind`s a platform reports when a socket deadline
+/// expires (`WouldBlock` on Unix, `TimedOut` on Windows).
+fn is_timeout(err: &std::io::Error) -> bool {
+    matches!(
+        err.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Maps a deadline expiry inside the frame layer to the typed
+/// [`ClientError::Timeout`]; everything else stays a wire failure.
+fn classify(err: WireError, operation: &'static str) -> ClientError {
+    match err {
+        WireError::Io(io) if is_timeout(&io) => ClientError::Timeout { operation },
+        other => ClientError::Wire(other),
+    }
 }

@@ -14,8 +14,9 @@
 //! | module | contents |
 //! |--------|----------|
 //! | [`wire`] | the frame codec: byte layout, request/response types, total decoders |
-//! | [`server`] | [`SketchServer`]: the daemon, registry, checkpoint-on-shutdown / restore-on-boot |
+//! | [`server`] | [`SketchServer`]: the daemon, registry, checkpoint-on-shutdown / restore-on-boot, metrics + Prometheus exposition |
 //! | [`client`] | [`SketchClient`]: a typed synchronous client |
+//! | [`logger`] | the daemon's minimal leveled stderr logger (`--log-level`) |
 //!
 //! ## Quick start
 //!
@@ -50,12 +51,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod client;
+pub mod logger;
 pub mod server;
 pub mod wire;
 
 pub use client::{ClientError, SketchClient};
+pub use logger::LogLevel;
 pub use server::{ServerConfig, ServerError, SketchServer};
 pub use wire::{
-    ErrorCode, MarginalEntry, Request, Response, StreamInfo, WireError, MAX_PAYLOAD,
-    PROTOCOL_VERSION,
+    ErrorCode, MarginalEntry, Request, Response, ServerStats, StreamInfo, StreamStats, WireError,
+    MAX_PAYLOAD, PROTOCOL_VERSION,
 };

@@ -1,0 +1,139 @@
+//! A minimal leveled stderr logger for the daemon.
+//!
+//! The daemon's operational events — stream created/restored, checkpoint
+//! written/failed, connection accepted/rejected, shard faults — go through
+//! this module so `uss_serverd --log-level` can turn them up or down without
+//! pulling in a logging framework (the workspace is dependency-free by
+//! policy). One process-global level, stored in an atomic, gates everything;
+//! the [`log`] entry point is a plain function taking pre-formatted
+//! [`std::fmt::Arguments`], so a suppressed record costs one relaxed load and
+//! no formatting.
+//!
+//! Library embedders (tests, benches) get the quiet default: only `error`
+//! records print unless [`set_level`] is called. The daemon binary defaults
+//! to `info`.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Record severities, ordered so that a level admits itself and everything
+/// more severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum LogLevel {
+    /// Print nothing at all.
+    Off = 0,
+    /// Faults: checkpoint failures, dead shards, rejected connections.
+    Error = 1,
+    /// Surprises that the daemon absorbed (bad frames, lingering closes).
+    Warn = 2,
+    /// Lifecycle: streams created/restored, checkpoints written, bind/serve.
+    Info = 3,
+    /// Per-connection chatter: accepts and orderly closes.
+    Debug = 4,
+}
+
+impl LogLevel {
+    /// Parses a `--log-level` value. Accepts the five level names,
+    /// case-insensitively.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognised input back, for the caller's usage message.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" => Ok(Self::Off),
+            "error" => Ok(Self::Error),
+            "warn" => Ok(Self::Warn),
+            "info" => Ok(Self::Info),
+            "debug" => Ok(Self::Debug),
+            other => Err(other.to_string()),
+        }
+    }
+
+    fn tag(self) -> &'static str {
+        match self {
+            Self::Off => "off",
+            Self::Error => "error",
+            Self::Warn => "warn",
+            Self::Info => "info",
+            Self::Debug => "debug",
+        }
+    }
+}
+
+/// The process-global log level. Quiet-by-default for library embedders.
+static LEVEL: AtomicU8 = AtomicU8::new(LogLevel::Error as u8);
+
+/// Sets the process-global log level.
+pub fn set_level(level: LogLevel) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// True when a record at `level` would print.
+#[must_use]
+pub fn enabled(level: LogLevel) -> bool {
+    level as u8 <= LEVEL.load(Ordering::Relaxed) && level != LogLevel::Off
+}
+
+/// Writes one record to stderr if `level` passes the global gate.
+///
+/// Call through the [`log_error!`](crate::log_error),
+/// [`log_warn!`](crate::log_warn), [`log_info!`](crate::log_info) and
+/// [`log_debug!`](crate::log_debug) macros, which defer formatting until the
+/// gate has passed.
+pub fn log(level: LogLevel, args: std::fmt::Arguments<'_>) {
+    if enabled(level) {
+        eprintln!("uss-server [{}] {args}", level.tag());
+    }
+}
+
+/// Logs at [`LogLevel::Error`].
+#[macro_export]
+macro_rules! log_error {
+    ($($arg:tt)*) => {
+        $crate::logger::log($crate::logger::LogLevel::Error, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`LogLevel::Warn`].
+#[macro_export]
+macro_rules! log_warn {
+    ($($arg:tt)*) => {
+        $crate::logger::log($crate::logger::LogLevel::Warn, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`LogLevel::Info`].
+#[macro_export]
+macro_rules! log_info {
+    ($($arg:tt)*) => {
+        $crate::logger::log($crate::logger::LogLevel::Info, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`LogLevel::Debug`].
+#[macro_export]
+macro_rules! log_debug {
+    ($($arg:tt)*) => {
+        $crate::logger::log($crate::logger::LogLevel::Debug, format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!(LogLevel::parse("INFO"), Ok(LogLevel::Info));
+        assert_eq!(LogLevel::parse("off"), Ok(LogLevel::Off));
+        assert!(LogLevel::parse("verbose").is_err());
+        assert!(LogLevel::Error < LogLevel::Debug);
+    }
+
+    #[test]
+    fn off_admits_nothing() {
+        // `enabled` never admits Off-level records, whatever the gate.
+        assert!(!enabled(LogLevel::Off));
+    }
+}

@@ -14,9 +14,19 @@
 //! per-shard failures without aborting the remaining streams' writes — and boot
 //! restores every stream the directory holds, reconstructing each engine's
 //! config from its checkpoint manifest alone.
+//!
+//! Observability: every connection, request, error frame and request latency
+//! feeds a server-level metrics registry (plus the per-stream engine
+//! registries the core maintains). The same snapshot builder answers the wire
+//! [`Request::Stats`] frame and renders the optional plaintext Prometheus
+//! exposition listener ([`ServerConfig::metrics_addr`]), so the two views
+//! cannot drift apart. Request counters and latency histograms are bumped
+//! *after* the response is written, so any quiescent snapshot satisfies
+//! `requests[k] == latency[k].count` for every kind — the conservation suite
+//! depends on this.
 
 use std::collections::HashMap;
-use std::io::Read;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -25,13 +35,18 @@ use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
 
+use uss_core::metrics::{FamilyDesc, MetricKind, Sample, CORE_FAMILIES};
 use uss_core::persist::{self, PersistError, TemporalMeta};
-use uss_core::{answer_query, EngineError, TemporalIngestEngine, TemporalIngestHandle};
+use uss_core::{
+    answer_query, Counter, EngineError, Histogram, TemporalIngestEngine, TemporalIngestHandle,
+};
 
 use crate::wire::{
-    self, read_frame, write_frame, ErrorCode, MarginalEntry, Request, Response, StreamInfo,
-    WireError,
+    self, read_frame, request_kind_index, write_frame, ErrorCode, MarginalEntry, Request,
+    Response, ServerStats, StreamInfo, StreamStats, WireError, ERROR_CODE_COUNT,
+    REQUEST_KIND_COUNT,
 };
+use crate::{log_debug, log_error, log_info, log_warn};
 
 /// How long a connection thread blocks in one socket read before re-checking
 /// the shutdown flag.
@@ -87,12 +102,124 @@ pub struct ServerConfig {
     /// `dir/<stream>/` and restore-on-boot from the same layout; `None` runs
     /// the daemon purely in memory.
     pub data_dir: Option<PathBuf>,
+    /// When set, a second listener is bound here serving the metrics registry
+    /// as plaintext Prometheus exposition (text format 0.0.4) over GET-line
+    /// HTTP. Use port 0 for an ephemeral port (see
+    /// [`SketchServer::metrics_addr`]).
+    pub metrics_addr: Option<String>,
 }
 
-/// One registered stream: its wire-visible identity plus the live engine.
+/// Human-readable `kind` label values for per-request-kind server metrics,
+/// indexed by request kind − 1 (the [`request_kind_index`] convention).
+const KIND_NAMES: [&str; REQUEST_KIND_COUNT] = [
+    "ping",
+    "create_stream",
+    "list_streams",
+    "ingest",
+    "query",
+    "marginals",
+    "shutdown",
+    "stats",
+];
+
+/// Human-readable `code` label values for the error-frame counter, indexed by
+/// [`ErrorCode`] − 1.
+const CODE_NAMES: [&str; ERROR_CODE_COUNT] = [
+    "bad_frame",
+    "bad_request",
+    "unknown_stream",
+    "stream_exists",
+    "invalid_config",
+    "shard_down",
+    "internal",
+];
+
+/// Stats-array indices for the request kinds that name a stream, so handlers
+/// can bump per-stream counters without threading the kind byte through.
+const IDX_CREATE_STREAM: usize = 1;
+const IDX_INGEST: usize = 3;
+const IDX_QUERY: usize = 4;
+const IDX_MARGINALS: usize = 5;
+
+/// The server-level metric families, described for the exposition endpoint's
+/// `# HELP` / `# TYPE` headers (the core families come from
+/// [`CORE_FAMILIES`]).
+const SERVER_FAMILIES: &[FamilyDesc] = &[
+    FamilyDesc {
+        name: "uss_server_connections_accepted_total",
+        help: "Client connections accepted since boot.",
+        kind: MetricKind::Counter,
+        labels: &[],
+    },
+    FamilyDesc {
+        name: "uss_server_connections_closed_total",
+        help: "Client connections closed (cleanly or not) since boot.",
+        kind: MetricKind::Counter,
+        labels: &[],
+    },
+    FamilyDesc {
+        name: "uss_server_requests_total",
+        help: "Requests served, counted once the response is written.",
+        kind: MetricKind::Counter,
+        labels: &["kind"],
+    },
+    FamilyDesc {
+        name: "uss_server_error_frames_total",
+        help: "Error responses sent, by error code.",
+        kind: MetricKind::Counter,
+        labels: &["code"],
+    },
+    FamilyDesc {
+        name: "uss_server_request_latency_nanos",
+        help: "Request handling latency in nanoseconds, log2-bucketed.",
+        kind: MetricKind::Histogram,
+        labels: &["kind"],
+    },
+];
+
+/// The daemon's own registry: connection lifecycle, per-kind request counts
+/// and latency, and error frames by code. Stream-scoped metrics live on each
+/// stream's engine registries instead.
+struct ServerMetrics {
+    connections_accepted: Counter,
+    connections_closed: Counter,
+    requests: [Counter; REQUEST_KIND_COUNT],
+    error_frames: [Counter; ERROR_CODE_COUNT],
+    latency: [Histogram; REQUEST_KIND_COUNT],
+}
+
+impl ServerMetrics {
+    const fn new() -> Self {
+        Self {
+            connections_accepted: Counter::new(),
+            connections_closed: Counter::new(),
+            requests: [const { Counter::new() }; REQUEST_KIND_COUNT],
+            error_frames: [const { Counter::new() }; ERROR_CODE_COUNT],
+            latency: [const { Histogram::new() }; REQUEST_KIND_COUNT],
+        }
+    }
+
+    fn count_error_frame(&self, code: ErrorCode) {
+        self.error_frames[code as usize - 1].inc();
+    }
+}
+
+/// One registered stream: its wire-visible identity, the live engine, and the
+/// per-stream request counters (indexed by request kind − 1).
 struct StreamEntry {
     spec: TemporalMeta,
     engine: TemporalIngestEngine,
+    requests: [Counter; REQUEST_KIND_COUNT],
+}
+
+impl StreamEntry {
+    fn new(spec: TemporalMeta, engine: TemporalIngestEngine) -> Self {
+        Self {
+            spec,
+            engine,
+            requests: [const { Counter::new() }; REQUEST_KIND_COUNT],
+        }
+    }
 }
 
 /// State shared by the accept loop and every connection thread.
@@ -100,6 +227,7 @@ struct Shared {
     registry: RwLock<HashMap<String, Arc<StreamEntry>>>,
     data_dir: Option<PathBuf>,
     shutdown: AtomicBool,
+    metrics: ServerMetrics,
 }
 
 impl Shared {
@@ -116,8 +244,10 @@ impl Shared {
 /// every stream when a data dir is configured).
 pub struct SketchServer {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    metrics_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl SketchServer {
@@ -141,14 +271,33 @@ impl SketchServer {
             registry: RwLock::new(registry),
             data_dir: config.data_dir,
             shutdown: AtomicBool::new(false),
+            metrics: ServerMetrics::new(),
         });
+
+        let (metrics_addr, metrics_thread) = match &config.metrics_addr {
+            Some(spec) => {
+                let metrics_listener = TcpListener::bind(spec.as_str())?;
+                metrics_listener.set_nonblocking(true)?;
+                let bound = metrics_listener.local_addr()?;
+                let exposition_shared = Arc::clone(&shared);
+                let thread = std::thread::spawn(move || {
+                    exposition_loop(&metrics_listener, &exposition_shared);
+                });
+                log_info!("metrics exposition listening on {bound}");
+                (Some(bound), Some(thread))
+            }
+            None => (None, None),
+        };
 
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
+        log_info!("listening on {addr}");
         Ok(Self {
             addr,
+            metrics_addr,
             shared,
             accept_thread: Some(accept_thread),
+            metrics_thread,
         })
     }
 
@@ -156,6 +305,13 @@ impl SketchServer {
     #[must_use]
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The metrics exposition listener's bound address, when one was
+    /// configured via [`ServerConfig::metrics_addr`].
+    #[must_use]
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Test-only fault injection: panics one worker shard of a named stream so
@@ -188,6 +344,9 @@ impl SketchServer {
     fn stop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+        if let Some(thread) = self.metrics_thread.take() {
             let _ = thread.join();
         }
     }
@@ -223,16 +382,17 @@ fn restore_streams(
             let manifest = persist::decode_temporal_manifest(&std::fs::read(&manifest_path)?)?;
             let config = manifest.meta.to_config()?;
             let engine = TemporalIngestEngine::restore(&path, config)?;
-            Ok(StreamEntry {
-                spec: manifest.meta,
-                engine,
-            })
+            Ok(StreamEntry::new(manifest.meta, engine))
         };
         match restore() {
             Ok(stream) => {
+                log_info!("restored stream {name:?} from checkpoint");
                 registry.insert(name, Arc::new(stream));
             }
-            Err(error) => return Err(ServerError::Restore { stream: name, error }),
+            Err(error) => {
+                log_error!("restoring stream {name:?} failed: {error}");
+                return Err(ServerError::Restore { stream: name, error });
+            }
         }
     }
     Ok(())
@@ -242,16 +402,22 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
-            Ok((stream, _)) => {
+            Ok((stream, peer)) => {
+                log_debug!("accepted connection from {peer}");
+                shared.metrics.connections_accepted.inc();
                 let conn_shared = Arc::clone(shared);
                 connections.push(std::thread::spawn(move || {
                     serve_connection(stream, &conn_shared);
+                    conn_shared.metrics.connections_closed.inc();
                 }));
             }
             Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(ACCEPT_POLL);
             }
-            Err(_) => std::thread::sleep(ACCEPT_POLL),
+            Err(err) => {
+                log_warn!("rejected connection: accept failed: {err}");
+                std::thread::sleep(ACCEPT_POLL);
+            }
         }
         connections.retain(|conn| !conn.is_finished());
     }
@@ -273,8 +439,9 @@ fn checkpoint_streams(shared: &Shared) {
         .map(|(name, entry)| (name.clone(), Arc::clone(entry)))
         .collect();
     for (name, entry) in streams {
-        if let Err(err) = entry.engine.checkpoint(dir.join(&name)) {
-            eprintln!("uss-server: checkpointing stream {name:?} failed: {err}");
+        match entry.engine.checkpoint(dir.join(&name)) {
+            Ok(()) => log_info!("checkpointed stream {name:?}"),
+            Err(err) => log_error!("checkpointing stream {name:?} failed: {err}"),
         }
     }
 }
@@ -348,9 +515,10 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
     let _ = stream.set_read_timeout(Some(READ_POLL));
     let _ = stream.set_nodelay(true);
     let mut stream = stream;
-    // Per-connection ingest handles, one per stream touched, so repeated
-    // `Ingest` requests reuse their SPSC rings instead of re-registering.
-    let mut handles: HashMap<String, TemporalIngestHandle> = HashMap::new();
+    // Per-connection ingest handles (with their stream entry, for per-stream
+    // request counting), one per stream touched, so repeated `Ingest` requests
+    // reuse their SPSC rings instead of re-registering.
+    let mut handles: HashMap<String, (TemporalIngestHandle, Arc<StreamEntry>)> = HashMap::new();
 
     loop {
         let (kind, payload) = match read_request(&stream, shared) {
@@ -359,6 +527,8 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
             ReadOutcome::Bad(err) => {
                 // The byte stream can no longer be trusted to be frame-aligned:
                 // answer with a typed error, then close.
+                log_warn!("closing connection on unframeable bytes: {err}");
+                shared.metrics.count_error_frame(ErrorCode::BadFrame);
                 let response = Response::Error {
                     code: ErrorCode::BadFrame,
                     message: err.to_string(),
@@ -378,6 +548,7 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
                     WireError::UnknownKind(_) => ErrorCode::BadFrame,
                     _ => ErrorCode::BadRequest,
                 };
+                shared.metrics.count_error_frame(code);
                 let response = Response::Error {
                     code,
                     message: err.to_string(),
@@ -390,6 +561,7 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
         };
 
         let shutting_down = matches!(request, Request::Shutdown);
+        let started = Instant::now();
         // A panicking request handler must not take the daemon down with it:
         // catch at the connection boundary and degrade to a typed error.
         let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -399,14 +571,31 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
             code: ErrorCode::Internal,
             message: panic_message(&panic),
         });
+        if let Response::Error { code, message } = &response {
+            log_warn!("request failed ({:?}): {message}", code);
+            shared.metrics.count_error_frame(*code);
+        }
         if write_frame(&mut stream, &response.encode()).is_err() {
             return;
+        }
+        // Counted after the write: a quiescent snapshot (all responses
+        // received) satisfies requests[k] == latency[k].count exactly, and a
+        // Stats snapshot never half-counts the request that produced it.
+        if let Some(idx) = request_kind_index(kind) {
+            shared.metrics.requests[idx].inc();
+            shared.metrics.latency[idx].record(elapsed_nanos(started));
         }
         if shutting_down {
             shared.shutdown.store(true, Ordering::SeqCst);
             return;
         }
     }
+}
+
+/// Nanoseconds since `started`, saturated into a `u64` (580 years of range —
+/// the cast cannot truncate a real latency).
+fn elapsed_nanos(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// How long [`lingering_close`] keeps draining a rejected connection.
@@ -448,7 +637,10 @@ fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
 
 fn engine_error_response(err: &EngineError) -> Response {
     let code = match err {
-        EngineError::ShardDown { .. } => ErrorCode::ShardDown,
+        EngineError::ShardDown { .. } => {
+            log_error!("worker shard fault: {err}");
+            ErrorCode::ShardDown
+        }
         _ => ErrorCode::Internal,
     };
     Response::Error {
@@ -459,7 +651,7 @@ fn engine_error_response(err: &EngineError) -> Response {
 
 fn handle_request(
     shared: &Shared,
-    handles: &mut HashMap<String, TemporalIngestHandle>,
+    handles: &mut HashMap<String, (TemporalIngestHandle, Arc<StreamEntry>)>,
     request: Request,
 ) -> Response {
     match request {
@@ -490,6 +682,7 @@ fn handle_request(
             let Some(entry) = shared.streams().get(&name).cloned() else {
                 return unknown_stream(&name);
             };
+            entry.requests[IDX_QUERY].inc();
             match entry.engine.try_range_capture(&range) {
                 Ok(snap) => Response::Answer {
                     rows: snap.rows_processed(),
@@ -508,6 +701,7 @@ fn handle_request(
             let Some(entry) = shared.streams().get(&name).cloned() else {
                 return unknown_stream(&name);
             };
+            entry.requests[IDX_MARGINALS].inc();
             match entry.engine.try_range_capture(&range) {
                 Ok(snap) => {
                     let entries = snap
@@ -528,6 +722,58 @@ fn handle_request(
             }
         }
         Request::Shutdown => Response::ShuttingDown,
+        Request::Stats => Response::Stats(build_server_stats(shared)),
+    }
+}
+
+/// Builds the wire [`ServerStats`] snapshot. This is the *only* reader of the
+/// metrics registries: the Prometheus exposition body is rendered from the
+/// same snapshot (see [`render_exposition`]), so the two views agree by
+/// construction.
+fn build_server_stats(shared: &Shared) -> ServerStats {
+    let m = &shared.metrics;
+    let mut requests = [0u64; REQUEST_KIND_COUNT];
+    let mut latency = Vec::with_capacity(REQUEST_KIND_COUNT);
+    for (slot, counter) in requests.iter_mut().zip(&m.requests) {
+        *slot = counter.get();
+    }
+    for hist in &m.latency {
+        latency.push(hist.snapshot());
+    }
+    let mut error_frames = [0u64; ERROR_CODE_COUNT];
+    for (slot, counter) in error_frames.iter_mut().zip(&m.error_frames) {
+        *slot = counter.get();
+    }
+
+    let mut streams: Vec<StreamStats> = shared
+        .streams()
+        .iter()
+        .map(|(name, entry)| {
+            let labels = format!("stream=\"{name}\"");
+            let mut samples: Vec<Sample> = Vec::new();
+            entry.engine.metrics().collect(&labels, &mut samples);
+            entry.engine.temporal_metrics().collect(&labels, &mut samples);
+            let mut stream_requests = [0u64; REQUEST_KIND_COUNT];
+            for (slot, counter) in stream_requests.iter_mut().zip(&entry.requests) {
+                *slot = counter.get();
+            }
+            StreamStats {
+                name: name.clone(),
+                rows_ingested: entry.engine.rows_enqueued(),
+                requests: stream_requests,
+                samples,
+            }
+        })
+        .collect();
+    streams.sort_by(|a, b| a.name.cmp(&b.name));
+
+    ServerStats {
+        connections_accepted: m.connections_accepted.get(),
+        connections_closed: m.connections_closed.get(),
+        requests,
+        error_frames,
+        latency,
+        streams,
     }
 }
 
@@ -542,6 +788,7 @@ fn create_stream(shared: &Shared, name: String, spec: TemporalMeta) -> Response 
     let mut registry = shared.streams_mut();
     if let Some(existing) = registry.get(&name) {
         return if existing.spec == spec {
+            existing.requests[IDX_CREATE_STREAM].inc();
             Response::StreamCreated { created: false }
         } else {
             Response::Error {
@@ -566,7 +813,10 @@ fn create_stream(shared: &Shared, name: String, spec: TemporalMeta) -> Response 
     }
     match TemporalIngestEngine::try_new(config) {
         Ok(engine) => {
-            registry.insert(name, Arc::new(StreamEntry { spec, engine }));
+            let entry = Arc::new(StreamEntry::new(spec, engine));
+            entry.requests[IDX_CREATE_STREAM].inc();
+            log_info!("created stream {name:?}");
+            registry.insert(name, entry);
             Response::StreamCreated { created: true }
         }
         Err(err) => invalid(err.to_string()),
@@ -575,22 +825,23 @@ fn create_stream(shared: &Shared, name: String, spec: TemporalMeta) -> Response 
 
 fn ingest(
     shared: &Shared,
-    handles: &mut HashMap<String, TemporalIngestHandle>,
+    handles: &mut HashMap<String, (TemporalIngestHandle, Arc<StreamEntry>)>,
     name: &str,
     rows: &[(u64, u64)],
 ) -> Response {
-    let handle = match handles.entry(name.to_string()) {
+    let (handle, entry) = match handles.entry(name.to_string()) {
         std::collections::hash_map::Entry::Occupied(slot) => slot.into_mut(),
         std::collections::hash_map::Entry::Vacant(slot) => {
             let Some(entry) = shared.streams().get(name).cloned() else {
                 return unknown_stream(name);
             };
             match entry.engine.try_handle() {
-                Ok(handle) => slot.insert(handle),
+                Ok(handle) => slot.insert((handle, entry)),
                 Err(err) => return engine_error_response(&err),
             }
         }
     };
+    entry.requests[IDX_INGEST].inc();
     // Flush after every batch so the acknowledged rows are query-visible and
     // survive a checkpoint the moment the response is on the wire.
     let result = handle
@@ -606,4 +857,143 @@ fn ingest(
             engine_error_response(&err)
         }
     }
+}
+
+// ----- Prometheus exposition -----
+
+/// How long the exposition listener waits for a scrape's request head.
+const SCRAPE_READ_TIMEOUT: Duration = Duration::from_millis(250);
+
+fn metric_type_name(kind: MetricKind) -> &'static str {
+    match kind {
+        MetricKind::Counter => "counter",
+        MetricKind::Gauge => "gauge",
+        MetricKind::Histogram => "histogram",
+    }
+}
+
+fn push_header(out: &mut String, desc: &FamilyDesc) {
+    out.push_str("# HELP ");
+    out.push_str(desc.name);
+    out.push(' ');
+    out.push_str(desc.help);
+    out.push_str("\n# TYPE ");
+    out.push_str(desc.name);
+    out.push(' ');
+    out.push_str(metric_type_name(desc.kind));
+    out.push('\n');
+}
+
+/// Renders the whole registry as Prometheus text format 0.0.4. The body is
+/// built from the same [`build_server_stats`] snapshot that answers the wire
+/// `Stats` request, so the two exposures agree by construction: every
+/// per-stream sample line here is byte-for-byte a `(name, value)` pair from
+/// [`StreamStats::samples`].
+fn render_exposition(shared: &Shared) -> String {
+    use std::fmt::Write as _;
+
+    let stats = build_server_stats(shared);
+    let mut out = String::new();
+
+    for desc in SERVER_FAMILIES {
+        push_header(&mut out, desc);
+        match desc.name {
+            "uss_server_connections_accepted_total" => {
+                let _ = writeln!(out, "{} {}", desc.name, stats.connections_accepted);
+            }
+            "uss_server_connections_closed_total" => {
+                let _ = writeln!(out, "{} {}", desc.name, stats.connections_closed);
+            }
+            "uss_server_requests_total" => {
+                for (i, count) in stats.requests.iter().enumerate() {
+                    let _ = writeln!(out, "{}{{kind=\"{}\"}} {count}", desc.name, KIND_NAMES[i]);
+                }
+            }
+            "uss_server_error_frames_total" => {
+                for (i, count) in stats.error_frames.iter().enumerate() {
+                    let _ = writeln!(out, "{}{{code=\"{}\"}} {count}", desc.name, CODE_NAMES[i]);
+                }
+            }
+            "uss_server_request_latency_nanos" => {
+                for (i, hist) in stats.latency.iter().enumerate() {
+                    let kind = KIND_NAMES[i];
+                    let mut cumulative = 0u64;
+                    for &(bucket, count) in &hist.buckets {
+                        cumulative += count;
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{{kind=\"{kind}\",le=\"{}\"}} {cumulative}",
+                            desc.name,
+                            uss_core::Histogram::bucket_upper_bound(usize::from(bucket)),
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{{kind=\"{kind}\",le=\"+Inf\"}} {}",
+                        desc.name, hist.count
+                    );
+                    let _ = writeln!(out, "{}_sum{{kind=\"{kind}\"}} {}", desc.name, hist.sum);
+                    let _ =
+                        writeln!(out, "{}_count{{kind=\"{kind}\"}} {}", desc.name, hist.count);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    for desc in CORE_FAMILIES {
+        push_header(&mut out, desc);
+        let prefix = format!("{}{{", desc.name);
+        for stream in &stats.streams {
+            for (sample, value) in &stream.samples {
+                if sample.starts_with(&prefix) {
+                    let _ = writeln!(out, "{sample} {value}");
+                }
+            }
+        }
+    }
+
+    out
+}
+
+fn exposition_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => serve_scrape(stream, shared),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Serves one scrape: a GET-line HTTP exchange, deliberately minimal — read
+/// the request head, answer one plaintext body, close. Anything that is not a
+/// GET gets a 400 so a misdirected wire client fails loudly.
+fn serve_scrape(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(SCRAPE_READ_TIMEOUT));
+    let mut head = Vec::new();
+    let mut buf = [0u8; 512];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let (status, body) = if head.starts_with(b"GET ") {
+        ("200 OK", render_exposition(shared))
+    } else {
+        ("400 Bad Request", String::from("metrics endpoint speaks GET only\n"))
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
 }

@@ -24,8 +24,8 @@
 //!
 //! # Frame kinds and payloads
 //!
-//! Requests occupy `0x01..=0x07`; each response kind is its request kind with
-//! bit 6 set (`0x41..=0x47`), and `0x7F` is the error response. A *name* is
+//! Requests occupy `0x01..=0x08`; each response kind is its request kind with
+//! bit 6 set (`0x41..=0x48`), and `0x7F` is the error response. A *name* is
 //! `len u32, len × utf-8 byte` (at most 128 bytes, `[A-Za-z0-9_.-]`, non-empty
 //! — names double as checkpoint directory names, so they must be
 //! filesystem-safe). A *spec* is the 7 × u64 stream identity `shards, capacity,
@@ -43,6 +43,7 @@
 //! | 0x05 | `Query` | name, range, `confidence f64`, query (below) |
 //! | 0x06 | `Marginals` | name, range, `confidence f64, shift u8, mask u64` |
 //! | 0x07 | `Shutdown` | empty |
+//! | 0x08 | `Stats` | empty |
 //! | 0x41 | `Pong` | `protocol u16` |
 //! | 0x42 | `StreamCreated` | `created u8` (1 = new, 0 = already existed) |
 //! | 0x43 | `Streams` | `n u64, n × (name, spec, rows u64)` |
@@ -50,6 +51,7 @@
 //! | 0x45 | `Answer` | `rows u64`, answer (below) |
 //! | 0x46 | `MarginalsAnswer` | `rows u64, n u64, n × (key u64, sum f64, variance f64, in_sketch u64, lower f64, upper f64)` |
 //! | 0x47 | `ShuttingDown` | empty |
+//! | 0x48 | `StatsReply` | server stats (below) |
 //! | 0x7F | `Error` | `code u8`, message (u32-length-prefixed utf-8) |
 //!
 //! A query is `tag u8` then: `0` subset sum (`n u64, n × item u64`, sorted
@@ -62,11 +64,22 @@
 //! Client-supplied floats that feed panicking estimator contracts (`confidence`,
 //! `phi`) are validated *at decode time*, so a hostile frame is rejected with
 //! [`WireError::Invalid`] before it can reach an `assert!` in the query layer.
+//!
+//! Server stats (the `StatsReply` payload) are `connections_accepted u64,
+//! connections_closed u64`, [`REQUEST_KIND_COUNT`] × `requests u64` (indexed by
+//! request kind − 1), [`ERROR_CODE_COUNT`] × `error_frames u64` (indexed by
+//! [`ErrorCode`] − 1), [`REQUEST_KIND_COUNT`] × histogram, then `n u64, n ×
+//! stream-stats`. A *histogram* is `m u64, m × (bucket u8, count u64)` (bucket
+//! indices strictly increasing, below 64; only occupied buckets are encoded)
+//! followed by `count u64, sum u64`. A *stream-stats* is name,
+//! `rows_ingested u64`, [`REQUEST_KIND_COUNT`] × `requests u64`, then `s u64,
+//! s × (sample-text, value u64)` where sample-text is a u32-length-prefixed
+//! utf-8 rendered sample name (`family{labels}`), capped at 4096 bytes.
 
 use std::io::{Read, Write};
 
 use uss_core::persist::{crc64, PayloadReader, PayloadWriter, PersistError, TemporalMeta};
-use uss_core::{Query, QueryAnswer, SubsetEstimate, TimeRange};
+use uss_core::{HistogramSnapshot, Query, QueryAnswer, SubsetEstimate, TimeRange};
 use uss_core::variance::ConfidenceInterval;
 
 /// Frame magic: `USSW` (Unbiased Space Saving, Wire).
@@ -82,6 +95,12 @@ pub const CHECKSUM_LEN: usize = 8;
 pub const MAX_PAYLOAD: usize = 16 << 20;
 /// Longest permitted stream name, in bytes.
 pub const MAX_NAME_LEN: usize = 128;
+/// Number of defined request kinds (`0x01..=0x08`). Per-kind stats arrays are
+/// indexed by `kind - 1`.
+pub const REQUEST_KIND_COUNT: usize = 8;
+/// Number of defined [`ErrorCode`] classes (`1..=7`). Per-code stats arrays are
+/// indexed by `code - 1`.
+pub const ERROR_CODE_COUNT: usize = 7;
 
 /// Decode-time ceilings on client-supplied stream geometry, so a hostile
 /// `CreateStream` cannot make the server eagerly allocate absurd state.
@@ -253,6 +272,8 @@ pub enum Request {
     },
     /// Checkpoint every stream and stop the daemon.
     Shutdown,
+    /// Snapshot the server's metrics registry.
+    Stats,
 }
 
 /// One row of a [`Response::Streams`] listing.
@@ -264,6 +285,41 @@ pub struct StreamInfo {
     pub spec: TemporalMeta,
     /// Rows enqueued so far.
     pub rows: u64,
+}
+
+/// Per-stream slice of a [`ServerStats`] snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamStats {
+    /// The stream name.
+    pub name: String,
+    /// Rows enqueued into the stream's engine so far.
+    pub rows_ingested: u64,
+    /// Requests that named this stream, indexed by request kind − 1.
+    pub requests: [u64; REQUEST_KIND_COUNT],
+    /// Core metric samples for this stream's engine, rendered as
+    /// `(family{labels}, value)` pairs — the same names the Prometheus
+    /// exposition endpoint serves, so the two views agree by construction.
+    pub samples: Vec<(String, u64)>,
+}
+
+/// A point-in-time snapshot of the server's metrics registry, carried by
+/// [`Response::Stats`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Connections accepted since boot.
+    pub connections_accepted: u64,
+    /// Connections closed (cleanly or not) since boot.
+    pub connections_closed: u64,
+    /// Well-formed requests served, indexed by request kind − 1.
+    pub requests: [u64; REQUEST_KIND_COUNT],
+    /// Error frames sent, indexed by [`ErrorCode`] − 1.
+    pub error_frames: [u64; ERROR_CODE_COUNT],
+    /// Request-latency histograms, one per request kind (same index as
+    /// `requests`), in nanoseconds. Empty only in hand-built values; the
+    /// codec always carries exactly [`REQUEST_KIND_COUNT`] entries.
+    pub latency: Vec<HistogramSnapshot>,
+    /// Per-stream stats, in registry iteration order.
+    pub streams: Vec<StreamStats>,
 }
 
 /// One keyed marginal: the key, its estimate, and its confidence interval.
@@ -315,6 +371,8 @@ pub enum Response {
     },
     /// Shutdown acknowledged; the connection closes after this frame.
     ShuttingDown,
+    /// A metrics snapshot answering [`Request::Stats`].
+    Stats(ServerStats),
     /// The request failed.
     Error {
         /// Machine-readable class.
@@ -333,6 +391,7 @@ const KIND_INGEST: u8 = 0x04;
 const KIND_QUERY: u8 = 0x05;
 const KIND_MARGINALS: u8 = 0x06;
 const KIND_SHUTDOWN: u8 = 0x07;
+const KIND_STATS: u8 = 0x08;
 const KIND_PONG: u8 = 0x41;
 const KIND_STREAM_CREATED: u8 = 0x42;
 const KIND_STREAMS: u8 = 0x43;
@@ -340,6 +399,7 @@ const KIND_INGESTED: u8 = 0x44;
 const KIND_ANSWER: u8 = 0x45;
 const KIND_MARGINALS_ANSWER: u8 = 0x46;
 const KIND_SHUTTING_DOWN: u8 = 0x47;
+const KIND_STATS_REPLY: u8 = 0x48;
 const KIND_ERROR: u8 = 0x7F;
 
 // ----- frame layer -----
@@ -393,7 +453,7 @@ pub fn check_header(header: &[u8]) -> Result<(u8, usize), WireError> {
         return Err(WireError::UnsupportedVersion(version));
     }
     let kind = header[6];
-    if !matches!(kind, KIND_PING..=KIND_SHUTDOWN | KIND_PONG..=KIND_SHUTTING_DOWN | KIND_ERROR) {
+    if !matches!(kind, KIND_PING..=KIND_STATS | KIND_PONG..=KIND_STATS_REPLY | KIND_ERROR) {
         return Err(WireError::UnknownKind(kind));
     }
     let len = u64::from_le_bytes(header_array(&header[8..16]));
@@ -746,6 +806,129 @@ fn read_answer(r: &mut PayloadReader<'_>) -> Result<QueryAnswer, WireError> {
     })
 }
 
+/// Maps a request kind byte to its stats-array index, or `None` for
+/// non-request kinds. The server uses this to bucket per-kind counters and
+/// latency histograms.
+#[must_use]
+pub fn request_kind_index(kind: u8) -> Option<usize> {
+    match kind {
+        KIND_PING..=KIND_STATS => Some(usize::from(kind) - 1),
+        _ => None,
+    }
+}
+
+fn write_histogram(w: &mut PayloadWriter, h: &HistogramSnapshot) {
+    w.u64(h.buckets.len() as u64);
+    for &(bucket, count) in &h.buckets {
+        w.bytes(&[bucket]);
+        w.u64(count);
+    }
+    w.u64(h.count);
+    w.u64(h.sum);
+}
+
+fn read_histogram(r: &mut PayloadReader<'_>) -> Result<HistogramSnapshot, WireError> {
+    let n = r.count(9)?;
+    let mut buckets = Vec::with_capacity(n);
+    let mut prev: Option<u8> = None;
+    for _ in 0..n {
+        let bucket = r.take(1)?[0];
+        if bucket >= 64 {
+            return Err(WireError::Invalid(format!(
+                "histogram bucket index {bucket} exceeds 63"
+            )));
+        }
+        if prev.is_some_and(|p| p >= bucket) {
+            return Err(WireError::Invalid(
+                "histogram bucket indices must be strictly increasing".into(),
+            ));
+        }
+        prev = Some(bucket);
+        buckets.push((bucket, r.u64()?));
+    }
+    Ok(HistogramSnapshot {
+        buckets,
+        count: r.u64()?,
+        sum: r.u64()?,
+    })
+}
+
+fn write_server_stats(w: &mut PayloadWriter, stats: &ServerStats) {
+    w.u64(stats.connections_accepted);
+    w.u64(stats.connections_closed);
+    for &count in &stats.requests {
+        w.u64(count);
+    }
+    for &count in &stats.error_frames {
+        w.u64(count);
+    }
+    // The codec always carries exactly one histogram per request kind; pad a
+    // hand-built short vector with empties rather than emit a malformed frame.
+    let empty = HistogramSnapshot::default();
+    for i in 0..REQUEST_KIND_COUNT {
+        write_histogram(w, stats.latency.get(i).unwrap_or(&empty));
+    }
+    w.u64(stats.streams.len() as u64);
+    for stream in &stats.streams {
+        write_name(w, &stream.name);
+        w.u64(stream.rows_ingested);
+        for &count in &stream.requests {
+            w.u64(count);
+        }
+        w.u64(stream.samples.len() as u64);
+        for (text, value) in &stream.samples {
+            write_name_unchecked(w, text);
+            w.u64(*value);
+        }
+    }
+}
+
+fn read_server_stats(r: &mut PayloadReader<'_>) -> Result<ServerStats, WireError> {
+    let connections_accepted = r.u64()?;
+    let connections_closed = r.u64()?;
+    let mut requests = [0u64; REQUEST_KIND_COUNT];
+    for slot in &mut requests {
+        *slot = r.u64()?;
+    }
+    let mut error_frames = [0u64; ERROR_CODE_COUNT];
+    for slot in &mut error_frames {
+        *slot = r.u64()?;
+    }
+    let mut latency = Vec::with_capacity(REQUEST_KIND_COUNT);
+    for _ in 0..REQUEST_KIND_COUNT {
+        latency.push(read_histogram(r)?);
+    }
+    let n = r.count(4 + 8 + 8 * REQUEST_KIND_COUNT + 8)?;
+    let mut streams = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = read_name(r)?;
+        let rows_ingested = r.u64()?;
+        let mut stream_requests = [0u64; REQUEST_KIND_COUNT];
+        for slot in &mut stream_requests {
+            *slot = r.u64()?;
+        }
+        let s = r.count(4 + 8)?;
+        let mut samples = Vec::with_capacity(s);
+        for _ in 0..s {
+            samples.push((read_message(r)?, r.u64()?));
+        }
+        streams.push(StreamStats {
+            name,
+            rows_ingested,
+            requests: stream_requests,
+            samples,
+        });
+    }
+    Ok(ServerStats {
+        connections_accepted,
+        connections_closed,
+        requests,
+        error_frames,
+        latency,
+        streams,
+    })
+}
+
 // ----- request codec -----
 
 impl Request {
@@ -797,6 +980,7 @@ impl Request {
                 KIND_MARGINALS
             }
             Self::Shutdown => KIND_SHUTDOWN,
+            Self::Stats => KIND_STATS,
         };
         encode_frame(kind, w.into_bytes())
     }
@@ -851,6 +1035,7 @@ impl Request {
                 }
             }
             KIND_SHUTDOWN => Self::Shutdown,
+            KIND_STATS => Self::Stats,
             other => return Err(WireError::UnknownKind(other)),
         };
         r.finish().map_err(WireError::from)?;
@@ -907,6 +1092,10 @@ impl Response {
                 KIND_MARGINALS_ANSWER
             }
             Self::ShuttingDown => KIND_SHUTTING_DOWN,
+            Self::Stats(stats) => {
+                write_server_stats(&mut w, stats);
+                KIND_STATS_REPLY
+            }
             Self::Error { code, message } => {
                 w.bytes(&[*code as u8]);
                 write_name_unchecked(&mut w, message);
@@ -978,6 +1167,7 @@ impl Response {
                 Self::MarginalsAnswer { rows, entries }
             }
             KIND_SHUTTING_DOWN => Self::ShuttingDown,
+            KIND_STATS_REPLY => Self::Stats(read_server_stats(&mut r)?),
             KIND_ERROR => Self::Error {
                 code: ErrorCode::from_u8(r.take(1)?[0])?,
                 message: read_message(&mut r)?,
@@ -1073,6 +1263,7 @@ mod tests {
                 mask: 0xFF,
             },
             Request::Shutdown,
+            Request::Stats,
         ];
         for request in requests {
             let frame = request.encode();
@@ -1118,6 +1309,7 @@ mod tests {
                 }],
             },
             Response::ShuttingDown,
+            Response::Stats(sample_stats()),
             Response::Error {
                 code: ErrorCode::UnknownStream,
                 message: "no such stream".into(),
@@ -1127,6 +1319,74 @@ mod tests {
             let frame = response.encode();
             assert_eq!(decode_response_frame(&frame).unwrap(), response);
         }
+    }
+
+    fn sample_stats() -> ServerStats {
+        let mut latency: Vec<HistogramSnapshot> =
+            (0..REQUEST_KIND_COUNT).map(|_| HistogramSnapshot::default()).collect();
+        latency[4] = HistogramSnapshot {
+            buckets: vec![(10, 3), (12, 1)],
+            count: 4,
+            sum: 9000,
+        };
+        ServerStats {
+            connections_accepted: 5,
+            connections_closed: 4,
+            requests: [1, 2, 3, 4, 5, 6, 7, 8],
+            error_frames: [0, 1, 0, 0, 2, 0, 0],
+            latency,
+            streams: vec![StreamStats {
+                name: "clicks".into(),
+                rows_ingested: 1000,
+                requests: [0, 0, 0, 9, 2, 0, 0, 0],
+                samples: vec![
+                    ("uss_ingest_rows_total{stream=\"clicks\"}".into(), 1000),
+                    ("uss_temporal_rotations_total{stream=\"clicks\"}".into(), 3),
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn stats_round_trip_is_exact_and_hostile_stats_are_gated() {
+        let stats = sample_stats();
+        let frame = Response::Stats(stats.clone()).encode();
+        assert_eq!(decode_response_frame(&frame).unwrap(), Response::Stats(stats));
+
+        // A short hand-built latency vector is padded to the full kind count
+        // on the wire, so it decodes to 8 (empty) histograms, not a panic.
+        let short = ServerStats::default();
+        match decode_response_frame(&Response::Stats(short).encode()).unwrap() {
+            Response::Stats(decoded) => {
+                assert_eq!(decoded.latency.len(), REQUEST_KIND_COUNT);
+                assert!(decoded.latency.iter().all(|h| h.count == 0));
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+
+        // Out-of-range and out-of-order bucket indices are rejected at decode.
+        for buckets in [vec![(64u8, 1u64)], vec![(5, 1), (5, 2)], vec![(6, 1), (3, 2)]] {
+            let mut bad = sample_stats();
+            bad.latency[0] = HistogramSnapshot {
+                buckets,
+                count: 1,
+                sum: 1,
+            };
+            assert!(matches!(
+                decode_response_frame(&Response::Stats(bad).encode()),
+                Err(WireError::Invalid(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn request_kind_indices_cover_every_request() {
+        for kind in 1u8..=REQUEST_KIND_COUNT as u8 {
+            assert_eq!(request_kind_index(kind), Some(usize::from(kind) - 1));
+        }
+        assert_eq!(request_kind_index(0), None);
+        assert_eq!(request_kind_index(REQUEST_KIND_COUNT as u8 + 1), None);
+        assert_eq!(request_kind_index(KIND_PONG), None);
     }
 
     #[test]

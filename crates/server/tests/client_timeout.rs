@@ -1,0 +1,78 @@
+//! Client deadline regression tests: a server that accepts but never answers
+//! must surface as the typed [`ClientError::Timeout`] instead of a client
+//! stuck forever in a blocking read.
+
+use std::net::TcpListener;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use uss_server::{ClientError, ServerConfig, SketchClient, SketchServer};
+
+/// A listener that accepts connections and then goes silent: it holds every
+/// socket open without ever writing a byte, until the test ends.
+fn silent_listener() -> (std::net::SocketAddr, mpsc::Sender<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind silent listener");
+    let addr = listener.local_addr().expect("local addr");
+    let (stop_tx, stop_rx) = mpsc::channel::<()>();
+    std::thread::spawn(move || {
+        let mut held = Vec::new();
+        listener.set_nonblocking(true).expect("nonblocking");
+        loop {
+            if let Ok(conn) = listener.accept() {
+                held.push(conn);
+            }
+            match stop_rx.try_recv() {
+                Err(mpsc::TryRecvError::Empty) => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                _ => return,
+            }
+        }
+    });
+    (addr, stop_tx)
+}
+
+#[test]
+fn silent_server_times_out_with_the_typed_error() {
+    let (addr, _stop) = silent_listener();
+    let mut client = SketchClient::connect(addr).expect("connect succeeds");
+    client
+        .set_timeout(Some(Duration::from_millis(200)))
+        .expect("set timeout");
+    let started = Instant::now();
+    match client.ping() {
+        Err(ClientError::Timeout { operation }) => {
+            assert_eq!(operation, "read", "the read deadline fires first");
+        }
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+    // The deadline actually bounded the wait: well under a blocking forever,
+    // comfortably above the configured 200ms floor minus scheduling slack.
+    let waited = started.elapsed();
+    assert!(waited < Duration::from_secs(10), "waited {waited:?}");
+    assert!(waited >= Duration::from_millis(100), "returned early: {waited:?}");
+}
+
+#[test]
+fn connect_timeout_applies_the_deadline_to_the_whole_session() {
+    let (addr, _stop) = silent_listener();
+    let mut client =
+        SketchClient::connect_timeout(addr, Duration::from_millis(200)).expect("connect");
+    // The connect deadline carried over to reads: no explicit set_timeout.
+    match client.ping() {
+        Err(ClientError::Timeout { operation }) => assert_eq!(operation, "read"),
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+    // And the error formats as a human-readable deadline message.
+    let err = ClientError::Timeout { operation: "read" };
+    assert_eq!(err.to_string(), "read timed out");
+}
+
+#[test]
+fn connect_timeout_against_a_live_daemon_just_works() {
+    let server = SketchServer::start("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client = SketchClient::connect_timeout(server.addr(), Duration::from_secs(30))
+        .expect("connect with deadline");
+    assert_eq!(client.ping().expect("ping"), uss_server::PROTOCOL_VERSION);
+    server.shutdown();
+}

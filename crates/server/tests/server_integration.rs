@@ -252,6 +252,7 @@ fn checkpoint_on_shutdown_restores_on_boot() {
         "127.0.0.1:0",
         ServerConfig {
             data_dir: Some(dir.clone()),
+            metrics_addr: None,
         },
     )
     .unwrap();
@@ -268,6 +269,7 @@ fn checkpoint_on_shutdown_restores_on_boot() {
         "127.0.0.1:0",
         ServerConfig {
             data_dir: Some(dir.clone()),
+            metrics_addr: None,
         },
     )
     .unwrap();

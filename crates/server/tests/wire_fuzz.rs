@@ -22,6 +22,15 @@ use uss_server::{ServerConfig, SketchClient, SketchServer};
 /// server (correctly) chose to wait for more bytes instead of answering.
 const HOSTILE_READ_TIMEOUT: Duration = Duration::from_millis(300);
 
+/// One past the highest defined *request* kind (`0x01..=0x08`). uss-lint R2
+/// pins this to the `KIND_*` registry in `wire.rs`: adding a request kind
+/// without extending the fuzz coverage here fails the lint.
+const FIRST_UNDEFINED_REQUEST_KIND: u8 = 0x09;
+
+/// One past the highest defined *response* kind (`0x41..=0x48`, error `0x7F`
+/// aside). Pinned by uss-lint R2 like its request-side twin.
+const FIRST_UNDEFINED_RESPONSE_KIND: u8 = 0x49;
+
 /// One daemon shared by every fuzz case: survival across the whole battery is
 /// exactly the property under test.
 fn server_addr() -> SocketAddr {
@@ -253,6 +262,24 @@ fn unknown_kind_with_valid_checksum_is_rejected() {
     assert!(!response.is_empty(), "unknown kind deserves an answer");
     assert_error_or_silence(&response);
     assert_server_alive();
+}
+
+#[test]
+fn first_undefined_kinds_are_rejected() {
+    // The first byte past each defined kind range, with a *correct* checksum:
+    // exactly the frame a version-skewed peer speaking "one more kind" would
+    // send. The kind gate must bounce both before any payload handling.
+    for kind in [FIRST_UNDEFINED_REQUEST_KIND, FIRST_UNDEFINED_RESPONSE_KIND] {
+        let mut frame = Request::Ping.encode();
+        frame[6] = kind;
+        let body_len = frame.len() - 8;
+        let crc = uss_core::persist::crc64(&frame[..body_len]);
+        frame[body_len..].copy_from_slice(&crc.to_le_bytes());
+        let response = exchange(&frame);
+        assert!(!response.is_empty(), "undefined kind {kind:#04x} deserves an answer");
+        assert_error_or_silence(&response);
+        assert_server_alive();
+    }
 }
 
 #[test]

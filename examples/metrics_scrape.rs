@@ -1,0 +1,104 @@
+//! Observability end to end: boot a daemon with a metrics endpoint, ingest,
+//! then watch the same numbers through both exposures — the wire `Stats`
+//! snapshot and the Prometheus text exposition.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example metrics_scrape
+//! ```
+//!
+//! The scraped body is printed to stdout, so a pipeline (CI does this) can
+//! grep for the metric families it expects.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use unbiased_space_saving::core::persist::TemporalMeta;
+use unbiased_space_saving::core::{Query, TimeRange};
+use unbiased_space_saving::server::{ServerConfig, SketchClient, SketchServer};
+
+fn main() {
+    // 1. Boot with a metrics listener on an ephemeral port (a standalone
+    //    daemon does the same with `uss_serverd --metrics-addr HOST:PORT`).
+    let server = SketchServer::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            data_dir: None,
+            metrics_addr: Some(String::from("127.0.0.1:0")),
+        },
+    )
+    .unwrap();
+    let metrics = server.metrics_addr().expect("metrics listener bound");
+    println!("daemon on {}, metrics on http://{metrics}/metrics", server.addr());
+
+    // 2. One stream, 50k timestamped rows, one query to quiesce the workers
+    //    (counters are exact at quiesce points).
+    let mut client = SketchClient::connect(server.addr()).unwrap();
+    client
+        .create_stream(
+            "clicks",
+            TemporalMeta {
+                shards: 2,
+                capacity: 256,
+                seed: 42,
+                bucket_width: 60,
+                fine_buckets: 32,
+                tier_factor: 4,
+                tiers: 2,
+            },
+        )
+        .unwrap();
+    let rows: Vec<(u64, u64)> = (0..50_000).map(|i| ((i * i + 7) % 997, i / 500)).collect();
+    client.ingest("clicks", &rows).unwrap();
+    client.query("clicks", &TimeRange::All, &Query::TopK { k: 5 }).unwrap();
+
+    // 3. The wire Stats snapshot: typed, per-stream, per-kind. The ladder
+    //    idle-builder may still be materialising nodes right after a query;
+    //    poll to its fixed point so step 5's comparison is race-free.
+    let mut stats = client.stats().unwrap();
+    loop {
+        let next = client.stats().unwrap();
+        if next.streams == stats.streams {
+            stats = next;
+            break;
+        }
+        stats = next;
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let stream = &stats.streams[0];
+    let applied: u64 = stream
+        .samples
+        .iter()
+        .filter(|(name, _)| name.starts_with("uss_ingest_rows_total{"))
+        .map(|&(_, v)| v)
+        .sum();
+    println!(
+        "stats: {} rows ingested into {:?}, {} applied by workers, {} requests served",
+        stream.rows_ingested,
+        stream.name,
+        applied,
+        stats.requests.iter().sum::<u64>(),
+    );
+    assert_eq!(applied, 50_000, "worker counters reconcile at quiesce");
+
+    // 4. The Prometheus exposition: one GET, plaintext format 0.0.4. Printed
+    //    in full so callers can grep for families.
+    let mut scrape = TcpStream::connect(metrics).unwrap();
+    scrape.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    scrape.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+    let mut response = String::new();
+    scrape.read_to_string(&mut response).unwrap();
+    let body = response.split_once("\r\n\r\n").expect("http response").1;
+    print!("{body}");
+
+    // 5. The two exposures agree by construction: every per-stream sample is
+    //    a `name{labels} value` line of the scrape.
+    for (sample, value) in &stream.samples {
+        let line = format!("{sample} {value}");
+        assert!(body.lines().any(|l| l == line), "scrape missing {line:?}");
+    }
+    println!("# every wire-stats sample appeared verbatim in the scrape");
+    server.shutdown();
+}

@@ -26,6 +26,7 @@ fn main() {
         "127.0.0.1:0",
         ServerConfig {
             data_dir: Some(dir.clone()),
+            metrics_addr: None,
         },
     )
     .unwrap();
@@ -99,7 +100,7 @@ fn main() {
     admin.shutdown_server().unwrap();
     server.join();
 
-    let server = SketchServer::start("127.0.0.1:0", ServerConfig { data_dir: Some(dir.clone()) })
+    let server = SketchServer::start("127.0.0.1:0", ServerConfig { data_dir: Some(dir.clone()), metrics_addr: None })
         .unwrap();
     let mut client = SketchClient::connect(server.addr()).unwrap();
     println!("after restart:");
